@@ -1,0 +1,53 @@
+//! Criterion bench backing Fig. 1: particle-set propagation cost of the two
+//! motion models (the prediction-step half of the filter's budget).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raceloc_core::{Pose2, Rng64, Twist2};
+use raceloc_pf::motion::{propagate, DiffDriveModel, TumMotionModel};
+
+fn bench_motion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motion_propagate_1200");
+    let delta = Pose2::new(0.1, 0.005, 0.02);
+    let twist = Twist2::new(5.0, 0.0, 0.4);
+
+    group.bench_function("diff_drive", |b| {
+        let model = DiffDriveModel::default();
+        let mut rng = Rng64::new(1);
+        let mut particles = vec![Pose2::IDENTITY; 1200];
+        b.iter(|| {
+            propagate(
+                &model,
+                black_box(&mut particles),
+                delta,
+                twist,
+                0.02,
+                &mut rng,
+            )
+        });
+    });
+
+    group.bench_function("tum", |b| {
+        let model = TumMotionModel::default();
+        let mut rng = Rng64::new(1);
+        let mut particles = vec![Pose2::IDENTITY; 1200];
+        b.iter(|| {
+            propagate(
+                &model,
+                black_box(&mut particles),
+                delta,
+                twist,
+                0.02,
+                &mut rng,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_motion
+}
+criterion_main!(benches);

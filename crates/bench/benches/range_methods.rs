@@ -1,0 +1,67 @@
+//! Criterion bench backing ablation A2: batch-query latency of each range
+//! method on the test-track map (the data behind rangelibc's comparison
+//! table).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raceloc_bench::test_track;
+use raceloc_core::Rng64;
+use raceloc_map::CellState;
+use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+
+fn queries(n: usize) -> Vec<(f64, f64, f64)> {
+    let track = test_track();
+    let mut rng = Rng64::new(17);
+    let (lo, hi) = track.grid.bounds();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = rng.uniform_range(lo.x, hi.x);
+        let y = rng.uniform_range(lo.y, hi.y);
+        if track.grid.state_at_world(raceloc_core::Point2::new(x, y)) == CellState::Free {
+            out.push((
+                x,
+                y,
+                rng.uniform_range(-std::f64::consts::PI, std::f64::consts::PI),
+            ));
+        }
+    }
+    out
+}
+
+fn bench_ranges(c: &mut Criterion) {
+    let track = test_track();
+    let qs = queries(512);
+    let mut group = c.benchmark_group("range_methods");
+
+    let bres = BresenhamCasting::new(&track.grid, 10.0);
+    group.bench_function("bresenham_512", |b| {
+        let mut out = vec![0.0; qs.len()];
+        b.iter(|| bres.ranges_into(black_box(&qs), &mut out));
+    });
+
+    let rm = RayMarching::new(&track.grid, 10.0);
+    group.bench_function("ray_marching_512", |b| {
+        let mut out = vec![0.0; qs.len()];
+        b.iter(|| rm.ranges_into(black_box(&qs), &mut out));
+    });
+
+    let cddt = Cddt::new(&track.grid, 10.0, 180);
+    group.bench_function("cddt_512", |b| {
+        let mut out = vec![0.0; qs.len()];
+        b.iter(|| cddt.ranges_into(black_box(&qs), &mut out));
+    });
+
+    let lut = RangeLut::new(&track.grid, 10.0, 72);
+    group.bench_function("lut_512", |b| {
+        let mut out = vec![0.0; qs.len()];
+        b.iter(|| lut.ranges_into(black_box(&qs), &mut out));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ranges
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench backing experiment E3: one full SynPF sensor update
+//! (the paper's headline 1.25 ms number) across particle counts and range
+//! methods.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raceloc_bench::test_track;
+use raceloc_core::localizer::Localizer;
+use raceloc_pf::{SynPf, SynPfConfig};
+use raceloc_range::{RangeLut, RayMarching};
+use raceloc_sim::{Lidar, LidarSpec};
+
+fn bench_sensor_update(c: &mut Criterion) {
+    let track = test_track();
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let mut lidar = Lidar::new(LidarSpec::default(), 5);
+    let scan = lidar.scan(track.start_pose(), &caster, 0.0);
+    let lut = RangeLut::new(&track.grid, 10.0, 72);
+
+    let mut group = c.benchmark_group("synpf_sensor_update");
+    for particles in [500usize, 1200, 2400] {
+        group.bench_with_input(BenchmarkId::new("lut", particles), &particles, |b, &n| {
+            let mut pf = SynPf::new(
+                lut.clone(),
+                SynPfConfig {
+                    particles: n,
+                    ..SynPfConfig::default()
+                },
+            );
+            pf.reset(track.start_pose());
+            b.iter(|| pf.correct(black_box(&scan)));
+        });
+    }
+    group.bench_function("ray_marching/1200", |b| {
+        let mut pf = SynPf::new(
+            RayMarching::new(&track.grid, 10.0),
+            SynPfConfig {
+                particles: 1200,
+                ..SynPfConfig::default()
+            },
+        );
+        pf.reset(track.start_pose());
+        b.iter(|| pf.correct(black_box(&scan)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sensor_update
+}
+criterion_main!(benches);

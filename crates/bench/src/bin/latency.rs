@@ -1,0 +1,103 @@
+//! **Experiment E3** — the paper's headline "1.25 ms scan matching on a
+//! GPU-less on-board computer": wall-clock latency of one SynPF sensor
+//! update (boxed 60-beam layout, LUT range queries) as a function of the
+//! particle count, plus the same measurement for the other range methods.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin latency`.
+
+use raceloc_bench::test_track;
+use raceloc_core::localizer::Localizer;
+use raceloc_core::sensor_data::LaserScan;
+use raceloc_pf::{SynPf, SynPfConfig};
+use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+use raceloc_sim::{Lidar, LidarSpec};
+use std::time::Instant;
+
+fn scan_at_start(track: &raceloc_map::Track) -> LaserScan {
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let mut lidar = Lidar::new(LidarSpec::default(), 5);
+    lidar.scan(track.start_pose(), &caster, 0.0)
+}
+
+fn measure_pf<M: RangeMethod>(
+    caster: M,
+    particles: usize,
+    track: &raceloc_map::Track,
+    scan: &LaserScan,
+) -> f64 {
+    let mut pf = SynPf::new(
+        caster,
+        SynPfConfig {
+            particles,
+            ..SynPfConfig::default()
+        },
+    );
+    pf.reset(track.start_pose());
+    // Warm up, then time.
+    for _ in 0..3 {
+        pf.correct(scan);
+    }
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        pf.correct(scan);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    println!("SynPF sensor-update latency (paper: 1.25 ms on an i5-10210U, LUT mode)");
+    println!();
+    let track = test_track();
+    let scan = scan_at_start(&track);
+
+    println!("LUT mode (the paper's configuration), boxed 60-beam layout:");
+    for particles in [500, 1000, 1200, 2000, 4000] {
+        let lut = RangeLut::new(&track.grid, 10.0, 72);
+        let dt = measure_pf(lut, particles, &track, &scan);
+        println!("  N={particles:>5}: {:>8.3} ms per scan update", dt * 1e3);
+    }
+
+    println!();
+    println!("Range-method comparison at N=1200:");
+    let dt = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "LUT", dt * 1e3);
+    let dt = measure_pf(Cddt::new(&track.grid, 10.0, 180), 1200, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "CDDT", dt * 1e3);
+    let dt = measure_pf(RayMarching::new(&track.grid, 10.0), 1200, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "ray marching", dt * 1e3);
+    let dt = measure_pf(
+        BresenhamCasting::new(&track.grid, 10.0),
+        1200,
+        &track,
+        &scan,
+    );
+    println!("  {:<22} {:>8.3} ms", "Bresenham", dt * 1e3);
+
+    println!();
+    println!("Threaded batch casting (the rangelibc GPU-mode substitute), N=1200, LUT:");
+    for threads in [1, 2, 4, 8] {
+        let lut = RangeLut::new(&track.grid, 10.0, 72);
+        let mut pf = SynPf::new(
+            lut,
+            SynPfConfig {
+                particles: 1200,
+                threads,
+                ..SynPfConfig::default()
+            },
+        );
+        pf.reset(track.start_pose());
+        for _ in 0..3 {
+            pf.correct(&scan);
+        }
+        let reps = 20;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            pf.correct(&scan);
+        }
+        println!(
+            "  threads={threads}: {:>8.3} ms",
+            t0.elapsed().as_secs_f64() / reps as f64 * 1e3
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! **Ablation A4 — robustness vs speed** (the paper tests "up until
+//! 7.6 m/s"): estimation error of both localizers as the speed scaling
+//! rises, on both grip levels.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin speed_sweep`.
+
+use raceloc_bench::{
+    build_cartographer, build_synpf, test_track, world_config, MU_HIGH_QUALITY, MU_LOW_QUALITY,
+};
+use raceloc_core::localizer::Localizer;
+use raceloc_core::RunningStats;
+use raceloc_sim::World;
+
+fn run_one<L: Localizer + ?Sized>(loc: &mut L, mu: f64, speed_scale: f64) -> (f64, f64, bool) {
+    let track = test_track();
+    let mut cfg = world_config(mu, 42);
+    cfg.pursuit.speed_scale = speed_scale;
+    // Cartographer consumes Ackermann odometry in its stock configuration.
+    cfg.odom.use_imu_yaw = loc.name() != "cartographer";
+    let mut world = World::new(track, cfg);
+    let log = world.run(loc, 30.0);
+    let mut err = RunningStats::new();
+    let mut vmax = 0.0f64;
+    for s in &log.samples {
+        err.push(s.true_pose.dist(s.est_pose));
+        vmax = vmax.max(s.true_speed);
+    }
+    (100.0 * err.mean(), vmax, log.crashed)
+}
+
+fn main() {
+    println!("Estimation error vs speed scaling (30 s runs; paper tests up to 7.6 m/s)");
+    println!();
+    println!(
+        "{:<6} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "scale", "vmax", "carto HQ", "carto LQ", "synpf HQ", "synpf LQ"
+    );
+    let track = test_track();
+    for scale in [0.5, 0.65, 0.8, 0.9, 1.0] {
+        let mut cells = Vec::new();
+        let mut vmax = 0.0f64;
+        for (mu, carto) in [
+            (MU_HIGH_QUALITY, true),
+            (MU_LOW_QUALITY, true),
+            (MU_HIGH_QUALITY, false),
+            (MU_LOW_QUALITY, false),
+        ] {
+            let (err, v, crashed) = if carto {
+                let mut loc = build_cartographer(&track);
+                run_one(&mut loc, mu, scale)
+            } else {
+                let mut pf = build_synpf(&track, 7);
+                run_one(&mut pf, mu, scale)
+            };
+            vmax = vmax.max(v);
+            cells.push(if crashed {
+                "CRASH".to_string()
+            } else {
+                format!("{err:.2} cm")
+            });
+        }
+        println!(
+            "{:<6.2} {:>6.2} | {:>12} {:>12} | {:>12} {:>12}",
+            scale, vmax, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! **Experiment E1 — Table I** of the paper: lap time, lateral error, scan
+//! alignment, and CPU load for {Cartographer, SynPF} × {high-quality,
+//! low-quality} wheel odometry, 10 flying laps per cell.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin table1`.
+//! Pass a lap count as the first argument to shorten the experiment.
+
+use raceloc_bench::{
+    build_cartographer, build_synpf, format_row, run_cell_with_odom, table_header, test_track,
+    OdomSource, MU_HIGH_QUALITY, MU_LOW_QUALITY,
+};
+
+fn main() {
+    let laps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    println!("Table I reproduction — {laps} flying laps per cell");
+    println!("(paper: Cartographer HQ 9.167s/6.86cm, LQ 9.428s/11.43cm;");
+    println!("        SynPF        HQ 9.184s/8.22cm, LQ 9.280s/7.69cm)");
+    println!();
+    println!("{}", table_header());
+
+    let track = test_track();
+    let mut results = Vec::new();
+    // Cartographer consumes the stock VESC (Ackermann) odometry, SynPF the
+    // IMU-fused odometry, matching the respective F1TENTH configurations
+    // (DESIGN.md §5).
+    for (odom, mu) in [("HQ", MU_HIGH_QUALITY), ("LQ", MU_LOW_QUALITY)] {
+        let mut carto = build_cartographer(&track);
+        let r = run_cell_with_odom(
+            &mut carto,
+            "Cartographer",
+            odom,
+            mu,
+            laps,
+            42,
+            OdomSource::Ackermann,
+        );
+        println!("{}", format_row(&r));
+        results.push(r);
+    }
+    for (odom, mu) in [("HQ", MU_HIGH_QUALITY), ("LQ", MU_LOW_QUALITY)] {
+        let mut pf = build_synpf(&track, 7);
+        let r = run_cell_with_odom(&mut pf, "SynPF", odom, mu, laps, 42, OdomSource::ImuFused);
+        println!("{}", format_row(&r));
+        results.push(r);
+    }
+
+    // The paper's headline deltas.
+    let err = |m: &str, o: &str| {
+        results
+            .iter()
+            .find(|r| r.method == m && r.odom == o)
+            .map(|r| r.lateral_error_cm.mean)
+            .unwrap_or(f64::NAN)
+    };
+    let est = |m: &str, o: &str| {
+        results
+            .iter()
+            .find(|r| r.method == m && r.odom == o)
+            .map(|r| r.est_error_cm.mean)
+            .unwrap_or(f64::NAN)
+    };
+    let align = |m: &str, o: &str| {
+        results
+            .iter()
+            .find(|r| r.method == m && r.odom == o)
+            .map(|r| r.scan_align_pct)
+            .unwrap_or(f64::NAN)
+    };
+    println!();
+    println!(
+        "Cartographer HQ→LQ: lateral error {:+.1}% (paper +66.6%), alignment {:+.1}% (paper -11.0%)",
+        100.0 * (err("Cartographer", "LQ") / err("Cartographer", "HQ") - 1.0),
+        100.0 * (align("Cartographer", "LQ") / align("Cartographer", "HQ") - 1.0),
+    );
+    println!(
+        "SynPF        HQ→LQ: lateral error {:+.1}% (paper -6.9%),  alignment {:+.1}% (paper -0.8%)",
+        100.0 * (err("SynPF", "LQ") / err("SynPF", "HQ") - 1.0),
+        100.0 * (align("SynPF", "LQ") / align("SynPF", "HQ") - 1.0),
+    );
+    println!(
+        "Estimation error HQ→LQ: Cartographer {:+.1}%, SynPF {:+.1}%",
+        100.0 * (est("Cartographer", "LQ") / est("Cartographer", "HQ") - 1.0),
+        100.0 * (est("SynPF", "LQ") / est("SynPF", "HQ") - 1.0),
+    );
+}

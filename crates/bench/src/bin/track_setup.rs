@@ -1,0 +1,50 @@
+//! **Experiment E4 — Fig. 2** of the paper: the test-track setup.
+//!
+//! The paper's figure shows the physical test track and the taped
+//! "slippery" tires. This binary renders our procedural stand-in track as
+//! ASCII art, reports its geometry statistics, and translates the two grip
+//! levels back into the paper's pull-force measurement.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin track_setup`.
+
+use raceloc_bench::{test_track, MU_HIGH_QUALITY, MU_LOW_QUALITY};
+
+fn main() {
+    let track = test_track();
+    println!("Test track (procedural stand-in for the paper's Fig. 2 hall track):");
+    println!("{}", track.grid.to_ascii(96));
+    let (free, occ, unk) = track.grid.census();
+    println!(
+        "grid: {}×{} cells @ {:.0} mm  (free {free}, wall {occ}, unknown {unk})",
+        track.grid.width(),
+        track.grid.height(),
+        track.grid.resolution() * 1e3,
+    );
+    println!(
+        "centerline {:.1} m, raceline {:.1} m, corridor width {:.2} m",
+        track.centerline.total_length(),
+        track.raceline.total_length(),
+        2.0 * track.half_width,
+    );
+    let mut max_k: f64 = 0.0;
+    let n = 200;
+    for i in 0..n {
+        let s = i as f64 / n as f64 * track.raceline.total_length();
+        max_k = max_k.max(track.raceline.curvature_at(s, 0.4).abs());
+    }
+    println!(
+        "raceline curvature: max {:.2} 1/m (min radius {:.2} m)",
+        max_k,
+        1.0 / max_k.max(1e-9)
+    );
+    println!();
+    // The paper measured grip by pulling the car laterally at the CG
+    // (26 N nominal, 19 N with taped tires). We normalize the nominal
+    // surface to μ = 1 and preserve the measured 19/26 force ratio.
+    println!("grip levels (paper pull-force measurement: 26 N nominal, 19 N taped):");
+    println!("  high quality: μ={MU_HIGH_QUALITY:.3}  (≙ 26 N pull)");
+    println!(
+        "  low quality:  μ={MU_LOW_QUALITY:.3}  (≙ 19 N pull, ratio {:.3})",
+        MU_LOW_QUALITY / MU_HIGH_QUALITY
+    );
+}

@@ -1,0 +1,216 @@
+//! Angle normalization and circular statistics.
+//!
+//! All angles in the workspace are radians. Functions here keep headings in
+//! the half-open interval `(-π, π]` and compute means/differences that are
+//! correct across the ±π wrap.
+
+use std::f64::consts::PI;
+
+/// Normalizes an angle to the interval `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::angle::normalize;
+/// use std::f64::consts::PI;
+///
+/// assert!((normalize(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((normalize(-3.5 * PI) - 0.5 * PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn normalize(theta: f64) -> f64 {
+    if theta.is_finite() {
+        let two_pi = 2.0 * PI;
+        let mut a = theta % two_pi;
+        if a <= -PI {
+            a += two_pi;
+        } else if a > PI {
+            a -= two_pi;
+        }
+        a
+    } else {
+        theta
+    }
+}
+
+/// Returns the signed smallest difference `a - b`, normalized to `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::angle::diff;
+/// use std::f64::consts::PI;
+///
+/// // Crossing the wrap: 170° to -170° is a +20° step, not -340°.
+/// let d = diff(-170.0f64.to_radians(), 170.0f64.to_radians());
+/// assert!((d - 20.0f64.to_radians()).abs() < 1e-12);
+/// # let _ = PI;
+/// ```
+#[inline]
+pub fn diff(a: f64, b: f64) -> f64 {
+    normalize(a - b)
+}
+
+/// Linearly interpolates between two angles along the shortest arc.
+///
+/// `t = 0` yields `a`, `t = 1` yields `b`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    normalize(a + diff(b, a) * t)
+}
+
+/// Computes the circular (directional) mean of a set of angles.
+///
+/// Returns `None` when the input is empty or the resultant vector is
+/// numerically zero (e.g. two antipodal angles), in which case no mean
+/// direction is defined.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::angle::circular_mean;
+///
+/// let m = circular_mean([0.1, -0.1].iter().copied()).unwrap();
+/// assert!(m.abs() < 1e-12);
+/// assert!(circular_mean(std::iter::empty()).is_none());
+/// ```
+pub fn circular_mean<I: IntoIterator<Item = f64>>(angles: I) -> Option<f64> {
+    let (mut s, mut c, mut n) = (0.0f64, 0.0f64, 0usize);
+    for a in angles {
+        s += a.sin();
+        c += a.cos();
+        n += 1;
+    }
+    if n == 0 || (s.hypot(c)) < 1e-12 {
+        None
+    } else {
+        Some(s.atan2(c))
+    }
+}
+
+/// Computes the weighted circular mean of `(angle, weight)` pairs.
+///
+/// Returns `None` for empty input, non-positive total weight, or a
+/// numerically zero resultant.
+pub fn weighted_circular_mean<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> Option<f64> {
+    let (mut s, mut c, mut w) = (0.0f64, 0.0f64, 0.0f64);
+    for (a, wi) in pairs {
+        s += wi * a.sin();
+        c += wi * a.cos();
+        w += wi;
+    }
+    if w <= 0.0 || s.hypot(c) < 1e-12 {
+        None
+    } else {
+        Some(s.atan2(c))
+    }
+}
+
+/// Circular standard deviation of a set of angles, in radians.
+///
+/// Uses the standard definition `sqrt(-2 ln R̄)` where `R̄` is the mean
+/// resultant length. Returns `None` on empty input.
+pub fn circular_std<I: IntoIterator<Item = f64>>(angles: I) -> Option<f64> {
+    let (mut s, mut c, mut n) = (0.0f64, 0.0f64, 0usize);
+    for a in angles {
+        s += a.sin();
+        c += a.cos();
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    let r = (s.hypot(c) / n as f64).clamp(0.0, 1.0);
+    if r <= f64::MIN_POSITIVE {
+        return Some(f64::INFINITY);
+    }
+    Some((-2.0 * r.ln()).max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for k in -20..20 {
+            let a = 0.37 + k as f64 * 1.1;
+            let n = normalize(a);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12, "{n}");
+            assert!((normalize(n) - n).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_boundary() {
+        assert!((normalize(PI) - PI).abs() < 1e-12);
+        // -π maps to +π under the (-π, π] convention.
+        assert!((normalize(-PI) - PI).abs() < 1e-12);
+        assert_eq!(normalize(0.0), 0.0);
+    }
+
+    #[test]
+    fn normalize_non_finite_passthrough() {
+        assert!(normalize(f64::NAN).is_nan());
+        assert!(normalize(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn diff_wraps() {
+        let a = 3.0; // ~172°
+        let b = -3.0; // ~-172°
+        let d = diff(a, b);
+        assert!((d - (6.0 - 2.0 * PI)).abs() < 1e-12);
+        assert!(d < 0.0 && d.abs() < 0.5);
+    }
+
+    #[test]
+    fn lerp_shortest_arc() {
+        let a = 3.0;
+        let b = -3.0;
+        let mid = lerp(a, b, 0.5);
+        // Midpoint of the short arc across ±π is near ±π, not 0.
+        assert!(mid.abs() > 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert!((lerp(0.4, 1.2, 0.0) - 0.4).abs() < 1e-12);
+        assert!((lerp(0.4, 1.2, 1.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_wraps() {
+        let m = circular_mean([PI - 0.1, -PI + 0.1].iter().copied()).unwrap();
+        assert!((m.abs() - PI).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn circular_mean_antipodal_is_none() {
+        assert!(circular_mean([0.0, PI].iter().copied()).is_none());
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let m = weighted_circular_mean([(0.0, 3.0), (1.0, 1.0)].iter().copied()).unwrap();
+        assert!(m > 0.0 && m < 0.5);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weight_is_none() {
+        assert!(weighted_circular_mean([(1.0, 0.0)].iter().copied()).is_none());
+    }
+
+    #[test]
+    fn circular_std_concentrated_is_small() {
+        let s = circular_std([0.01, -0.01, 0.02].iter().copied()).unwrap();
+        assert!(s < 0.05);
+    }
+
+    #[test]
+    fn circular_std_uniform_is_large() {
+        let angles: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 * 2.0 * PI).collect();
+        let s = circular_std(angles.iter().copied()).unwrap();
+        assert!(s > 1.0);
+    }
+}

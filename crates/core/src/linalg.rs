@@ -1,0 +1,448 @@
+//! Minimal dense linear algebra for the SLAM back-end.
+//!
+//! The pose-graph optimizer needs 3×3 blocks (SE(2) Jacobians, information
+//! matrices) and a symmetric positive-definite solve for the Gauss–Newton
+//! normal equations. Implementing these ~200 lines here keeps the workspace
+//! dependency-free and the numerics fully under our control.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A 3-vector (used for SE(2) tangent vectors `[dx, dy, dθ]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3(pub [f64; 3]);
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3([0.0; 3]);
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3([x, y, z])
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.0[0] * rhs.0[0] + self.0[1] * rhs.0[1] + self.0[2] * rhs.0[2]
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Scales every component.
+    #[inline]
+    pub fn scaled(self, s: f64) -> Vec3 {
+        Vec3([self.0[0] * s, self.0[1] * s, self.0[2] * s])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, r: Vec3) -> Vec3 {
+        Vec3([self.0[0] + r.0[0], self.0[1] + r.0[1], self.0[2] + r.0[2]])
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, r: Vec3) -> Vec3 {
+        Vec3([self.0[0] - r.0[0], self.0[1] - r.0[1], self.0[2] - r.0[2]])
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+/// A 3×3 matrix in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat3(pub [[f64; 3]; 3]);
+
+impl Mat3 {
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3([[0.0; 3]; 3]);
+
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
+
+    /// A diagonal matrix from three values.
+    #[inline]
+    pub fn diag(a: f64, b: f64, c: f64) -> Mat3 {
+        Mat3([[a, 0.0, 0.0], [0.0, b, 0.0], [0.0, 0.0, c]])
+    }
+
+    /// The transpose.
+    #[inline]
+    pub fn transpose(self) -> Mat3 {
+        let m = self.0;
+        Mat3([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn mul_vec(self, v: Vec3) -> Vec3 {
+        let m = self.0;
+        Vec3([
+            m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+            m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+            m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2],
+        ])
+    }
+
+    /// Determinant.
+    pub fn det(self) -> f64 {
+        let m = self.0;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// The inverse, or `None` when the matrix is numerically singular.
+    pub fn inverse(self) -> Option<Mat3> {
+        let m = self.0;
+        let det = self.det();
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let mut r = [[0.0; 3]; 3];
+        r[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        r[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        r[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        r[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        r[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        r[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        r[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        r[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        r[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        Some(Mat3(r))
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, r: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.0[i][j] = self.0[i][j] + r.0[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, r: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for (k, row) in r.0.iter().enumerate() {
+                    acc += self.0[i][k] * row[j];
+                }
+                out.0[i][j] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for row in &mut out.0 {
+            for v in row {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+/// A dense row-major matrix of runtime dimensions.
+///
+/// Used only by the pose-graph solver, where graphs are small enough that a
+/// dense Cholesky factorization of the (damped) normal equations is fast and
+/// robust.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds a 3×3 block starting at `(r, c)` (used to assemble H from
+    /// per-edge Jacobian blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn add_block3(&mut self, r: usize, c: usize, b: &Mat3) {
+        assert!(
+            r + 3 <= self.rows && c + 3 <= self.cols,
+            "block out of range"
+        );
+        for (i, row) in b.0.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                self[(r + i, c + j)] += v;
+            }
+        }
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// Returns `None` when the matrix is not positive-definite (a tiny
+    /// diagonal damping is the caller's responsibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square or `b.len() != rows`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(
+            self.rows, self.cols,
+            "cholesky_solve: matrix must be square"
+        );
+        assert_eq!(b.len(), self.rows, "cholesky_solve: rhs length mismatch");
+        let n = self.rows;
+        // Factor A = L Lᵀ, storing L in a lower-triangular copy.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Some(x)
+    }
+
+    /// Matrix–vector product `A v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for DMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat3_identity_mul() {
+        let m = Mat3([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]]);
+        assert_eq!(m * Mat3::IDENTITY, m);
+        assert_eq!(Mat3::IDENTITY * m, m);
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip() {
+        let m = Mat3([[4.0, 1.0, 0.5], [1.0, 3.0, 0.2], [0.5, 0.2, 2.0]]);
+        let inv = m.inverse().unwrap();
+        let prod = m * inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.0[i][j] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_singular_inverse_is_none() {
+        let m = Mat3([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mat3_transpose_involution() {
+        let m = Mat3([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mat3_mul_vec() {
+        let v = Mat3::diag(2.0, 3.0, 4.0).mul_vec(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(v, Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn vec3_ops() {
+        let a = Vec3::new(1.0, 2.0, 2.0);
+        assert!((a.norm() - 3.0).abs() < 1e-12);
+        assert_eq!(a.scaled(2.0), Vec3::new(2.0, 4.0, 4.0));
+        assert_eq!((a - a), Vec3::ZERO);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = Mᵀ M + I is SPD for any M.
+        let n = 8;
+        let mut a = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mij = ((i * 7 + j * 3) % 11) as f64 / 11.0;
+                a[(i, j)] = mij;
+            }
+        }
+        // Form SPD matrix S = A Aᵀ + I.
+        let mut s = DMat::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[(i, k)] * a[(j, k)];
+                }
+                s[(i, j)] += acc;
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = s.mul_vec(&x_true);
+        let x = s.cholesky_solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut m = DMat::identity(2);
+        m[(1, 1)] = -1.0;
+        assert!(m.cholesky_solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn add_block3_accumulates() {
+        let mut m = DMat::zeros(6, 6);
+        m.add_block3(0, 3, &Mat3::IDENTITY);
+        m.add_block3(0, 3, &Mat3::IDENTITY);
+        assert_eq!(m[(0, 3)], 2.0);
+        assert_eq!(m[(2, 5)], 2.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn add_block3_out_of_range_panics() {
+        let mut m = DMat::zeros(4, 4);
+        m.add_block3(2, 2, &Mat3::IDENTITY);
+    }
+}

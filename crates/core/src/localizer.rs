@@ -1,0 +1,135 @@
+//! The interface every localization algorithm in the workspace implements.
+
+use crate::sensor_data::{LaserScan, Odometry};
+use crate::Pose2;
+
+/// A map-based pose estimator driven by odometry and LiDAR.
+///
+/// The simulator's closed loop calls [`Localizer::predict`] at the odometry
+/// rate and [`Localizer::correct`] at the LiDAR rate, then steers the car
+/// from [`Localizer::pose`] — exactly the signal path of the paper's
+/// in-field evaluation, so localization error propagates into lap time and
+/// lateral deviation.
+pub trait Localizer {
+    /// Ingests an odometry sample (prediction / motion update).
+    fn predict(&mut self, odom: &Odometry);
+
+    /// Ingests a LiDAR scan (correction / measurement update) and returns
+    /// the new pose estimate in the map frame.
+    fn correct(&mut self, scan: &LaserScan) -> Pose2;
+
+    /// The current pose estimate in the map frame.
+    fn pose(&self) -> Pose2;
+
+    /// (Re-)initializes the estimator around a known pose (e.g. the starting
+    /// grid). Implementations should discard previous state.
+    fn reset(&mut self, pose: Pose2);
+
+    /// A short human-readable name for experiment reports.
+    fn name(&self) -> &str;
+}
+
+/// A trivial localizer that integrates odometry only (dead reckoning).
+///
+/// Serves as the no-correction baseline: its error is exactly the
+/// accumulated odometry drift, which makes it useful for validating the
+/// odometry-degradation machinery itself.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::localizer::{DeadReckoning, Localizer};
+/// use raceloc_core::sensor_data::Odometry;
+/// use raceloc_core::{Pose2, Twist2};
+///
+/// let mut dr = DeadReckoning::new();
+/// dr.reset(Pose2::new(1.0, 0.0, 0.0));
+/// // The first sample establishes the odometry reference frame…
+/// dr.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+/// // …subsequent samples apply their relative motion.
+/// dr.predict(&Odometry::new(Pose2::new(0.5, 0.0, 0.0), Twist2::ZERO, 0.1));
+/// assert!((dr.pose().x - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeadReckoning {
+    map_pose: Pose2,
+    last_odom: Option<Pose2>,
+}
+
+impl DeadReckoning {
+    /// Creates a dead-reckoning localizer at the origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Localizer for DeadReckoning {
+    fn predict(&mut self, odom: &Odometry) {
+        if let Some(prev) = self.last_odom {
+            let delta = prev.relative_to(odom.pose);
+            self.map_pose = self.map_pose * delta;
+        }
+        self.last_odom = Some(odom.pose);
+    }
+
+    fn correct(&mut self, _scan: &LaserScan) -> Pose2 {
+        self.map_pose
+    }
+
+    fn pose(&self) -> Pose2 {
+        self.map_pose
+    }
+
+    fn reset(&mut self, pose: Pose2) {
+        self.map_pose = pose;
+        self.last_odom = None;
+    }
+
+    fn name(&self) -> &str {
+        "dead-reckoning"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Twist2;
+
+    #[test]
+    fn dead_reckoning_follows_odometry_deltas() {
+        let mut dr = DeadReckoning::new();
+        dr.reset(Pose2::new(0.0, 0.0, std::f64::consts::FRAC_PI_2));
+        // Odometry frame: drive 1 m along odom-x.
+        dr.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        dr.predict(&Odometry::new(Pose2::new(1.0, 0.0, 0.0), Twist2::ZERO, 0.1));
+        // Map frame: the car faces +y, so it moved 1 m along map-y.
+        assert!(dr.pose().x.abs() < 1e-12);
+        assert!((dr.pose().y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_sample_sets_reference_only() {
+        let mut dr = DeadReckoning::new();
+        dr.reset(Pose2::new(2.0, 3.0, 0.0));
+        dr.predict(&Odometry::new(Pose2::new(9.0, 9.0, 1.0), Twist2::ZERO, 0.0));
+        assert_eq!(dr.pose(), Pose2::new(2.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn reset_clears_reference() {
+        let mut dr = DeadReckoning::new();
+        dr.predict(&Odometry::new(Pose2::new(1.0, 0.0, 0.0), Twist2::ZERO, 0.0));
+        dr.reset(Pose2::IDENTITY);
+        dr.predict(&Odometry::new(Pose2::new(5.0, 0.0, 0.0), Twist2::ZERO, 0.1));
+        assert_eq!(dr.pose(), Pose2::IDENTITY);
+    }
+
+    #[test]
+    fn correct_is_identity_for_dead_reckoning() {
+        let mut dr = DeadReckoning::new();
+        dr.reset(Pose2::new(1.0, 1.0, 0.0));
+        let scan = crate::sensor_data::LaserScan::new(0.0, 0.1, vec![1.0], 5.0);
+        assert_eq!(dr.correct(&scan), dr.pose());
+        assert_eq!(dr.name(), "dead-reckoning");
+    }
+}

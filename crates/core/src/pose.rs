@@ -1,0 +1,523 @@
+//! Planar rigid-body poses and velocities (SE(2) / se(2)).
+
+use crate::angle;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point (or free vector) in the plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// X coordinate \[m\].
+    pub x: f64,
+    /// Y coordinate \[m\].
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = raceloc_core::Point2::new(1.0, -2.0);
+    /// assert_eq!(p.x, 1.0);
+    /// ```
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Euclidean norm treated as a vector from the origin.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    #[inline]
+    pub fn cross(self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Rotates the vector by `theta` radians about the origin.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Point2 {
+        let (s, c) = theta.sin_cos();
+        Point2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// Returns `None` when the vector is numerically zero.
+    #[inline]
+    pub fn normalized(self) -> Option<Point2> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(Point2::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Linear interpolation: `self + (other - self) * t`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        self + (other - self) * t
+    }
+
+    /// The polar angle `atan2(y, x)`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The vector rotated by +90°.
+    #[inline]
+    pub fn perp(self) -> Point2 {
+        Point2::new(-self.y, self.x)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A planar rigid-body pose: translation plus heading (an element of SE(2)).
+///
+/// Composition via `*` follows the usual frame convention:
+/// `world_from_lidar = world_from_base * base_from_lidar`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::{Point2, Pose2};
+///
+/// let pose = Pose2::new(1.0, 0.0, std::f64::consts::FRAC_PI_2);
+/// let p = pose.transform(Point2::new(1.0, 0.0));
+/// assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose2 {
+    /// X position \[m\].
+    pub x: f64,
+    /// Y position \[m\].
+    pub y: f64,
+    /// Heading \[rad\], normalized to `(-π, π]` by the constructors.
+    pub theta: f64,
+}
+
+impl Pose2 {
+    /// Creates a pose, normalizing the heading into `(-π, π]`.
+    #[inline]
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Self {
+            x,
+            y,
+            theta: angle::normalize(theta),
+        }
+    }
+
+    /// The identity pose at the origin.
+    pub const IDENTITY: Pose2 = Pose2 {
+        x: 0.0,
+        y: 0.0,
+        theta: 0.0,
+    };
+
+    /// Creates a pose from a translation point and a heading.
+    #[inline]
+    pub fn from_point(p: Point2, theta: f64) -> Self {
+        Self::new(p.x, p.y, theta)
+    }
+
+    /// The translation component as a [`Point2`].
+    #[inline]
+    pub fn translation(self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Transforms a point from this pose's local frame to the parent frame.
+    #[inline]
+    pub fn transform(self, p: Point2) -> Point2 {
+        let (s, c) = self.theta.sin_cos();
+        Point2::new(self.x + c * p.x - s * p.y, self.y + s * p.x + c * p.y)
+    }
+
+    /// Transforms a point from the parent frame into this pose's local frame.
+    #[inline]
+    pub fn inverse_transform(self, p: Point2) -> Point2 {
+        let (s, c) = self.theta.sin_cos();
+        let dx = p.x - self.x;
+        let dy = p.y - self.y;
+        Point2::new(c * dx + s * dy, -s * dx + c * dy)
+    }
+
+    /// The inverse pose, such that `pose * pose.inverse() == identity`.
+    #[inline]
+    pub fn inverse(self) -> Pose2 {
+        let (s, c) = self.theta.sin_cos();
+        Pose2::new(
+            -(c * self.x + s * self.y),
+            s * self.x - c * self.y,
+            -self.theta,
+        )
+    }
+
+    /// The relative pose taking `self` to `other`: `self.inverse() * other`.
+    ///
+    /// This is the "odometry delta" representation used by the motion models.
+    #[inline]
+    pub fn relative_to(self, other: Pose2) -> Pose2 {
+        self.inverse() * other
+    }
+
+    /// Applies a body-frame increment: equivalent to `self * delta`.
+    #[inline]
+    pub fn oplus(self, delta: Pose2) -> Pose2 {
+        self * delta
+    }
+
+    /// Euclidean distance between the translation parts of two poses.
+    #[inline]
+    pub fn dist(self, other: Pose2) -> f64 {
+        self.translation().dist(other.translation())
+    }
+
+    /// Absolute heading difference to another pose, in `[0, π]`.
+    #[inline]
+    pub fn heading_dist(self, other: Pose2) -> f64 {
+        angle::diff(self.theta, other.theta).abs()
+    }
+
+    /// The unit vector of the heading direction.
+    #[inline]
+    pub fn heading_vector(self) -> Point2 {
+        let (s, c) = self.theta.sin_cos();
+        Point2::new(c, s)
+    }
+
+    /// Interpolates between two poses (linear in translation, shortest-arc
+    /// in heading). `t = 0` yields `self`; `t = 1` yields `other`.
+    #[inline]
+    pub fn interpolate(self, other: Pose2, t: f64) -> Pose2 {
+        Pose2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+            angle::lerp(self.theta, other.theta, t),
+        )
+    }
+
+    /// Returns the pose as an `[x, y, theta]` array (useful for optimizers).
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.theta]
+    }
+
+    /// Builds a pose from an `[x, y, theta]` array, normalizing the heading.
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Pose2 {
+        Pose2::new(a[0], a[1], a[2])
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.theta.is_finite()
+    }
+}
+
+impl Mul for Pose2 {
+    type Output = Pose2;
+
+    /// Pose composition: `a * b` applies `b` in `a`'s frame.
+    // Heading composition really is addition inside this group operation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn mul(self, rhs: Pose2) -> Pose2 {
+        let p = self.transform(rhs.translation());
+        Pose2::new(p.x, p.y, self.theta + rhs.theta)
+    }
+}
+
+impl From<(f64, f64, f64)> for Pose2 {
+    #[inline]
+    fn from((x, y, theta): (f64, f64, f64)) -> Self {
+        Pose2::new(x, y, theta)
+    }
+}
+
+impl fmt::Display for Pose2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.3}, {:.3}, {:.1}°)",
+            self.x,
+            self.y,
+            self.theta.to_degrees()
+        )
+    }
+}
+
+/// A planar body-frame velocity (an element of se(2)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Twist2 {
+    /// Longitudinal velocity \[m/s\] (positive forward).
+    pub vx: f64,
+    /// Lateral velocity \[m/s\] (positive left).
+    pub vy: f64,
+    /// Yaw rate \[rad/s\] (positive counter-clockwise).
+    pub omega: f64,
+}
+
+impl Twist2 {
+    /// Creates a twist from its components.
+    #[inline]
+    pub const fn new(vx: f64, vy: f64, omega: f64) -> Self {
+        Self { vx, vy, omega }
+    }
+
+    /// The zero twist.
+    pub const ZERO: Twist2 = Twist2 {
+        vx: 0.0,
+        vy: 0.0,
+        omega: 0.0,
+    };
+
+    /// Speed (norm of the linear velocity).
+    #[inline]
+    pub fn speed(self) -> f64 {
+        self.vx.hypot(self.vy)
+    }
+
+    /// Integrates the twist for `dt` seconds using the SE(2) exponential map,
+    /// returning the body-frame pose increment.
+    ///
+    /// This is exact for constant twists (arc motion), and falls back to a
+    /// second-order expansion when `|omega * dt|` is tiny.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use raceloc_core::Twist2;
+    /// use std::f64::consts::PI;
+    ///
+    /// // Quarter circle of radius 1 at 1 m/s.
+    /// let delta = Twist2::new(1.0, 0.0, 1.0).integrate(PI / 2.0);
+    /// assert!((delta.x - 1.0).abs() < 1e-9);
+    /// assert!((delta.y - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn integrate(self, dt: f64) -> Pose2 {
+        let wt = self.omega * dt;
+        let (vxt, vyt) = (self.vx * dt, self.vy * dt);
+        if wt.abs() < 1e-9 {
+            // Second-order small-angle expansion of the exponential map.
+            Pose2::new(vxt - 0.5 * wt * vyt, vyt + 0.5 * wt * vxt, wt)
+        } else {
+            let (s, c) = wt.sin_cos();
+            let a = s / wt;
+            let b = (1.0 - c) / wt;
+            Pose2::new(a * vxt - b * vyt, b * vxt + a * vyt, wt)
+        }
+    }
+}
+
+impl fmt::Display for Twist2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(vx={:.3}, vy={:.3}, ω={:.3})",
+            self.vx, self.vy, self.omega
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_pose_eq(a: Pose2, b: Pose2, tol: f64) {
+        assert!(
+            (a.x - b.x).abs() < tol && (a.y - b.y).abs() < tol,
+            "{a} vs {b}"
+        );
+        assert!(angle::diff(a.theta, b.theta).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn compose_with_identity() {
+        let p = Pose2::new(1.5, -2.0, 0.7);
+        assert_pose_eq(p * Pose2::IDENTITY, p, 1e-12);
+        assert_pose_eq(Pose2::IDENTITY * p, p, 1e-12);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let p = Pose2::new(3.0, -1.0, 2.2);
+        assert_pose_eq(p * p.inverse(), Pose2::IDENTITY, 1e-12);
+        assert_pose_eq(p.inverse() * p, Pose2::IDENTITY, 1e-12);
+    }
+
+    #[test]
+    fn relative_roundtrip() {
+        let a = Pose2::new(1.0, 2.0, 0.5);
+        let b = Pose2::new(-0.5, 4.0, -1.2);
+        let rel = a.relative_to(b);
+        assert_pose_eq(a * rel, b, 1e-12);
+    }
+
+    #[test]
+    fn transform_inverse_transform_roundtrip() {
+        let pose = Pose2::new(0.7, -0.3, 1.9);
+        let p = Point2::new(2.0, -5.0);
+        let q = pose.inverse_transform(pose.transform(p));
+        assert!((q.x - p.x).abs() < 1e-12 && (q.y - p.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        let a = Pose2::new(1.0, 0.0, 0.3);
+        let b = Pose2::new(0.0, 2.0, -0.8);
+        let c = Pose2::new(-1.0, 1.0, 2.0);
+        assert_pose_eq((a * b) * c, a * (b * c), 1e-12);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let pose = Pose2::new(0.0, 0.0, FRAC_PI_2);
+        let p = pose.transform(Point2::new(1.0, 0.0));
+        assert!(p.x.abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heading_normalized_by_ctor() {
+        let p = Pose2::new(0.0, 0.0, 3.0 * PI);
+        assert!((p.theta - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twist_straight_line() {
+        let d = Twist2::new(2.0, 0.0, 0.0).integrate(0.5);
+        assert_pose_eq(d, Pose2::new(1.0, 0.0, 0.0), 1e-12);
+    }
+
+    #[test]
+    fn twist_full_circle_returns_home() {
+        let d = Twist2::new(1.0, 0.0, 1.0).integrate(2.0 * PI);
+        assert!(d.x.abs() < 1e-9 && d.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn twist_small_omega_matches_limit() {
+        let exact = Twist2::new(1.0, 0.3, 1e-10).integrate(1.0);
+        let straight = Twist2::new(1.0, 0.3, 0.0).integrate(1.0);
+        assert!((exact.x - straight.x).abs() < 1e-9);
+        assert!((exact.y - straight.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twist_integration_composes() {
+        // Integrating for dt then dt again equals integrating 2*dt.
+        let tw = Twist2::new(1.5, 0.0, 0.8);
+        let one = tw.integrate(0.3);
+        let two = one * one;
+        let direct = tw.integrate(0.6);
+        assert_pose_eq(two, direct, 1e-9);
+    }
+
+    #[test]
+    fn point_ops() {
+        let a = Point2::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.perp().dot(a)).abs() < 1e-12);
+        assert!((a.rotated(PI).x + 3.0).abs() < 1e-12);
+        assert!(a.normalized().unwrap().norm() - 1.0 < 1e-12);
+        assert!(Point2::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn point_cross_sign() {
+        let x = Point2::new(1.0, 0.0);
+        let y = Point2::new(0.0, 1.0);
+        assert!(x.cross(y) > 0.0);
+        assert!(y.cross(x) < 0.0);
+    }
+
+    #[test]
+    fn interpolate_endpoints_and_wrap() {
+        let a = Pose2::new(0.0, 0.0, PI - 0.1);
+        let b = Pose2::new(1.0, 1.0, -PI + 0.1);
+        assert_pose_eq(a.interpolate(b, 0.0), a, 1e-12);
+        assert_pose_eq(a.interpolate(b, 1.0), b, 1e-12);
+        let mid = a.interpolate(b, 0.5);
+        assert!((mid.theta.abs() - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let p = Pose2::new(1.0, 2.0, -0.4);
+        assert_pose_eq(Pose2::from_array(p.to_array()), p, 1e-15);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the core geometry, statistics, and random
+//! primitives.
+
+use proptest::prelude::*;
+use raceloc_core::{angle, stats, Point2, Pose2, Rng64, RunningStats, Twist2};
+
+fn finite_angle() -> impl Strategy<Value = f64> {
+    -50.0..50.0f64
+}
+
+fn pose() -> impl Strategy<Value = Pose2> {
+    (-100.0..100.0f64, -100.0..100.0f64, finite_angle()).prop_map(|(x, y, t)| Pose2::new(x, y, t))
+}
+
+proptest! {
+    #[test]
+    fn normalize_lands_in_half_open_interval(a in finite_angle()) {
+        let n = angle::normalize(a);
+        prop_assert!(n > -std::f64::consts::PI - 1e-12);
+        prop_assert!(n <= std::f64::consts::PI + 1e-12);
+        // Idempotent.
+        prop_assert!((angle::normalize(n) - n).abs() < 1e-12);
+        // Same direction as the input.
+        prop_assert!(((a - n) / (2.0 * std::f64::consts::PI)).round()
+            * 2.0 * std::f64::consts::PI + n - a < 1e-9);
+    }
+
+    #[test]
+    fn angle_diff_antisymmetric(a in finite_angle(), b in finite_angle()) {
+        let d1 = angle::diff(a, b);
+        let d2 = angle::diff(b, a);
+        // d1 == -d2 modulo the boundary case at exactly π.
+        let sum = angle::normalize(d1 + d2);
+        prop_assert!(sum.abs() < 1e-9 || (sum.abs() - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_inverse_is_identity(p in pose()) {
+        let id = p * p.inverse();
+        prop_assert!(id.translation().norm() < 1e-9);
+        prop_assert!(angle::normalize(id.theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_composition_associative(a in pose(), b in pose(), c in pose()) {
+        let left = (a * b) * c;
+        let right = a * (b * c);
+        prop_assert!(left.dist(right) < 1e-6);
+        prop_assert!(angle::diff(left.theta, right.theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_to_roundtrips(a in pose(), b in pose()) {
+        let rel = a.relative_to(b);
+        let back = a * rel;
+        prop_assert!(back.dist(b) < 1e-6);
+        prop_assert!(angle::diff(back.theta, b.theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_roundtrips(p in pose(), x in -50.0..50.0f64, y in -50.0..50.0f64) {
+        let pt = Point2::new(x, y);
+        let back = p.inverse_transform(p.transform(pt));
+        prop_assert!(back.dist(pt) < 1e-7);
+    }
+
+    #[test]
+    fn twist_integration_splits(vx in -5.0..5.0f64, vy in -2.0..2.0f64,
+                                w in -3.0..3.0f64, dt in 0.001..0.5f64) {
+        // Integrating dt then dt equals integrating 2·dt for a constant twist.
+        let tw = Twist2::new(vx, vy, w);
+        let half = tw.integrate(dt);
+        let two = half * half;
+        let direct = tw.integrate(2.0 * dt);
+        prop_assert!(two.dist(direct) < 1e-7);
+        prop_assert!(angle::diff(two.theta, direct.theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential(xs in prop::collection::vec(-1e3..1e3f64, 1..200),
+                                              split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut a: RunningStats = xs[..split].iter().copied().collect();
+        let b: RunningStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        let all: RunningStats = xs.iter().copied().collect();
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_is_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..100),
+                            q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&xs, lo).unwrap();
+        let b = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn rng_uniform_range_respects_bounds(seed in any::<u64>(),
+                                         lo in -100.0..100.0f64,
+                                         span in 0.0..100.0f64) {
+        let mut rng = Rng64::new(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let u = rng.uniform_range(lo, hi);
+            prop_assert!(u >= lo && u <= hi);
+        }
+    }
+
+    #[test]
+    fn rng_weighted_index_only_picks_positive(seed in any::<u64>(),
+                                              weights in prop::collection::vec(0.0..10.0f64, 1..20)) {
+        let mut rng = Rng64::new(seed);
+        if let Some(i) = rng.weighted_index(&weights) {
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+        } else {
+            prop_assert!(weights.iter().sum::<f64>() <= 0.0);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Exact Euclidean distance transform (Felzenszwalb & Huttenlocher).
+//!
+//! The distance map feeds two consumers: the ray-marching range method in
+//! `raceloc-range` (sphere tracing needs the distance to the nearest
+//! obstacle) and the scan-alignment metric (how far is a scan endpoint from
+//! the nearest mapped wall).
+
+use crate::grid::{CellState, GridIndex, OccupancyGrid};
+use raceloc_core::Point2;
+
+/// A per-cell map of distances (in meters) to the nearest opaque cell.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, DistanceMap, OccupancyGrid};
+/// use raceloc_core::Point2;
+///
+/// let mut grid = OccupancyGrid::new(11, 11, 1.0, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// grid.set_world(Point2::new(5.5, 5.5), CellState::Occupied);
+/// let dm = DistanceMap::from_grid(&grid);
+/// // Four cells to the left of the obstacle.
+/// assert!((dm.distance_at_world(Point2::new(1.5, 5.5)) - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMap {
+    width: usize,
+    height: usize,
+    resolution: f64,
+    origin: Point2,
+    /// Distance in meters from each cell center to the nearest opaque cell
+    /// center (0 for opaque cells themselves).
+    dist: Vec<f32>,
+}
+
+impl DistanceMap {
+    /// Computes the exact Euclidean distance transform of a grid.
+    ///
+    /// Opaque cells (occupied or unknown) are the distance-zero set; this
+    /// matches the ray-casting opacity convention of
+    /// [`OccupancyGrid::is_opaque`].
+    pub fn from_grid(grid: &OccupancyGrid) -> Self {
+        Self::from_grid_with(grid, |s| s != CellState::Free)
+    }
+
+    /// Computes the distance transform to cells selected by `is_obstacle`.
+    ///
+    /// Use this to measure distance to *occupied* cells only (ignoring
+    /// unknown space), as the scan-alignment metric does.
+    pub fn from_grid_with<F: Fn(CellState) -> bool>(grid: &OccupancyGrid, is_obstacle: F) -> Self {
+        let (w, h) = (grid.width(), grid.height());
+        const INF: f64 = 1e20;
+        // Squared distances in cell units, row-major.
+        let mut f = vec![INF; w * h];
+        for (idx, state) in grid.iter() {
+            if is_obstacle(state) {
+                f[idx.row as usize * w + idx.col as usize] = 0.0;
+            }
+        }
+        // 1-D squared-distance transform along each column, then each row.
+        let mut tmp = vec![0.0f64; w.max(h)];
+        for c in 0..w {
+            let col: Vec<f64> = (0..h).map(|r| f[r * w + c]).collect();
+            dt_1d(&col, &mut tmp[..h]);
+            for r in 0..h {
+                f[r * w + c] = tmp[r];
+            }
+        }
+        for r in 0..h {
+            let row: Vec<f64> = f[r * w..(r + 1) * w].to_vec();
+            dt_1d(&row, &mut tmp[..w]);
+            f[r * w..(r + 1) * w].copy_from_slice(&tmp[..w]);
+        }
+        let res = grid.resolution();
+        let dist = f
+            .into_iter()
+            .map(|d2| (d2.min(INF).sqrt() * res) as f32)
+            .collect();
+        Self {
+            width: w,
+            height: h,
+            resolution: res,
+            origin: grid.origin(),
+            dist,
+        }
+    }
+
+    /// Grid width in cells.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in cells.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Cell edge length in meters.
+    #[inline]
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Distance (meters) from a cell center to the nearest obstacle cell.
+    /// Out-of-bounds indices read as zero (out of bounds is opaque).
+    #[inline]
+    pub fn distance(&self, idx: GridIndex) -> f64 {
+        if idx.col >= 0
+            && idx.row >= 0
+            && (idx.col as usize) < self.width
+            && (idx.row as usize) < self.height
+        {
+            self.dist[idx.row as usize * self.width + idx.col as usize] as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Distance (meters) from a world point's cell to the nearest obstacle.
+    #[inline]
+    pub fn distance_at_world(&self, p: Point2) -> f64 {
+        let idx = GridIndex::new(
+            ((p.x - self.origin.x) / self.resolution).floor() as i64,
+            ((p.y - self.origin.y) / self.resolution).floor() as i64,
+        );
+        self.distance(idx)
+    }
+
+    /// The largest distance value in the map, in meters.
+    pub fn max_distance(&self) -> f64 {
+        self.dist.iter().copied().fold(0.0f32, f32::max) as f64
+    }
+}
+
+/// 1-D squared-distance transform (Felzenszwalb & Huttenlocher, 2012).
+/// `f` holds input squared distances; `out` receives the lower envelope.
+fn dt_1d(f: &[f64], out: &mut [f64]) {
+    let n = f.len();
+    debug_assert_eq!(out.len(), n);
+    if n == 0 {
+        return;
+    }
+    // v[k]: parabola apex indices; z[k]: envelope breakpoints.
+    let mut v = vec![0usize; n];
+    let mut z = vec![0.0f64; n + 1];
+    let mut k = 0usize;
+    z[0] = f64::NEG_INFINITY;
+    z[1] = f64::INFINITY;
+    for q in 1..n {
+        let mut s;
+        loop {
+            let p = v[k];
+            s = ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64)) / (2.0 * (q - p) as f64);
+            if s <= z[k] {
+                if k == 0 {
+                    // Degenerate only with -inf input; cannot occur with
+                    // non-negative squared distances, but guard anyway.
+                    break;
+                }
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        k += 1;
+        v[k] = q;
+        z[k] = s;
+        z[k + 1] = f64::INFINITY;
+    }
+    let mut k = 0usize;
+    for (q, o) in out.iter_mut().enumerate() {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let p = v[k];
+        let d = q as f64 - p as f64;
+        *o = d * d + f[p];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::OccupancyGrid;
+
+    fn brute_force(grid: &OccupancyGrid) -> Vec<f64> {
+        let obstacles: Vec<GridIndex> = grid
+            .iter()
+            .filter(|(_, s)| *s != CellState::Free)
+            .map(|(i, _)| i)
+            .collect();
+        grid.iter()
+            .map(|(idx, _)| {
+                obstacles
+                    .iter()
+                    .map(|o| {
+                        let dc = (idx.col - o.col) as f64;
+                        let dr = (idx.row - o.row) as f64;
+                        (dc * dc + dr * dr).sqrt() * grid.resolution()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_grid() {
+        let mut grid = OccupancyGrid::new(31, 17, 0.25, Point2::new(-2.0, 1.0));
+        grid.fill(CellState::Free);
+        // Deterministic pseudo-random obstacle sprinkling.
+        let mut state = 0x12345u64;
+        for r in 0..17i64 {
+            for c in 0..31i64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 60 == 0 {
+                    grid.set(GridIndex::new(c, r), CellState::Occupied);
+                }
+            }
+        }
+        // Ensure at least one obstacle exists.
+        grid.set(GridIndex::new(3, 3), CellState::Occupied);
+        let dm = DistanceMap::from_grid(&grid);
+        let expect = brute_force(&grid);
+        for ((idx, _), e) in grid.iter().zip(expect) {
+            assert!(
+                (dm.distance(idx) - e).abs() < 1e-4,
+                "at {idx}: got {} want {e}",
+                dm.distance(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn all_opaque_is_zero_everywhere() {
+        let grid = OccupancyGrid::new(8, 8, 0.5, Point2::ORIGIN); // all Unknown
+        let dm = DistanceMap::from_grid(&grid);
+        for (idx, _) in grid.iter() {
+            assert_eq!(dm.distance(idx), 0.0);
+        }
+        assert_eq!(dm.max_distance(), 0.0);
+    }
+
+    #[test]
+    fn single_obstacle_distances() {
+        let mut grid = OccupancyGrid::new(9, 9, 1.0, Point2::ORIGIN);
+        grid.fill(CellState::Free);
+        grid.set(GridIndex::new(4, 4), CellState::Occupied);
+        let dm = DistanceMap::from_grid(&grid);
+        assert_eq!(dm.distance(GridIndex::new(4, 4)), 0.0);
+        assert!((dm.distance(GridIndex::new(0, 4)) - 4.0).abs() < 1e-6);
+        assert!((dm.distance(GridIndex::new(0, 0)) - 32.0f64.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unknown_counts_as_obstacle_by_default() {
+        let mut grid = OccupancyGrid::new(5, 5, 1.0, Point2::ORIGIN);
+        grid.fill(CellState::Free);
+        grid.set(GridIndex::new(0, 0), CellState::Unknown);
+        let dm = DistanceMap::from_grid(&grid);
+        assert_eq!(dm.distance(GridIndex::new(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn occupied_only_variant_ignores_unknown() {
+        let mut grid = OccupancyGrid::new(5, 5, 1.0, Point2::ORIGIN);
+        grid.fill(CellState::Free);
+        grid.set(GridIndex::new(0, 0), CellState::Unknown);
+        grid.set(GridIndex::new(4, 4), CellState::Occupied);
+        let dm = DistanceMap::from_grid_with(&grid, |s| s == CellState::Occupied);
+        assert!(dm.distance(GridIndex::new(0, 0)) > 5.0);
+        assert_eq!(dm.distance(GridIndex::new(4, 4)), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_distance_is_zero() {
+        let mut grid = OccupancyGrid::new(5, 5, 1.0, Point2::ORIGIN);
+        grid.fill(CellState::Free);
+        grid.set(GridIndex::new(2, 2), CellState::Occupied);
+        let dm = DistanceMap::from_grid(&grid);
+        assert_eq!(dm.distance(GridIndex::new(-1, 2)), 0.0);
+        assert_eq!(dm.distance(GridIndex::new(2, 99)), 0.0);
+    }
+
+    #[test]
+    fn resolution_scales_distances() {
+        for res in [0.1, 0.5, 2.0] {
+            let mut grid = OccupancyGrid::new(9, 3, res, Point2::ORIGIN);
+            grid.fill(CellState::Free);
+            grid.set(GridIndex::new(8, 1), CellState::Occupied);
+            let dm = DistanceMap::from_grid(&grid);
+            assert!(
+                (dm.distance(GridIndex::new(0, 1)) - 8.0 * res).abs() < 1e-5,
+                "res={res}"
+            );
+        }
+    }
+}

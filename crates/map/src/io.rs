@@ -1,0 +1,249 @@
+//! Map import/export in the ROS-style PGM + metadata convention.
+//!
+//! Maps round-trip through binary PGM (P5): occupied cells are written as
+//! black (0), free as white (254), unknown as gray (205) — the thresholds
+//! used by the ROS `map_server`.
+
+use crate::grid::{CellState, GridIndex, OccupancyGrid};
+use raceloc_core::Point2;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced when parsing a PGM map fails.
+#[derive(Debug)]
+pub enum ReadMapError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a well-formed binary PGM (P5) file.
+    Format(String),
+}
+
+impl fmt::Display for ReadMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadMapError::Io(e) => write!(f, "i/o error reading map: {e}"),
+            ReadMapError::Format(m) => write!(f, "invalid pgm map: {m}"),
+        }
+    }
+}
+
+impl Error for ReadMapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadMapError::Io(e) => Some(e),
+            ReadMapError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadMapError {
+    fn from(e: std::io::Error) -> Self {
+        ReadMapError::Io(e)
+    }
+}
+
+const OCCUPIED_GRAY: u8 = 0;
+const FREE_GRAY: u8 = 254;
+const UNKNOWN_GRAY: u8 = 205;
+
+/// Writes a grid as a binary PGM (P5) image.
+///
+/// Rows are written top-down (image convention), so row `height-1` of the
+/// grid is the first image row. Resolution and origin are recorded in a
+/// comment header and recovered by [`read_pgm`].
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_pgm<W: Write>(grid: &OccupancyGrid, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "P5")?;
+    writeln!(
+        w,
+        "# raceloc resolution={} origin_x={} origin_y={}",
+        grid.resolution(),
+        grid.origin().x,
+        grid.origin().y
+    )?;
+    writeln!(w, "{} {}", grid.width(), grid.height())?;
+    writeln!(w, "255")?;
+    let mut buf = Vec::with_capacity(grid.cell_count());
+    for r in (0..grid.height()).rev() {
+        for c in 0..grid.width() {
+            let g = match grid.state(GridIndex::new(c as i64, r as i64)) {
+                CellState::Occupied => OCCUPIED_GRAY,
+                CellState::Free => FREE_GRAY,
+                CellState::Unknown => UNKNOWN_GRAY,
+            };
+            buf.push(g);
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Reads a binary PGM (P5) map written by [`write_pgm`] (or by ROS
+/// `map_saver`, in which case resolution/origin default to 0.05 m and the
+/// origin to zero unless present in a `# raceloc ...` comment).
+///
+/// Pixels darker than 100 become occupied, lighter than 250 free, anything
+/// between unknown — mirroring the `map_server` thresholds.
+///
+/// # Errors
+///
+/// Returns [`ReadMapError::Format`] for malformed headers and
+/// [`ReadMapError::Io`] for reader failures.
+pub fn read_pgm<R: BufRead>(mut r: R) -> Result<OccupancyGrid, ReadMapError> {
+    let mut resolution = 0.05f64;
+    let mut origin = Point2::ORIGIN;
+    let mut tokens: Vec<String> = Vec::new();
+    // Read header tokens (magic, width, height, maxval), honoring comments.
+    let mut line = String::new();
+    while tokens.len() < 4 {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ReadMapError::Format("truncated header".into()));
+        }
+        let text = line.trim();
+        if let Some(comment) = text.strip_prefix('#') {
+            for part in comment.split_whitespace() {
+                if let Some(v) = part.strip_prefix("resolution=") {
+                    resolution = v
+                        .parse()
+                        .map_err(|_| ReadMapError::Format("bad resolution".into()))?;
+                } else if let Some(v) = part.strip_prefix("origin_x=") {
+                    origin.x = v
+                        .parse()
+                        .map_err(|_| ReadMapError::Format("bad origin_x".into()))?;
+                } else if let Some(v) = part.strip_prefix("origin_y=") {
+                    origin.y = v
+                        .parse()
+                        .map_err(|_| ReadMapError::Format("bad origin_y".into()))?;
+                }
+            }
+            continue;
+        }
+        tokens.extend(text.split_whitespace().map(str::to_owned));
+    }
+    if tokens[0] != "P5" {
+        return Err(ReadMapError::Format(format!(
+            "expected P5 magic, got {}",
+            tokens[0]
+        )));
+    }
+    let width: usize = tokens[1]
+        .parse()
+        .map_err(|_| ReadMapError::Format("bad width".into()))?;
+    let height: usize = tokens[2]
+        .parse()
+        .map_err(|_| ReadMapError::Format("bad height".into()))?;
+    let maxval: usize = tokens[3]
+        .parse()
+        .map_err(|_| ReadMapError::Format("bad maxval".into()))?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ReadMapError::Format(format!("unsupported maxval {maxval}")));
+    }
+    if width == 0 || height == 0 {
+        return Err(ReadMapError::Format("zero dimensions".into()));
+    }
+    let mut data = vec![0u8; width * height];
+    r.read_exact(&mut data)
+        .map_err(|e| ReadMapError::Format(format!("truncated pixel data: {e}")))?;
+    let mut grid = OccupancyGrid::new(width, height, resolution, origin);
+    for (i, &px) in data.iter().enumerate() {
+        let img_row = i / width;
+        let col = i % width;
+        let row = height - 1 - img_row;
+        let state = if px < 100 {
+            CellState::Occupied
+        } else if px > 250 {
+            CellState::Free
+        } else {
+            CellState::Unknown
+        };
+        grid.set(GridIndex::new(col as i64, row as i64), state);
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_grid() -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(7, 5, 0.25, Point2::new(-1.5, 2.0));
+        g.fill(CellState::Free);
+        g.set(GridIndex::new(0, 0), CellState::Occupied);
+        g.set(GridIndex::new(6, 4), CellState::Occupied);
+        g.set(GridIndex::new(3, 2), CellState::Unknown);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_grid() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_pgm(&g, &mut buf).unwrap();
+        let g2 = read_pgm(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_metadata() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_pgm(&g, &mut buf).unwrap();
+        let g2 = read_pgm(Cursor::new(buf)).unwrap();
+        assert_eq!(g2.resolution(), 0.25);
+        assert_eq!(g2.origin(), Point2::new(-1.5, 2.0));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_pgm(Cursor::new(b"P2\n2 2\n255\n0 0 0 0".to_vec())).unwrap_err();
+        assert!(matches!(err, ReadMapError::Format(_)));
+        assert!(err.to_string().contains("P5"));
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        let err = read_pgm(Cursor::new(b"P5\n4 4\n255\nab".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_pgm(Cursor::new(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        let err = read_pgm(Cursor::new(b"P5\n0 4\n255\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn reads_foreign_pgm_without_metadata() {
+        // 2x1: black then white, no raceloc comment.
+        let bytes = b"P5\n2 1\n255\n\x00\xFE".to_vec();
+        let g = read_pgm(Cursor::new(bytes)).unwrap();
+        assert_eq!(g.resolution(), 0.05);
+        assert_eq!(g.state(GridIndex::new(0, 0)), CellState::Occupied);
+        assert_eq!(g.state(GridIndex::new(1, 0)), CellState::Free);
+    }
+
+    #[test]
+    fn midtone_maps_to_unknown() {
+        let bytes = b"P5\n1 1\n255\n\xCD".to_vec();
+        let g = read_pgm(Cursor::new(bytes)).unwrap();
+        assert_eq!(g.state(GridIndex::new(0, 0)), CellState::Unknown);
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error;
+        let err = ReadMapError::from(std::io::Error::other("boom"));
+        assert!(err.source().is_some());
+    }
+}

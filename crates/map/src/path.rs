@@ -1,0 +1,358 @@
+//! Arc-length parameterized closed polylines (centerlines and racelines).
+
+use raceloc_core::Point2;
+
+/// A closed polyline with precomputed cumulative arc length.
+///
+/// Used for track centerlines and racelines: supports sampling a point at an
+/// arc-length coordinate, tangent/curvature queries, and projecting an
+/// arbitrary point onto the path (the primitive behind lateral-error and
+/// lap-progress measurements).
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::ClosedPath;
+/// use raceloc_core::Point2;
+///
+/// // A unit square.
+/// let path = ClosedPath::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.0),
+///     Point2::new(0.0, 1.0),
+/// ]).unwrap();
+/// assert!((path.total_length() - 4.0).abs() < 1e-12);
+/// let (s, lateral) = path.project(Point2::new(0.5, -0.2));
+/// assert!((s - 0.5).abs() < 1e-9);
+/// assert!((lateral - (-0.2)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedPath {
+    points: Vec<Point2>,
+    /// cum[i] = arc length from points[0] to points[i]; cum[n] = total.
+    cum: Vec<f64>,
+}
+
+impl ClosedPath {
+    /// Creates a closed path from at least three vertices.
+    ///
+    /// The closing segment from the last vertex back to the first is
+    /// implicit. Returns `None` when fewer than three points are given or
+    /// any segment is degenerate (zero length).
+    pub fn new(points: Vec<Point2>) -> Option<Self> {
+        if points.len() < 3 {
+            return None;
+        }
+        let n = points.len();
+        let mut cum = Vec::with_capacity(n + 1);
+        cum.push(0.0);
+        for i in 0..n {
+            let seg = points[(i + 1) % n].dist(points[i]);
+            if seg < 1e-12 {
+                return None;
+            }
+            cum.push(cum[i] + seg);
+        }
+        Some(Self { points, cum })
+    }
+
+    /// The path vertices.
+    #[inline]
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: a valid path has ≥ 3 vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total perimeter length in meters.
+    #[inline]
+    pub fn total_length(&self) -> f64 {
+        *self.cum.last().expect("cum is non-empty")
+    }
+
+    /// Wraps an arc-length coordinate into `[0, total_length)`.
+    #[inline]
+    pub fn wrap_s(&self, s: f64) -> f64 {
+        let total = self.total_length();
+        let mut w = s % total;
+        if w < 0.0 {
+            w += total;
+        }
+        w
+    }
+
+    /// Signed forward distance from `s0` to `s1` along the path, in
+    /// `(-L/2, L/2]` where `L` is the total length.
+    pub fn signed_arc_delta(&self, s0: f64, s1: f64) -> f64 {
+        let total = self.total_length();
+        let mut d = self.wrap_s(s1) - self.wrap_s(s0);
+        if d > total / 2.0 {
+            d -= total;
+        } else if d <= -total / 2.0 {
+            d += total;
+        }
+        d
+    }
+
+    /// Locates the segment containing arc-length `s`; returns
+    /// `(segment index, fraction along segment)`.
+    fn locate(&self, s: f64) -> (usize, f64) {
+        let s = self.wrap_s(s);
+        // Binary search in the cumulative lengths.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("arc lengths are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let i = i.min(self.points.len() - 1);
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        ((i), (s - self.cum[i]) / seg_len)
+    }
+
+    /// The point at arc-length coordinate `s` (wrapped).
+    pub fn point_at(&self, s: f64) -> Point2 {
+        let (i, t) = self.locate(s);
+        let a = self.points[i];
+        let b = self.points[(i + 1) % self.points.len()];
+        a.lerp(b, t)
+    }
+
+    /// The unit tangent at arc-length `s` (direction of travel).
+    pub fn tangent_at(&self, s: f64) -> Point2 {
+        let (i, _) = self.locate(s);
+        let a = self.points[i];
+        let b = self.points[(i + 1) % self.points.len()];
+        (b - a).normalized().expect("segments are non-degenerate")
+    }
+
+    /// The heading (tangent angle) at arc-length `s`.
+    #[inline]
+    pub fn heading_at(&self, s: f64) -> f64 {
+        self.tangent_at(s).angle()
+    }
+
+    /// Approximate signed curvature at arc-length `s` (finite differences
+    /// over a window `ds`; positive = turning left).
+    pub fn curvature_at(&self, s: f64, ds: f64) -> f64 {
+        let t0 = self.tangent_at(s - ds);
+        let t1 = self.tangent_at(s + ds);
+        let dtheta = raceloc_core::angle::diff(t1.angle(), t0.angle());
+        dtheta / (2.0 * ds)
+    }
+
+    /// Projects a point onto the path.
+    ///
+    /// Returns `(s, lateral)`: the arc-length of the closest path point and
+    /// the signed lateral offset (positive = left of the travel direction).
+    pub fn project(&self, p: Point2) -> (f64, f64) {
+        let n = self.points.len();
+        let mut best = (f64::INFINITY, 0.0, 0.0); // (dist_sq, s, lateral)
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let ab = b - a;
+            let len_sq = ab.norm_sq();
+            let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+            let proj = a + ab * t;
+            let d_sq = (p - proj).norm_sq();
+            if d_sq < best.0 {
+                let s = self.cum[i] + t * (self.cum[i + 1] - self.cum[i]);
+                // Signed lateral: cross of tangent with offset vector.
+                let tangent = ab.normalized().expect("non-degenerate segment");
+                let lateral = tangent.cross(p - proj);
+                best = (d_sq, s, lateral);
+            }
+        }
+        (best.1, best.2)
+    }
+
+    /// Resamples the path to (approximately) uniform spacing `ds`, returning
+    /// a new path. The number of output vertices is `round(L / ds)`, at
+    /// least 3.
+    pub fn resampled(&self, ds: f64) -> ClosedPath {
+        let total = self.total_length();
+        let n = ((total / ds).round() as usize).max(3);
+        let step = total / n as f64;
+        let points: Vec<Point2> = (0..n).map(|i| self.point_at(i as f64 * step)).collect();
+        ClosedPath::new(points).expect("resampled path is valid")
+    }
+
+    /// Returns a smoothed copy: each vertex moves toward the midpoint of its
+    /// neighbors by factor `alpha`, with the motion clamped so that no point
+    /// moves farther than `max_offset` from its original position (used to
+    /// derive a raceline that stays inside the corridor).
+    pub fn smoothed(&self, alpha: f64, iterations: usize, max_offset: f64) -> ClosedPath {
+        let n = self.points.len();
+        let original = self.points.clone();
+        let mut pts = self.points.clone();
+        for _ in 0..iterations {
+            let prev = pts.clone();
+            for i in 0..n {
+                let a = prev[(i + n - 1) % n];
+                let b = prev[(i + 1) % n];
+                let mid = a.lerp(b, 0.5);
+                let target = prev[i].lerp(mid, alpha);
+                let off = target - original[i];
+                let d = off.norm();
+                pts[i] = if d > max_offset {
+                    original[i] + off * (max_offset / d)
+                } else {
+                    target
+                };
+            }
+        }
+        ClosedPath::new(pts).unwrap_or_else(|| self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn square() -> ClosedPath {
+        ClosedPath::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    fn circle(n: usize, r: f64) -> ClosedPath {
+        ClosedPath::new(
+            (0..n)
+                .map(|i| {
+                    let a = i as f64 / n as f64 * 2.0 * PI;
+                    Point2::new(r * a.cos(), r * a.sin())
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(ClosedPath::new(vec![]).is_none());
+        assert!(ClosedPath::new(vec![Point2::ORIGIN, Point2::new(1.0, 0.0)]).is_none());
+        assert!(
+            ClosedPath::new(vec![Point2::ORIGIN, Point2::ORIGIN, Point2::new(1.0, 0.0)]).is_none()
+        );
+    }
+
+    #[test]
+    fn total_length_square() {
+        assert!((square().total_length() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_at_wraps() {
+        let p = square();
+        let a = p.point_at(1.0);
+        let b = p.point_at(17.0);
+        let c = p.point_at(-15.0);
+        assert!(a.dist(b) < 1e-9 && a.dist(c) < 1e-9);
+    }
+
+    #[test]
+    fn point_at_vertices_and_midpoints() {
+        let p = square();
+        assert!(p.point_at(0.0).dist(Point2::new(0.0, 0.0)) < 1e-12);
+        assert!(p.point_at(4.0).dist(Point2::new(4.0, 0.0)) < 1e-12);
+        assert!(p.point_at(6.0).dist(Point2::new(4.0, 2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn tangent_directions() {
+        let p = square();
+        assert!(p.tangent_at(1.0).dist(Point2::new(1.0, 0.0)) < 1e-12);
+        assert!(p.tangent_at(5.0).dist(Point2::new(0.0, 1.0)) < 1e-12);
+        assert!((p.heading_at(9.0) - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_onto_side() {
+        let p = square();
+        let (s, lat) = p.project(Point2::new(2.0, 0.5));
+        assert!((s - 2.0).abs() < 1e-9);
+        assert!((lat - 0.5).abs() < 1e-9, "lateral {lat}");
+        let (_, lat_r) = p.project(Point2::new(2.0, -0.5));
+        assert!((lat_r + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_point_on_path_has_zero_lateral() {
+        let p = circle(64, 5.0);
+        let q = p.point_at(7.3);
+        let (s, lat) = p.project(q);
+        assert!(lat.abs() < 1e-9);
+        assert!(p.point_at(s).dist(q) < 1e-9);
+    }
+
+    #[test]
+    fn circle_curvature() {
+        let p = circle(256, 5.0);
+        let k = p.curvature_at(3.0, 0.5);
+        assert!((k - 0.2).abs() < 0.01, "curvature {k}");
+    }
+
+    #[test]
+    fn square_straight_sections_have_zero_curvature() {
+        let p = square();
+        assert!(p.curvature_at(2.0, 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_arc_delta_wraps() {
+        let p = square(); // L = 16
+        assert!((p.signed_arc_delta(15.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((p.signed_arc_delta(1.0, 15.0) + 2.0).abs() < 1e-12);
+        assert_eq!(p.signed_arc_delta(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_length_roughly() {
+        let p = circle(16, 5.0);
+        let r = p.resampled(0.2);
+        assert!(r.len() > 100);
+        assert!((r.total_length() - p.total_length()).abs() / p.total_length() < 0.02);
+    }
+
+    #[test]
+    fn smoothing_reduces_curvature_extremes() {
+        let p = square().resampled(0.25);
+        let sm = p.smoothed(0.5, 50, 0.5);
+        let max_k = |path: &ClosedPath| {
+            (0..200)
+                .map(|i| {
+                    path.curvature_at(i as f64 / 200.0 * path.total_length(), 0.3)
+                        .abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_k(&sm) < max_k(&p));
+    }
+
+    #[test]
+    fn smoothing_respects_max_offset() {
+        let p = square().resampled(0.25);
+        let sm = p.smoothed(0.5, 200, 0.3);
+        for (a, b) in p.points().iter().zip(sm.points()) {
+            assert!(a.dist(*b) <= 0.3 + 1e-9);
+        }
+    }
+}

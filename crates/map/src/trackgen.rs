@@ -1,0 +1,514 @@
+//! Procedural race-track generation.
+//!
+//! The paper evaluates on a physical corridor-style test track (its Fig. 2).
+//! This module generates closed corridor circuits with configurable geometry
+//! and rasterizes them into an [`OccupancyGrid`], providing the ground-truth
+//! world the simulator drives in and the localization map both algorithms
+//! consume.
+
+use crate::edt::DistanceMap;
+use crate::grid::{CellState, OccupancyGrid};
+use crate::path::ClosedPath;
+use raceloc_core::{Point2, Pose2, Rng64};
+
+/// The family of centerline shapes the generator can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackShape {
+    /// A rectangle with rounded corners — close to the paper's test track.
+    RoundedRectangle {
+        /// Outer centerline width \[m\].
+        width: f64,
+        /// Outer centerline height \[m\].
+        height: f64,
+        /// Corner radius \[m\] (clamped to half the smaller dimension).
+        corner_radius: f64,
+    },
+    /// An ellipse (constant-ish curvature oval).
+    Oval {
+        /// Full width of the centerline ellipse \[m\].
+        width: f64,
+        /// Full height of the centerline ellipse \[m\].
+        height: f64,
+    },
+    /// An L-shaped circuit with rounded corners.
+    LShape {
+        /// Length of the long arm \[m\].
+        arm: f64,
+        /// Corridor-to-corridor offset of the short arm \[m\].
+        notch: f64,
+        /// Corner radius \[m\].
+        corner_radius: f64,
+    },
+    /// A random smooth closed curve: `r(φ) = R·(1 + Σ aₖ cos(kφ + φₖ))`.
+    /// Deterministic in the seed.
+    RandomFourier {
+        /// PRNG seed.
+        seed: u64,
+        /// Mean centerline radius \[m\].
+        mean_radius: f64,
+        /// Total relative amplitude of the harmonics (≲ 0.3 keeps the curve
+        /// self-intersection free in practice).
+        amplitude: f64,
+        /// Number of harmonics (2–5 gives natural-looking tracks).
+        harmonics: usize,
+    },
+}
+
+/// Builder for a [`Track`].
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::trackgen::{TrackShape, TrackSpec};
+///
+/// let track = TrackSpec::new(TrackShape::Oval { width: 12.0, height: 7.0 })
+///     .half_width(1.2)
+///     .resolution(0.1)
+///     .build();
+/// assert!(track.grid.census().0 > 0); // has free space
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackSpec {
+    shape: TrackShape,
+    half_width: f64,
+    wall_thickness: f64,
+    resolution: f64,
+    raceline_margin: f64,
+}
+
+impl TrackSpec {
+    /// Creates a spec with F1TENTH-scale defaults: 1.1 m corridor half-width,
+    /// 0.05 m grid resolution, 0.15 m walls.
+    pub fn new(shape: TrackShape) -> Self {
+        Self {
+            shape,
+            half_width: 1.1,
+            wall_thickness: 0.15,
+            resolution: 0.05,
+            raceline_margin: 0.35,
+        }
+    }
+
+    /// Sets the corridor half-width in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hw` is not positive.
+    pub fn half_width(mut self, hw: f64) -> Self {
+        assert!(hw > 0.0, "half width must be positive");
+        self.half_width = hw;
+        self
+    }
+
+    /// Sets the wall band thickness in meters.
+    pub fn wall_thickness(mut self, t: f64) -> Self {
+        assert!(t > 0.0, "wall thickness must be positive");
+        self.wall_thickness = t;
+        self
+    }
+
+    /// Sets the grid resolution in meters per cell.
+    pub fn resolution(mut self, r: f64) -> Self {
+        assert!(r > 0.0 && r.is_finite(), "resolution must be positive");
+        self.resolution = r;
+        self
+    }
+
+    /// Sets the raceline safety margin from the walls in meters.
+    pub fn raceline_margin(mut self, m: f64) -> Self {
+        assert!(m >= 0.0, "margin must be non-negative");
+        self.raceline_margin = m;
+        self
+    }
+
+    /// Generates the centerline for the configured shape, resampled to
+    /// roughly half the grid resolution so it rasterizes densely.
+    fn centerline(&self) -> ClosedPath {
+        let raw: Vec<Point2> = match &self.shape {
+            TrackShape::RoundedRectangle {
+                width,
+                height,
+                corner_radius,
+            } => rounded_rectangle(*width, *height, *corner_radius),
+            TrackShape::Oval { width, height } => (0..256)
+                .map(|i| {
+                    let a = i as f64 / 256.0 * std::f64::consts::TAU;
+                    Point2::new(0.5 * width * a.cos(), 0.5 * height * a.sin())
+                })
+                .collect(),
+            TrackShape::LShape {
+                arm,
+                notch,
+                corner_radius,
+            } => l_shape(*arm, *notch, *corner_radius),
+            TrackShape::RandomFourier {
+                seed,
+                mean_radius,
+                amplitude,
+                harmonics,
+            } => random_fourier(*seed, *mean_radius, *amplitude, *harmonics),
+        };
+        let path = ClosedPath::new(raw).expect("generated centerline is valid");
+        path.resampled(self.resolution * 0.5)
+    }
+
+    /// Builds the track: rasterizes the corridor into an occupancy grid and
+    /// derives the raceline.
+    pub fn build(&self) -> Track {
+        let center = self.centerline();
+        // Grid bounds: centerline bbox padded by corridor + walls + margin.
+        let pad = self.half_width + self.wall_thickness + 3.0 * self.resolution;
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in center.points() {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let origin = Point2::new(min_x - pad, min_y - pad);
+        let width = (((max_x - min_x) + 2.0 * pad) / self.resolution).ceil() as usize + 1;
+        let height = (((max_y - min_y) + 2.0 * pad) / self.resolution).ceil() as usize + 1;
+
+        // Rasterize the centerline, then classify cells by EDT distance to it.
+        let mut seed_grid = OccupancyGrid::new(width, height, self.resolution, origin);
+        seed_grid.fill(CellState::Free);
+        for p in center.points() {
+            seed_grid.set_world(*p, CellState::Occupied);
+        }
+        let dist_to_center = DistanceMap::from_grid_with(&seed_grid, |s| s == CellState::Occupied);
+
+        let mut grid = OccupancyGrid::new(width, height, self.resolution, origin);
+        // Half a cell of slack keeps the free corridor conservative.
+        let free_limit = self.half_width;
+        let wall_limit = self.half_width + self.wall_thickness;
+        for (idx, _) in seed_grid.iter() {
+            let d = dist_to_center.distance(idx);
+            let state = if d <= free_limit {
+                CellState::Free
+            } else if d <= wall_limit {
+                CellState::Occupied
+            } else {
+                CellState::Unknown
+            };
+            grid.set(idx, state);
+        }
+
+        // Raceline: corner-cut the centerline within the corridor.
+        let max_offset = (self.half_width - self.raceline_margin).max(0.05);
+        let raceline = center
+            .resampled(0.25)
+            .smoothed(0.3, 120, max_offset)
+            .resampled(0.25);
+
+        Track {
+            grid,
+            centerline: center.resampled(0.25),
+            raceline,
+            half_width: self.half_width,
+        }
+    }
+}
+
+/// A generated race track: the occupancy-grid world plus its reference lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// The rasterized world: free corridor, occupied wall band, unknown
+    /// elsewhere.
+    pub grid: OccupancyGrid,
+    /// The corridor centerline.
+    pub centerline: ClosedPath,
+    /// The smoothed racing line (stays `raceline_margin` away from walls).
+    pub raceline: ClosedPath,
+    /// Corridor half-width in meters.
+    pub half_width: f64,
+}
+
+impl Track {
+    /// The start pose: on the raceline at arc length zero, facing along it.
+    pub fn start_pose(&self) -> Pose2 {
+        let p = self.raceline.point_at(0.0);
+        Pose2::new(p.x, p.y, self.raceline.heading_at(0.0))
+    }
+
+    /// True when a world point lies in mapped free space.
+    pub fn is_free(&self, p: Point2) -> bool {
+        self.grid.state_at_world(p) == CellState::Free
+    }
+}
+
+fn rounded_rectangle(width: f64, height: f64, corner_radius: f64) -> Vec<Point2> {
+    let r = corner_radius.clamp(0.05, 0.5 * width.min(height) - 1e-6);
+    let (hw, hh) = (0.5 * width, 0.5 * height);
+    let mut pts = Vec::new();
+    // Corner centers, counter-clockwise from bottom-right.
+    let corners = [
+        (Point2::new(hw - r, -(hh - r)), -std::f64::consts::FRAC_PI_2),
+        (Point2::new(hw - r, hh - r), 0.0),
+        (Point2::new(-(hw - r), hh - r), std::f64::consts::FRAC_PI_2),
+        (Point2::new(-(hw - r), -(hh - r)), std::f64::consts::PI),
+    ];
+    let arc_steps = 24;
+    for (c, start) in corners {
+        for i in 0..=arc_steps {
+            let a = start + i as f64 / arc_steps as f64 * std::f64::consts::FRAC_PI_2;
+            pts.push(Point2::new(c.x + r * a.cos(), c.y + r * a.sin()));
+        }
+    }
+    dedup(pts)
+}
+
+fn l_shape(arm: f64, notch: f64, corner_radius: f64) -> Vec<Point2> {
+    // Build an L-shaped waypoint loop, then round it by sampling arcs at each
+    // corner. Waypoints counter-clockwise.
+    let a = arm;
+    let n = notch;
+    let waypoints = [
+        Point2::new(0.0, 0.0),
+        Point2::new(a, 0.0),
+        Point2::new(a, n),
+        Point2::new(n, n),
+        Point2::new(n, a),
+        Point2::new(0.0, a),
+    ];
+    round_polygon(&waypoints, corner_radius)
+}
+
+/// Replaces each polygon corner with a circular arc of radius `r` tangent to
+/// the adjacent edges.
+fn round_polygon(waypoints: &[Point2], r: f64) -> Vec<Point2> {
+    let n = waypoints.len();
+    let mut pts = Vec::new();
+    for i in 0..n {
+        let prev = waypoints[(i + n - 1) % n];
+        let cur = waypoints[i];
+        let next = waypoints[(i + 1) % n];
+        let din = (cur - prev).normalized().expect("distinct waypoints");
+        let dout = (next - cur).normalized().expect("distinct waypoints");
+        let turn = din.cross(dout); // >0 left turn
+        let half_angle = 0.5 * din.dot(dout).clamp(-1.0, 1.0).acos();
+        let setback =
+            (r / half_angle.tan().max(1e-9)).min(0.4 * (cur.dist(prev)).min(cur.dist(next)));
+        let radius = setback * half_angle.tan();
+        let entry = cur - din * setback;
+        let exit = cur + dout * setback;
+        if radius < 1e-6 || turn.abs() < 1e-9 {
+            pts.push(cur);
+            continue;
+        }
+        // Arc center is offset perpendicular from the entry point.
+        let perp = if turn > 0.0 { din.perp() } else { -din.perp() };
+        let center = entry + perp * radius;
+        let a0 = (entry - center).angle();
+        let a1 = (exit - center).angle();
+        let sweep = raceloc_core::angle::diff(a1, a0);
+        let steps = 16;
+        for k in 0..=steps {
+            let a = a0 + sweep * k as f64 / steps as f64;
+            pts.push(Point2::new(
+                center.x + radius * a.cos(),
+                center.y + radius * a.sin(),
+            ));
+        }
+    }
+    dedup(pts)
+}
+
+fn random_fourier(seed: u64, mean_radius: f64, amplitude: f64, harmonics: usize) -> Vec<Point2> {
+    let mut rng = Rng64::new(seed);
+    let harmonics = harmonics.max(1);
+    let coeffs: Vec<(f64, f64)> = (0..harmonics)
+        .map(|_| {
+            (
+                rng.uniform_range(0.3, 1.0),
+                rng.uniform_range(0.0, std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    let norm: f64 = coeffs.iter().map(|(a, _)| a).sum();
+    let scale = amplitude / norm.max(1e-9);
+    (0..512)
+        .map(|i| {
+            let phi = i as f64 / 512.0 * std::f64::consts::TAU;
+            let mut r = 1.0;
+            for (k, (a, ph)) in coeffs.iter().enumerate() {
+                r += scale * a * ((k as f64 + 2.0) * phi + ph).cos();
+            }
+            let r = mean_radius * r.max(0.2);
+            Point2::new(r * phi.cos(), r * phi.sin())
+        })
+        .collect()
+}
+
+fn dedup(pts: Vec<Point2>) -> Vec<Point2> {
+    let mut out: Vec<Point2> = Vec::with_capacity(pts.len());
+    for p in pts {
+        if out.last().is_none_or(|q| q.dist(p) > 1e-9) {
+            out.push(p);
+        }
+    }
+    if out.len() > 1 && out[0].dist(*out.last().expect("non-empty")) < 1e-9 {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(shape: TrackShape) -> TrackSpec {
+        TrackSpec::new(shape).resolution(0.1)
+    }
+
+    #[test]
+    fn rounded_rectangle_track_is_well_formed() {
+        let t = quick_spec(TrackShape::RoundedRectangle {
+            width: 14.0,
+            height: 8.0,
+            corner_radius: 2.0,
+        })
+        .build();
+        let (free, occ, _unk) = t.grid.census();
+        assert!(free > 1000, "free={free}");
+        assert!(occ > 500, "occ={occ}");
+        // The centerline must lie in free space everywhere.
+        for i in 0..100 {
+            let s = i as f64 / 100.0 * t.centerline.total_length();
+            assert!(t.is_free(t.centerline.point_at(s)), "s={s}");
+        }
+    }
+
+    #[test]
+    fn raceline_lies_in_free_space() {
+        let t = quick_spec(TrackShape::RoundedRectangle {
+            width: 14.0,
+            height: 8.0,
+            corner_radius: 2.0,
+        })
+        .build();
+        for i in 0..200 {
+            let s = i as f64 / 200.0 * t.raceline.total_length();
+            let p = t.raceline.point_at(s);
+            assert!(t.is_free(p), "raceline leaves corridor at s={s}: {p}");
+        }
+    }
+
+    #[test]
+    fn raceline_is_shorter_than_centerline() {
+        let t = quick_spec(TrackShape::RoundedRectangle {
+            width: 14.0,
+            height: 8.0,
+            corner_radius: 1.5,
+        })
+        .build();
+        assert!(t.raceline.total_length() < t.centerline.total_length());
+    }
+
+    #[test]
+    fn oval_track_builds() {
+        let t = quick_spec(TrackShape::Oval {
+            width: 12.0,
+            height: 7.0,
+        })
+        .build();
+        assert!(t.centerline.total_length() > 25.0);
+        assert!(t.is_free(t.start_pose().translation()));
+    }
+
+    #[test]
+    fn lshape_track_builds() {
+        let t = quick_spec(TrackShape::LShape {
+            arm: 12.0,
+            notch: 5.0,
+            corner_radius: 1.5,
+        })
+        .build();
+        for i in 0..100 {
+            let s = i as f64 / 100.0 * t.centerline.total_length();
+            assert!(t.is_free(t.centerline.point_at(s)));
+        }
+    }
+
+    #[test]
+    fn random_fourier_is_deterministic() {
+        let mk = || {
+            quick_spec(TrackShape::RandomFourier {
+                seed: 7,
+                mean_radius: 6.0,
+                amplitude: 0.2,
+                harmonics: 3,
+            })
+            .build()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.grid, b.grid);
+    }
+
+    #[test]
+    fn random_fourier_seeds_differ() {
+        let mk = |seed| {
+            quick_spec(TrackShape::RandomFourier {
+                seed,
+                mean_radius: 6.0,
+                amplitude: 0.2,
+                harmonics: 3,
+            })
+            .build()
+        };
+        assert_ne!(mk(1).grid, mk(2).grid);
+    }
+
+    #[test]
+    fn corridor_is_enclosed_by_walls() {
+        // Every free cell must be at least half_width - eps from unknown
+        // space "through" a wall: concretely, walking outward from the
+        // centerline must hit an Occupied cell before Unknown.
+        let t = quick_spec(TrackShape::Oval {
+            width: 10.0,
+            height: 6.0,
+        })
+        .build();
+        let c = &t.centerline;
+        for i in 0..72 {
+            let s = i as f64 / 72.0 * c.total_length();
+            let p = c.point_at(s);
+            let n = c.tangent_at(s).perp();
+            let mut hit_wall = false;
+            for k in 1..200 {
+                let q = p + n * (k as f64 * 0.05);
+                match t.grid.state_at_world(q) {
+                    CellState::Occupied => {
+                        hit_wall = true;
+                        break;
+                    }
+                    CellState::Unknown => break,
+                    CellState::Free => {}
+                }
+            }
+            assert!(hit_wall, "no wall outward at s={s}");
+        }
+    }
+
+    #[test]
+    fn start_pose_heading_matches_raceline() {
+        let t = quick_spec(TrackShape::Oval {
+            width: 10.0,
+            height: 6.0,
+        })
+        .build();
+        let sp = t.start_pose();
+        assert!((raceloc_core::angle::diff(sp.theta, t.raceline.heading_at(0.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "half width")]
+    fn negative_half_width_panics() {
+        let _ = TrackSpec::new(TrackShape::Oval {
+            width: 5.0,
+            height: 5.0,
+        })
+        .half_width(-1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for grids, distance transforms, and closed paths.
+
+use proptest::prelude::*;
+use raceloc_core::Point2;
+use raceloc_map::{CellState, ClosedPath, DistanceMap, GridIndex, OccupancyGrid};
+
+fn arb_grid() -> impl Strategy<Value = OccupancyGrid> {
+    (
+        4usize..24,
+        4usize..24,
+        0.05..0.5f64,
+        -10.0..10.0f64,
+        -10.0..10.0f64,
+        prop::collection::vec(0u8..3, 16..=576),
+    )
+        .prop_map(|(w, h, res, ox, oy, cells)| {
+            let mut g = OccupancyGrid::new(w, h, res, Point2::new(ox, oy));
+            for (i, &c) in cells.iter().take(w * h).enumerate() {
+                let idx = GridIndex::new((i % w) as i64, (i / w) as i64);
+                let state = match c {
+                    0 => CellState::Free,
+                    1 => CellState::Occupied,
+                    _ => CellState::Unknown,
+                };
+                g.set(idx, state);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn world_index_roundtrip_on_cell_centers(g in arb_grid()) {
+        for (idx, _) in g.iter() {
+            let p = g.index_to_world(idx);
+            prop_assert_eq!(g.world_to_index(p), idx);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_unknown_and_opaque(g in arb_grid(),
+                                           c in -5i64..30, r in -5i64..30) {
+        let idx = GridIndex::new(c, r);
+        if !g.contains(idx) {
+            prop_assert_eq!(g.state(idx), CellState::Unknown);
+            prop_assert!(g.is_opaque(idx));
+        }
+    }
+
+    #[test]
+    fn census_counts_sum_to_cell_count(g in arb_grid()) {
+        let (f, o, u) = g.census();
+        prop_assert_eq!(f + o + u, g.cell_count());
+    }
+
+    #[test]
+    fn edt_matches_brute_force(g in arb_grid()) {
+        let dm = DistanceMap::from_grid(&g);
+        let obstacles: Vec<GridIndex> = g
+            .iter()
+            .filter(|(_, s)| *s != CellState::Free)
+            .map(|(i, _)| i)
+            .collect();
+        for (idx, _) in g.iter() {
+            let expect = obstacles
+                .iter()
+                .map(|o| {
+                    let dc = (idx.col - o.col) as f64;
+                    let dr = (idx.row - o.row) as f64;
+                    (dc * dc + dr * dr).sqrt() * g.resolution()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let got = dm.distance(idx);
+            if expect.is_finite() {
+                prop_assert!((got - expect).abs() < 1e-4,
+                    "at {idx}: got {got}, want {expect}");
+            } else {
+                // No obstacles at all: the transform reports a huge distance.
+                prop_assert!(got > g.diagonal() * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn edt_is_one_lipschitz(g in arb_grid()) {
+        // Neighboring cells differ by at most one cell size (only
+        // meaningful when an obstacle exists: an all-free grid stores a
+        // sentinel-sized distance everywhere).
+        let dm = DistanceMap::from_grid(&g);
+        let res = g.resolution();
+        let diag = g.diagonal();
+        for (idx, _) in g.iter() {
+            let right = GridIndex::new(idx.col + 1, idx.row);
+            if g.contains(right) {
+                let a = dm.distance(idx);
+                let b = dm.distance(right);
+                if a <= diag && b <= diag {
+                    prop_assert!((a - b).abs() <= res + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traverse_ray_is_connected_and_starts_at_origin(
+        g in arb_grid(),
+        fx in 0.0..1.0f64, fy in 0.0..1.0f64,
+        tx in 0.0..1.0f64, ty in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = g.bounds();
+        let from = Point2::new(lo.x + fx * (hi.x - lo.x), lo.y + fy * (hi.y - lo.y));
+        let to = Point2::new(lo.x + tx * (hi.x - lo.x), lo.y + ty * (hi.y - lo.y));
+        let mut cells = Vec::new();
+        g.traverse_ray(from, to, |idx| {
+            cells.push(idx);
+            true
+        });
+        prop_assert_eq!(cells[0], g.world_to_index(from));
+        for w in cells.windows(2) {
+            let d = (w[0].col - w[1].col).abs() + (w[0].row - w[1].row).abs();
+            prop_assert_eq!(d, 1, "traversal must be 4-connected");
+        }
+    }
+
+    #[test]
+    fn pgm_roundtrip(g in arb_grid()) {
+        let mut buf = Vec::new();
+        raceloc_map::io::write_pgm(&g, &mut buf).unwrap();
+        let back = raceloc_map::io::read_pgm(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+}
+
+fn arb_polygon() -> impl Strategy<Value = Vec<Point2>> {
+    // A star-shaped polygon: strictly positive radii at sorted angles is
+    // always simple and non-degenerate.
+    prop::collection::vec((0.5..10.0f64, 0.01..1.0f64), 4..24).prop_map(|pts| {
+        let total: f64 = pts.iter().map(|(_, w)| w).sum();
+        let mut angle = 0.0;
+        pts.iter()
+            .map(|(r, w)| {
+                angle += w / total * std::f64::consts::TAU;
+                Point2::new(r * angle.cos(), r * angle.sin())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn path_point_at_wraps(poly in arb_polygon(), s in -100.0..100.0f64) {
+        let path = ClosedPath::new(poly).unwrap();
+        let total = path.total_length();
+        let a = path.point_at(s);
+        let b = path.point_at(s + total);
+        prop_assert!(a.dist(b) < 1e-6);
+    }
+
+    #[test]
+    fn path_projection_of_on_path_point_is_exact(poly in arb_polygon(), s in 0.0..1.0f64) {
+        let path = ClosedPath::new(poly).unwrap();
+        let q = path.point_at(s * path.total_length());
+        let (s_hat, lat) = path.project(q);
+        prop_assert!(lat.abs() < 1e-6);
+        prop_assert!(path.point_at(s_hat).dist(q) < 1e-6);
+    }
+
+    #[test]
+    fn path_signed_delta_bounds(poly in arb_polygon(),
+                                s0 in -50.0..50.0f64, s1 in -50.0..50.0f64) {
+        let path = ClosedPath::new(poly).unwrap();
+        let d = path.signed_arc_delta(s0, s1);
+        prop_assert!(d.abs() <= path.total_length() / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn resample_preserves_geometry(poly in arb_polygon()) {
+        let path = ClosedPath::new(poly).unwrap();
+        let r = path.resampled(path.total_length() / 64.0);
+        // Every resampled vertex lies on (or extremely near) the original.
+        for p in r.points() {
+            let (_, lat) = path.project(*p);
+            prop_assert!(lat.abs() < 1e-6);
+        }
+    }
+}

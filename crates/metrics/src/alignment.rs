@@ -1,0 +1,176 @@
+//! Scan-alignment scoring (Table I "Scan Align \[%\]").
+//!
+//! The paper scores localization quality by "the average percentage of
+//! overlapping scans and the track boundary": project each scan endpoint
+//! through the *estimated* pose and check whether it lands on (near) a
+//! mapped wall. A well-localized car has almost every return on the
+//! boundary; a mislocalized one paints returns into free space.
+
+use raceloc_core::sensor_data::LaserScan;
+use raceloc_core::Pose2;
+use raceloc_map::{CellState, DistanceMap, OccupancyGrid};
+
+/// Scores scans against the mapped track boundary.
+#[derive(Debug, Clone)]
+pub struct ScanAlignmentScorer {
+    dist_to_wall: DistanceMap,
+    tolerance: f64,
+    lidar_mount: Pose2,
+}
+
+impl ScanAlignmentScorer {
+    /// Builds a scorer over the map; endpoints within `tolerance` meters of
+    /// an occupied cell count as aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tolerance` is not positive.
+    pub fn new(map: &OccupancyGrid, tolerance: f64, lidar_mount: Pose2) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        Self {
+            dist_to_wall: DistanceMap::from_grid_with(map, |s| s == CellState::Occupied),
+            tolerance,
+            lidar_mount,
+        }
+    }
+
+    /// Fraction (0–1) of a scan's returns that align with the boundary when
+    /// placed at the estimated body pose. Scans without valid returns score
+    /// zero.
+    pub fn score(&self, estimated_body_pose: Pose2, scan: &LaserScan) -> f64 {
+        let sensor = estimated_body_pose * self.lidar_mount;
+        let mut aligned = 0usize;
+        let mut total = 0usize;
+        for (angle, range) in scan.valid_returns() {
+            let world_angle = sensor.theta + angle;
+            let p = raceloc_core::Point2::new(
+                sensor.x + range * world_angle.cos(),
+                sensor.y + range * world_angle.sin(),
+            );
+            total += 1;
+            if self.dist_to_wall.distance_at_world(p) <= self.tolerance {
+                aligned += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            aligned as f64 / total as f64
+        }
+    }
+
+    /// Mean alignment percentage (0–100) over `(estimated pose, scan)`
+    /// pairs — the Table I number.
+    pub fn mean_percentage<'a, I>(&self, pairs: I) -> f64
+    where
+        I: IntoIterator<Item = (Pose2, &'a LaserScan)>,
+    {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (pose, scan) in pairs {
+            total += self.score(pose, scan);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::Point2;
+
+    /// A square room: occupied ring at the border of a 10×10 m map.
+    fn room() -> OccupancyGrid {
+        let n = 100;
+        let mut g = OccupancyGrid::new(n, n, 0.1, Point2::ORIGIN);
+        g.fill(CellState::Free);
+        for i in 0..n as i64 {
+            g.set((i, 0).into(), CellState::Occupied);
+            g.set((i, n as i64 - 1).into(), CellState::Occupied);
+            g.set((0, i).into(), CellState::Occupied);
+            g.set((n as i64 - 1, i).into(), CellState::Occupied);
+        }
+        g
+    }
+
+    /// A scan that, from the room center facing +x, exactly hits the walls
+    /// in the four cardinal directions.
+    fn cardinal_scan() -> LaserScan {
+        LaserScan::new(
+            0.0,
+            std::f64::consts::FRAC_PI_2,
+            vec![4.9, 4.9, 4.9, 4.9],
+            10.0,
+        )
+    }
+
+    #[test]
+    fn perfect_pose_aligns_everything() {
+        let scorer = ScanAlignmentScorer::new(&room(), 0.2, Pose2::IDENTITY);
+        let s = scorer.score(Pose2::new(5.0, 5.0, 0.0), &cardinal_scan());
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn shifted_pose_breaks_alignment() {
+        let scorer = ScanAlignmentScorer::new(&room(), 0.2, Pose2::IDENTITY);
+        // Shift 1 m: two beams now end 1 m off the walls, two still on
+        // (the ones perpendicular to the shift remain near the boundary).
+        let s = scorer.score(Pose2::new(4.0, 5.0, 0.0), &cardinal_scan());
+        assert!(s < 0.8, "{s}");
+        // Rotated 45° at the center every endpoint lands mid-air.
+        let bad = scorer.score(
+            Pose2::new(5.0, 5.0, std::f64::consts::FRAC_PI_4),
+            &cardinal_scan(),
+        );
+        assert_eq!(bad, 0.0);
+    }
+
+    #[test]
+    fn tolerance_widens_acceptance() {
+        let map = room();
+        let tight = ScanAlignmentScorer::new(&map, 0.05, Pose2::IDENTITY);
+        let loose = ScanAlignmentScorer::new(&map, 0.5, Pose2::IDENTITY);
+        let pose = Pose2::new(4.8, 5.0, 0.0);
+        assert!(loose.score(pose, &cardinal_scan()) >= tight.score(pose, &cardinal_scan()));
+    }
+
+    #[test]
+    fn mount_offset_is_applied() {
+        let scorer = ScanAlignmentScorer::new(&room(), 0.2, Pose2::new(1.0, 0.0, 0.0));
+        // Body at x=4: sensor at x=5 → the cardinal scan fits again.
+        let s = scorer.score(Pose2::new(4.0, 5.0, 0.0), &cardinal_scan());
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn max_range_beams_are_ignored() {
+        let scorer = ScanAlignmentScorer::new(&room(), 0.2, Pose2::IDENTITY);
+        let scan = LaserScan::new(0.0, 0.1, vec![10.0, 10.0], 10.0);
+        assert_eq!(scorer.score(Pose2::new(5.0, 5.0, 0.0), &scan), 0.0);
+    }
+
+    #[test]
+    fn mean_percentage_over_pairs() {
+        let scorer = ScanAlignmentScorer::new(&room(), 0.2, Pose2::IDENTITY);
+        let scan = cardinal_scan();
+        let pairs = vec![
+            (Pose2::new(5.0, 5.0, 0.0), &scan),
+            (Pose2::new(5.0, 5.0, 0.0), &scan),
+        ];
+        let pct = scorer.mean_percentage(pairs);
+        assert!((pct - 100.0).abs() < 1e-9);
+        assert_eq!(scorer.mean_percentage(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_panics() {
+        ScanAlignmentScorer::new(&room(), 0.0, Pose2::IDENTITY);
+    }
+}

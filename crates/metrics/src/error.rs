@@ -1,0 +1,141 @@
+//! Lateral-deviation and estimation-error metrics.
+
+use raceloc_core::{Pose2, RunningStats, Summary};
+use raceloc_map::ClosedPath;
+
+/// Absolute lateral deviation of each pose from a reference line, in meters.
+///
+/// This is the paper's "average lateral error with respect to the ideal race
+/// line": it measures where the *car actually drove*, so localization error
+/// shows up through the controller.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::ClosedPath;
+/// use raceloc_core::{Point2, Pose2};
+/// use raceloc_metrics::error::lateral_deviations;
+///
+/// let square = ClosedPath::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(4.0, 0.0),
+///     Point2::new(4.0, 4.0),
+///     Point2::new(0.0, 4.0),
+/// ]).unwrap();
+/// let dev = lateral_deviations(&[Pose2::new(2.0, 0.25, 0.0)], &square);
+/// assert!((dev[0] - 0.25).abs() < 1e-9);
+/// ```
+pub fn lateral_deviations(poses: &[Pose2], line: &ClosedPath) -> Vec<f64> {
+    poses
+        .iter()
+        .map(|p| line.project(p.translation()).1.abs())
+        .collect()
+}
+
+/// Summarizes the lateral deviation of a pose trace from a reference line.
+pub fn lateral_deviation_summary(poses: &[Pose2], line: &ClosedPath) -> Summary {
+    lateral_deviations(poses, line)
+        .into_iter()
+        .collect::<RunningStats>()
+        .summary()
+}
+
+/// Per-sample estimation errors between truth and estimate:
+/// `(translation distance [m], absolute heading error [rad])`.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn estimation_errors(truth: &[Pose2], estimate: &[Pose2]) -> Vec<(f64, f64)> {
+    assert_eq!(
+        truth.len(),
+        estimate.len(),
+        "truth/estimate length mismatch"
+    );
+    truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t.dist(*e), t.heading_dist(*e)))
+        .collect()
+}
+
+/// Summary of the translation component of the estimation error.
+pub fn translation_error_summary(truth: &[Pose2], estimate: &[Pose2]) -> Summary {
+    estimation_errors(truth, estimate)
+        .into_iter()
+        .map(|(d, _)| d)
+        .collect::<RunningStats>()
+        .summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::Point2;
+
+    fn square() -> ClosedPath {
+        ClosedPath::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ])
+        .expect("valid path")
+    }
+
+    #[test]
+    fn deviation_is_absolute() {
+        let line = square();
+        let dev = lateral_deviations(
+            &[
+                Pose2::new(2.0, 0.3, 0.0),
+                Pose2::new(2.0, -0.3, 0.0),
+                Pose2::new(2.0, 0.0, 1.0),
+            ],
+            &line,
+        );
+        assert!((dev[0] - 0.3).abs() < 1e-9);
+        assert!((dev[1] - 0.3).abs() < 1e-9);
+        assert!(dev[2] < 1e-9);
+    }
+
+    #[test]
+    fn summary_mean_and_std() {
+        let line = square();
+        let poses = vec![Pose2::new(2.0, 0.1, 0.0), Pose2::new(2.0, 0.3, 0.0)];
+        let s = lateral_deviation_summary(&poses, &line);
+        assert!((s.mean - 0.2).abs() < 1e-9);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn estimation_error_components() {
+        let truth = vec![Pose2::new(0.0, 0.0, 0.0)];
+        let est = vec![Pose2::new(3.0, 4.0, 0.5)];
+        let errs = estimation_errors(&truth, &est);
+        assert!((errs[0].0 - 5.0).abs() < 1e-12);
+        assert!((errs[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimate_is_zero_error() {
+        let poses = vec![Pose2::new(1.0, 2.0, 0.7); 5];
+        let s = translation_error_summary(&poses, &poses);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        estimation_errors(&[Pose2::IDENTITY], &[]);
+    }
+
+    #[test]
+    fn empty_inputs_are_benign() {
+        let line = square();
+        assert!(lateral_deviations(&[], &line).is_empty());
+        let s = lateral_deviation_summary(&[], &line);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Lap timing from a timestamped pose trace.
+
+use raceloc_core::Pose2;
+use raceloc_map::ClosedPath;
+
+/// Extracts completed lap times from a `(stamp, pose)` trace following a
+/// closed reference path.
+///
+/// Progress along the path is unwrapped sample-to-sample (using the
+/// shortest signed arc delta), and a lap completes every time the unwrapped
+/// progress advances by one full path length. The crossing instant is
+/// linearly interpolated between samples, so timing resolution is better
+/// than the sampling period.
+///
+/// Incomplete laps (including the currently running one) are not reported.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::ClosedPath;
+/// use raceloc_core::{Point2, Pose2};
+/// use raceloc_metrics::lap_times;
+///
+/// let square = ClosedPath::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(4.0, 0.0),
+///     Point2::new(4.0, 4.0),
+///     Point2::new(0.0, 4.0),
+/// ]).unwrap();
+/// // Constant 2 m/s around the 16 m square: one lap every 8 s.
+/// let trace: Vec<(f64, Pose2)> = (0..200)
+///     .map(|i| {
+///         let t = i as f64 * 0.1;
+///         let p = square.point_at(2.0 * t);
+///         (t, Pose2::new(p.x, p.y, 0.0))
+///     })
+///     .collect();
+/// let laps = lap_times(&trace, &square);
+/// assert_eq!(laps.len(), 2);
+/// assert!((laps[0] - 8.0).abs() < 0.2);
+/// ```
+pub fn lap_times(trace: &[(f64, Pose2)], path: &ClosedPath) -> Vec<f64> {
+    if trace.len() < 2 {
+        return Vec::new();
+    }
+    let total = path.total_length();
+    let mut laps = Vec::new();
+    let (mut prev_t, first_pose) = trace[0];
+    let (mut prev_s, _) = path.project(first_pose.translation());
+    let mut unwrapped = 0.0f64;
+    let mut lap_start_time = prev_t;
+    let mut next_lap_at = total;
+    for &(t, pose) in &trace[1..] {
+        let (s, _) = path.project(pose.translation());
+        let delta = path.signed_arc_delta(prev_s, s);
+        let new_unwrapped = unwrapped + delta;
+        while new_unwrapped >= next_lap_at {
+            // Interpolate the crossing time within this sample interval.
+            let frac = if delta.abs() > 1e-12 {
+                (next_lap_at - unwrapped) / delta
+            } else {
+                1.0
+            };
+            let crossing = prev_t + frac.clamp(0.0, 1.0) * (t - prev_t);
+            laps.push(crossing - lap_start_time);
+            lap_start_time = crossing;
+            next_lap_at += total;
+        }
+        unwrapped = new_unwrapped;
+        prev_s = s;
+        prev_t = t;
+    }
+    laps
+}
+
+/// Total unwrapped arc-length progress of a pose trace along a path,
+/// in meters (forward minus backward motion).
+pub fn total_progress(trace: &[(f64, Pose2)], path: &ClosedPath) -> f64 {
+    if trace.len() < 2 {
+        return 0.0;
+    }
+    let mut prev_s = path.project(trace[0].1.translation()).0;
+    let mut acc = 0.0;
+    for &(_, pose) in &trace[1..] {
+        let (s, _) = path.project(pose.translation());
+        acc += path.signed_arc_delta(prev_s, s);
+        prev_s = s;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::Point2;
+
+    fn square() -> ClosedPath {
+        ClosedPath::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ])
+        .expect("valid path")
+    }
+
+    fn circulate(laps: f64, speed: f64, dt: f64) -> Vec<(f64, Pose2)> {
+        let path = square();
+        let total = path.total_length();
+        let duration = laps * total / speed;
+        let n = (duration / dt) as usize;
+        (0..=n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let p = path.point_at(speed * t);
+                (t, Pose2::new(p.x, p.y, 0.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_completed_laps_only() {
+        let path = square();
+        assert_eq!(lap_times(&circulate(2.5, 2.0, 0.05), &path).len(), 2);
+        assert_eq!(lap_times(&circulate(0.9, 2.0, 0.05), &path).len(), 0);
+    }
+
+    #[test]
+    fn lap_time_matches_speed() {
+        let path = square();
+        let laps = lap_times(&circulate(3.2, 4.0, 0.025), &path);
+        assert_eq!(laps.len(), 3);
+        for lap in laps {
+            assert!((lap - 4.0).abs() < 0.06, "lap {lap}");
+        }
+    }
+
+    #[test]
+    fn variable_speed_laps_differ() {
+        // First lap at 2 m/s, second at 4 m/s.
+        let path = square();
+        let total = path.total_length();
+        let mut trace = Vec::new();
+        let dt = 0.02;
+        let mut s = 0.0;
+        let mut t = 0.0;
+        while s < total {
+            let p = path.point_at(s);
+            trace.push((t, Pose2::new(p.x, p.y, 0.0)));
+            s += 2.0 * dt;
+            t += dt;
+        }
+        while s < 2.0 * total + 0.5 {
+            let p = path.point_at(s);
+            trace.push((t, Pose2::new(p.x, p.y, 0.0)));
+            s += 4.0 * dt;
+            t += dt;
+        }
+        let laps = lap_times(&trace, &path);
+        assert_eq!(laps.len(), 2);
+        assert!((laps[0] - 8.0).abs() < 0.15, "{laps:?}");
+        assert!((laps[1] - 4.0).abs() < 0.15, "{laps:?}");
+    }
+
+    #[test]
+    fn standing_still_yields_no_laps() {
+        let path = square();
+        let trace: Vec<(f64, Pose2)> = (0..100)
+            .map(|i| (i as f64 * 0.1, Pose2::IDENTITY))
+            .collect();
+        assert!(lap_times(&trace, &path).is_empty());
+    }
+
+    #[test]
+    fn jitter_at_start_line_does_not_double_count() {
+        // Oscillate across the start line: the unwrapped progress never
+        // reaches one lap, so nothing is counted.
+        let path = square();
+        let trace: Vec<(f64, Pose2)> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                let s = 0.3 * (t * 3.0).sin();
+                let p = path.point_at(s);
+                (t, Pose2::new(p.x, p.y, 0.0))
+            })
+            .collect();
+        assert!(lap_times(&trace, &path).is_empty());
+    }
+
+    #[test]
+    fn progress_accumulates_signed() {
+        let path = square();
+        let forward = circulate(1.5, 2.0, 0.05);
+        let p = total_progress(&forward, &path);
+        assert!((p - 1.5 * path.total_length()).abs() < 0.3, "{p}");
+    }
+
+    #[test]
+    fn short_traces_are_benign() {
+        let path = square();
+        assert!(lap_times(&[], &path).is_empty());
+        assert!(lap_times(&[(0.0, Pose2::IDENTITY)], &path).is_empty());
+        assert_eq!(total_progress(&[], &path), 0.0);
+    }
+}

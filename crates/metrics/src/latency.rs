@@ -1,0 +1,71 @@
+//! Compute-time summaries and the CPU-load proxy of Table I.
+
+use raceloc_core::{RunningStats, Summary};
+
+/// Summarizes a series of per-call wall-clock durations (seconds).
+pub fn latency_summary(durations_s: &[f64]) -> Summary {
+    durations_s
+        .iter()
+        .copied()
+        .collect::<RunningStats>()
+        .summary()
+}
+
+/// The paper's "Load avg" proxy: percentage of one CPU core consumed by a
+/// periodic task, `100 · duration · rate`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_metrics::latency::cpu_load_percent;
+///
+/// // 1.25 ms per scan at 40 Hz → 5% of a core.
+/// let load = cpu_load_percent(1.25e-3, 40.0);
+/// assert!((load - 5.0).abs() < 1e-9);
+/// ```
+pub fn cpu_load_percent(mean_duration_s: f64, rate_hz: f64) -> f64 {
+    100.0 * mean_duration_s * rate_hz
+}
+
+/// Combined load of the correction task plus a prediction task running at a
+/// different rate.
+pub fn combined_load_percent(
+    correct_mean_s: f64,
+    correct_hz: f64,
+    predict_mean_s: f64,
+    predict_hz: f64,
+) -> f64 {
+    cpu_load_percent(correct_mean_s, correct_hz) + cpu_load_percent(predict_mean_s, predict_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = latency_summary(&[1e-3, 2e-3, 3e-3]);
+        assert!((s.mean - 2e-3).abs() < 1e-12);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1e-3);
+        assert_eq!(s.max, 3e-3);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = latency_summary(&[]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn load_scales_linearly() {
+        assert_eq!(cpu_load_percent(0.01, 10.0), 10.0);
+        assert_eq!(cpu_load_percent(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn combined_load_adds() {
+        let total = combined_load_percent(1e-3, 40.0, 0.5e-3, 50.0);
+        assert!((total - (4.0 + 2.5)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! Map-quality metrics: how well does a SLAM-built map reproduce the
+//! ground-truth occupancy grid?
+//!
+//! Wall cells are compared with a distance tolerance (a wall drawn one cell
+//! off is still a wall), yielding precision / recall / F1 over the occupied
+//! class plus free-space IoU — the standard grid-map evaluation suite.
+
+use raceloc_core::Point2;
+use raceloc_map::{CellState, DistanceMap, OccupancyGrid};
+
+/// The comparison result of [`compare_maps`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapQuality {
+    /// Fraction of mapped wall cells that lie within tolerance of a true
+    /// wall (1 − hallucinated walls).
+    pub wall_precision: f64,
+    /// Fraction of true wall cells that have a mapped wall within
+    /// tolerance (1 − missed walls).
+    pub wall_recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub wall_f1: f64,
+    /// Intersection-over-union of the free-space regions.
+    pub free_iou: f64,
+    /// Fraction of the true free space the map explored (classified at all).
+    pub coverage: f64,
+}
+
+/// Compares a (SLAM-built) map against the ground truth.
+///
+/// The grids may have different extents and resolutions; comparison happens
+/// in world coordinates over the *intersection* of the two extents (wall
+/// metrics) and on the truth grid's lattice. `tolerance` is the
+/// wall-matching distance in meters.
+///
+/// # Panics
+///
+/// Panics when `tolerance` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_metrics::map_quality::compare_maps;
+///
+/// let mut truth = OccupancyGrid::new(20, 20, 0.1, Point2::ORIGIN);
+/// truth.fill(CellState::Free);
+/// for i in 0..20i64 { truth.set((i, 0).into(), CellState::Occupied); }
+/// let q = compare_maps(&truth, &truth, 0.1);
+/// assert!(q.wall_f1 > 0.99 && q.free_iou > 0.99);
+/// ```
+pub fn compare_maps(truth: &OccupancyGrid, built: &OccupancyGrid, tolerance: f64) -> MapQuality {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let truth_walls = DistanceMap::from_grid_with(truth, |s| s == CellState::Occupied);
+    let built_walls = DistanceMap::from_grid_with(built, |s| s == CellState::Occupied);
+
+    let mut wall_tp = 0usize; // built wall near a true wall
+    let mut built_wall_total = 0usize;
+    for (idx, state) in built.iter() {
+        if state != CellState::Occupied {
+            continue;
+        }
+        let w = built.index_to_world(idx);
+        // Evaluate on the intersection of the two extents (out-of-extent
+        // distance would read as 0 under the opaque convention).
+        if !truth.contains(truth.world_to_index(w)) {
+            continue;
+        }
+        built_wall_total += 1;
+        if truth_walls.distance_at_world(w) <= tolerance {
+            wall_tp += 1;
+        }
+    }
+
+    let mut truth_wall_found = 0usize;
+    let mut truth_wall_total = 0usize;
+    let mut free_truth = 0usize;
+    let mut free_both = 0usize;
+    let mut free_either = 0usize;
+    let mut explored = 0usize;
+    for (idx, state) in truth.iter() {
+        let w = truth.index_to_world(idx);
+        match state {
+            CellState::Occupied => {
+                if !built.contains(built.world_to_index(w)) {
+                    continue;
+                }
+                truth_wall_total += 1;
+                if built_walls.distance_at_world(w) <= tolerance {
+                    truth_wall_found += 1;
+                }
+            }
+            CellState::Free => {
+                free_truth += 1;
+                let b = built.state_at_world(w);
+                if b != CellState::Unknown {
+                    explored += 1;
+                }
+                match b {
+                    CellState::Free => {
+                        free_both += 1;
+                        free_either += 1;
+                    }
+                    _ => free_either += 1,
+                }
+            }
+            CellState::Unknown => {}
+        }
+    }
+    // Free cells only in the built map (inside the truth's extent).
+    for (idx, state) in built.iter() {
+        if state == CellState::Free {
+            let w = built.index_to_world(idx);
+            if truth.state_at_world(w) != CellState::Free && truth.contains(truth.world_to_index(w))
+            {
+                free_either += 1;
+            }
+        }
+    }
+
+    let precision = if built_wall_total == 0 {
+        0.0
+    } else {
+        wall_tp as f64 / built_wall_total as f64
+    };
+    let recall = if truth_wall_total == 0 {
+        0.0
+    } else {
+        truth_wall_found as f64 / truth_wall_total as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    MapQuality {
+        wall_precision: precision,
+        wall_recall: recall,
+        wall_f1: f1,
+        free_iou: if free_either == 0 {
+            0.0
+        } else {
+            free_both as f64 / free_either as f64
+        },
+        coverage: if free_truth == 0 {
+            0.0
+        } else {
+            explored as f64 / free_truth as f64
+        },
+    }
+}
+
+/// Convenience: quality of a map against itself shifted by `offset` —
+/// useful for calibrating how the metrics respond to known misalignment.
+pub fn self_quality_with_offset(
+    truth: &OccupancyGrid,
+    offset: Point2,
+    tolerance: f64,
+) -> MapQuality {
+    let mut shifted = OccupancyGrid::new(
+        truth.width(),
+        truth.height(),
+        truth.resolution(),
+        truth.origin() + offset,
+    );
+    for (idx, state) in truth.iter() {
+        shifted.set(idx, state);
+    }
+    compare_maps(truth, &shifted, tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room() -> OccupancyGrid {
+        let n = 40;
+        let mut g = OccupancyGrid::new(n, n, 0.1, Point2::ORIGIN);
+        g.fill(CellState::Free);
+        for i in 0..n as i64 {
+            g.set((i, 0).into(), CellState::Occupied);
+            g.set((i, n as i64 - 1).into(), CellState::Occupied);
+            g.set((0, i).into(), CellState::Occupied);
+            g.set((n as i64 - 1, i).into(), CellState::Occupied);
+        }
+        g
+    }
+
+    #[test]
+    fn identical_maps_are_perfect() {
+        let g = room();
+        let q = compare_maps(&g, &g, 0.05);
+        assert!(q.wall_precision > 0.999);
+        assert!(q.wall_recall > 0.999);
+        assert!(q.free_iou > 0.999);
+        assert!((q.coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_shift_within_tolerance_keeps_f1() {
+        let g = room();
+        let q = self_quality_with_offset(&g, Point2::new(0.08, 0.0), 0.15);
+        assert!(q.wall_f1 > 0.95, "f1 {}", q.wall_f1);
+    }
+
+    #[test]
+    fn large_shift_destroys_f1() {
+        let g = room();
+        let q = self_quality_with_offset(&g, Point2::new(1.0, 1.0), 0.1);
+        assert!(q.wall_f1 < 0.6, "f1 {}", q.wall_f1);
+        assert!(q.free_iou < 0.8);
+    }
+
+    #[test]
+    fn hallucinated_walls_hit_precision_not_recall() {
+        let truth = room();
+        let mut built = truth.clone();
+        for i in 10..30i64 {
+            built.set((i, 20).into(), CellState::Occupied);
+        }
+        let q = compare_maps(&truth, &built, 0.05);
+        assert!(q.wall_precision < 0.95);
+        assert!(q.wall_recall > 0.999);
+    }
+
+    #[test]
+    fn missing_walls_hit_recall_not_precision() {
+        let truth = room();
+        let mut built = truth.clone();
+        for i in 0..20i64 {
+            built.set((i, 0).into(), CellState::Free);
+        }
+        let q = compare_maps(&truth, &built, 0.05);
+        assert!(q.wall_recall < 0.95);
+        assert!(q.wall_precision > 0.999);
+    }
+
+    #[test]
+    fn unexplored_map_scores_low_coverage() {
+        let truth = room();
+        let built = OccupancyGrid::new(40, 40, 0.1, Point2::ORIGIN); // all unknown
+        let q = compare_maps(&truth, &built, 0.05);
+        assert_eq!(q.coverage, 0.0);
+        assert_eq!(q.wall_precision, 0.0);
+    }
+
+    #[test]
+    fn different_resolutions_compare() {
+        let truth = room();
+        // Same room at half resolution.
+        let n = 20;
+        let mut coarse = OccupancyGrid::new(n, n, 0.2, Point2::ORIGIN);
+        coarse.fill(CellState::Free);
+        for i in 0..n as i64 {
+            coarse.set((i, 0).into(), CellState::Occupied);
+            coarse.set((i, n as i64 - 1).into(), CellState::Occupied);
+            coarse.set((0, i).into(), CellState::Occupied);
+            coarse.set((n as i64 - 1, i).into(), CellState::Occupied);
+        }
+        let q = compare_maps(&truth, &coarse, 0.25);
+        assert!(q.wall_f1 > 0.8, "f1 {}", q.wall_f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        let g = room();
+        compare_maps(&g, &g, -0.1);
+    }
+}

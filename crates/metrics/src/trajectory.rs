@@ -1,0 +1,115 @@
+//! Trajectory error metrics for SLAM evaluation: absolute trajectory error
+//! (ATE) and relative pose error (RPE), following Sturm et al. (2012).
+
+use raceloc_core::{Pose2, RunningStats, Summary};
+
+/// Absolute trajectory error: per-pose translation distance between
+/// ground-truth and estimated trajectories, after rigid alignment of the
+/// first pose (the usual convention for a tracker initialized at truth).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_core::Pose2;
+/// use raceloc_metrics::trajectory::absolute_trajectory_error;
+///
+/// let truth = vec![Pose2::IDENTITY, Pose2::new(1.0, 0.0, 0.0)];
+/// let est = vec![Pose2::IDENTITY, Pose2::new(1.1, 0.0, 0.0)];
+/// let ate = absolute_trajectory_error(&truth, &est);
+/// assert!((ate.mean - 0.05).abs() < 1e-9);
+/// ```
+pub fn absolute_trajectory_error(truth: &[Pose2], estimate: &[Pose2]) -> Summary {
+    assert_eq!(truth.len(), estimate.len(), "trajectory length mismatch");
+    if truth.is_empty() {
+        return Summary::default();
+    }
+    // Align the estimate's first pose onto the truth's first pose.
+    let align = truth[0] * estimate[0].inverse();
+    truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| t.dist(align * *e))
+        .collect::<RunningStats>()
+        .summary()
+}
+
+/// Relative pose error over a fixed step: the translation error of the
+/// estimated motion `e_i → e_{i+step}` against the true motion, per window.
+///
+/// # Panics
+///
+/// Panics when lengths differ or `step == 0`.
+pub fn relative_pose_error(truth: &[Pose2], estimate: &[Pose2], step: usize) -> Summary {
+    assert_eq!(truth.len(), estimate.len(), "trajectory length mismatch");
+    assert!(step > 0, "step must be positive");
+    let mut stats = RunningStats::new();
+    for i in 0..truth.len().saturating_sub(step) {
+        let true_motion = truth[i].relative_to(truth[i + step]);
+        let est_motion = estimate[i].relative_to(estimate[i + step]);
+        stats.push(true_motion.dist(est_motion));
+    }
+    stats.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, step: f64) -> Vec<Pose2> {
+        (0..n)
+            .map(|i| Pose2::new(i as f64 * step, 0.0, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn identical_trajectories_zero_error() {
+        let t = line(20, 0.5);
+        assert_eq!(absolute_trajectory_error(&t, &t).mean, 0.0);
+        assert_eq!(relative_pose_error(&t, &t, 3).mean, 0.0);
+    }
+
+    #[test]
+    fn ate_aligns_first_pose() {
+        // The estimate lives in a different frame; ATE must still be zero
+        // after first-pose alignment.
+        let truth = line(10, 1.0);
+        let offset = Pose2::new(5.0, -3.0, 1.2);
+        let est: Vec<Pose2> = truth.iter().map(|p| offset * *p).collect();
+        let ate = absolute_trajectory_error(&truth, &est);
+        assert!(ate.mean < 1e-9, "{}", ate.mean);
+    }
+
+    #[test]
+    fn rpe_catches_scale_drift() {
+        let truth = line(50, 1.0);
+        // Estimate overcounts distance by 10% (wheelspin-like drift).
+        let est = line(50, 1.1);
+        let rpe = relative_pose_error(&truth, &est, 1);
+        assert!((rpe.mean - 0.1).abs() < 1e-9, "{}", rpe.mean);
+        // ATE grows with trajectory length instead.
+        let ate = absolute_trajectory_error(&truth, &est);
+        assert!(ate.max > 4.0);
+    }
+
+    #[test]
+    fn empty_trajectories_are_benign() {
+        assert_eq!(absolute_trajectory_error(&[], &[]).count, 0);
+        assert_eq!(relative_pose_error(&[], &[], 1).count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        absolute_trajectory_error(&line(3, 1.0), &line(4, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_panics() {
+        relative_pose_error(&line(3, 1.0), &line(3, 1.0), 0);
+    }
+}

@@ -1,0 +1,1103 @@
+//! SynPF: the Monte-Carlo localization filter itself.
+
+use crate::kld::KldConfig;
+use crate::layout::ScanLayout;
+use crate::motion::{DiffDriveModel, TumMotionModel};
+use crate::resample::{effective_sample_size, normalize, systematic_indices};
+use crate::sensor::{BeamModelConfig, BeamSensorModel, LikelihoodField, LikelihoodFieldConfig};
+use raceloc_core::localizer::Localizer;
+use raceloc_core::sensor_data::{LaserScan, Odometry};
+use raceloc_core::{angle, Pose2, Rng64};
+use raceloc_map::{CellState, OccupancyGrid};
+use raceloc_range::{cast_batch, RangeMethod};
+
+/// Which motion model drives the prediction step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionConfig {
+    /// The textbook odometry model (the paper's baseline in Fig. 1).
+    DiffDrive(DiffDriveModel),
+    /// The TUM high-speed model (what SynPF uses).
+    Tum(TumMotionModel),
+}
+
+/// Configuration of augmented-MCL recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Long-term likelihood EMA rate (0 < α_slow ≪ α_fast).
+    pub alpha_slow: f64,
+    /// Short-term likelihood EMA rate.
+    pub alpha_fast: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            alpha_slow: 0.003,
+            alpha_fast: 0.1,
+        }
+    }
+}
+
+/// Configuration of a [`SynPf`] filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynPfConfig {
+    /// Number of particles.
+    pub particles: usize,
+    /// Beam subsampling layout (SynPF default: boxed, 60 beams).
+    pub layout: ScanLayout,
+    /// Beam sensor-model parameters.
+    pub beam_model: BeamModelConfig,
+    /// Log-likelihood squash divisor: per-scan weight is
+    /// `exp(Σ log p / squash)`. Values around the beam count temper the
+    /// overconfident independence assumption between beams.
+    pub squash: f64,
+    /// Resample when `ESS < resample_ess_frac · particles`.
+    pub resample_ess_frac: f64,
+    /// σ of the initial position spread around a reset pose \[m\].
+    pub init_sigma_xy: f64,
+    /// σ of the initial heading spread around a reset pose \[rad\].
+    pub init_sigma_theta: f64,
+    /// LiDAR pose in the vehicle body frame.
+    pub lidar_mount: Pose2,
+    /// The motion model.
+    pub motion: MotionConfig,
+    /// Worker threads for expected-range casting: 1 = sequential (the
+    /// paper's GPU-less LUT configuration); >1 emulates `rangelibc`'s
+    /// parallel mode (DESIGN.md §1).
+    pub threads: usize,
+    /// Optional KLD-adaptive particle counts (Fox 2003): when set, each
+    /// resampling step resizes the particle set to the KLD bound for the
+    /// cloud's current histogram occupancy, between the configured bounds.
+    /// `particles` is then only the initial count.
+    pub kld: Option<KldConfig>,
+    /// Optional augmented-MCL recovery (Thrun et al. §8.3): when the
+    /// short-term measurement likelihood collapses relative to its long-term
+    /// average, random particles are injected during resampling so the
+    /// filter can recover from kidnapping / total mismatch. Requires
+    /// [`SynPf::enable_recovery`] to supply the map to draw random poses
+    /// from.
+    pub recovery: Option<RecoveryConfig>,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynPfConfig {
+    fn default() -> Self {
+        Self {
+            particles: 1200,
+            layout: ScanLayout::Boxed {
+                count: 60,
+                aspect: 3.0,
+            },
+            beam_model: BeamModelConfig::default(),
+            squash: 12.0,
+            resample_ess_frac: 0.5,
+            init_sigma_xy: 0.12,
+            init_sigma_theta: 0.07,
+            lidar_mount: Pose2::new(0.1, 0.0, 0.0),
+            motion: MotionConfig::Tum(TumMotionModel::default()),
+            threads: 1,
+            kld: None,
+            recovery: None,
+            seed: 7,
+        }
+    }
+}
+
+/// The SynPF Monte-Carlo localizer (the paper's contribution).
+///
+/// Synthesizes the prior MCL work the paper builds on: the TUM high-speed
+/// motion model and boxed scanline layout (Stahl et al. 2019) with
+/// `rangelibc`-style accelerated expected-range queries and a discretized
+/// beam sensor model (Walsh & Karaman 2018), plus low-variance resampling
+/// gated on the effective sample size.
+///
+/// Generic over the [`RangeMethod`]: pass a [`raceloc_range::RangeLut`] for
+/// the paper's constant-time CPU configuration.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{TrackShape, TrackSpec};
+/// use raceloc_pf::{SynPf, SynPfConfig};
+/// use raceloc_range::RayMarching;
+/// use raceloc_core::localizer::Localizer;
+///
+/// let track = TrackSpec::new(TrackShape::Oval { width: 12.0, height: 7.0 })
+///     .resolution(0.1)
+///     .build();
+/// let caster = RayMarching::new(&track.grid, 10.0);
+/// let mut pf = SynPf::new(caster, SynPfConfig { particles: 200, ..SynPfConfig::default() });
+/// pf.reset(track.start_pose());
+/// assert_eq!(pf.particles().len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynPf<M: RangeMethod> {
+    config: SynPfConfig,
+    caster: M,
+    sensor: BeamSensorModel,
+    particles: Vec<Pose2>,
+    weights: Vec<f64>,
+    rng: Rng64,
+    last_odom: Option<Odometry>,
+    estimate: Pose2,
+    /// Optional endpoint (likelihood-field) sensor model; when present it
+    /// replaces the beam model + range queries in `correct`.
+    likelihood_field: Option<LikelihoodField>,
+    /// Map to draw random recovery poses from (augmented MCL).
+    recovery_map: Option<OccupancyGrid>,
+    /// Long-term mean-likelihood EMA (augmented MCL).
+    w_slow: f64,
+    /// Short-term mean-likelihood EMA (augmented MCL).
+    w_fast: f64,
+    // Scratch buffers reused across corrections to stay allocation-free.
+    queries: Vec<(f64, f64, f64)>,
+    expected: Vec<f64>,
+}
+
+impl<M: RangeMethod> SynPf<M> {
+    /// Creates a filter over the given range oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `particles == 0` or `squash <= 0`.
+    pub fn new(caster: M, config: SynPfConfig) -> Self {
+        assert!(config.particles > 0, "particle count must be positive");
+        assert!(config.squash > 0.0, "squash divisor must be positive");
+        let sensor = BeamSensorModel::new(config.beam_model, caster.max_range());
+        let n = config.particles;
+        let rng = Rng64::new(config.seed);
+        Self {
+            config,
+            caster,
+            sensor,
+            particles: vec![Pose2::IDENTITY; n],
+            weights: vec![1.0 / n as f64; n],
+            rng,
+            last_odom: None,
+            estimate: Pose2::IDENTITY,
+            likelihood_field: None,
+            recovery_map: None,
+            w_slow: 0.0,
+            w_fast: 0.0,
+            queries: Vec::new(),
+            expected: Vec::new(),
+        }
+    }
+
+    /// Enables augmented-MCL recovery: the filter tracks short- and
+    /// long-term averages of the measurement likelihood and, when the
+    /// short-term average collapses (`w_fast ≪ w_slow`), injects uniformly
+    /// drawn free-space particles during resampling.
+    ///
+    /// The map is cloned to sample the random poses from; the recovery
+    /// rates come from [`SynPfConfig::recovery`] (defaults are applied when
+    /// it is `None`).
+    pub fn enable_recovery(&mut self, grid: &OccupancyGrid) {
+        if self.config.recovery.is_none() {
+            self.config.recovery = Some(RecoveryConfig::default());
+        }
+        self.recovery_map = Some(grid.clone());
+    }
+
+    /// The current recovery likelihood ratio `w_fast / w_slow` (≥1 means
+    /// healthy); `None` until enough updates have run or when recovery is
+    /// disabled.
+    pub fn recovery_health(&self) -> Option<f64> {
+        if self.recovery_map.is_some() && self.w_slow > 1e-300 {
+            Some(self.w_fast / self.w_slow)
+        } else {
+            None
+        }
+    }
+
+    /// Feeds one mean raw likelihood observation into the w_slow/w_fast
+    /// EMAs and returns the random-injection probability for this update.
+    fn update_recovery(&mut self, mean_likelihood: f64) -> f64 {
+        let Some(cfg) = self.config.recovery else {
+            return 0.0;
+        };
+        if self.recovery_map.is_none() {
+            return 0.0;
+        }
+        if self.w_slow == 0.0 {
+            self.w_slow = mean_likelihood;
+            self.w_fast = mean_likelihood;
+            return 0.0;
+        }
+        self.w_slow += cfg.alpha_slow * (mean_likelihood - self.w_slow);
+        self.w_fast += cfg.alpha_fast * (mean_likelihood - self.w_fast);
+        if self.w_slow > 1e-300 {
+            (1.0 - self.w_fast / self.w_slow).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Replaces a random subset of particles with uniform free-space draws.
+    fn inject_random_particles(&mut self, fraction: f64) {
+        if fraction <= 0.0 {
+            return;
+        }
+        let Some(grid) = self.recovery_map.clone() else {
+            return;
+        };
+        let free: Vec<_> = grid
+            .iter()
+            .filter(|(_, s)| *s == CellState::Free)
+            .map(|(idx, _)| idx)
+            .collect();
+        if free.is_empty() {
+            return;
+        }
+        let n = self.particles.len();
+        let count = ((n as f64 * fraction).round() as usize).min(n);
+        for _ in 0..count {
+            let slot = self.rng.uniform_usize(n);
+            let idx = free[self.rng.uniform_usize(free.len())];
+            let c = grid.index_to_world(idx);
+            let jitter = grid.resolution() * 0.5;
+            self.particles[slot] = Pose2::new(
+                c.x + self.rng.uniform_range(-jitter, jitter),
+                c.y + self.rng.uniform_range(-jitter, jitter),
+                self.rng
+                    .uniform_range(-std::f64::consts::PI, std::f64::consts::PI),
+            );
+        }
+    }
+
+    /// Weighted covariance of the particle cloud around the current
+    /// estimate, as `(var_x, var_y, circular_var_theta)` — a confidence
+    /// diagnostic for downstream consumers (planners typically gate on it).
+    pub fn covariance(&self) -> (f64, f64, f64) {
+        let est = self.estimate;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        let mut sin_sum = 0.0;
+        let mut cos_sum = 0.0;
+        for (p, &w) in self.particles.iter().zip(&self.weights) {
+            vx += w * (p.x - est.x) * (p.x - est.x);
+            vy += w * (p.y - est.y) * (p.y - est.y);
+            let d = raceloc_core::angle::diff(p.theta, est.theta);
+            sin_sum += w * d.sin();
+            cos_sum += w * d.cos();
+        }
+        let r = sin_sum.hypot(cos_sum).clamp(0.0, 1.0);
+        (vx, vy, 1.0 - r)
+    }
+
+    /// Creates a filter that scores particles with the *likelihood-field*
+    /// (endpoint) sensor model instead of the beam model: beam endpoints
+    /// are compared against a Euclidean distance field of the map, with no
+    /// ray casting at all — AMCL's default model, cheaper but blind to
+    /// occlusion. The range oracle is kept only for its `max_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`SynPf::new`] and
+    /// [`LikelihoodField::new`].
+    pub fn with_likelihood_field(
+        caster: M,
+        grid: &OccupancyGrid,
+        lf_config: LikelihoodFieldConfig,
+        config: SynPfConfig,
+    ) -> Self {
+        let lf = LikelihoodField::new(grid, lf_config, caster.max_range());
+        let mut pf = Self::new(caster, config);
+        pf.likelihood_field = Some(lf);
+        pf
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SynPfConfig {
+        &self.config
+    }
+
+    /// The current particle set.
+    pub fn particles(&self) -> &[Pose2] {
+        &self.particles
+    }
+
+    /// The current normalized weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Effective sample size of the current weights.
+    pub fn ess(&self) -> f64 {
+        effective_sample_size(&self.weights)
+    }
+
+    /// Scatters particles uniformly over the free cells of a grid (global
+    /// localization / kidnapped-robot initialization).
+    pub fn global_init(&mut self, grid: &OccupancyGrid) {
+        let free: Vec<_> = grid
+            .iter()
+            .filter(|(_, s)| *s == CellState::Free)
+            .map(|(idx, _)| idx)
+            .collect();
+        if free.is_empty() {
+            return;
+        }
+        for p in &mut self.particles {
+            let idx = free[self.rng.uniform_usize(free.len())];
+            let c = grid.index_to_world(idx);
+            let jitter = grid.resolution() * 0.5;
+            *p = Pose2::new(
+                c.x + self.rng.uniform_range(-jitter, jitter),
+                c.y + self.rng.uniform_range(-jitter, jitter),
+                self.rng
+                    .uniform_range(-std::f64::consts::PI, std::f64::consts::PI),
+            );
+        }
+        let u = 1.0 / self.particles.len() as f64;
+        self.weights.fill(u);
+        self.last_odom = None;
+    }
+
+    /// The weighted-mean pose of the particle set (circular mean heading).
+    fn expected_pose(&self) -> Pose2 {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (p, w) in self.particles.iter().zip(&self.weights) {
+            x += w * p.x;
+            y += w * p.y;
+        }
+        let theta = angle::weighted_circular_mean(
+            self.particles
+                .iter()
+                .zip(&self.weights)
+                .map(|(p, &w)| (p.theta, w)),
+        )
+        .unwrap_or(self.estimate.theta);
+        Pose2::new(x, y, theta)
+    }
+
+    fn resample_if_needed(&mut self) {
+        let n = self.particles.len();
+        if self.ess() >= self.config.resample_ess_frac * n as f64 {
+            return;
+        }
+        // KLD adaptation: size the new set to the posterior's spread.
+        let target = match &self.config.kld {
+            Some(kld) => kld.adapt(&self.particles),
+            None => n,
+        };
+        let indices = systematic_indices(&self.weights, target, &mut self.rng);
+        let old = std::mem::take(&mut self.particles);
+        self.particles = indices.iter().map(|&src| old[src]).collect();
+        let u = 1.0 / target as f64;
+        self.weights.clear();
+        self.weights.resize(target, u);
+    }
+}
+
+impl<M: RangeMethod> Localizer for SynPf<M> {
+    fn predict(&mut self, odom: &Odometry) {
+        let Some(last) = self.last_odom else {
+            self.last_odom = Some(*odom);
+            return;
+        };
+        let delta = last.pose.relative_to(odom.pose);
+        let dt = (odom.stamp - last.stamp).max(1e-4);
+        match self.config.motion {
+            MotionConfig::DiffDrive(m) => {
+                crate::motion::propagate(
+                    &m,
+                    &mut self.particles,
+                    delta,
+                    odom.twist,
+                    dt,
+                    &mut self.rng,
+                );
+            }
+            MotionConfig::Tum(m) => {
+                crate::motion::propagate(
+                    &m,
+                    &mut self.particles,
+                    delta,
+                    odom.twist,
+                    dt,
+                    &mut self.rng,
+                );
+            }
+        }
+        self.last_odom = Some(*odom);
+    }
+
+    fn correct(&mut self, scan: &LaserScan) -> Pose2 {
+        let beams = self.config.layout.select(scan);
+        if beams.is_empty() {
+            return self.estimate;
+        }
+        let n = self.particles.len();
+        let k = beams.len();
+        // Endpoint model: no range queries, score endpoints against the
+        // distance field.
+        if let Some(lf) = &self.likelihood_field {
+            let mut log_w = vec![0.0f64; n];
+            let cutoff = scan.max_range - 1e-9;
+            for (i, p) in self.particles.iter().enumerate() {
+                let sensor_pose = *p * self.config.lidar_mount;
+                let mut acc = 0.0;
+                for &b in &beams {
+                    let r = scan.ranges[b];
+                    if r <= 0.0 || r >= cutoff {
+                        continue;
+                    }
+                    let a = sensor_pose.theta + scan.angle_of(b);
+                    let endpoint = raceloc_core::Point2::new(
+                        sensor_pose.x + r * a.cos(),
+                        sensor_pose.y + r * a.sin(),
+                    );
+                    acc += lf.log_prob_point(endpoint);
+                }
+                log_w[i] = acc / self.config.squash;
+            }
+            let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for (w, lw) in self.weights.iter_mut().zip(&log_w) {
+                *w *= (lw - max_lw).exp();
+            }
+            let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+            let inject = self.update_recovery(mean_lik);
+            normalize(&mut self.weights);
+            self.estimate = self.expected_pose();
+            self.resample_if_needed();
+            self.inject_random_particles(inject);
+            return self.estimate;
+        }
+        // Beam model: expected ranges for every (particle, beam) pair.
+        self.queries.clear();
+        self.queries.reserve(n * k);
+        for p in &self.particles {
+            let sensor_pose = *p * self.config.lidar_mount;
+            for &b in &beams {
+                self.queries.push((
+                    sensor_pose.x,
+                    sensor_pose.y,
+                    sensor_pose.theta + scan.angle_of(b),
+                ));
+            }
+        }
+        self.expected.resize(self.queries.len(), 0.0);
+        if self.config.threads > 1 {
+            cast_batch(
+                &self.caster,
+                &self.queries,
+                &mut self.expected,
+                self.config.threads,
+            );
+        } else {
+            self.caster.ranges_into(&self.queries, &mut self.expected);
+        }
+        // Per-particle squashed log-likelihood.
+        let mut log_w = vec![0.0f64; n];
+        for (i, lw) in log_w.iter_mut().enumerate() {
+            let base = i * k;
+            let mut acc = 0.0;
+            for (j, &b) in beams.iter().enumerate() {
+                acc += self
+                    .sensor
+                    .log_prob(self.expected[base + j], scan.ranges[b]);
+            }
+            *lw = acc / self.config.squash;
+        }
+        let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (w, lw) in self.weights.iter_mut().zip(&log_w) {
+            *w *= (lw - max_lw).exp();
+        }
+        let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+        let inject = self.update_recovery(mean_lik);
+        normalize(&mut self.weights);
+        self.estimate = self.expected_pose();
+        self.resample_if_needed();
+        self.inject_random_particles(inject);
+        self.estimate
+    }
+
+    fn pose(&self) -> Pose2 {
+        self.estimate
+    }
+
+    fn reset(&mut self, pose: Pose2) {
+        for p in &mut self.particles {
+            *p = Pose2::new(
+                self.rng.gaussian_with(pose.x, self.config.init_sigma_xy),
+                self.rng.gaussian_with(pose.y, self.config.init_sigma_xy),
+                self.rng
+                    .gaussian_with(pose.theta, self.config.init_sigma_theta),
+            );
+        }
+        let u = 1.0 / self.particles.len() as f64;
+        self.weights.fill(u);
+        self.estimate = pose;
+        self.last_odom = None;
+        self.w_slow = 0.0;
+        self.w_fast = 0.0;
+    }
+
+    fn name(&self) -> &str {
+        "synpf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::Twist2;
+    use raceloc_map::{Track, TrackShape, TrackSpec};
+    use raceloc_range::RayMarching;
+
+    fn track() -> Track {
+        TrackSpec::new(TrackShape::Oval {
+            width: 12.0,
+            height: 7.0,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn small_pf(track: &Track, particles: usize) -> SynPf<RayMarching> {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        SynPf::new(
+            caster,
+            SynPfConfig {
+                particles,
+                ..SynPfConfig::default()
+            },
+        )
+    }
+
+    /// Simulates a noiseless scan from a pose using the same caster family.
+    fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let beams = 181;
+        let fov = 270.0f64.to_radians();
+        let inc = fov / (beams - 1) as f64;
+        let sensor = pose * mount;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                )
+            })
+            .collect();
+        LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+    }
+
+    #[test]
+    fn reset_centers_cloud_on_pose() {
+        let t = track();
+        let mut pf = small_pf(&t, 500);
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let mean = pf
+            .particles()
+            .iter()
+            .fold((0.0, 0.0), |acc, p| (acc.0 + p.x, acc.1 + p.y));
+        let mean = Pose2::new(mean.0 / 500.0, mean.1 / 500.0, pose.theta);
+        assert!(mean.dist(pose) < 0.05);
+        assert!((pf.ess() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correction_tightens_estimate() {
+        let t = track();
+        let mut pf = small_pf(&t, 800);
+        let true_pose = t.start_pose();
+        // Initialize deliberately offset.
+        let offset = Pose2::new(
+            true_pose.x + 0.2,
+            true_pose.y - 0.15,
+            true_pose.theta + 0.05,
+        );
+        pf.reset(offset);
+        let scan = scan_from(&t, true_pose, pf.config().lidar_mount);
+        let mut est = pf.pose();
+        for _ in 0..6 {
+            est = pf.correct(&scan);
+        }
+        assert!(
+            est.dist(true_pose) < 0.15,
+            "estimate {est} vs truth {true_pose}"
+        );
+    }
+
+    #[test]
+    fn stationary_tracking_is_stable() {
+        let t = track();
+        let mut pf = small_pf(&t, 600);
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let scan = scan_from(&t, pose, pf.config().lidar_mount);
+        let stamp = |i: usize| i as f64 * 0.02;
+        for i in 0..20 {
+            pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, stamp(i)));
+            let est = pf.correct(&scan);
+            assert!(est.dist(pose) < 0.25, "diverged at step {i}: {est}");
+        }
+    }
+
+    #[test]
+    fn tracks_forward_motion() {
+        let t = track();
+        let mut pf = small_pf(&t, 800);
+        let start = t.start_pose();
+        pf.reset(start);
+        // Drive 1 m forward along the heading in 10 steps; odometry exact.
+        let v: f64 = 2.0;
+        let dt = 0.05;
+        let mut odom_pose = Pose2::IDENTITY;
+        pf.predict(&Odometry::new(odom_pose, Twist2::new(v, 0.0, 0.0), 0.0));
+        let mut true_pose = start;
+        for i in 1..=10 {
+            let step = Pose2::new(v * dt, 0.0, 0.0);
+            odom_pose = odom_pose * step;
+            true_pose = true_pose * step;
+            pf.predict(&Odometry::new(
+                odom_pose,
+                Twist2::new(v, 0.0, 0.0),
+                i as f64 * dt,
+            ));
+            let scan = scan_from(&t, true_pose, pf.config().lidar_mount);
+            let est = pf.correct(&scan);
+            assert!(est.dist(true_pose) < 0.3, "step {i}: {est} vs {true_pose}");
+        }
+    }
+
+    #[test]
+    fn resampling_triggers_on_peaked_weights() {
+        let t = track();
+        let mut pf = small_pf(&t, 300);
+        pf.reset(t.start_pose());
+        let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        // After several corrections ESS drops and resampling kicks in; the
+        // invariant is that weights return to uniform afterwards.
+        for _ in 0..10 {
+            pf.correct(&scan);
+        }
+        let n = pf.particles().len() as f64;
+        assert!(pf.ess() > 0.3 * n, "ess collapsed: {}", pf.ess());
+    }
+
+    #[test]
+    fn global_init_spreads_over_free_space() {
+        let t = track();
+        let mut pf = small_pf(&t, 400);
+        pf.global_init(&t.grid);
+        let free = pf
+            .particles()
+            .iter()
+            .filter(|p| t.grid.state_at_world(p.translation()) == CellState::Free)
+            .count();
+        assert!(free as f64 > 0.95 * 400.0);
+        // Spread across the whole track, not one spot.
+        let xs: Vec<f64> = pf.particles().iter().map(|p| p.x).collect();
+        let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span > 6.0, "span {span}");
+    }
+
+    #[test]
+    fn global_localization_converges_with_scans() {
+        let t = track();
+        let mut pf = small_pf(&t, 3000);
+        pf.global_init(&t.grid);
+        let true_pose = t.start_pose();
+        let scan = scan_from(&t, true_pose, pf.config().lidar_mount);
+        let mut est = Pose2::IDENTITY;
+        for i in 0..25 {
+            // Small jitter between corrections keeps the cloud explorative.
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            est = pf.correct(&scan);
+        }
+        // The oval is symmetric front/back, so allow either of the two
+        // geometrically consistent poses.
+        let mirrored = Pose2::new(
+            -true_pose.x,
+            -true_pose.y,
+            true_pose.theta + std::f64::consts::PI,
+        );
+        let ok = est.dist(true_pose) < 0.5 || est.dist(mirrored) < 0.5;
+        assert!(ok, "global localization landed at {est}");
+    }
+
+    #[test]
+    fn empty_scan_is_ignored() {
+        let t = track();
+        let mut pf = small_pf(&t, 100);
+        pf.reset(t.start_pose());
+        let before = pf.pose();
+        let est = pf.correct(&LaserScan::new(0.0, 0.1, vec![], 10.0));
+        assert_eq!(est, before);
+    }
+
+    #[test]
+    fn first_predict_only_sets_reference() {
+        let t = track();
+        let mut pf = small_pf(&t, 100);
+        pf.reset(t.start_pose());
+        let cloud_before = pf.particles().to_vec();
+        pf.predict(&Odometry::new(
+            Pose2::new(99.0, 0.0, 0.0),
+            Twist2::ZERO,
+            0.0,
+        ));
+        assert_eq!(pf.particles(), &cloud_before[..]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = track();
+        let run = || {
+            let mut pf = small_pf(&t, 200);
+            pf.reset(t.start_pose());
+            let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+            for i in 0..5 {
+                pf.predict(&Odometry::new(
+                    Pose2::new(0.01 * i as f64, 0.0, 0.0),
+                    Twist2::new(0.5, 0.0, 0.0),
+                    i as f64 * 0.02,
+                ));
+                pf.correct(&scan);
+            }
+            pf.pose().to_array()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threaded_casting_matches_sequential() {
+        let t = track();
+        let mk = |threads: usize| {
+            let caster = RayMarching::new(&t.grid, 10.0);
+            let mut pf = SynPf::new(
+                caster,
+                SynPfConfig {
+                    particles: 150,
+                    threads,
+                    ..SynPfConfig::default()
+                },
+            );
+            pf.reset(t.start_pose());
+            let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+            for _ in 0..3 {
+                pf.correct(&scan);
+            }
+            pf.pose().to_array()
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "particle count")]
+    fn zero_particles_panics() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 0,
+                ..SynPfConfig::default()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::kld::KldConfig;
+    use crate::sensor::LikelihoodFieldConfig;
+    use raceloc_core::Twist2;
+    use raceloc_map::{Track, TrackShape, TrackSpec};
+    use raceloc_range::RayMarching;
+
+    fn track() -> Track {
+        TrackSpec::new(TrackShape::Oval {
+            width: 12.0,
+            height: 7.0,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let beams = 181;
+        let fov = 270.0f64.to_radians();
+        let inc = fov / (beams - 1) as f64;
+        let sensor = pose * mount;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                )
+            })
+            .collect();
+        LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+    }
+
+    #[test]
+    fn kld_shrinks_converged_cloud() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 2000,
+                kld: Some(KldConfig {
+                    min_particles: 150,
+                    ..KldConfig::default()
+                }),
+                ..SynPfConfig::default()
+            },
+        );
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let scan = scan_from(&t, pose, pf.config().lidar_mount);
+        for i in 0..15 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&scan);
+        }
+        // Converged tracking needs far fewer than the initial 2000.
+        assert!(
+            pf.particles().len() < 1000,
+            "KLD did not shrink the set: {}",
+            pf.particles().len()
+        );
+        assert!(pf.particles().len() >= 150);
+        // Estimate quality is preserved.
+        assert!(pf.pose().dist(pose) < 0.2);
+        // Weights stay a distribution of the new size.
+        assert_eq!(pf.weights().len(), pf.particles().len());
+        let sum: f64 = pf.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn likelihood_field_variant_localizes() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::with_likelihood_field(
+            caster,
+            &t.grid,
+            LikelihoodFieldConfig::default(),
+            SynPfConfig {
+                particles: 600,
+                ..SynPfConfig::default()
+            },
+        );
+        let truth = t.start_pose();
+        pf.reset(Pose2::new(truth.x + 0.2, truth.y - 0.1, truth.theta + 0.05));
+        let scan = scan_from(&t, truth, pf.config().lidar_mount);
+        let mut est = pf.pose();
+        for _ in 0..8 {
+            est = pf.correct(&scan);
+        }
+        assert!(est.dist(truth) < 0.2, "LF estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn likelihood_field_is_deterministic_too() {
+        let t = track();
+        let run = || {
+            let caster = RayMarching::new(&t.grid, 10.0);
+            let mut pf = SynPf::with_likelihood_field(
+                caster,
+                &t.grid,
+                LikelihoodFieldConfig::default(),
+                SynPfConfig {
+                    particles: 200,
+                    ..SynPfConfig::default()
+                },
+            );
+            pf.reset(t.start_pose());
+            let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+            for _ in 0..3 {
+                pf.correct(&scan);
+            }
+            pf.pose().to_array()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use raceloc_core::Twist2;
+    use raceloc_map::{Track, TrackShape, TrackSpec};
+    use raceloc_range::RayMarching;
+
+    fn track() -> Track {
+        TrackSpec::new(TrackShape::RandomFourier {
+            seed: 5,
+            mean_radius: 5.0,
+            amplitude: 0.2,
+            harmonics: 3,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let beams = 181;
+        let fov = 270.0f64.to_radians();
+        let inc = fov / (beams - 1) as f64;
+        let sensor = pose * mount;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                )
+            })
+            .collect();
+        LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+    }
+
+    #[test]
+    fn recovery_recovers_from_kidnapping() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 1500,
+                recovery: Some(RecoveryConfig {
+                    alpha_slow: 0.01,
+                    alpha_fast: 0.4,
+                }),
+                ..SynPfConfig::default()
+            },
+        );
+        pf.enable_recovery(&t.grid);
+        // Converge at the start pose first.
+        let home = t.start_pose();
+        pf.reset(home);
+        let home_scan = scan_from(&t, home, pf.config().lidar_mount);
+        for i in 0..12 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&home_scan);
+        }
+        assert!(pf.pose().dist(home) < 0.2);
+        // Kidnap: scans now come from the other side of the track.
+        let s = 0.5 * t.raceline.total_length();
+        let p = t.raceline.point_at(s);
+        let there = Pose2::new(p.x, p.y, t.raceline.heading_at(s));
+        let there_scan = scan_from(&t, there, pf.config().lidar_mount);
+        let mut est = pf.pose();
+        for i in 12..160 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            est = pf.correct(&there_scan);
+        }
+        assert!(
+            est.dist(there) < 0.6,
+            "did not recover from kidnapping: {est} vs {there}"
+        );
+    }
+
+    #[test]
+    fn without_recovery_kidnapping_is_fatal() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 1500,
+                ..SynPfConfig::default()
+            },
+        );
+        let home = t.start_pose();
+        pf.reset(home);
+        let s = 0.5 * t.raceline.total_length();
+        let p = t.raceline.point_at(s);
+        let there = Pose2::new(p.x, p.y, t.raceline.heading_at(s));
+        let there_scan = scan_from(&t, there, pf.config().lidar_mount);
+        let mut est = pf.pose();
+        for i in 0..100 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            est = pf.correct(&there_scan);
+        }
+        // The cloud cannot teleport: it stays lost near its old belief.
+        assert!(
+            est.dist(there) > 1.0,
+            "vanilla MCL unexpectedly recovered: {est}"
+        );
+    }
+
+    #[test]
+    fn recovery_health_reports_collapse() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 400,
+                recovery: Some(RecoveryConfig::default()),
+                ..SynPfConfig::default()
+            },
+        );
+        pf.enable_recovery(&t.grid);
+        let home = t.start_pose();
+        pf.reset(home);
+        let home_scan = scan_from(&t, home, pf.config().lidar_mount);
+        for _ in 0..10 {
+            pf.correct(&home_scan);
+        }
+        let healthy = pf.recovery_health().expect("recovery enabled");
+        assert!(healthy > 0.5, "healthy ratio {healthy}");
+    }
+
+    #[test]
+    fn covariance_shrinks_on_convergence() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 600,
+                init_sigma_xy: 0.4,
+                init_sigma_theta: 0.3,
+                ..SynPfConfig::default()
+            },
+        );
+        let home = t.start_pose();
+        pf.reset(home);
+        let (vx0, vy0, vt0) = pf.covariance();
+        let home_scan = scan_from(&t, home, pf.config().lidar_mount);
+        for _ in 0..8 {
+            pf.correct(&home_scan);
+        }
+        let (vx1, vy1, vt1) = pf.covariance();
+        assert!(vx1 < vx0 && vy1 < vy0, "({vx0},{vy0}) -> ({vx1},{vy1})");
+        assert!(vt1 < vt0 + 1e-9);
+    }
+}

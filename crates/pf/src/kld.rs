@@ -1,0 +1,164 @@
+//! KLD-adaptive particle counts (Fox 2003, as used by AMCL).
+//!
+//! After resampling, the number of particles actually needed depends on how
+//! spread the posterior is: a converged filter tracking a racing car needs
+//! far fewer particles than one recovering from a slip event. KLD sampling
+//! bounds the approximation error of the sampled posterior against the true
+//! one: with `k` occupied histogram bins, the required sample count is
+//!
+//! ```text
+//! n = (k-1)/(2ε) · ( 1 − 2/(9(k−1)) + sqrt(2/(9(k−1))) · z )³
+//! ```
+//!
+//! where `ε` is the maximum KL divergence and `z` the upper quantile of the
+//! standard normal for the confidence level.
+
+use raceloc_core::Pose2;
+use std::collections::HashSet;
+
+/// Configuration of KLD-adaptive sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KldConfig {
+    /// Maximum allowed KL divergence ε between the sample-based and true
+    /// posterior.
+    pub epsilon: f64,
+    /// Upper standard-normal quantile for the confidence level
+    /// (1.645 ≈ 95 %, 2.326 ≈ 99 %).
+    pub z_quantile: f64,
+    /// Histogram bin size in x/y \[m\].
+    pub bin_xy: f64,
+    /// Histogram bin size in heading \[rad\].
+    pub bin_theta: f64,
+    /// Hard lower bound on the particle count.
+    pub min_particles: usize,
+    /// Hard upper bound on the particle count.
+    pub max_particles: usize,
+}
+
+impl Default for KldConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.02,
+            z_quantile: 2.326,
+            bin_xy: 0.25,
+            bin_theta: 10.0f64.to_radians(),
+            min_particles: 300,
+            max_particles: 5000,
+        }
+    }
+}
+
+impl KldConfig {
+    /// The KLD sample bound for `k` occupied histogram bins.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use raceloc_pf::kld::KldConfig;
+    ///
+    /// let cfg = KldConfig::default();
+    /// // A tightly converged cloud needs the minimum…
+    /// assert_eq!(cfg.required_particles(1), cfg.min_particles);
+    /// // …a dispersed one needs more.
+    /// assert!(cfg.required_particles(200) > cfg.required_particles(20));
+    /// ```
+    pub fn required_particles(&self, occupied_bins: usize) -> usize {
+        if occupied_bins <= 1 {
+            return self.min_particles;
+        }
+        let k = occupied_bins as f64;
+        let a = 2.0 / (9.0 * (k - 1.0));
+        let b = 1.0 - a + a.sqrt() * self.z_quantile;
+        let n = (k - 1.0) / (2.0 * self.epsilon) * b * b * b;
+        (n.ceil() as usize).clamp(self.min_particles, self.max_particles)
+    }
+
+    /// Counts the occupied histogram bins of a particle set.
+    pub fn occupied_bins(&self, particles: &[Pose2]) -> usize {
+        let mut bins: HashSet<(i64, i64, i64)> = HashSet::with_capacity(particles.len());
+        for p in particles {
+            bins.insert((
+                (p.x / self.bin_xy).floor() as i64,
+                (p.y / self.bin_xy).floor() as i64,
+                (p.theta / self.bin_theta).floor() as i64,
+            ));
+        }
+        bins.len()
+    }
+
+    /// The adaptive particle count for the given cloud: the KLD bound for
+    /// its current histogram occupancy.
+    pub fn adapt(&self, particles: &[Pose2]) -> usize {
+        self.required_particles(self.occupied_bins(particles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::Rng64;
+
+    fn spread_cloud(n: usize, sigma: f64, seed: u64) -> Vec<Pose2> {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                Pose2::new(
+                    rng.gaussian_with(0.0, sigma),
+                    rng.gaussian_with(0.0, sigma),
+                    rng.gaussian_with(0.0, sigma),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bound_grows_with_bins() {
+        let cfg = KldConfig::default();
+        let mut last = 0;
+        for k in [2, 10, 50, 200, 1000] {
+            let n = cfg.required_particles(k);
+            assert!(n >= last, "k={k}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn bound_respects_clamps() {
+        let cfg = KldConfig::default();
+        assert_eq!(cfg.required_particles(0), cfg.min_particles);
+        assert_eq!(cfg.required_particles(1), cfg.min_particles);
+        assert_eq!(cfg.required_particles(100_000), cfg.max_particles);
+    }
+
+    #[test]
+    fn known_value_matches_formula() {
+        // Hand-computed for k=100, ε=0.02, z=2.326.
+        let cfg = KldConfig {
+            epsilon: 0.02,
+            z_quantile: 2.326,
+            min_particles: 1,
+            max_particles: 1_000_000,
+            ..KldConfig::default()
+        };
+        let k = 100.0f64;
+        let a = 2.0 / (9.0 * (k - 1.0));
+        let expect = ((k - 1.0) / 0.04 * (1.0 - a + a.sqrt() * 2.326).powi(3)).ceil() as usize;
+        assert_eq!(cfg.required_particles(100), expect);
+    }
+
+    #[test]
+    fn concentrated_cloud_occupies_few_bins() {
+        let cfg = KldConfig::default();
+        let tight = spread_cloud(1000, 0.01, 1);
+        let wide = spread_cloud(1000, 2.0, 2);
+        assert!(cfg.occupied_bins(&tight) < 10);
+        assert!(cfg.occupied_bins(&wide) > 100);
+        assert!(cfg.adapt(&tight) < cfg.adapt(&wide));
+    }
+
+    #[test]
+    fn adapt_of_empty_cloud_is_minimum() {
+        let cfg = KldConfig::default();
+        assert_eq!(cfg.adapt(&[]), cfg.min_particles);
+    }
+}

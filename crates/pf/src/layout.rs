@@ -1,0 +1,238 @@
+//! LiDAR scanline subsampling layouts.
+//!
+//! Evaluating the sensor model for every beam of a 1000-beam scan on every
+//! particle is wasteful; MCL implementations subsample a few dozen beams.
+//! The paper adopts the TUM PF's **boxed layout**: beams are chosen so their
+//! intersections with a corridor-shaped box around the sensor are uniformly
+//! spaced, which concentrates beams down-track where racetrack geometry
+//! lives (paper §II), instead of spending half the budget on the nearby side
+//! walls as uniform angular spacing does.
+
+use raceloc_core::sensor_data::LaserScan;
+
+/// A beam-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScanLayout {
+    /// Every k-th beam such that ~`count` beams are used, uniformly in angle.
+    Uniform {
+        /// Number of beams to keep.
+        count: usize,
+    },
+    /// The TUM boxed layout: beams whose wall intersections with a corridor
+    /// box of the given aspect ratio are uniformly spaced along the box
+    /// perimeter.
+    Boxed {
+        /// Number of beams to keep.
+        count: usize,
+        /// Box length-to-width aspect ratio (≫1 = long corridor look-ahead).
+        aspect: f64,
+    },
+}
+
+impl ScanLayout {
+    /// Selects beam indices from a scan according to the layout.
+    ///
+    /// Indices are strictly increasing and deduplicated; the result is empty
+    /// only when the scan is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use raceloc_core::sensor_data::LaserScan;
+    /// use raceloc_pf::ScanLayout;
+    ///
+    /// let scan = LaserScan::new(-2.35, 4.7 / 1080.0, vec![5.0; 1081], 10.0);
+    /// let picked = ScanLayout::Boxed { count: 60, aspect: 3.0 }.select(&scan);
+    /// // Some box-perimeter points fall behind the 270° FOV and are dropped.
+    /// assert!(picked.len() >= 30 && picked.len() <= 60);
+    /// ```
+    pub fn select(&self, scan: &LaserScan) -> Vec<usize> {
+        if scan.is_empty() {
+            return Vec::new();
+        }
+        match *self {
+            ScanLayout::Uniform { count } => {
+                let count = count.clamp(1, scan.len());
+                if count == 1 {
+                    return vec![scan.len() / 2];
+                }
+                (0..count)
+                    .map(|i| i * (scan.len() - 1) / (count - 1))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            }
+            ScanLayout::Boxed { count, aspect } => {
+                let picked: Vec<usize> = boxed_angles(count, aspect)
+                    .into_iter()
+                    .filter_map(|angle| beam_index_for(scan, angle))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                if picked.is_empty() {
+                    // Degenerate FOV/box combination (every perimeter point
+                    // behind the sensor): fall back to uniform coverage.
+                    ScanLayout::Uniform { count }.select(scan)
+                } else {
+                    picked
+                }
+            }
+        }
+    }
+}
+
+/// Computes the `count` beam angles of a boxed layout with the given aspect
+/// ratio: points uniformly spaced along the perimeter of the box
+/// `x ∈ [-a, a], y ∈ [-1, 1]` (sensor at the origin, corridor along x),
+/// converted to bearing angles.
+pub fn boxed_angles(count: usize, aspect: f64) -> Vec<f64> {
+    let a = aspect.max(0.1);
+    // Perimeter of the box (all four sides).
+    let perimeter = 4.0 * a + 4.0;
+    let n = count.max(1);
+    let mut angles = Vec::with_capacity(n);
+    for i in 0..n {
+        // Walk the perimeter starting from the forward-right corner region,
+        // going counter-clockwise: right edge (x=a), top edge (y=1), left
+        // edge (x=-a), bottom edge (y=-1).
+        let s = (i as f64 + 0.5) / n as f64 * perimeter;
+        let (x, y) = if s < 2.0 {
+            (a, s - 1.0) // right edge, y from -1 to 1
+        } else if s < 2.0 + 2.0 * a {
+            (a - (s - 2.0), 1.0) // top edge, x from a to -a
+        } else if s < 4.0 + 2.0 * a {
+            (-a, 1.0 - (s - 2.0 - 2.0 * a)) // left edge, y from 1 to -1
+        } else {
+            (-a + (s - 4.0 - 2.0 * a), -1.0) // bottom edge
+        };
+        angles.push(y.atan2(x));
+    }
+    angles
+}
+
+/// Maps a bearing angle to the nearest beam index, or `None` when the angle
+/// falls outside the scan's field of view.
+fn beam_index_for(scan: &LaserScan, angle: f64) -> Option<usize> {
+    let idx = (angle - scan.angle_min) / scan.angle_increment;
+    let i = idx.round();
+    if i < 0.0 || i as usize >= scan.len() {
+        None
+    } else {
+        Some(i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hokuyo_scan() -> LaserScan {
+        LaserScan::new(
+            -135.0f64.to_radians(),
+            270.0f64.to_radians() / 1080.0,
+            vec![5.0; 1081],
+            10.0,
+        )
+    }
+
+    #[test]
+    fn uniform_selects_requested_count() {
+        let scan = hokuyo_scan();
+        let picked = ScanLayout::Uniform { count: 60 }.select(&scan);
+        assert!(picked.len() >= 55 && picked.len() <= 60, "{}", picked.len());
+        // Strictly increasing.
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn uniform_covers_fov() {
+        let scan = hokuyo_scan();
+        let picked = ScanLayout::Uniform { count: 30 }.select(&scan);
+        assert!(*picked.first().expect("non-empty") < 40);
+        assert!(*picked.last().expect("non-empty") > 1000);
+    }
+
+    #[test]
+    fn boxed_concentrates_beams_forward() {
+        let scan = hokuyo_scan();
+        let boxed = ScanLayout::Boxed {
+            count: 60,
+            aspect: 3.0,
+        }
+        .select(&scan);
+        let uniform = ScanLayout::Uniform { count: 60 }.select(&scan);
+        // Count beams within ±30° of straight ahead.
+        let forward = |sel: &[usize]| {
+            sel.iter()
+                .filter(|&&i| scan.angle_of(i).abs() < 30.0f64.to_radians())
+                .count() as f64
+                / sel.len() as f64
+        };
+        assert!(
+            forward(&boxed) > 1.5 * forward(&uniform),
+            "boxed {} vs uniform {}",
+            forward(&boxed),
+            forward(&uniform)
+        );
+    }
+
+    #[test]
+    fn boxed_angles_cover_both_sides() {
+        let angles = boxed_angles(40, 3.0);
+        assert!(angles.iter().any(|&a| a > 0.5));
+        assert!(angles.iter().any(|&a| a < -0.5));
+        assert!(angles.iter().any(|&a| a.abs() < 0.3));
+    }
+
+    #[test]
+    fn boxed_higher_aspect_looks_further_ahead() {
+        let frac_forward = |aspect: f64| {
+            let angles = boxed_angles(100, aspect);
+            angles.iter().filter(|a| a.abs() < 0.4).count() as f64 / 100.0
+        };
+        assert!(frac_forward(6.0) > frac_forward(1.0));
+    }
+
+    #[test]
+    fn empty_scan_selects_nothing() {
+        let scan = LaserScan::new(0.0, 0.1, vec![], 10.0);
+        assert!(ScanLayout::Uniform { count: 10 }.select(&scan).is_empty());
+        assert!(ScanLayout::Boxed {
+            count: 10,
+            aspect: 2.0
+        }
+        .select(&scan)
+        .is_empty());
+    }
+
+    #[test]
+    fn count_larger_than_scan_is_clamped() {
+        let scan = LaserScan::new(-1.0, 0.5, vec![1.0; 5], 10.0);
+        let picked = ScanLayout::Uniform { count: 50 }.select(&scan);
+        assert!(picked.len() <= 5);
+        assert!(picked.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn boxed_out_of_fov_angles_dropped() {
+        // A narrow-FOV scan cannot see the box's rear edge.
+        let scan = LaserScan::new(-0.5, 0.01, vec![1.0; 101], 10.0);
+        let picked = ScanLayout::Boxed {
+            count: 60,
+            aspect: 3.0,
+        }
+        .select(&scan);
+        assert!(!picked.is_empty());
+        assert!(picked.iter().all(|&i| i < 101));
+    }
+
+    #[test]
+    fn layouts_are_deterministic() {
+        let scan = hokuyo_scan();
+        let layout = ScanLayout::Boxed {
+            count: 60,
+            aspect: 3.0,
+        };
+        assert_eq!(layout.select(&scan), layout.select(&scan));
+    }
+}

@@ -1,0 +1,383 @@
+//! Particle-filter motion models.
+//!
+//! Two models are implemented, matching the paper's Fig. 1 comparison:
+//!
+//! - [`DiffDriveModel`]: the classic odometry motion model of *Probabilistic
+//!   Robotics* (Thrun et al., 2005). Noise scales with the magnitude of the
+//!   decomposed rotate–translate–rotate step, independent of speed — which
+//!   at racing speed produces unrealistically wide heading dispersion
+//!   ("particles in infeasible positions", paper §II).
+//! - [`TumMotionModel`]: the high-speed model of Stahl et al. (2019) the
+//!   paper builds on. Particles are propagated with the measured body
+//!   velocity and yaw rate; heading/yaw-rate noise *shrinks* with speed
+//!   (the steering envelope narrows as the car goes faster) and the sampled
+//!   yaw rate is clamped to the friction limit `|ω| ≤ a_lat/v`. At low speed
+//!   both models are similar; at high speed the TUM cloud is a narrow wedge.
+
+use raceloc_core::{Pose2, Rng64, Twist2};
+
+/// A particle propagation model.
+///
+/// `delta` is the relative odometry motion since the last update (in the
+/// previous body frame), `twist` the instantaneous odometry velocity, and
+/// `dt` the elapsed time; models may use either representation.
+pub trait MotionModel: Send + Sync {
+    /// Samples a new particle pose given the odometry increment.
+    fn sample(
+        &self,
+        particle: Pose2,
+        delta: Pose2,
+        twist: Twist2,
+        dt: f64,
+        rng: &mut Rng64,
+    ) -> Pose2;
+
+    /// A short name for reports ("diff-drive", "tum").
+    fn name(&self) -> &str;
+}
+
+/// Parameters of the classic odometry (differential-drive) motion model.
+///
+/// The four `alpha` coefficients follow the textbook convention:
+/// `α1` rotation noise from rotation, `α2` rotation noise from translation,
+/// `α3` translation noise from translation, `α4` translation noise from
+/// rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffDriveModel {
+    /// Rotation noise from rotation \[rad²/rad²\].
+    pub alpha1: f64,
+    /// Rotation noise from translation \[rad²/m²\].
+    pub alpha2: f64,
+    /// Translation noise from translation \[m²/m²\].
+    pub alpha3: f64,
+    /// Translation noise from rotation \[m²/rad²\].
+    pub alpha4: f64,
+}
+
+impl Default for DiffDriveModel {
+    fn default() -> Self {
+        Self {
+            alpha1: 0.25,
+            alpha2: 0.08,
+            alpha3: 0.06,
+            alpha4: 0.02,
+        }
+    }
+}
+
+impl MotionModel for DiffDriveModel {
+    fn sample(
+        &self,
+        particle: Pose2,
+        delta: Pose2,
+        _twist: Twist2,
+        _dt: f64,
+        rng: &mut Rng64,
+    ) -> Pose2 {
+        let trans = delta.translation().norm();
+        // Decompose into rotate → translate → rotate. For tiny translations
+        // the first rotation is ill-defined; attribute everything to rot2.
+        let rot1 = if trans < 1e-6 {
+            0.0
+        } else {
+            delta.y.atan2(delta.x)
+        };
+        let rot2 = raceloc_core::angle::diff(delta.theta, rot1);
+        let sigma_rot1 = (self.alpha1 * rot1 * rot1 + self.alpha2 * trans * trans).sqrt();
+        let sigma_trans =
+            (self.alpha3 * trans * trans + self.alpha4 * (rot1 * rot1 + rot2 * rot2)).sqrt();
+        let sigma_rot2 = (self.alpha1 * rot2 * rot2 + self.alpha2 * trans * trans).sqrt();
+        let r1 = rng.gaussian_with(rot1, sigma_rot1);
+        let tr = rng.gaussian_with(trans, sigma_trans);
+        let r2 = rng.gaussian_with(rot2, sigma_rot2);
+        let step = Pose2::new(tr * r1.cos(), tr * r1.sin(), r1 + r2);
+        particle * step
+    }
+
+    fn name(&self) -> &str {
+        "diff-drive"
+    }
+}
+
+/// Parameters of the TUM high-speed motion model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TumMotionModel {
+    /// Relative speed noise (σ as a fraction of speed).
+    pub sigma_v_rel: f64,
+    /// Absolute speed noise σ \[m/s\].
+    pub sigma_v_abs: f64,
+    /// Yaw-rate noise σ at standstill \[rad/s\].
+    pub sigma_omega_0: f64,
+    /// Characteristic speed of the noise shrinkage \[m/s\]: at speed `v` the
+    /// yaw-rate noise is `σ_ω0 / (1 + v / v_char)`.
+    pub v_char: f64,
+    /// Lateral acceleration limit used to clamp feasible yaw rates \[m/s²\].
+    pub a_lat_max: f64,
+    /// Residual position jitter σ \[m\] (keeps the cloud alive at rest).
+    pub sigma_pos: f64,
+}
+
+impl Default for TumMotionModel {
+    fn default() -> Self {
+        Self {
+            sigma_v_rel: 0.08,
+            sigma_v_abs: 0.03,
+            sigma_omega_0: 0.9,
+            v_char: 1.8,
+            a_lat_max: 9.5,
+            sigma_pos: 0.005,
+        }
+    }
+}
+
+impl MotionModel for TumMotionModel {
+    fn sample(
+        &self,
+        particle: Pose2,
+        _delta: Pose2,
+        twist: Twist2,
+        dt: f64,
+        rng: &mut Rng64,
+    ) -> Pose2 {
+        let v_meas = twist.vx;
+        let speed = v_meas.abs();
+        // Speed noise: multiplicative (slip-like) plus a small floor.
+        let sigma_v = self.sigma_v_rel * speed + self.sigma_v_abs;
+        let v = rng.gaussian_with(v_meas, sigma_v);
+        // Heading uncertainty shrinks with speed: the faster the car, the
+        // smaller the feasible steering envelope (paper Fig. 1 right).
+        let sigma_omega = self.sigma_omega_0 / (1.0 + speed / self.v_char);
+        let mut omega = rng.gaussian_with(twist.omega, sigma_omega);
+        // Friction limit: a car at speed v cannot yaw faster than a_lat/v.
+        if speed > 0.5 {
+            let omega_max = self.a_lat_max / speed;
+            omega = omega.clamp(-omega_max, omega_max);
+        }
+        let step = Twist2::new(v, 0.0, omega).integrate(dt);
+        let moved = particle * step;
+        Pose2::new(
+            rng.gaussian_with(moved.x, self.sigma_pos),
+            rng.gaussian_with(moved.y, self.sigma_pos),
+            moved.theta,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "tum"
+    }
+}
+
+/// Propagates a full particle set in place.
+pub fn propagate<M: MotionModel + ?Sized>(
+    model: &M,
+    particles: &mut [Pose2],
+    delta: Pose2,
+    twist: Twist2,
+    dt: f64,
+    rng: &mut Rng64,
+) {
+    for p in particles {
+        *p = model.sample(*p, delta, twist, dt, rng);
+    }
+}
+
+/// Dispersion statistics of a propagated particle cloud, used by the Fig. 1
+/// reproduction: standard deviations along-track, across-track, and in
+/// heading, relative to the noise-free propagated pose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudDispersion {
+    /// σ of the longitudinal (along nominal heading) position \[m\].
+    pub longitudinal: f64,
+    /// σ of the lateral position \[m\].
+    pub lateral: f64,
+    /// Circular σ of the heading \[rad\].
+    pub heading: f64,
+}
+
+/// Measures the dispersion of `particles` around the reference pose.
+///
+/// Returns `None` on an empty set.
+pub fn dispersion(particles: &[Pose2], reference: Pose2) -> Option<CloudDispersion> {
+    if particles.is_empty() {
+        return None;
+    }
+    let mut lon = raceloc_core::RunningStats::new();
+    let mut lat = raceloc_core::RunningStats::new();
+    for p in particles {
+        let local = reference.inverse_transform(p.translation());
+        lon.push(local.x);
+        lat.push(local.y);
+    }
+    let heading = raceloc_core::angle::circular_std(
+        particles
+            .iter()
+            .map(|p| raceloc_core::angle::diff(p.theta, reference.theta)),
+    )?;
+    Some(CloudDispersion {
+        longitudinal: lon.sample_std(),
+        lateral: lat.sample_std(),
+        heading,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<Pose2> {
+        vec![Pose2::IDENTITY; n]
+    }
+
+    fn forward_delta(v: f64, dt: f64) -> (Pose2, Twist2) {
+        (Pose2::new(v * dt, 0.0, 0.0), Twist2::new(v, 0.0, 0.0))
+    }
+
+    #[test]
+    fn diff_drive_mean_matches_odometry() {
+        let model = DiffDriveModel::default();
+        let mut rng = Rng64::new(1);
+        let delta = Pose2::new(0.1, 0.02, 0.05);
+        let mut xs = raceloc_core::RunningStats::new();
+        let mut ys = raceloc_core::RunningStats::new();
+        for _ in 0..20_000 {
+            let p = model.sample(Pose2::IDENTITY, delta, Twist2::ZERO, 0.02, &mut rng);
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        assert!((xs.mean() - 0.1).abs() < 0.005, "{}", xs.mean());
+        assert!((ys.mean() - 0.02).abs() < 0.005, "{}", ys.mean());
+    }
+
+    #[test]
+    fn diff_drive_zero_motion_keeps_particles_still() {
+        let model = DiffDriveModel::default();
+        let mut rng = Rng64::new(2);
+        let p = model.sample(
+            Pose2::new(1.0, 2.0, 0.3),
+            Pose2::IDENTITY,
+            Twist2::ZERO,
+            0.02,
+            &mut rng,
+        );
+        assert!(p.dist(Pose2::new(1.0, 2.0, 0.3)) < 1e-9);
+    }
+
+    #[test]
+    fn tum_mean_follows_twist() {
+        let model = TumMotionModel::default();
+        let mut rng = Rng64::new(3);
+        let (delta, twist) = forward_delta(5.0, 0.02);
+        let mut xs = raceloc_core::RunningStats::new();
+        for _ in 0..20_000 {
+            let p = model.sample(Pose2::IDENTITY, delta, twist, 0.02, &mut rng);
+            xs.push(p.x);
+        }
+        assert!((xs.mean() - 0.1).abs() < 0.005, "{}", xs.mean());
+    }
+
+    #[test]
+    fn tum_heading_noise_shrinks_with_speed() {
+        // The paper's Fig. 1: at high speed the TUM cloud's heading (and
+        // hence lateral) dispersion collapses relative to low speed.
+        let model = TumMotionModel::default();
+        let spread = |v: f64| {
+            let mut rng = Rng64::new(4);
+            let mut particles = cloud(4000);
+            let (delta, twist) = forward_delta(v, 0.02);
+            // Propagate over 10 steps (0.2 s of motion).
+            for _ in 0..10 {
+                propagate(&model, &mut particles, delta, twist, 0.02, &mut rng);
+            }
+            let reference = Pose2::new(v * 0.2, 0.0, 0.0);
+            dispersion(&particles, reference).expect("non-empty")
+        };
+        let slow = spread(0.5);
+        let fast = spread(7.0);
+        assert!(
+            fast.heading < 0.6 * slow.heading,
+            "fast {} vs slow {}",
+            fast.heading,
+            slow.heading
+        );
+    }
+
+    #[test]
+    fn diff_drive_heading_noise_grows_with_speed() {
+        // The failure mode motivating the TUM model: the diff-drive spread
+        // grows with the step size, i.e. with speed at fixed rate.
+        let model = DiffDriveModel::default();
+        let spread = |v: f64| {
+            let mut rng = Rng64::new(5);
+            let mut particles = cloud(4000);
+            let (delta, twist) = forward_delta(v, 0.02);
+            for _ in 0..10 {
+                propagate(&model, &mut particles, delta, twist, 0.02, &mut rng);
+            }
+            let reference = Pose2::new(v * 0.2, 0.0, 0.0);
+            dispersion(&particles, reference).expect("non-empty")
+        };
+        let slow = spread(0.5);
+        let fast = spread(7.0);
+        assert!(
+            fast.lateral > slow.lateral,
+            "fast {} vs slow {}",
+            fast.lateral,
+            slow.lateral
+        );
+    }
+
+    #[test]
+    fn tum_respects_friction_limit() {
+        let model = TumMotionModel {
+            sigma_omega_0: 50.0, // absurd noise: only the clamp can save us
+            ..TumMotionModel::default()
+        };
+        let mut rng = Rng64::new(6);
+        let v = 6.0;
+        let omega_max = model.a_lat_max / v;
+        let twist = Twist2::new(v, 0.0, 0.0);
+        for _ in 0..2000 {
+            let p = model.sample(Pose2::IDENTITY, Pose2::IDENTITY, twist, 0.05, &mut rng);
+            // Heading change bounded by clamped yaw rate times dt.
+            assert!(p.theta.abs() <= omega_max * 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic_in_seed() {
+        let model = TumMotionModel::default();
+        let run = || {
+            let mut rng = Rng64::new(11);
+            let twist = Twist2::new(3.0, 0.0, 0.4);
+            (0..50)
+                .map(|_| {
+                    model
+                        .sample(Pose2::IDENTITY, Pose2::IDENTITY, twist, 0.02, &mut rng)
+                        .to_array()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dispersion_empty_is_none() {
+        assert!(dispersion(&[], Pose2::IDENTITY).is_none());
+    }
+
+    #[test]
+    fn dispersion_of_identical_particles_is_zero() {
+        let d = dispersion(
+            &vec![Pose2::new(1.0, 1.0, 0.5); 10],
+            Pose2::new(1.0, 1.0, 0.5),
+        )
+        .expect("non-empty");
+        assert!(d.longitudinal < 1e-12 && d.lateral < 1e-12 && d.heading < 1e-6);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DiffDriveModel::default().name(), "diff-drive");
+        assert_eq!(TumMotionModel::default().name(), "tum");
+    }
+}

@@ -1,0 +1,161 @@
+//! Weight normalization and low-variance (systematic) resampling.
+
+use raceloc_core::Rng64;
+
+/// Normalizes a weight vector in place to sum to 1.
+///
+/// Returns `false` (and resets to uniform) when the weights are degenerate:
+/// all zero, or containing non-finite values — the standard MCL recovery
+/// from a total measurement mismatch.
+pub fn normalize(weights: &mut [f64]) -> bool {
+    if weights.is_empty() {
+        return false;
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || sum.is_nan() || !sum.is_finite() {
+        let u = 1.0 / weights.len() as f64;
+        weights.fill(u);
+        return false;
+    }
+    for w in weights.iter_mut() {
+        *w /= sum;
+    }
+    true
+}
+
+/// Effective sample size `1 / Σ wᵢ²` of a *normalized* weight vector.
+///
+/// Ranges from 1 (all mass on one particle) to `n` (uniform).
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_pf::resample::effective_sample_size;
+///
+/// assert!((effective_sample_size(&[0.25; 4]) - 4.0).abs() < 1e-12);
+/// assert!((effective_sample_size(&[1.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn effective_sample_size(weights: &[f64]) -> f64 {
+    let s: f64 = weights.iter().map(|w| w * w).sum();
+    if s <= 0.0 {
+        0.0
+    } else {
+        1.0 / s
+    }
+}
+
+/// Systematic (low-variance) resampling: returns `count` source indices
+/// drawn with a single random offset, preserving particle diversity better
+/// than multinomial sampling.
+///
+/// The input weights must be normalized. Returns an empty vector for empty
+/// input.
+pub fn systematic_indices(weights: &[f64], count: usize, rng: &mut Rng64) -> Vec<usize> {
+    if weights.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let step = 1.0 / count as f64;
+    let mut target = rng.uniform() * step;
+    let mut indices = Vec::with_capacity(count);
+    let mut cum = weights[0];
+    let mut i = 0usize;
+    for _ in 0..count {
+        while cum < target && i + 1 < weights.len() {
+            i += 1;
+            cum += weights[i];
+        }
+        indices.push(i);
+        target += step;
+    }
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_happy_path() {
+        let mut w = vec![2.0, 6.0];
+        assert!(normalize(&mut w));
+        assert_eq!(w, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_degenerate_resets_uniform() {
+        let mut w = vec![0.0, 0.0, 0.0, 0.0];
+        assert!(!normalize(&mut w));
+        assert_eq!(w, vec![0.25; 4]);
+        let mut w = vec![f64::NAN, 1.0];
+        assert!(!normalize(&mut w));
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_empty() {
+        let mut w: Vec<f64> = vec![];
+        assert!(!normalize(&mut w));
+    }
+
+    #[test]
+    fn ess_bounds() {
+        let n = 64;
+        let uniform = vec![1.0 / n as f64; n];
+        assert!((effective_sample_size(&uniform) - n as f64).abs() < 1e-9);
+        let mut peaked = vec![0.0; n];
+        peaked[3] = 1.0;
+        assert!((effective_sample_size(&peaked) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn systematic_counts_match_weights() {
+        let mut rng = Rng64::new(7);
+        let mut w = vec![1.0, 3.0, 6.0];
+        normalize(&mut w);
+        let n = 10_000;
+        let idx = systematic_indices(&w, n, &mut rng);
+        assert_eq!(idx.len(), n);
+        let mut counts = [0usize; 3];
+        for i in idx {
+            counts[i] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn systematic_indices_are_sorted() {
+        let mut rng = Rng64::new(9);
+        let mut w = vec![0.3, 0.1, 0.2, 0.4];
+        normalize(&mut w);
+        let idx = systematic_indices(&w, 100, &mut rng);
+        assert!(idx.windows(2).all(|p| p[0] <= p[1]));
+        assert!(idx.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn systematic_zero_weight_never_sampled() {
+        let mut rng = Rng64::new(11);
+        let w = vec![0.5, 0.0, 0.5];
+        for _ in 0..50 {
+            let idx = systematic_indices(&w, 64, &mut rng);
+            assert!(!idx.contains(&1));
+        }
+    }
+
+    #[test]
+    fn systematic_empty_inputs() {
+        let mut rng = Rng64::new(1);
+        assert!(systematic_indices(&[], 10, &mut rng).is_empty());
+        assert!(systematic_indices(&[1.0], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn systematic_is_deterministic_in_seed() {
+        let w = vec![0.2, 0.3, 0.5];
+        let a = systematic_indices(&w, 32, &mut Rng64::new(5));
+        let b = systematic_indices(&w, 32, &mut Rng64::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the particle-filter building blocks: weight
+//! normalization, systematic resampling, sensor-model structure, and layout
+//! invariants.
+
+use proptest::prelude::*;
+use raceloc_core::sensor_data::LaserScan;
+use raceloc_core::Rng64;
+use raceloc_pf::resample::{effective_sample_size, normalize, systematic_indices};
+use raceloc_pf::{BeamModelConfig, BeamSensorModel, ScanLayout};
+
+proptest! {
+    #[test]
+    fn normalize_produces_distribution(mut w in prop::collection::vec(0.0..100.0f64, 1..200)) {
+        let ok = normalize(&mut w);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        if ok {
+            prop_assert!(w.iter().all(|&x| x >= 0.0));
+        } else {
+            // Degenerate input resets to uniform.
+            let u = 1.0 / w.len() as f64;
+            prop_assert!(w.iter().all(|&x| (x - u).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn ess_is_bounded_by_count(mut w in prop::collection::vec(0.0..100.0f64, 1..200)) {
+        normalize(&mut w);
+        let ess = effective_sample_size(&w);
+        prop_assert!(ess >= 1.0 - 1e-9);
+        prop_assert!(ess <= w.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn systematic_resampling_is_unbiased_in_counts(
+        seed in any::<u64>(),
+        mut w in prop::collection::vec(0.0..10.0f64, 2..30),
+    ) {
+        if !normalize(&mut w) {
+            return Ok(());
+        }
+        let n = 4000;
+        let mut rng = Rng64::new(seed);
+        let idx = systematic_indices(&w, n, &mut rng);
+        prop_assert_eq!(idx.len(), n);
+        let mut counts = vec![0usize; w.len()];
+        for i in idx {
+            prop_assert!(i < w.len());
+            counts[i] += 1;
+        }
+        // Systematic resampling guarantees counts within ±1 of n·wᵢ … allow
+        // a small slack for cumulative floating point.
+        for (c, &wi) in counts.iter().zip(&w) {
+            let expect = wi * n as f64;
+            prop_assert!((*c as f64 - expect).abs() <= 2.0,
+                "count {c} vs expectation {expect}");
+        }
+    }
+
+    #[test]
+    fn sensor_model_rows_are_distributions(
+        sigma in 0.03..0.4f64,
+        lambda in 0.2..3.0f64,
+        expected in 0.0..9.9f64,
+    ) {
+        let model = BeamSensorModel::new(
+            BeamModelConfig {
+                sigma_hit: sigma,
+                lambda_short: lambda,
+                ..BeamModelConfig::default()
+            },
+            10.0,
+        );
+        // Row sums to ~1 and the mode is near the expected range.
+        let bins = model.bins();
+        let res = model.config().resolution;
+        // Sample at bin centers so float flooring cannot alias bins.
+        let sum: f64 = (0..bins)
+            .map(|b| model.log_prob(expected, (b as f64 + 0.5) * res).exp())
+            .sum();
+        prop_assert!((sum - 1.0).abs() < 0.05, "row sums to {sum}");
+        let peak_at = model.log_prob(expected, expected);
+        let far = model.log_prob(expected, (expected + 5.0 * sigma + 1.0).min(9.9));
+        prop_assert!(peak_at > far);
+    }
+
+    #[test]
+    fn layouts_select_valid_unique_indices(
+        beams in 2usize..1500,
+        count in 1usize..200,
+        aspect in 0.5..8.0f64,
+    ) {
+        let scan = LaserScan::new(
+            -135.0f64.to_radians(),
+            270.0f64.to_radians() / (beams - 1).max(1) as f64,
+            vec![5.0; beams],
+            10.0,
+        );
+        for layout in [
+            ScanLayout::Uniform { count },
+            ScanLayout::Boxed { count, aspect },
+        ] {
+            let sel = layout.select(&scan);
+            prop_assert!(!sel.is_empty());
+            prop_assert!(sel.len() <= count.max(1));
+            prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            prop_assert!(sel.iter().all(|&i| i < beams));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-threaded batch ray casting.
+//!
+//! `rangelibc` offers a GPU mode that parallelizes the per-particle,
+//! per-beam expected-range computation. This module is the CPU substitute
+//! (DESIGN.md §1): the query batch is split across OS threads with
+//! `crossbeam`'s scoped threads. For the LUT method a query is a single
+//! memory read, so parallelism only pays off for expensive methods
+//! (Bresenham) or very large batches.
+
+use crate::RangeMethod;
+
+/// Casts a batch of `(x, y, θ)` queries in parallel over `threads` workers.
+///
+/// Results are written into `out` in query order; with `threads <= 1` this
+/// degenerates to the sequential [`RangeMethod::ranges_into`].
+///
+/// # Panics
+///
+/// Panics when `queries.len() != out.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_range::{cast_batch, BresenhamCasting, RangeMethod};
+///
+/// let mut grid = OccupancyGrid::new(50, 50, 0.2, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// for r in 0..50 { grid.set((49i64, r as i64).into(), CellState::Occupied); }
+/// let caster = BresenhamCasting::new(&grid, 15.0);
+/// let queries = vec![(1.0, 5.0, 0.0); 64];
+/// let mut out = vec![0.0; 64];
+/// cast_batch(&caster, &queries, &mut out, 4);
+/// assert!(out.iter().all(|&r| (r - out[0]).abs() < 1e-12));
+/// ```
+pub fn cast_batch<M: RangeMethod + ?Sized>(
+    method: &M,
+    queries: &[(f64, f64, f64)],
+    out: &mut [f64],
+    threads: usize,
+) {
+    assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+    if queries.is_empty() {
+        return;
+    }
+    let threads = threads.max(1).min(queries.len());
+    if threads == 1 {
+        method.ranges_into(queries, out);
+        return;
+    }
+    let chunk = queries.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                method.ranges_into(q_chunk, o_chunk);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::room_with_pillar;
+    use crate::BresenhamCasting;
+
+    fn queries(n: usize) -> Vec<(f64, f64, f64)> {
+        (0..n)
+            .map(|i| {
+                (
+                    1.0 + (i % 17) as f64 * 0.5,
+                    1.0 + (i % 13) as f64 * 0.6,
+                    i as f64 * 0.37,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let qs = queries(257); // deliberately not a multiple of threads
+        let mut seq = vec![0.0; qs.len()];
+        caster.ranges_into(&qs, &mut seq);
+        for threads in [2, 3, 4, 8] {
+            let mut par = vec![0.0; qs.len()];
+            cast_batch(&caster, &qs, &mut par, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let qs = queries(10);
+        let mut out = vec![0.0; 10];
+        cast_batch(&caster, &qs, &mut out, 1);
+        assert!(out.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let mut out: Vec<f64> = Vec::new();
+        cast_batch(&caster, &[], &mut out, 4);
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let qs = queries(3);
+        let mut out = vec![0.0; 3];
+        cast_batch(&caster, &qs, &mut out, 64);
+        let mut seq = vec![0.0; 3];
+        caster.ranges_into(&qs, &mut seq);
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let mut out = vec![0.0; 2];
+        cast_batch(&caster, &queries(5), &mut out, 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Exact grid-walking ray casting (the `rangelibc` "Bresenham" baseline).
+
+use crate::RangeMethod;
+use raceloc_core::Point2;
+use raceloc_map::OccupancyGrid;
+
+/// Casts rays by walking grid cells with an exact DDA traversal until the
+/// first opaque cell.
+///
+/// This is the slowest but most faithful method: every other implementation
+/// in this crate is validated against it. The reported range is the distance
+/// from the query point to the *entry boundary* of the hit cell, which keeps
+/// the result consistent under grid-resolution refinement.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_range::{BresenhamCasting, RangeMethod};
+///
+/// let mut grid = OccupancyGrid::new(50, 50, 0.2, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// grid.set((25i64, 40i64).into(), CellState::Occupied);
+/// let caster = BresenhamCasting::new(&grid, 20.0);
+/// // From the cell's column, looking straight up (+y).
+/// let r = caster.range(5.1, 1.0, std::f64::consts::FRAC_PI_2);
+/// assert!((r - 7.0).abs() < 0.21);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BresenhamCasting {
+    grid: OccupancyGrid,
+    max_range: f64,
+}
+
+impl BresenhamCasting {
+    /// Creates a caster over a copy of the grid with the given maximum
+    /// range in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_range` is not positive and finite.
+    pub fn new(grid: &OccupancyGrid, max_range: f64) -> Self {
+        assert!(
+            max_range.is_finite() && max_range > 0.0,
+            "max_range must be positive"
+        );
+        Self {
+            grid: grid.clone(),
+            max_range,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &OccupancyGrid {
+        &self.grid
+    }
+}
+
+impl RangeMethod for BresenhamCasting {
+    fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64 {
+        let from = Point2::new(x, y);
+        let (s, c) = theta.sin_cos();
+        let to = Point2::new(x + c * self.max_range, y + s * self.max_range);
+        let mut hit: Option<f64> = None;
+        let mut prev_center = from;
+        let mut first = true;
+        self.grid.traverse_ray(from, to, |idx| {
+            if self.grid.is_opaque(idx) {
+                let center = self.grid.index_to_world(idx);
+                // Distance to the boundary between the previous (free) cell
+                // and the hit cell: midpoint of the two centers projected on
+                // the ray, clamped to be non-negative.
+                let d = if first {
+                    0.0
+                } else {
+                    let mid = prev_center.lerp(center, 0.5);
+                    ((mid.x - x) * c + (mid.y - y) * s).max(0.0)
+                };
+                hit = Some(d);
+                return false;
+            }
+            prev_center = self.grid.index_to_world(idx);
+            first = false;
+            true
+        });
+        match hit {
+            Some(d) => d.clamp(0.0, self.max_range),
+            None => self.max_range,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{room_with_pillar, square_room};
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn axis_aligned_ranges_in_room() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        // Center of room: walls at x=9.9..10, x=0..0.1 etc. Entry boundary
+        // of the wall cell is at 9.9 (east) and 0.1 (west).
+        let (x, y) = (5.05, 5.05);
+        assert!((c.range(x, y, 0.0) - 4.85).abs() < 0.11);
+        assert!((c.range(x, y, PI) - 4.95).abs() < 0.11);
+        assert!((c.range(x, y, FRAC_PI_2) - 4.85).abs() < 0.11);
+        assert!((c.range(x, y, -FRAC_PI_2) - 4.95).abs() < 0.11);
+    }
+
+    #[test]
+    fn diagonal_range_in_room() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        let r = c.range(5.0, 5.0, PI / 4.0);
+        // Corner-ish distance: ~ (9.9 - 5.0) * sqrt(2) along the diagonal.
+        let expect = (9.9 - 5.0) * std::f64::consts::SQRT_2;
+        assert!((r - expect).abs() < 0.2, "r={r} expect={expect}");
+    }
+
+    #[test]
+    fn query_inside_wall_returns_zero() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        assert_eq!(c.range(0.05, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn query_outside_map_returns_zero() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        assert_eq!(c.range(-5.0, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn max_range_when_capped() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 3.0);
+        assert_eq!(c.range(5.0, 5.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn pillar_blocks_ray() {
+        let g = room_with_pillar();
+        let c = BresenhamCasting::new(&g, 20.0);
+        // Pillar occupies cells 48..=52 → x in [4.8, 5.3]. From (1, 5.05)
+        // looking +x, the entry boundary is at 4.8.
+        let r = c.range(1.0, 5.05, 0.0);
+        assert!((r - 3.8).abs() < 0.11, "r={r}");
+    }
+
+    #[test]
+    fn ray_passes_beside_pillar() {
+        let g = room_with_pillar();
+        let c = BresenhamCasting::new(&g, 20.0);
+        let r = c.range(1.0, 2.0, 0.0);
+        assert!(r > 8.0, "r={r}");
+    }
+
+    #[test]
+    fn range_is_monotone_in_distance_to_wall() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        let mut prev = f64::INFINITY;
+        for i in 1..9 {
+            let r = c.range(i as f64, 5.0, 0.0);
+            assert!(r < prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn ranges_into_matches_scalar() {
+        let g = room_with_pillar();
+        let c = BresenhamCasting::new(&g, 20.0);
+        let queries: Vec<(f64, f64, f64)> = (0..32)
+            .map(|i| (2.0 + 0.1 * i as f64, 5.0, i as f64 * 0.2))
+            .collect();
+        let mut out = vec![0.0; queries.len()];
+        c.ranges_into(&queries, &mut out);
+        for (&(x, y, t), &o) in queries.iter().zip(&out) {
+            assert_eq!(o, c.range(x, y, t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ranges_into_length_mismatch_panics() {
+        let g = square_room();
+        let c = BresenhamCasting::new(&g, 20.0);
+        let mut out = vec![0.0; 1];
+        c.ranges_into(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_range")]
+    fn invalid_max_range_panics() {
+        BresenhamCasting::new(&square_room(), 0.0);
+    }
+}

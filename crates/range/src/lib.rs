@@ -1,0 +1,128 @@
+//! Fast 2-D ray casting for localization — a from-scratch reimplementation
+//! of the `rangelibc` library (Walsh & Karaman, ICRA 2018) that the paper's
+//! SynPF uses to evaluate its sensor model.
+//!
+//! Four query methods are provided behind the [`RangeMethod`] trait:
+//!
+//! | Method | Construction | Query | Memory |
+//! |---|---|---|---|
+//! | [`BresenhamCasting`] | none | O(range/res) | none |
+//! | [`RayMarching`] | O(cells) EDT | O(log range) typical | 1 float/cell |
+//! | [`Cddt`] | O(θ-bins · occupied) | O(log obstacles) | compressed |
+//! | [`RangeLut`] | O(θ-bins · cells · query) | **O(1)** | 1 float/cell/θ-bin |
+//!
+//! The paper's headline experiment runs on a GPU-less Intel NUC using the
+//! LUT mode; [`RangeLut`] reproduces that configuration. The GPU ray-casting
+//! mode of `rangelibc` is substituted by [`batch::cast_batch`], which fans a
+//! query batch across OS threads (see DESIGN.md §1).
+//!
+//! # Examples
+//!
+//! ```
+//! use raceloc_map::{CellState, OccupancyGrid};
+//! use raceloc_core::Point2;
+//! use raceloc_range::{BresenhamCasting, RangeMethod};
+//!
+//! let mut grid = OccupancyGrid::new(100, 100, 0.1, Point2::ORIGIN);
+//! grid.fill(CellState::Free);
+//! for r in 0..100 {
+//!     grid.set((99i64, r as i64).into(), CellState::Occupied);
+//! }
+//! let caster = BresenhamCasting::new(&grid, 12.0);
+//! let range = caster.range(0.05, 5.0, 0.0); // looking +x at the wall
+//! assert!((range - 9.9).abs() < 0.2);
+//! ```
+
+pub mod batch;
+pub mod bresenham;
+pub mod cddt;
+pub mod lut;
+pub mod raymarch;
+
+pub use batch::cast_batch;
+pub use bresenham::BresenhamCasting;
+pub use cddt::Cddt;
+pub use lut::RangeLut;
+pub use raymarch::RayMarching;
+
+/// A 2-D range query oracle: "standing at `(x, y)` looking along `theta`,
+/// how far is the nearest obstacle?"
+///
+/// Implementations clamp results to [`RangeMethod::max_range`] and treat
+/// out-of-map space as opaque, so a query from outside the map returns `0`.
+pub trait RangeMethod: Send + Sync {
+    /// The configured maximum sensor range in meters.
+    fn max_range(&self) -> f64;
+
+    /// Casts a single ray; returns the distance to the first opaque cell in
+    /// meters, clamped to `[0, max_range]`.
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64;
+
+    /// Casts many rays, writing into `out`.
+    ///
+    /// The default implementation is a sequential loop; [`cast_batch`]
+    /// offers a parallel driver for large batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries.len() != out.len()`.
+    fn ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        for (o, &(x, y, t)) in out.iter_mut().zip(queries) {
+            *o = self.range(x, y, t);
+        }
+    }
+
+    /// Approximate heap memory used by precomputed structures, in bytes.
+    /// Used by the method-comparison ablation (DESIGN.md A2).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: RangeMethod + ?Sized> RangeMethod for &T {
+    fn max_range(&self) -> f64 {
+        (**self).max_range()
+    }
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64 {
+        (**self).range(x, y, theta)
+    }
+    fn ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64]) {
+        (**self).ranges_into(queries, out)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use raceloc_core::Point2;
+    use raceloc_map::{CellState, OccupancyGrid};
+
+    /// A 10 m × 10 m square room with 0.1 m cells: free interior, occupied
+    /// one-cell walls on all four sides.
+    pub fn square_room() -> OccupancyGrid {
+        let n = 100;
+        let mut g = OccupancyGrid::new(n, n, 0.1, Point2::ORIGIN);
+        g.fill(CellState::Free);
+        for i in 0..n as i64 {
+            g.set((i, 0).into(), CellState::Occupied);
+            g.set((i, n as i64 - 1).into(), CellState::Occupied);
+            g.set((0, i).into(), CellState::Occupied);
+            g.set((n as i64 - 1, i).into(), CellState::Occupied);
+        }
+        g
+    }
+
+    /// A room with a 0.5 m square pillar in the middle.
+    pub fn room_with_pillar() -> OccupancyGrid {
+        let mut g = square_room();
+        for c in 48..=52i64 {
+            for r in 48..=52i64 {
+                g.set((c, r).into(), CellState::Occupied);
+            }
+        }
+        g
+    }
+}

@@ -1,0 +1,198 @@
+//! The precomputed 3-D range lookup table.
+//!
+//! This is the `rangelibc` "giant LUT" mode the paper selects for its
+//! GPU-less on-car computer: every `(x, y, θ)` triple in a discretized pose
+//! space stores its range, so a query is a single memory read — constant
+//! time at the cost of `cells × θ-bins` floats.
+
+use crate::{RangeMethod, RayMarching};
+use raceloc_map::OccupancyGrid;
+use std::f64::consts::TAU;
+
+/// A dense `(θ, row, col) → range` lookup table.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_range::{RangeLut, RangeMethod};
+///
+/// let mut grid = OccupancyGrid::new(40, 40, 0.1, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// for r in 0..40 { grid.set((35i64, r as i64).into(), CellState::Occupied); }
+/// let lut = RangeLut::new(&grid, 8.0, 90);
+/// let r = lut.range(0.55, 2.0, 0.0);
+/// assert!((r - 2.95).abs() < 0.25, "{r}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeLut {
+    width: usize,
+    height: usize,
+    theta_bins: usize,
+    resolution: f64,
+    origin_x: f64,
+    origin_y: f64,
+    max_range: f64,
+    /// Layout: `table[theta][row][col]` flattened.
+    table: Vec<f32>,
+}
+
+impl RangeLut {
+    /// Precomputes the table with `theta_bins` bins over `[0, 2π)`, using a
+    /// ray-marching caster for construction (one EDT, ~log-time casts).
+    ///
+    /// Construction cost is `O(cells × theta_bins × cast)`; for maps beyond
+    /// a few hundred thousand cell-bins prefer building once and sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta_bins == 0` or `max_range` is not positive/finite.
+    pub fn new(grid: &OccupancyGrid, max_range: f64, theta_bins: usize) -> Self {
+        let caster = RayMarching::new(grid, max_range);
+        Self::from_method(grid, &caster, theta_bins)
+    }
+
+    /// Precomputes the table by querying an existing [`RangeMethod`]
+    /// (use this to build an exact table from [`crate::BresenhamCasting`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta_bins == 0`.
+    pub fn from_method<M: RangeMethod>(
+        grid: &OccupancyGrid,
+        method: &M,
+        theta_bins: usize,
+    ) -> Self {
+        assert!(theta_bins > 0, "theta_bins must be positive");
+        let (w, h) = (grid.width(), grid.height());
+        let res = grid.resolution();
+        let origin = grid.origin();
+        let max_range = method.max_range();
+        let mut table = vec![0.0f32; theta_bins * w * h];
+        for k in 0..theta_bins {
+            let theta = k as f64 / theta_bins as f64 * TAU;
+            let base = k * w * h;
+            for r in 0..h {
+                let y = origin.y + (r as f64 + 0.5) * res;
+                for c in 0..w {
+                    let x = origin.x + (c as f64 + 0.5) * res;
+                    table[base + r * w + c] = method.range(x, y, theta) as f32;
+                }
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            theta_bins,
+            resolution: res,
+            origin_x: origin.x,
+            origin_y: origin.y,
+            max_range,
+            table,
+        }
+    }
+
+    /// Number of heading bins.
+    pub fn theta_bins(&self) -> usize {
+        self.theta_bins
+    }
+}
+
+impl RangeMethod for RangeLut {
+    fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64 {
+        let c = ((x - self.origin_x) / self.resolution).floor();
+        let r = ((y - self.origin_y) / self.resolution).floor();
+        if c < 0.0 || r < 0.0 || c as usize >= self.width || r as usize >= self.height {
+            return 0.0; // out of map is opaque
+        }
+        let mut phi = theta % TAU;
+        if phi < 0.0 {
+            phi += TAU;
+        }
+        // Nearest heading bin (bins are centred on k·2π/K).
+        let k = (phi / TAU * self.theta_bins as f64).round() as usize % self.theta_bins;
+        self.table[k * self.width * self.height + r as usize * self.width + c as usize] as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{room_with_pillar, square_room};
+    use crate::BresenhamCasting;
+    use raceloc_core::Point2;
+    use raceloc_map::CellState;
+
+    #[test]
+    fn agrees_with_bresenham_at_bin_angles() {
+        let g = room_with_pillar();
+        let bres = BresenhamCasting::new(&g, 20.0);
+        let lut = RangeLut::from_method(&g, &bres, 72);
+        for i in 0..200 {
+            let x = 1.05 + (i % 17) as f64 * 0.45;
+            let y = 1.05 + (i % 13) as f64 * 0.55;
+            if g.state_at_world(Point2::new(x, y)) != CellState::Free {
+                continue;
+            }
+            let k = i % 72;
+            let theta = k as f64 / 72.0 * TAU;
+            // LUT quantizes position to the cell center; compare against the
+            // caster evaluated at exactly that center.
+            let center = g.index_to_world(g.world_to_index(Point2::new(x, y)));
+            let want = bres.range(center.x, center.y, theta) as f32 as f64;
+            assert!((lut.range(x, y, theta) - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn off_bin_angle_snaps_to_nearest() {
+        let g = square_room();
+        let lut = RangeLut::new(&g, 20.0, 4);
+        // 4 bins → bin centres at 0°, 90°, 180°, 270°. 40° snaps to 90°.
+        let snapped = lut.range(5.05, 5.05, 40.0f64.to_radians());
+        let exact_bin = lut.range(5.05, 5.05, std::f64::consts::FRAC_PI_2);
+        assert_eq!(snapped, exact_bin);
+    }
+
+    #[test]
+    fn theta_wraps_around() {
+        let g = square_room();
+        let lut = RangeLut::new(&g, 20.0, 36);
+        let a = lut.range(5.0, 5.0, 0.1);
+        let b = lut.range(5.0, 5.0, 0.1 + TAU);
+        let c = lut.range(5.0, 5.0, 0.1 - TAU);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn out_of_map_is_zero() {
+        let g = square_room();
+        let lut = RangeLut::new(&g, 20.0, 8);
+        assert_eq!(lut.range(-1.0, 5.0, 0.0), 0.0);
+        assert_eq!(lut.range(5.0, 11.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn memory_matches_layout() {
+        let g = square_room();
+        let lut = RangeLut::new(&g, 20.0, 10);
+        assert_eq!(lut.memory_bytes(), 10 * 100 * 100 * 4);
+        assert_eq!(lut.theta_bins(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_bins")]
+    fn zero_bins_panics() {
+        RangeLut::new(&square_room(), 10.0, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sphere-tracing ray casting on a Euclidean distance transform.
+
+use crate::RangeMethod;
+use raceloc_core::Point2;
+use raceloc_map::{DistanceMap, OccupancyGrid};
+
+/// Casts rays by "sphere tracing": from the current point, the distance
+/// transform bounds how far the ray can safely advance without crossing an
+/// obstacle, so most queries converge in a handful of steps.
+///
+/// Accuracy is bounded by the stop threshold (one cell by default); speed
+/// degrades gracefully for rays that graze long walls.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_range::{RayMarching, RangeMethod};
+///
+/// let mut grid = OccupancyGrid::new(60, 60, 0.1, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// for r in 0..60 { grid.set((59i64, r as i64).into(), CellState::Occupied); }
+/// let rm = RayMarching::new(&grid, 10.0);
+/// assert!((rm.range(1.0, 3.0, 0.0) - 4.9).abs() < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RayMarching {
+    dist: DistanceMap,
+    grid: OccupancyGrid,
+    max_range: f64,
+    /// Consider a hit possible once the distance field drops below this
+    /// (meters); the actual cell is then checked for opacity so that rays
+    /// grazing an obstacle do not terminate early.
+    threshold: f64,
+    /// Minimum step to guarantee progress along grazing rays (meters).
+    min_step: f64,
+}
+
+impl RayMarching {
+    /// Builds the distance transform and returns a caster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_range` is not positive and finite.
+    pub fn new(grid: &OccupancyGrid, max_range: f64) -> Self {
+        assert!(
+            max_range.is_finite() && max_range > 0.0,
+            "max_range must be positive"
+        );
+        let res = grid.resolution();
+        Self {
+            dist: DistanceMap::from_grid(grid),
+            grid: grid.clone(),
+            max_range,
+            threshold: res,
+            min_step: res * 0.4,
+        }
+    }
+
+    /// The number of marching steps used for a query (diagnostic, used by
+    /// the method-comparison ablation).
+    pub fn steps(&self, x: f64, y: f64, theta: f64) -> usize {
+        self.cast(x, y, theta).1
+    }
+
+    fn cast(&self, x: f64, y: f64, theta: f64) -> (f64, usize) {
+        let (s, c) = theta.sin_cos();
+        let mut t = 0.0f64;
+        let mut steps = 0usize;
+        // Worst case: every step advances min_step.
+        let max_steps = (self.max_range / self.min_step).ceil() as usize + 2;
+        while t < self.max_range && steps < max_steps {
+            let p = Point2::new(x + c * t, y + s * t);
+            let d = self.dist.distance_at_world(p);
+            if d < self.threshold {
+                // Close to a surface: only terminate if the ray has actually
+                // entered an opaque cell; otherwise creep forward so rays
+                // that merely graze an obstacle keep going.
+                if self.grid.is_opaque(self.grid.world_to_index(p)) {
+                    return (t, steps);
+                }
+                t += self.min_step;
+            } else {
+                t += d;
+            }
+            steps += 1;
+        }
+        (self.max_range, steps)
+    }
+}
+
+impl RangeMethod for RayMarching {
+    fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64 {
+        self.cast(x, y, theta).0.clamp(0.0, self.max_range)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.dist.width() * self.dist.height() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{room_with_pillar, square_room};
+    use crate::{BresenhamCasting, RangeMethod};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn agrees_with_bresenham_in_room() {
+        // Ray marching is an *approximate* method: rays that clip a tiny
+        // corner chord of an obstacle can be missed entirely (same behavior
+        // as rangelibc). The contract is tight agreement in the bulk with
+        // rare outliers, which is what this test asserts.
+        let g = room_with_pillar();
+        let rm = RayMarching::new(&g, 20.0);
+        let bres = BresenhamCasting::new(&g, 20.0);
+        let mut n = 0usize;
+        let mut outliers = 0usize;
+        let mut total = 0.0f64;
+        for i in 0..400 {
+            let x = 1.0 + (i % 17) as f64 * 0.5;
+            let y = 1.0 + (i % 13) as f64 * 0.6;
+            let t = i as f64 * 0.177;
+            if g.state_at_world(raceloc_core::Point2::new(x, y)) != raceloc_map::CellState::Free {
+                continue;
+            }
+            let d = (rm.range(x, y, t) - bres.range(x, y, t)).abs();
+            n += 1;
+            if d > 0.3 {
+                outliers += 1;
+            } else {
+                total += d;
+            }
+        }
+        assert!(n > 250);
+        assert!(
+            outliers as f64 <= 0.02 * n as f64,
+            "{outliers}/{n} outliers"
+        );
+        let mean_bulk = total / (n - outliers) as f64;
+        assert!(mean_bulk < 0.06, "bulk mean error {mean_bulk}");
+    }
+
+    #[test]
+    fn starting_on_obstacle_returns_zero() {
+        let g = square_room();
+        let rm = RayMarching::new(&g, 20.0);
+        assert!(rm.range(0.05, 5.0, 0.0) < 0.15);
+    }
+
+    #[test]
+    fn open_direction_hits_max_range() {
+        let g = square_room();
+        let rm = RayMarching::new(&g, 3.0);
+        assert_eq!(rm.range(5.0, 5.0, PI / 3.0), 3.0);
+    }
+
+    #[test]
+    fn converges_in_few_steps_in_open_space() {
+        let g = square_room();
+        let rm = RayMarching::new(&g, 20.0);
+        // Pointing at a wall from the middle: should take ≪ range/res steps.
+        assert!(rm.steps(5.0, 5.0, 0.0) < 20);
+    }
+
+    #[test]
+    fn grazing_ray_terminates() {
+        let g = square_room();
+        let rm = RayMarching::new(&g, 20.0);
+        // Nearly parallel to the bottom wall, just above it.
+        let r = rm.range(0.3, 0.25, 0.02);
+        assert!(r.is_finite() && r > 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = square_room();
+        let rm = RayMarching::new(&g, 20.0);
+        assert_eq!(rm.memory_bytes(), 100 * 100 * 4);
+    }
+}

@@ -1,0 +1,366 @@
+//! The racing controller: curvature-limited speed profile + pure pursuit.
+//!
+//! The controller closes the loop through the *localizer's* pose estimate,
+//! so localization error shows up directly as lateral deviation from the
+//! raceline and as lost lap time — the causal chain behind Table I of the
+//! paper.
+
+use crate::vehicle::{DriveCommand, VehicleParams};
+use raceloc_core::{Point2, Pose2};
+use raceloc_map::ClosedPath;
+
+/// A precomputed speed target along a closed path.
+///
+/// Built in three passes: (1) curvature limit `v ≤ √(a_lat/|κ|)`,
+/// (2) backward sweep enforcing the braking limit, (3) forward sweep
+/// enforcing the acceleration limit. Sweeps run twice around the loop so the
+/// wrap point imposes no artificial discontinuity.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{TrackShape, TrackSpec};
+/// use raceloc_sim::SpeedProfile;
+///
+/// let track = TrackSpec::new(TrackShape::Oval { width: 12.0, height: 7.0 })
+///     .resolution(0.1)
+///     .build();
+/// let profile = SpeedProfile::new(&track.raceline, 6.5, 4.0, 6.0, 7.6);
+/// assert!(profile.max_speed() <= 7.6);
+/// assert!(profile.min_speed() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedProfile {
+    ds: f64,
+    total_length: f64,
+    speeds: Vec<f64>,
+}
+
+impl SpeedProfile {
+    /// Computes the profile for a path.
+    ///
+    /// * `a_lat_max` — lateral acceleration budget \[m/s²\]. The paper runs
+    ///   the *same* speed scaling on both grip levels; pick this at or below
+    ///   the slippery-tire limit (≈0.73·g ≈ 7.2) to mimic that protocol.
+    /// * `a_accel` / `a_brake` — longitudinal limits \[m/s²\].
+    /// * `v_max` — top speed \[m/s\] (the paper tests up to 7.6 m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any limit is not positive.
+    pub fn new(path: &ClosedPath, a_lat_max: f64, a_accel: f64, a_brake: f64, v_max: f64) -> Self {
+        assert!(
+            a_lat_max > 0.0 && a_accel > 0.0 && a_brake > 0.0 && v_max > 0.0,
+            "speed profile limits must be positive"
+        );
+        let ds = 0.1;
+        let total = path.total_length();
+        let n = ((total / ds).ceil() as usize).max(8);
+        let ds = total / n as f64;
+        // Pass 1: curvature limit.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let s = i as f64 * ds;
+                let k = path.curvature_at(s, ds.max(0.3)).abs();
+                if k < 1e-6 {
+                    v_max
+                } else {
+                    (a_lat_max / k).sqrt().min(v_max)
+                }
+            })
+            .collect();
+        // Pass 2: backward braking sweep (twice around for the wrap).
+        for idx in (0..2 * n).rev() {
+            let i = idx % n;
+            let j = (i + 1) % n;
+            let limit = (v[j] * v[j] + 2.0 * a_brake * ds).sqrt();
+            v[i] = v[i].min(limit);
+        }
+        // Pass 3: forward acceleration sweep (twice around).
+        for idx in 0..2 * n {
+            let i = idx % n;
+            let p = (i + n - 1) % n;
+            let limit = (v[p] * v[p] + 2.0 * a_accel * ds).sqrt();
+            v[i] = v[i].min(limit);
+        }
+        Self {
+            ds,
+            total_length: total,
+            speeds: v,
+        }
+    }
+
+    /// Speed target at arc-length `s` (wrapped), linearly interpolated.
+    pub fn speed_at(&self, s: f64) -> f64 {
+        let n = self.speeds.len();
+        let mut s = s % self.total_length;
+        if s < 0.0 {
+            s += self.total_length;
+        }
+        let f = s / self.ds;
+        let i = (f.floor() as usize) % n;
+        let t = f - f.floor();
+        self.speeds[i] * (1.0 - t) + self.speeds[(i + 1) % n] * t
+    }
+
+    /// The fastest point of the profile.
+    pub fn max_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The slowest point of the profile.
+    pub fn min_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Pure-pursuit configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurePursuitConfig {
+    /// Lookahead distance per m/s of speed \[s\].
+    pub lookahead_gain: f64,
+    /// Lower clamp on the lookahead \[m\].
+    pub min_lookahead: f64,
+    /// Upper clamp on the lookahead \[m\].
+    pub max_lookahead: f64,
+    /// Global multiplier on the speed profile (the paper's "speed scaling").
+    pub speed_scale: f64,
+}
+
+impl Default for PurePursuitConfig {
+    fn default() -> Self {
+        Self {
+            lookahead_gain: 0.27,
+            min_lookahead: 0.65,
+            max_lookahead: 1.7,
+            speed_scale: 1.0,
+        }
+    }
+}
+
+/// A pure-pursuit path tracker over a raceline with a speed profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurePursuit {
+    path: ClosedPath,
+    profile: SpeedProfile,
+    config: PurePursuitConfig,
+    wheelbase: f64,
+    max_steer: f64,
+}
+
+impl PurePursuit {
+    /// Creates a tracker for the given raceline.
+    pub fn new(
+        path: ClosedPath,
+        profile: SpeedProfile,
+        config: PurePursuitConfig,
+        params: &VehicleParams,
+    ) -> Self {
+        Self {
+            path,
+            profile,
+            config,
+            wheelbase: params.wheelbase(),
+            max_steer: params.max_steer,
+        }
+    }
+
+    /// The tracked path.
+    pub fn path(&self) -> &ClosedPath {
+        &self.path
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PurePursuitConfig {
+        &self.config
+    }
+
+    /// Computes the drive command from the (estimated) pose and speed.
+    pub fn control(&self, pose: Pose2, speed: f64) -> DriveCommand {
+        let (s_proj, _) = self.path.project(pose.translation());
+        let lookahead = (self.config.lookahead_gain * speed)
+            .clamp(self.config.min_lookahead, self.config.max_lookahead);
+        let target: Point2 = self.path.point_at(s_proj + lookahead);
+        // Target in the vehicle frame.
+        let local = pose.inverse_transform(target);
+        let ld_sq = local.norm_sq().max(1e-6);
+        // Pure-pursuit curvature and the Ackermann steering angle for it.
+        let curvature = 2.0 * local.y / ld_sq;
+        let steer = (self.wheelbase * curvature)
+            .atan()
+            .clamp(-self.max_steer, self.max_steer);
+        // Speed target slightly previewed so braking starts before corners.
+        let target_speed =
+            self.config.speed_scale * self.profile.speed_at(s_proj + 0.5 * lookahead);
+        DriveCommand::new(target_speed, steer)
+    }
+
+    /// Arc-length progress of a pose along the tracked path.
+    pub fn progress(&self, pose: Pose2) -> f64 {
+        self.path.project(pose.translation()).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_map::{TrackShape, TrackSpec};
+
+    fn oval() -> raceloc_map::Track {
+        TrackSpec::new(TrackShape::Oval {
+            width: 12.0,
+            height: 7.0,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn profile(path: &ClosedPath) -> SpeedProfile {
+        SpeedProfile::new(path, 6.5, 4.0, 6.0, 7.6)
+    }
+
+    #[test]
+    fn profile_respects_vmax() {
+        let t = oval();
+        let p = profile(&t.raceline);
+        assert!(p.max_speed() <= 7.6 + 1e-9);
+    }
+
+    #[test]
+    fn profile_slows_in_corners() {
+        let t = oval();
+        let p = profile(&t.raceline);
+        // An oval has tight ends and flatter sides: min < max.
+        assert!(p.min_speed() < p.max_speed());
+        // Corner speed obeys v² κ ≤ a_lat (with sampling slack).
+        let path = &t.raceline;
+        for i in 0..100 {
+            let s = i as f64 / 100.0 * path.total_length();
+            let k = path.curvature_at(s, 0.4).abs();
+            let v = p.speed_at(s);
+            assert!(v * v * k <= 6.5 * 1.35, "s={s} v={v} k={k}");
+        }
+    }
+
+    #[test]
+    fn profile_braking_limit_holds() {
+        let t = oval();
+        let p = profile(&t.raceline);
+        let n = p.speeds.len();
+        for i in 0..n {
+            let v0 = p.speeds[i];
+            let v1 = p.speeds[(i + 1) % n];
+            // Deceleration between samples bounded by a_brake.
+            if v1 < v0 {
+                let dec = (v0 * v0 - v1 * v1) / (2.0 * p.ds);
+                assert!(dec <= 6.0 + 1e-6, "i={i} dec={dec}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_wraps_continuously() {
+        let t = oval();
+        let p = profile(&t.raceline);
+        let end = p.speed_at(t.raceline.total_length() - 0.01);
+        let start = p.speed_at(0.01);
+        assert!((end - start).abs() < 0.5, "{end} vs {start}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn profile_rejects_bad_limits() {
+        let t = oval();
+        SpeedProfile::new(&t.raceline, 0.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn control_steers_toward_path() {
+        let t = oval();
+        let params = VehicleParams::f1tenth();
+        let pp = PurePursuit::new(
+            t.raceline.clone(),
+            profile(&t.raceline),
+            PurePursuitConfig::default(),
+            &params,
+        );
+        // Place the car left of the raceline on a flat section (top of the
+        // oval), facing along it: pure pursuit must steer right (negative).
+        let s = 0.25 * t.raceline.total_length();
+        let on_path = t.raceline.point_at(s);
+        let heading = t.raceline.heading_at(s);
+        let left = Pose2::new(
+            on_path.x - 0.5 * heading.sin(),
+            on_path.y + 0.5 * heading.cos(),
+            heading,
+        );
+        let cmd = pp.control(left, 3.0);
+        let straight = pp.control(Pose2::from_point(on_path, heading), 3.0);
+        assert!(
+            cmd.steer < straight.steer - 0.02,
+            "steer={} straight={}",
+            cmd.steer,
+            straight.steer
+        );
+        // Mirror: right of the line → steer left of the on-path command.
+        let right = Pose2::new(
+            on_path.x + 0.5 * heading.sin(),
+            on_path.y - 0.5 * heading.cos(),
+            heading,
+        );
+        assert!(pp.control(right, 3.0).steer > straight.steer + 0.02);
+    }
+
+    #[test]
+    fn control_on_path_steers_gently() {
+        let t = oval();
+        let params = VehicleParams::f1tenth();
+        let pp = PurePursuit::new(
+            t.raceline.clone(),
+            profile(&t.raceline),
+            PurePursuitConfig::default(),
+            &params,
+        );
+        let s = 1.0;
+        let pose = Pose2::from_point(t.raceline.point_at(s), t.raceline.heading_at(s));
+        let cmd = pp.control(pose, 3.0);
+        assert!(cmd.steer.abs() < 0.25, "steer={}", cmd.steer);
+        assert!(cmd.target_speed > 1.0);
+    }
+
+    #[test]
+    fn speed_scale_scales_command() {
+        let t = oval();
+        let params = VehicleParams::f1tenth();
+        let mk = |scale| {
+            PurePursuit::new(
+                t.raceline.clone(),
+                profile(&t.raceline),
+                PurePursuitConfig {
+                    speed_scale: scale,
+                    ..PurePursuitConfig::default()
+                },
+                &params,
+            )
+        };
+        let pose = Pose2::from_point(t.raceline.point_at(0.0), t.raceline.heading_at(0.0));
+        let full = mk(1.0).control(pose, 3.0).target_speed;
+        let half = mk(0.5).control(pose, 3.0).target_speed;
+        assert!((half - 0.5 * full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steer_respects_actuator_limit() {
+        let t = oval();
+        let params = VehicleParams::f1tenth();
+        let pp = PurePursuit::new(
+            t.raceline.clone(),
+            profile(&t.raceline),
+            PurePursuitConfig::default(),
+            &params,
+        );
+        // Face away from the path: command must still be within limits.
+        let cmd = pp.control(Pose2::new(0.0, 0.0, 2.5), 1.0);
+        assert!(cmd.steer.abs() <= params.max_steer);
+    }
+}

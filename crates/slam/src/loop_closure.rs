@@ -1,0 +1,397 @@
+//! Branch-and-bound loop-closure matching (Hess et al., ICRA 2016 §V).
+//!
+//! A scan is matched against a (finished) submap over a large search window.
+//! Upper bounds for whole regions of the translational search space come
+//! from precomputed *sliding-window max* grids: at depth `h`, cell `(x, y)`
+//! stores the maximum probability over the window `[x, x+2ʰ) × [y, y+2ʰ)`,
+//! so a candidate at depth `h` bounds all its 2ʰ×2ʰ child translations and
+//! whole subtrees can be pruned against the best leaf found so far.
+
+use crate::probgrid::ProbabilityGrid;
+use crate::scan_matcher::MatchResult;
+use raceloc_core::{Point2, Pose2};
+
+/// Precomputed max-pool pyramid over a probability grid.
+#[derive(Debug, Clone)]
+struct Pyramid {
+    width: usize,
+    height: usize,
+    /// `levels[h][y * width + x] = max P over [x, x+2^h) × [y, y+2^h)`.
+    levels: Vec<Vec<f32>>,
+}
+
+impl Pyramid {
+    fn new(grid: &ProbabilityGrid, depth: usize) -> Self {
+        let (w, h) = (grid.width(), grid.height());
+        let mut level0 = vec![0.0f32; w * h];
+        for r in 0..h {
+            for c in 0..w {
+                level0[r * w + c] =
+                    grid.probability(raceloc_map::GridIndex::new(c as i64, r as i64)) as f32;
+            }
+        }
+        let mut levels = vec![level0];
+        for lvl in 1..=depth {
+            let window = 1usize << lvl;
+            let prev = &levels[lvl - 1];
+            let half = window / 2;
+            // max over window 2^lvl = max of two 2^(lvl-1) windows offset by half.
+            let mut cur = vec![0.0f32; w * h];
+            for r in 0..h {
+                for c in 0..w {
+                    let a = prev[r * w + c];
+                    let b = if c + half < w {
+                        prev[r * w + c + half]
+                    } else {
+                        0.0
+                    };
+                    let d = if r + half < h {
+                        prev[(r + half) * w + c]
+                    } else {
+                        0.0
+                    };
+                    let e = if c + half < w && r + half < h {
+                        prev[(r + half) * w + c + half]
+                    } else {
+                        0.0
+                    };
+                    cur[r * w + c] = a.max(b).max(d).max(e);
+                }
+            }
+            levels.push(cur);
+        }
+        Self {
+            width: w,
+            height: h,
+            levels,
+        }
+    }
+
+    #[inline]
+    fn value(&self, level: usize, x: i64, y: i64) -> f32 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            0.0
+        } else {
+            self.levels[level][y as usize * self.width + x as usize]
+        }
+    }
+}
+
+/// Configuration of the branch-and-bound matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchAndBoundConfig {
+    /// Half-extent of the translational window \[m\].
+    pub linear_window: f64,
+    /// Half-extent of the rotational window \[rad\].
+    pub angular_window: f64,
+    /// Rotational step \[rad\].
+    pub angular_step: f64,
+    /// Tree depth (leaf = 1 cell; root regions are `2^depth` cells wide).
+    pub depth: usize,
+    /// Minimum leaf score for a match to be reported.
+    pub min_score: f64,
+}
+
+impl Default for BranchAndBoundConfig {
+    fn default() -> Self {
+        Self {
+            linear_window: 3.0,
+            angular_window: 0.5,
+            angular_step: 0.02,
+            depth: 6,
+            min_score: 0.55,
+        }
+    }
+}
+
+/// The branch-and-bound scan-to-submap matcher used for loop closure.
+#[derive(Debug, Clone)]
+pub struct BranchAndBoundMatcher {
+    config: BranchAndBoundConfig,
+    pyramid: Pyramid,
+    resolution: f64,
+    origin: Point2,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    angle_idx: usize,
+    level: usize,
+    ox: i64,
+    oy: i64,
+    bound: f32,
+}
+
+impl BranchAndBoundMatcher {
+    /// Precomputes the pyramid for a submap grid.
+    pub fn new(grid: &ProbabilityGrid, config: BranchAndBoundConfig) -> Self {
+        Self {
+            pyramid: Pyramid::new(grid, config.depth),
+            resolution: grid.resolution(),
+            origin: grid.origin(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BranchAndBoundConfig {
+        &self.config
+    }
+
+    /// Matches sensor-frame `points` against the submap around `initial`.
+    ///
+    /// Returns `None` when no placement reaches `min_score`.
+    pub fn match_scan(&self, points: &[Point2], initial: Pose2) -> Option<MatchResult> {
+        if points.is_empty() {
+            return None;
+        }
+        let cfg = &self.config;
+        let w_cells = (cfg.linear_window / self.resolution).ceil() as i64;
+        let n_ang = (cfg.angular_window / cfg.angular_step).ceil() as usize;
+        let angles: Vec<f64> = (0..=2 * n_ang)
+            .map(|i| initial.theta - cfg.angular_window + i as f64 * cfg.angular_step)
+            .collect();
+        // Per-angle integer cell coordinates of points placed at `initial`
+        // translation; candidate (ox, oy) shifts them in whole cells.
+        let per_angle: Vec<Vec<(i64, i64)>> = angles
+            .iter()
+            .map(|&theta| {
+                let pose = Pose2::new(initial.x, initial.y, theta);
+                points
+                    .iter()
+                    .map(|&p| {
+                        let wpt = pose.transform(p);
+                        (
+                            ((wpt.x - self.origin.x) / self.resolution).floor() as i64,
+                            ((wpt.y - self.origin.y) / self.resolution).floor() as i64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let score_at = |angle_idx: usize, level: usize, ox: i64, oy: i64| -> f32 {
+            let pts = &per_angle[angle_idx];
+            let mut total = 0.0f32;
+            for &(px, py) in pts {
+                total += self.pyramid.value(level, px + ox, py + oy);
+            }
+            total / pts.len() as f32
+        };
+        // Root candidates: tile the window at the top level.
+        let top = cfg.depth;
+        let step = 1i64 << top;
+        let mut stack: Vec<Candidate> = Vec::new();
+        for (ai, _) in angles.iter().enumerate() {
+            let mut ox = -w_cells;
+            while ox <= w_cells {
+                let mut oy = -w_cells;
+                while oy <= w_cells {
+                    stack.push(Candidate {
+                        angle_idx: ai,
+                        level: top,
+                        ox,
+                        oy,
+                        bound: score_at(ai, top, ox, oy),
+                    });
+                    oy += step;
+                }
+                ox += step;
+            }
+        }
+        // Best-first: highest bound on top of the stack.
+        stack.sort_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite scores"));
+        let mut best_score = cfg.min_score as f32;
+        let mut best: Option<(usize, i64, i64)> = None;
+        while let Some(cand) = stack.pop() {
+            if cand.bound <= best_score {
+                continue; // prune (stack is not fully sorted after pushes,
+                          // so children below may still be explored — the
+                          // bound test here is what guarantees correctness)
+            }
+            if cand.level == 0 {
+                best_score = cand.bound;
+                best = Some((cand.angle_idx, cand.ox, cand.oy));
+                continue;
+            }
+            // Split into four children at the next level down.
+            let half = 1i64 << (cand.level - 1);
+            let mut children = [Candidate {
+                angle_idx: cand.angle_idx,
+                level: cand.level - 1,
+                ox: cand.ox,
+                oy: cand.oy,
+                bound: 0.0,
+            }; 4];
+            let offs = [(0, 0), (half, 0), (0, half), (half, half)];
+            for (k, (dx, dy)) in offs.iter().enumerate() {
+                let (ox, oy) = (cand.ox + dx, cand.oy + dy);
+                children[k].ox = ox;
+                children[k].oy = oy;
+                children[k].bound = if ox.abs() <= w_cells && oy.abs() <= w_cells {
+                    score_at(cand.angle_idx, cand.level - 1, ox, oy)
+                } else {
+                    0.0
+                };
+            }
+            children.sort_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite scores"));
+            for ch in children {
+                if ch.bound > best_score {
+                    stack.push(ch);
+                }
+            }
+        }
+        best.map(|(ai, ox, oy)| MatchResult {
+            pose: Pose2::new(
+                initial.x + ox as f64 * self.resolution,
+                initial.y + oy as f64 * self.resolution,
+                angles[ai],
+            ),
+            score: best_score as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_core::sensor_data::LaserScan;
+
+    /// A probability grid of a distinctive L-shaped wall arrangement.
+    fn scene_grid() -> (ProbabilityGrid, Pose2) {
+        let mut g = ProbabilityGrid::new(200, 200, 0.05, Point2::new(-5.0, -5.0));
+        let pose = Pose2::new(0.0, 0.0, 0.0);
+        let scan = scene_scan(pose);
+        for _ in 0..8 {
+            g.insert_scan(pose, &scan);
+        }
+        (g, pose)
+    }
+
+    /// Analytic scan of a room: walls at x=±2 (left wall at x=-2 only for
+    /// y>0, making the scene rotationally unambiguous) plus y=±1.5.
+    fn scene_scan(pose: Pose2) -> LaserScan {
+        let beams = 240;
+        let inc = std::f64::consts::TAU / beams as f64;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                let a = pose.theta - std::f64::consts::PI + i as f64 * inc;
+                let (s, c) = a.sin_cos();
+                let mut best = 9.0f64;
+                // Wall x = 2.
+                if c > 1e-9 {
+                    let t = (2.0 - pose.x) / c;
+                    let y = pose.y + t * s;
+                    if t > 0.0 && y.abs() <= 1.5 {
+                        best = best.min(t);
+                    }
+                }
+                // Wall x = -2 (upper half only — breaks symmetry).
+                if c < -1e-9 {
+                    let t = (-2.0 - pose.x) / c;
+                    let y = pose.y + t * s;
+                    if t > 0.0 && (0.0..=1.5).contains(&y) {
+                        best = best.min(t);
+                    }
+                }
+                // Walls y = ±1.5.
+                for wy in [1.5f64, -1.5] {
+                    if s.abs() > 1e-9 {
+                        let t = (wy - pose.y) / s;
+                        let x = pose.x + t * c;
+                        if t > 0.0 && x.abs() <= 2.0 {
+                            best = best.min(t);
+                        }
+                    }
+                }
+                best.min(9.0)
+            })
+            .collect();
+        LaserScan::new(-std::f64::consts::PI, inc, ranges, 10.0)
+    }
+
+    #[test]
+    fn finds_large_offset() {
+        let (g, map_pose) = scene_grid();
+        let matcher = BranchAndBoundMatcher::new(&g, BranchAndBoundConfig::default());
+        // The scan really came from the mapping pose, but our prior is off
+        // by over a meter — far outside any tracking window.
+        let pts = scene_scan(map_pose).to_points();
+        let bad_prior = Pose2::new(1.2, -0.8, 0.1);
+        let m = matcher.match_scan(&pts, bad_prior).expect("match found");
+        assert!(
+            m.pose.dist(map_pose) < 0.1,
+            "matched {} truth {}",
+            m.pose,
+            map_pose
+        );
+        assert!(m.pose.heading_dist(map_pose) < 0.05);
+        assert!(m.score > 0.55);
+    }
+
+    #[test]
+    fn finds_rotated_offset() {
+        let (g, _) = scene_grid();
+        let matcher = BranchAndBoundMatcher::new(&g, BranchAndBoundConfig::default());
+        let true_pose = Pose2::new(0.3, 0.2, 0.25);
+        let pts = scene_scan(true_pose).to_points();
+        let m = matcher
+            .match_scan(&pts, Pose2::new(-0.5, -0.5, 0.0))
+            .expect("match found");
+        assert!(m.pose.dist(true_pose) < 0.12, "{} vs {true_pose}", m.pose);
+        assert!(m.pose.heading_dist(true_pose) < 0.05);
+    }
+
+    #[test]
+    fn rejects_scan_from_elsewhere() {
+        let (g, _) = scene_grid();
+        let cfg = BranchAndBoundConfig {
+            min_score: 0.75,
+            linear_window: 1.0,
+            ..BranchAndBoundConfig::default()
+        };
+        let matcher = BranchAndBoundMatcher::new(&g, cfg);
+        // Garbage points that match nothing.
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new(8.0 + (i % 7) as f64, -8.0 + (i % 5) as f64))
+            .collect();
+        assert!(matcher.match_scan(&pts, Pose2::IDENTITY).is_none());
+    }
+
+    #[test]
+    fn empty_points_is_none() {
+        let (g, _) = scene_grid();
+        let matcher = BranchAndBoundMatcher::new(&g, BranchAndBoundConfig::default());
+        assert!(matcher.match_scan(&[], Pose2::IDENTITY).is_none());
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_search() {
+        let (g, map_pose) = scene_grid();
+        let cfg = BranchAndBoundConfig {
+            linear_window: 0.8,
+            angular_window: 0.1,
+            angular_step: 0.05,
+            depth: 4,
+            min_score: 0.3,
+        };
+        let matcher = BranchAndBoundMatcher::new(&g, cfg);
+        let true_pose = Pose2::new(0.4, -0.3, 0.05);
+        let pts = scene_scan(true_pose).to_points();
+        let bnb = matcher.match_scan(&pts, map_pose).expect("match");
+        let exhaustive = crate::scan_matcher::CorrelativeScanMatcher::new(0.05, 0.05).match_scan(
+            &g,
+            &pts,
+            map_pose,
+            crate::scan_matcher::SearchWindow {
+                linear: 0.8,
+                angular: 0.1,
+            },
+        );
+        assert!(
+            bnb.pose.dist(exhaustive.pose) < 0.11,
+            "bnb {} vs exhaustive {}",
+            bnb.pose,
+            exhaustive.pose
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! 2-D pose-graph optimization (the SLAM back-end).
+//!
+//! Nodes are scan poses; edges are relative SE(2) constraints from local
+//! scan matching and loop closure. Optimization is damped Gauss–Newton with
+//! analytic Jacobians and a Huber robust loss, solving the dense normal
+//! equations with the in-house Cholesky (graphs in this workspace are a few
+//! hundred nodes, where dense is both fast and dependable).
+
+use raceloc_core::linalg::{DMat, Mat3, Vec3};
+use raceloc_core::{angle, Pose2};
+
+/// A relative-pose constraint between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// Index of the source node.
+    pub from: usize,
+    /// Index of the target node.
+    pub to: usize,
+    /// Measured pose of `to` in `from`'s frame.
+    pub relative: Pose2,
+    /// Information (inverse covariance) of the measurement.
+    pub information: Mat3,
+}
+
+impl Constraint {
+    /// A constraint with diagonal information `(trans, trans, rot)`.
+    pub fn new(from: usize, to: usize, relative: Pose2, info_trans: f64, info_rot: f64) -> Self {
+        Self {
+            from,
+            to,
+            relative,
+            information: Mat3::diag(info_trans, info_trans, info_rot),
+        }
+    }
+}
+
+/// Result of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeReport {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Total robustified chi² before optimization.
+    pub initial_chi2: f64,
+    /// Total robustified chi² after optimization.
+    pub final_chi2: f64,
+}
+
+/// A 2-D pose graph.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_slam::{Constraint, PoseGraph};
+/// use raceloc_core::Pose2;
+///
+/// let mut graph = PoseGraph::new();
+/// let a = graph.add_node(Pose2::IDENTITY);
+/// let b = graph.add_node(Pose2::new(1.1, 0.0, 0.0)); // drifted guess
+/// graph.add_constraint(Constraint::new(a, b, Pose2::new(1.0, 0.0, 0.0), 100.0, 100.0));
+/// graph.optimize(10);
+/// assert!((graph.node(b).x - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PoseGraph {
+    nodes: Vec<Pose2>,
+    constraints: Vec<Constraint>,
+    /// Huber loss threshold on the Mahalanobis residual norm.
+    huber_delta: f64,
+}
+
+impl PoseGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            constraints: Vec::new(),
+            huber_delta: 1.5,
+        }
+    }
+
+    /// Adds a node with an initial pose estimate; returns its index.
+    pub fn add_node(&mut self, pose: Pose2) -> usize {
+        self.nodes.push(pose);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either endpoint index is out of range or the constraint
+    /// is a self-loop.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        assert!(
+            c.from < self.nodes.len() && c.to < self.nodes.len(),
+            "constraint endpoints out of range"
+        );
+        assert!(c.from != c.to, "self-loop constraint");
+        self.constraints.push(c);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current estimate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn node(&self, i: usize) -> Pose2 {
+        self.nodes[i]
+    }
+
+    /// All node estimates.
+    pub fn nodes(&self) -> &[Pose2] {
+        &self.nodes
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Overwrites a node estimate (used when the front-end re-anchors).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set_node(&mut self, i: usize, pose: Pose2) {
+        self.nodes[i] = pose;
+    }
+
+    fn residual(&self, c: &Constraint) -> Vec3 {
+        let xi = self.nodes[c.from];
+        let xj = self.nodes[c.to];
+        let delta = xi.relative_to(xj);
+        let err = c.relative.relative_to(delta);
+        Vec3::new(err.x, err.y, angle::normalize(err.theta))
+    }
+
+    /// Total robustified chi² of the current estimate.
+    pub fn chi2(&self) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let e = self.residual(c);
+                let v = c.information.mul_vec(e);
+                let chi = e.dot(v).max(0.0);
+                huber(chi.sqrt(), self.huber_delta)
+            })
+            .sum()
+    }
+
+    /// Runs up to `max_iterations` damped Gauss–Newton steps with node 0
+    /// gauge-fixed. Returns a report; the graph nodes are updated in place.
+    pub fn optimize(&mut self, max_iterations: usize) -> OptimizeReport {
+        let n = self.nodes.len();
+        let initial_chi2 = self.chi2();
+        if n < 2 || self.constraints.is_empty() {
+            return OptimizeReport {
+                iterations: 0,
+                initial_chi2,
+                final_chi2: initial_chi2,
+            };
+        }
+        let dim = 3 * n;
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            let mut h = DMat::zeros(dim, dim);
+            let mut g = vec![0.0f64; dim];
+            for c in &self.constraints {
+                let xi = self.nodes[c.from];
+                let xj = self.nodes[c.to];
+                let e = self.residual(c);
+                // Robust weight: scales the information of outlier edges.
+                let v = c.information.mul_vec(e);
+                let chi = e.dot(v).max(1e-12).sqrt();
+                let w = huber_weight(chi, self.huber_delta);
+
+                let (si, ci) = xi.theta.sin_cos();
+                let (sz, cz) = c.relative.theta.sin_cos();
+                let dtx = xj.x - xi.x;
+                let dty = xj.y - xi.y;
+                // Rz' and Ri' are the transposed rotations; standard SE(2)
+                // pose-graph Jacobians (g2o tutorial, eq. 30-32).
+                // A = ∂e/∂xi, B = ∂e/∂xj.
+                // Rzᵀ·Riᵀ = R(θi+θz)ᵀ.
+                let cphi = cz * ci - sz * si;
+                let sphi = cz * si + sz * ci;
+                let rzt_rit = Mat3([[cphi, sphi, 0.0], [-sphi, cphi, 0.0], [0.0, 0.0, 1.0]]);
+                // d(Riᵀ)/dθi · (tj − ti)
+                let d_rit = (-si * dtx + ci * dty, -ci * dtx - si * dty);
+                // Rzᵀ · d_rit
+                let top_right = (cz * d_rit.0 + sz * d_rit.1, -sz * d_rit.0 + cz * d_rit.1);
+                let mut a = Mat3::ZERO;
+                for r in 0..2 {
+                    for cc in 0..2 {
+                        a.0[r][cc] = -rzt_rit.0[r][cc];
+                    }
+                }
+                a.0[0][2] = top_right.0;
+                a.0[1][2] = top_right.1;
+                a.0[2][2] = -1.0;
+                let mut b = Mat3::ZERO;
+                for r in 0..2 {
+                    for cc in 0..2 {
+                        b.0[r][cc] = rzt_rit.0[r][cc];
+                    }
+                }
+                b.0[2][2] = 1.0;
+
+                let info_w = c.information * w;
+                let at_w = a.transpose() * info_w;
+                let bt_w = b.transpose() * info_w;
+                h.add_block3(3 * c.from, 3 * c.from, &(at_w * a));
+                h.add_block3(3 * c.from, 3 * c.to, &(at_w * b));
+                h.add_block3(3 * c.to, 3 * c.from, &(bt_w * a));
+                h.add_block3(3 * c.to, 3 * c.to, &(bt_w * b));
+                let ae = at_w.mul_vec(e);
+                let be = bt_w.mul_vec(e);
+                for k in 0..3 {
+                    g[3 * c.from + k] -= ae[k];
+                    g[3 * c.to + k] -= be[k];
+                }
+            }
+            // Gauge fix node 0 with a strong prior, plus light damping.
+            for k in 0..3 {
+                h[(k, k)] += 1e9;
+            }
+            for d in 0..dim {
+                h[(d, d)] += 1e-6;
+            }
+            let Some(dx) = h.cholesky_solve(&g) else {
+                break;
+            };
+            let mut step_norm: f64 = 0.0;
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let (ddx, ddy, ddt) = (dx[3 * i], dx[3 * i + 1], dx[3 * i + 2]);
+                *node = Pose2::new(node.x + ddx, node.y + ddy, node.theta + ddt);
+                step_norm += ddx * ddx + ddy * ddy + ddt * ddt;
+            }
+            iterations += 1;
+            if step_norm.sqrt() < 1e-8 {
+                break;
+            }
+        }
+        OptimizeReport {
+            iterations,
+            initial_chi2,
+            final_chi2: self.chi2(),
+        }
+    }
+}
+
+fn huber(r: f64, delta: f64) -> f64 {
+    if r <= delta {
+        r * r
+    } else {
+        2.0 * delta * r - delta * delta
+    }
+}
+
+fn huber_weight(r: f64, delta: f64) -> f64 {
+    if r <= delta {
+        1.0
+    } else {
+        delta / r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn odom_chain(n: usize, step: Pose2, drift: Pose2) -> PoseGraph {
+        let mut g = PoseGraph::new();
+        let mut pose = Pose2::IDENTITY;
+        g.add_node(pose);
+        let noisy = step * drift;
+        for i in 1..n {
+            pose = pose * noisy;
+            g.add_node(pose);
+            g.add_constraint(Constraint::new(i - 1, i, step, 100.0, 400.0));
+        }
+        g
+    }
+
+    #[test]
+    fn two_node_chain_converges_exactly() {
+        let mut g = PoseGraph::new();
+        g.add_node(Pose2::IDENTITY);
+        g.add_node(Pose2::new(2.0, 0.5, 0.3));
+        g.add_constraint(Constraint::new(0, 1, Pose2::new(1.0, 0.0, 0.1), 50.0, 50.0));
+        let report = g.optimize(20);
+        assert!(report.final_chi2 < 1e-10, "{report:?}");
+        let b = g.node(1);
+        assert!(b.dist(Pose2::new(1.0, 0.0, 0.1)) < 1e-5);
+        assert!((b.theta - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gauge_is_fixed_at_node_zero() {
+        let mut g = PoseGraph::new();
+        g.add_node(Pose2::new(5.0, 5.0, 1.0));
+        g.add_node(Pose2::new(5.0, 5.0, 1.0));
+        g.add_constraint(Constraint::new(0, 1, Pose2::new(1.0, 0.0, 0.0), 10.0, 10.0));
+        g.optimize(10);
+        assert!(g.node(0).dist(Pose2::new(5.0, 5.0, 1.0)) < 1e-3);
+    }
+
+    #[test]
+    fn loop_closure_redistributes_drift() {
+        // A square loop with accumulated heading drift; the closure pulls
+        // the end back onto the start.
+        let side = 5;
+        let mut g = PoseGraph::new();
+        let step = Pose2::new(1.0, 0.0, 0.0);
+        let turn = Pose2::new(1.0, 0.0, std::f64::consts::FRAC_PI_2);
+        let mut truth = vec![Pose2::IDENTITY];
+        for leg in 0..4 {
+            for i in 0..side {
+                let s = if i == side - 1 && leg < 3 { turn } else { step };
+                let last = *truth.last().expect("non-empty");
+                truth.push(last * s);
+            }
+        }
+        // Noisy initial estimates: inject a heading error each step.
+        let mut est = vec![Pose2::IDENTITY];
+        let mut idx = 0;
+        for leg in 0..4 {
+            for i in 0..side {
+                let s = if i == side - 1 && leg < 3 { turn } else { step };
+                let noisy = s * Pose2::new(0.02, 0.0, 0.015);
+                est.push(est[idx] * noisy);
+                idx += 1;
+            }
+        }
+        for (k, e) in est.iter().enumerate() {
+            let id = g.add_node(*e);
+            assert_eq!(id, k);
+        }
+        idx = 0;
+        for leg in 0..4 {
+            for i in 0..side {
+                let s = if i == side - 1 && leg < 3 { turn } else { step };
+                g.add_constraint(Constraint::new(idx, idx + 1, s, 100.0, 400.0));
+                idx += 1;
+            }
+        }
+        let before_end_err = g.node(g.len() - 1).dist(*truth.last().expect("non-empty"));
+        // Loop closure: last node coincides with node 0.
+        let n_last = g.len() - 1;
+        g.add_constraint(Constraint::new(
+            0,
+            n_last,
+            truth[0].relative_to(*truth.last().expect("non-empty")),
+            400.0,
+            800.0,
+        ));
+        let report = g.optimize(30);
+        assert!(report.final_chi2 < report.initial_chi2);
+        let after_end_err = g.node(n_last).dist(*truth.last().expect("non-empty"));
+        assert!(
+            after_end_err < 0.5 * before_end_err,
+            "closure did not help: {before_end_err} -> {after_end_err}"
+        );
+        // Mid-loop nodes improve too.
+        let mid = g.len() / 2;
+        assert!(g.node(mid).dist(truth[mid]) < before_end_err);
+    }
+
+    #[test]
+    fn chain_without_noise_stays_put() {
+        let mut g = odom_chain(10, Pose2::new(0.5, 0.0, 0.05), Pose2::IDENTITY);
+        let before: Vec<Pose2> = g.nodes().to_vec();
+        let report = g.optimize(10);
+        assert!(report.final_chi2 < 1e-9);
+        for (a, b) in before.iter().zip(g.nodes()) {
+            assert!(a.dist(*b) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn huber_tames_outlier_edge() {
+        // Chain edges carry much more information than the single wrong
+        // closure, so the robustified optimum keeps the chain shape.
+        let mut g = PoseGraph::new();
+        let step = Pose2::new(1.0, 0.0, 0.0);
+        let mut pose = Pose2::IDENTITY;
+        g.add_node(pose);
+        for i in 1..8 {
+            pose = pose * step;
+            g.add_node(pose);
+            g.add_constraint(Constraint::new(i - 1, i, step, 400.0, 800.0));
+        }
+        // A wildly wrong constraint between 0 and 7 (truth: 7 m apart).
+        g.add_constraint(Constraint::new(0, 7, Pose2::new(1.0, 3.0, 1.0), 50.0, 50.0));
+        g.optimize(25);
+        assert!(g.node(7).x > 5.5, "chain collapsed: {}", g.node(7));
+        assert!(g.node(7).y.abs() < 1.0, "chain bent: {}", g.node(7));
+    }
+
+    #[test]
+    fn empty_graph_is_benign() {
+        let mut g = PoseGraph::new();
+        let r = g.optimize(5);
+        assert_eq!(r.iterations, 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_constraint_panics() {
+        let mut g = PoseGraph::new();
+        g.add_node(Pose2::IDENTITY);
+        g.add_constraint(Constraint::new(0, 3, Pose2::IDENTITY, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = PoseGraph::new();
+        g.add_node(Pose2::IDENTITY);
+        g.add_node(Pose2::IDENTITY);
+        g.add_constraint(Constraint::new(1, 1, Pose2::IDENTITY, 1.0, 1.0));
+    }
+}

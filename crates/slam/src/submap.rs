@@ -1,0 +1,220 @@
+//! Submaps: the locally consistent map chunks of Cartographer-style SLAM.
+
+use crate::probgrid::ProbabilityGrid;
+use raceloc_core::sensor_data::LaserScan;
+use raceloc_core::{Point2, Pose2};
+
+/// One submap: a probability grid anchored near the pose that spawned it.
+#[derive(Debug, Clone)]
+pub struct Submap {
+    grid: ProbabilityGrid,
+    /// World pose of the submap anchor (its first scan's sensor pose).
+    anchor: Pose2,
+    scan_count: usize,
+    finished: bool,
+}
+
+impl Submap {
+    /// Creates an empty submap of `size_m × size_m` meters centred on the
+    /// anchor pose.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size_m` or `resolution` is not positive.
+    pub fn new(anchor: Pose2, size_m: f64, resolution: f64) -> Self {
+        assert!(size_m > 0.0, "submap size must be positive");
+        assert!(resolution > 0.0, "resolution must be positive");
+        let cells = (size_m / resolution).ceil() as usize;
+        let origin = Point2::new(anchor.x - size_m / 2.0, anchor.y - size_m / 2.0);
+        Self {
+            grid: ProbabilityGrid::new(cells, cells, resolution, origin),
+            anchor,
+            scan_count: 0,
+            finished: false,
+        }
+    }
+
+    /// The underlying probability grid.
+    pub fn grid(&self) -> &ProbabilityGrid {
+        &self.grid
+    }
+
+    /// The submap anchor pose.
+    pub fn anchor(&self) -> Pose2 {
+        self.anchor
+    }
+
+    /// Number of scans inserted so far.
+    pub fn scan_count(&self) -> usize {
+        self.scan_count
+    }
+
+    /// True once the submap stopped accepting scans.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Inserts a scan taken from `sensor_pose` (world frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the submap is already finished.
+    pub fn insert(&mut self, sensor_pose: Pose2, scan: &LaserScan) {
+        assert!(!self.finished, "cannot insert into a finished submap");
+        self.grid.insert_scan(sensor_pose, scan);
+        self.scan_count += 1;
+    }
+
+    /// Marks the submap finished (no more insertions).
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+/// The pair of active submaps plus the archive of finished ones.
+///
+/// Mirrors Cartographer's scheme: every scan is inserted into (up to) two
+/// overlapping submaps; when the older one has received
+/// `scans_per_submap` scans it is finished and a new submap starts at the
+/// current pose, so consecutive submaps overlap by half their scans.
+#[derive(Debug, Clone)]
+pub struct SubmapCollection {
+    submaps: Vec<Submap>,
+    size_m: f64,
+    resolution: f64,
+    scans_per_submap: usize,
+}
+
+impl SubmapCollection {
+    /// Creates an empty collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scans_per_submap < 2`.
+    pub fn new(size_m: f64, resolution: f64, scans_per_submap: usize) -> Self {
+        assert!(scans_per_submap >= 2, "need at least 2 scans per submap");
+        Self {
+            submaps: Vec::new(),
+            size_m,
+            resolution,
+            scans_per_submap,
+        }
+    }
+
+    /// All submaps, oldest first.
+    pub fn submaps(&self) -> &[Submap] {
+        &self.submaps
+    }
+
+    /// Index of the submap used for matching: the *oldest* still-active
+    /// submap with data (it has seen the most scans and is therefore the
+    /// most complete), falling back to the newest submap overall.
+    pub fn matching_index(&self) -> Option<usize> {
+        let n = self.submaps.len();
+        if n == 0 {
+            return None;
+        }
+        for i in n.saturating_sub(2)..n {
+            if !self.submaps[i].is_finished() && self.submaps[i].scan_count() > 0 {
+                return Some(i);
+            }
+        }
+        Some(n - 1)
+    }
+
+    /// The submap currently used for matching (see
+    /// [`SubmapCollection::matching_index`]).
+    pub fn matching_submap(&self) -> Option<&Submap> {
+        self.matching_index().map(|i| &self.submaps[i])
+    }
+
+    /// Inserts a scan at `sensor_pose` into the active submaps, spawning and
+    /// finishing submaps per the overlap scheme. Returns the indices of the
+    /// submaps the scan went into.
+    pub fn insert(&mut self, sensor_pose: Pose2, scan: &LaserScan) -> Vec<usize> {
+        // Spawn the first submap, or a new one when the newest is half full.
+        let spawn = match self.submaps.last() {
+            None => true,
+            Some(s) => s.scan_count() >= self.scans_per_submap / 2,
+        };
+        if spawn {
+            self.submaps
+                .push(Submap::new(sensor_pose, self.size_m, self.resolution));
+        }
+        let n = self.submaps.len();
+        let mut touched = Vec::new();
+        let lo = n.saturating_sub(2);
+        for (i, submap) in self.submaps.iter_mut().enumerate().skip(lo) {
+            if !submap.is_finished() {
+                submap.insert(sensor_pose, scan);
+                touched.push(i);
+            }
+        }
+        // Finish any submap that reached its budget.
+        for s in &mut self.submaps {
+            if !s.is_finished() && s.scan_count() >= self.scans_per_submap {
+                s.finish();
+            }
+        }
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan() -> LaserScan {
+        LaserScan::new(-1.0, 0.1, vec![3.0; 21], 10.0)
+    }
+
+    #[test]
+    fn submap_inserts_and_counts() {
+        let mut s = Submap::new(Pose2::IDENTITY, 10.0, 0.1);
+        s.insert(Pose2::IDENTITY, &scan());
+        s.insert(Pose2::new(0.1, 0.0, 0.0), &scan());
+        assert_eq!(s.scan_count(), 2);
+        assert!(!s.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "finished")]
+    fn finished_submap_rejects_inserts() {
+        let mut s = Submap::new(Pose2::IDENTITY, 10.0, 0.1);
+        s.finish();
+        s.insert(Pose2::IDENTITY, &scan());
+    }
+
+    #[test]
+    fn collection_overlap_scheme() {
+        let mut col = SubmapCollection::new(10.0, 0.1, 10);
+        for i in 0..30 {
+            let pose = Pose2::new(i as f64 * 0.1, 0.0, 0.0);
+            let touched = col.insert(pose, &scan());
+            assert!(!touched.is_empty());
+            assert!(touched.len() <= 2);
+        }
+        // 30 scans, new submap every 5: several submaps, early ones finished.
+        assert!(col.submaps().len() >= 4);
+        assert!(col.submaps()[0].is_finished());
+        // Every finished submap holds the full budget.
+        for s in col.submaps().iter().filter(|s| s.is_finished()) {
+            assert_eq!(s.scan_count(), 10);
+        }
+    }
+
+    #[test]
+    fn matching_submap_exists_after_first_insert() {
+        let mut col = SubmapCollection::new(10.0, 0.1, 6);
+        assert!(col.matching_submap().is_none());
+        col.insert(Pose2::IDENTITY, &scan());
+        assert!(col.matching_submap().is_some());
+        assert_eq!(col.matching_index(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_budget_panics() {
+        SubmapCollection::new(10.0, 0.1, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the SLAM building blocks: probability-grid
+//! algebra and pose-graph optimization on randomly generated consistent
+//! graphs.
+
+use proptest::prelude::*;
+use raceloc_core::{Point2, Pose2};
+use raceloc_map::GridIndex;
+use raceloc_slam::{Constraint, PoseGraph, ProbabilityGrid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn probability_updates_stay_clamped(
+        hits in prop::collection::vec((0i64..20, 0i64..20), 0..60),
+        misses in prop::collection::vec((0i64..20, 0i64..20), 0..60),
+    ) {
+        let mut g = ProbabilityGrid::new(20, 20, 0.1, Point2::ORIGIN);
+        for (c, r) in hits {
+            g.apply_hit(GridIndex::new(c, r));
+        }
+        for (c, r) in misses {
+            g.apply_miss(GridIndex::new(c, r));
+        }
+        for r in 0..20 {
+            for c in 0..20 {
+                let p = g.probability(GridIndex::new(c, r));
+                prop_assert!((0.1..=0.98).contains(&p) || (p - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_then_miss_orders_probability(c in 0i64..10, r in 0i64..10,
+                                        n_hits in 1usize..10) {
+        let mut g = ProbabilityGrid::new(10, 10, 0.1, Point2::ORIGIN);
+        let idx = GridIndex::new(c, r);
+        for _ in 0..n_hits {
+            g.apply_hit(idx);
+        }
+        let before = g.probability(idx);
+        g.apply_miss(idx);
+        prop_assert!(g.probability(idx) < before);
+    }
+
+    #[test]
+    fn bilinear_interpolation_is_bounded_by_neighbors(
+        hits in prop::collection::vec((1i64..9, 1i64..9), 1..20),
+        fx in 0.05..0.95f64,
+        fy in 0.05..0.95f64,
+    ) {
+        let mut g = ProbabilityGrid::new(10, 10, 0.1, Point2::ORIGIN);
+        for (c, r) in hits {
+            g.apply_hit(GridIndex::new(c, r));
+        }
+        let p = Point2::new(fx, fy);
+        let v = g.probability_at(p);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Interpolated value never exceeds the max of the 4 surrounding
+        // cell probabilities (convex combination).
+        let idx = g.world_to_index(Point2::new(p.x - 0.05, p.y - 0.05));
+        let mut hi = 0.0f64;
+        let mut lo = 1.0f64;
+        for dc in 0..2 {
+            for dr in 0..2 {
+                let q = g.probability(GridIndex::new(idx.col + dc, idx.row + dr));
+                hi = hi.max(q);
+                lo = lo.min(q);
+            }
+        }
+        prop_assert!(v <= hi + 1e-9 && v >= lo - 1e-9);
+    }
+
+    #[test]
+    fn consistent_pose_graph_optimizes_to_near_zero_chi2(
+        steps in prop::collection::vec((-0.5..1.5f64, -0.3..0.3f64, -0.5..0.5f64), 2..12),
+        noise in prop::collection::vec((-0.05..0.05f64, -0.05..0.05f64, -0.03..0.03f64), 2..12),
+    ) {
+        // Build a chain whose constraints are exactly consistent with some
+        // trajectory, but whose initial node estimates carry noise: the
+        // optimizer must drive chi² to ~0.
+        let mut g = PoseGraph::new();
+        let mut truth = vec![Pose2::IDENTITY];
+        for &(dx, dy, dt) in &steps {
+            let last = *truth.last().unwrap();
+            truth.push(last * Pose2::new(dx, dy, dt));
+        }
+        for (i, t) in truth.iter().enumerate() {
+            let (nx, ny, nt) = noise.get(i % noise.len()).copied().unwrap_or((0.0, 0.0, 0.0));
+            let init = if i == 0 {
+                *t
+            } else {
+                Pose2::new(t.x + nx, t.y + ny, t.theta + nt)
+            };
+            g.add_node(init);
+        }
+        for (i, &(dx, dy, dt)) in steps.iter().enumerate() {
+            g.add_constraint(Constraint::new(i, i + 1, Pose2::new(dx, dy, dt), 100.0, 100.0));
+        }
+        let report = g.optimize(30);
+        prop_assert!(report.final_chi2 < 1e-6,
+            "chi² {} -> {}", report.initial_chi2, report.final_chi2);
+        // Node estimates recover the truth (gauge fixed at node 0).
+        for (i, t) in truth.iter().enumerate() {
+            prop_assert!(g.node(i).dist(*t) < 1e-3, "node {i}: {} vs {t}", g.node(i));
+        }
+    }
+
+    #[test]
+    fn optimization_never_panics_on_random_graphs(
+        n_nodes in 2usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10, -1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64), 1..20),
+    ) {
+        let mut g = PoseGraph::new();
+        for i in 0..n_nodes {
+            g.add_node(Pose2::new(i as f64, 0.0, 0.0));
+        }
+        for (a, b, dx, dy, dt) in edges {
+            let a = a % n_nodes;
+            let b = b % n_nodes;
+            if a != b {
+                g.add_constraint(Constraint::new(a, b, Pose2::new(dx, dy, dt), 10.0, 10.0));
+            }
+        }
+        let report = g.optimize(10);
+        prop_assert!(report.final_chi2.is_finite());
+        for i in 0..n_nodes {
+            prop_assert!(g.node(i).is_finite());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Compare the diff-drive and TUM motion models interactively: propagate a
+//! particle cloud at a speed given on the command line and print its
+//! dispersion (a runnable version of the paper's Fig. 1).
+//!
+//! Run with `cargo run --release --example motion_models -- 7.0`.
+
+use raceloc::core::{Pose2, Rng64, Twist2};
+use raceloc::pf::motion::{dispersion, propagate, DiffDriveModel, MotionModel, TumMotionModel};
+
+fn main() {
+    let v: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7.0);
+    println!("propagating 4000 particles for 0.2 s at {v} m/s (straight line)\n");
+    let dd = DiffDriveModel::default();
+    let tum = TumMotionModel::default();
+    for (name, model) in [("diff-drive", &dd as &dyn MotionModel), ("tum", &tum)] {
+        let mut rng = Rng64::new(9);
+        let mut particles = vec![Pose2::IDENTITY; 4000];
+        let dt = 0.02;
+        let delta = Pose2::new(v * dt, 0.0, 0.0);
+        let twist = Twist2::new(v, 0.0, 0.0);
+        for _ in 0..10 {
+            propagate(model, &mut particles, delta, twist, dt, &mut rng);
+        }
+        let reference = Pose2::new(v * 0.2, 0.0, 0.0);
+        let d = dispersion(&particles, reference).expect("non-empty cloud");
+        println!(
+            "{name:<11}: σ_long={:.3} m  σ_lat={:.3} m  σ_heading={:.2}°",
+            d.longitudinal,
+            d.lateral,
+            d.heading.to_degrees()
+        );
+    }
+    println!();
+    println!("Try 0.5 (similar clouds) vs 7.0 (TUM collapses, diff-drive fans out).");
+}

@@ -1,0 +1,63 @@
+//! Build a map from scratch with the Cartographer-style SLAM pipeline:
+//! drive the car around an unknown track on raw odometry + LiDAR, then
+//! print the stitched map next to the ground truth.
+//!
+//! Run with `cargo run --release --example slam_mapping`.
+
+use raceloc::map::{TrackShape, TrackSpec};
+use raceloc::sim::{World, WorldConfig};
+use raceloc::slam::{CartoSlam, CartoSlamConfig};
+
+fn main() {
+    let track = TrackSpec::new(TrackShape::Oval {
+        width: 12.0,
+        height: 7.0,
+    })
+    .resolution(0.05)
+    .build();
+
+    let mut slam = CartoSlam::new(CartoSlamConfig {
+        resolution: 0.05,
+        ..CartoSlamConfig::default()
+    });
+
+    // Drive gently — mapping runs are not hot laps.
+    let mut cfg = WorldConfig::default();
+    cfg.pursuit.speed_scale = 0.55;
+    let mut world = World::new(track, cfg);
+
+    println!("mapping run: 30 simulated seconds of driving on odometry + LiDAR…");
+    // The oracle controller plays the human driver of a real mapping run;
+    // the SLAM system sees only odometry and LiDAR.
+    let log = world.run_with_oracle_control(&mut slam, 30.0);
+
+    println!(
+        "{} scan nodes, {} submaps, {} loop closures, crashed: {}",
+        slam.node_count(),
+        slam.submap_count(),
+        slam.closure_count(),
+        log.crashed
+    );
+
+    let map = slam.map();
+    let (free, occ, _) = map.census();
+    println!("stitched map: {free} free / {occ} wall cells");
+    println!();
+    println!("--- SLAM map ---");
+    println!("{}", map.to_ascii(88));
+    println!("--- ground truth ---");
+    println!("{}", world.track().grid.to_ascii(88));
+
+    // Trajectory error against ground truth.
+    let truth: Vec<_> = log.samples.iter().map(|s| s.true_pose).collect();
+    let est: Vec<_> = log.samples.iter().map(|s| s.est_pose).collect();
+    let ate = raceloc::metrics::trajectory::absolute_trajectory_error(&truth, &est);
+    println!("trajectory ATE: {}", ate);
+
+    // Map quality against the ground-truth grid.
+    let q = raceloc::metrics::compare_maps(&world.track().grid, &map, 0.15);
+    println!(
+        "map quality: wall F1 {:.2} (precision {:.2}, recall {:.2}), free IoU {:.2}, coverage {:.2}",
+        q.wall_f1, q.wall_precision, q.wall_recall, q.free_iou, q.coverage
+    );
+}

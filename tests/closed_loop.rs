@@ -1,0 +1,129 @@
+//! End-to-end integration: the full simulator → localizer → controller loop
+//! across crates, in miniature (small grids and particle counts so the
+//! suite stays fast in debug builds).
+
+use raceloc::map::{Track, TrackShape, TrackSpec};
+use raceloc::pf::{SynPf, SynPfConfig};
+use raceloc::range::RayMarching;
+use raceloc::sim::{World, WorldConfig};
+use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
+
+fn small_track() -> Track {
+    TrackSpec::new(TrackShape::Oval {
+        width: 11.0,
+        height: 6.5,
+    })
+    .resolution(0.1)
+    .build()
+}
+
+fn small_world(mu: f64) -> World {
+    let mut cfg = WorldConfig::default();
+    cfg.vehicle.mu = mu;
+    cfg.lidar.beams = 121; // lighter scans for debug-mode speed
+    cfg.pursuit.speed_scale = 0.8;
+    World::new(small_track(), cfg)
+}
+
+fn small_pf(track: &Track) -> SynPf<RayMarching> {
+    SynPf::new(
+        RayMarching::new(&track.grid, 10.0),
+        SynPfConfig {
+            particles: 250,
+            ..SynPfConfig::default()
+        },
+    )
+}
+
+#[test]
+fn synpf_tracks_the_car_through_corners() {
+    let track = small_track();
+    let mut world = small_world(1.0);
+    let mut pf = small_pf(&track);
+    let log = world.run(&mut pf, 8.0);
+    assert!(!log.crashed, "crashed with SynPF localization");
+    // Estimate error stays bounded after the launch transient.
+    let late: Vec<_> = log.samples.iter().filter(|s| s.stamp > 2.0).collect();
+    assert!(!late.is_empty());
+    let mean_err: f64 = late
+        .iter()
+        .map(|s| s.true_pose.dist(s.est_pose))
+        .sum::<f64>()
+        / late.len() as f64;
+    assert!(mean_err < 0.25, "mean estimate error {mean_err}");
+}
+
+#[test]
+fn cartographer_tracks_the_car_through_corners() {
+    let track = small_track();
+    let mut world = small_world(1.0);
+    let mut loc = CartoLocalizer::new(&track.grid, CartoLocalizerConfig::default());
+    let log = world.run(&mut loc, 8.0);
+    assert!(!log.crashed, "crashed with Cartographer localization");
+    let late: Vec<_> = log.samples.iter().filter(|s| s.stamp > 2.0).collect();
+    let mean_err: f64 = late
+        .iter()
+        .map(|s| s.true_pose.dist(s.est_pose))
+        .sum::<f64>()
+        / late.len().max(1) as f64;
+    assert!(mean_err < 0.25, "mean estimate error {mean_err}");
+}
+
+#[test]
+fn low_grip_degrades_wheel_odometry_but_not_synpf() {
+    // The paper's robustness claim in miniature: taped tires corrupt the
+    // encoder signal, yet the particle filter's estimate barely suffers.
+    let run = |mu: f64| {
+        let track = small_track();
+        let mut world = small_world(mu);
+        let mut pf = small_pf(&track);
+        let log = world.run(&mut pf, 8.0);
+        assert!(!log.crashed, "crash at mu={mu}");
+        let mut slip = 0.0;
+        let mut err = 0.0;
+        let n = log.samples.len() as f64;
+        for s in &log.samples {
+            slip += (s.wheel_speed - s.true_speed).abs();
+            err += s.true_pose.dist(s.est_pose);
+        }
+        (slip / n, err / n)
+    };
+    let (slip_hq, err_hq) = run(1.0);
+    let (slip_lq, err_lq) = run(19.0 / 26.0);
+    assert!(
+        slip_lq > slip_hq * 1.15,
+        "taped tires must slip more: {slip_lq} vs {slip_hq}"
+    );
+    // "Robust" = the estimate error stays small in absolute terms and does
+    // not blow up relative to the nominal condition.
+    assert!(
+        err_lq < 0.15 && err_lq < err_hq * 3.0,
+        "SynPF must stay robust: LQ {err_lq} vs HQ {err_hq}"
+    );
+}
+
+#[test]
+fn oracle_control_is_the_upper_bound() {
+    let track = small_track();
+    let mut world = small_world(1.0);
+    let mut pf = small_pf(&track);
+    let log = world.run_with_oracle_control(&mut pf, 6.0);
+    assert!(!log.crashed);
+    // The filter still produced estimates even though control used truth.
+    assert!(!log.samples.is_empty());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let track = small_track();
+        let mut world = small_world(1.0);
+        let mut pf = small_pf(&track);
+        let log = world.run(&mut pf, 3.0);
+        log.samples
+            .iter()
+            .map(|s| (s.true_pose.to_array(), s.est_pose.to_array()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

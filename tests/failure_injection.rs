@@ -1,0 +1,190 @@
+//! Failure-injection tests: degraded and adversarial sensor conditions that
+//! a robust localizer must survive (beam dropout storms, heavy range noise,
+//! odometry blackouts).
+
+use raceloc::core::localizer::Localizer;
+use raceloc::core::sensor_data::{LaserScan, Odometry};
+use raceloc::core::{Pose2, Rng64, Twist2};
+use raceloc::map::{Track, TrackShape, TrackSpec};
+use raceloc::pf::{SynPf, SynPfConfig};
+use raceloc::range::{RangeMethod, RayMarching};
+use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
+
+fn track() -> Track {
+    TrackSpec::new(TrackShape::Oval {
+        width: 11.0,
+        height: 6.5,
+    })
+    .resolution(0.1)
+    .build()
+}
+
+/// A scan from `pose` with configurable dropout and noise.
+fn degraded_scan(
+    track: &Track,
+    pose: Pose2,
+    mount: Pose2,
+    dropout: f64,
+    noise: f64,
+    rng: &mut Rng64,
+) -> LaserScan {
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let beams = 181;
+    let fov = 270.0f64.to_radians();
+    let inc = fov / (beams - 1) as f64;
+    let sensor = pose * mount;
+    let ranges: Vec<f64> = (0..beams)
+        .map(|i| {
+            if rng.bernoulli(dropout) {
+                10.0
+            } else {
+                let r = caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                );
+                rng.gaussian_with(r, noise).clamp(0.0, 10.0)
+            }
+        })
+        .collect();
+    LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+}
+
+#[test]
+fn synpf_survives_half_the_beams_dropping_out() {
+    let t = track();
+    let mut pf = SynPf::new(
+        RayMarching::new(&t.grid, 10.0),
+        SynPfConfig {
+            particles: 400,
+            ..SynPfConfig::default()
+        },
+    );
+    let pose = t.start_pose();
+    pf.reset(pose);
+    let mut rng = Rng64::new(3);
+    for i in 0..20 {
+        pf.predict(&Odometry::new(
+            Pose2::IDENTITY,
+            Twist2::ZERO,
+            i as f64 * 0.025,
+        ));
+        let scan = degraded_scan(&t, pose, pf.config().lidar_mount, 0.5, 0.02, &mut rng);
+        let est = pf.correct(&scan);
+        assert!(est.dist(pose) < 0.3, "step {i}: drifted to {est}");
+    }
+}
+
+#[test]
+fn synpf_survives_heavy_range_noise() {
+    let t = track();
+    let mut pf = SynPf::new(
+        RayMarching::new(&t.grid, 10.0),
+        SynPfConfig {
+            particles: 400,
+            ..SynPfConfig::default()
+        },
+    );
+    let pose = t.start_pose();
+    pf.reset(pose);
+    let mut rng = Rng64::new(5);
+    for i in 0..20 {
+        pf.predict(&Odometry::new(
+            Pose2::IDENTITY,
+            Twist2::ZERO,
+            i as f64 * 0.025,
+        ));
+        // σ = 0.3 m range noise — 6× the sensor model's hit sigma.
+        let scan = degraded_scan(&t, pose, pf.config().lidar_mount, 0.0, 0.3, &mut rng);
+        let est = pf.correct(&scan);
+        assert!(est.dist(pose) < 0.4, "step {i}: drifted to {est}");
+    }
+}
+
+#[test]
+fn synpf_all_beams_dropped_keeps_estimate_finite() {
+    let t = track();
+    let mut pf = SynPf::new(
+        RayMarching::new(&t.grid, 10.0),
+        SynPfConfig {
+            particles: 200,
+            ..SynPfConfig::default()
+        },
+    );
+    let pose = t.start_pose();
+    pf.reset(pose);
+    // Every beam at max range: the sensor model's max-range mass applies
+    // uniformly; weights degenerate toward uniform but never NaN.
+    let blind = LaserScan::new(-2.35, 4.7 / 180.0, vec![10.0; 181], 10.0);
+    for _ in 0..10 {
+        let est = pf.correct(&blind);
+        assert!(est.is_finite());
+    }
+    let sum: f64 = pf.weights().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn cartographer_survives_dropout_storm() {
+    let t = track();
+    let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+    let pose = t.start_pose();
+    loc.reset(pose);
+    let mut rng = Rng64::new(7);
+    for i in 0..20 {
+        let scan = degraded_scan(&t, pose, loc.config().lidar_mount, 0.5, 0.02, &mut rng);
+        let est = loc.correct(&scan);
+        assert!(est.dist(pose) < 0.3, "step {i}: drifted to {est}");
+    }
+}
+
+#[test]
+fn odometry_blackout_degrades_gracefully() {
+    // Scans keep coming but odometry stops (predict never called): both
+    // localizers must keep a stationary estimate stationary.
+    let t = track();
+    let pose = t.start_pose();
+    let mut rng = Rng64::new(11);
+
+    let mut pf = SynPf::new(
+        RayMarching::new(&t.grid, 10.0),
+        SynPfConfig {
+            particles: 300,
+            ..SynPfConfig::default()
+        },
+    );
+    pf.reset(pose);
+    let mut carto = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+    carto.reset(pose);
+    for _ in 0..15 {
+        let scan = degraded_scan(&t, pose, Pose2::new(0.1, 0.0, 0.0), 0.0, 0.02, &mut rng);
+        assert!(pf.correct(&scan).dist(pose) < 0.25);
+        assert!(carto.correct(&scan).dist(pose) < 0.25);
+    }
+}
+
+#[test]
+fn corrupted_scan_with_nonsense_ranges_is_contained() {
+    // A scan whose ranges are garbage (alternating 0 and max): the filter's
+    // weights must stay a valid distribution and the estimate finite.
+    let t = track();
+    let mut pf = SynPf::new(
+        RayMarching::new(&t.grid, 10.0),
+        SynPfConfig {
+            particles: 200,
+            ..SynPfConfig::default()
+        },
+    );
+    pf.reset(t.start_pose());
+    let garbage: Vec<f64> = (0..181)
+        .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+        .collect();
+    let scan = LaserScan::new(-2.35, 4.7 / 180.0, garbage, 10.0);
+    for _ in 0..5 {
+        let est = pf.correct(&scan);
+        assert!(est.is_finite());
+    }
+    let sum: f64 = pf.weights().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+    assert!(pf.ess() >= 1.0);
+}

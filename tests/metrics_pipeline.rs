@@ -1,0 +1,89 @@
+//! Integration of the metrics crate with real simulator output: lap
+//! timing, lateral deviation, scan alignment, and trajectory error computed
+//! from an actual closed-loop log.
+
+use raceloc::core::Pose2;
+use raceloc::map::{Track, TrackShape, TrackSpec};
+use raceloc::metrics::alignment::ScanAlignmentScorer;
+use raceloc::metrics::error::lateral_deviation_summary;
+use raceloc::metrics::lap::{lap_times, total_progress};
+use raceloc::metrics::trajectory::{absolute_trajectory_error, relative_pose_error};
+use raceloc::pf::{SynPf, SynPfConfig};
+use raceloc::range::RayMarching;
+use raceloc::sim::{SimLog, World, WorldConfig};
+
+fn run_laps(duration: f64) -> (Track, SimLog) {
+    let track = TrackSpec::new(TrackShape::Oval {
+        width: 11.0,
+        height: 6.5,
+    })
+    .resolution(0.1)
+    .build();
+    let mut cfg = WorldConfig::default();
+    cfg.lidar.beams = 121;
+    cfg.pursuit.speed_scale = 0.8;
+    let mut world = World::new(track.clone(), cfg);
+    let mut pf = SynPf::new(
+        RayMarching::new(&track.grid, 10.0),
+        SynPfConfig {
+            particles: 250,
+            ..SynPfConfig::default()
+        },
+    );
+    let log = world.run(&mut pf, duration);
+    (track, log)
+}
+
+#[test]
+fn full_metrics_suite_on_a_real_run() {
+    let (track, log) = run_laps(16.0);
+    assert!(!log.crashed);
+
+    let trace: Vec<(f64, Pose2)> = log.samples.iter().map(|s| (s.stamp, s.true_pose)).collect();
+
+    // Lap timing: ~28 m raceline at ~3.5 m/s average → at least one lap.
+    let laps = lap_times(&trace, &track.raceline);
+    assert!(!laps.is_empty(), "no laps completed in 16 s");
+    for lap in &laps {
+        assert!((5.0..=16.0).contains(lap), "implausible lap time {lap}");
+    }
+
+    // Progress is consistent with the lap count.
+    let progress = total_progress(&trace, &track.raceline);
+    assert!(progress >= laps.len() as f64 * track.raceline.total_length() * 0.99);
+
+    // Lateral deviation: the car races within the corridor.
+    let poses: Vec<Pose2> = log.samples.iter().map(|s| s.true_pose).collect();
+    let dev = lateral_deviation_summary(&poses, &track.raceline);
+    assert!(dev.mean < 0.5, "mean deviation {:.3} m", dev.mean);
+    assert!(dev.max < track.half_width, "left the corridor");
+
+    // Scan alignment with the true poses is high; with garbage poses low.
+    let scorer = ScanAlignmentScorer::new(&track.grid, 0.1, Pose2::new(0.1, 0.0, 0.0));
+    let good = scorer.mean_percentage(log.scans.iter().map(|(_, pose, scan)| (*pose, scan)));
+    assert!(good > 70.0, "alignment {good}");
+    let bad = scorer.mean_percentage(
+        log.scans
+            .iter()
+            .map(|(_, pose, scan)| (*pose * Pose2::new(1.0, 1.0, 0.7), scan)),
+    );
+    assert!(bad < good - 20.0, "garbage poses scored {bad} vs {good}");
+
+    // Trajectory error metrics.
+    let truth: Vec<Pose2> = log.samples.iter().map(|s| s.true_pose).collect();
+    let est: Vec<Pose2> = log.samples.iter().map(|s| s.est_pose).collect();
+    let ate = absolute_trajectory_error(&truth, &est);
+    assert!(ate.mean < 0.3, "ATE {:.3}", ate.mean);
+    let rpe = relative_pose_error(&truth, &est, 10);
+    assert!(rpe.mean < 0.2, "RPE {:.3}", rpe.mean);
+}
+
+#[test]
+fn latency_accounting_matches_log() {
+    let (_, log) = run_laps(4.0);
+    let mean = log.mean_correct_seconds();
+    assert!(mean > 0.0);
+    // The load proxy is consistent with the raw numbers.
+    let load = raceloc::metrics::latency::cpu_load_percent(mean, 40.0);
+    assert!(load > 0.0 && load < 100.0, "load {load}");
+}

@@ -1,0 +1,104 @@
+//! Cross-crate pipeline: map an unknown track with the SLAM system, export
+//! the map, and localize against the *SLAM-built* map with SynPF — the full
+//! "map once, race forever" workflow of an F1TENTH team.
+
+use raceloc::map::{CellState, TrackShape, TrackSpec};
+use raceloc::pf::{SynPf, SynPfConfig};
+use raceloc::range::RayMarching;
+use raceloc::sim::{World, WorldConfig};
+use raceloc::slam::{CartoSlam, CartoSlamConfig};
+
+#[test]
+fn map_with_slam_then_localize_with_synpf() {
+    let track = TrackSpec::new(TrackShape::Oval {
+        width: 11.0,
+        height: 6.5,
+    })
+    .resolution(0.1)
+    .build();
+
+    // Phase 1: mapping run on raw sensors (slow, careful lap).
+    let mut slam = CartoSlam::new(CartoSlamConfig {
+        resolution: 0.1,
+        max_points: 90,
+        scans_per_submap: 24,
+        ..CartoSlamConfig::default()
+    });
+    let mut cfg = WorldConfig::default();
+    cfg.pursuit.speed_scale = 0.5;
+    cfg.lidar.beams = 121;
+    let mut world = World::new(track.clone(), cfg);
+    // Mapping runs are human-driven on a real car; the oracle controller
+    // plays the driver while the SLAM system consumes the raw sensors.
+    let log = world.run_with_oracle_control(&mut slam, 14.0);
+    assert!(!log.crashed, "mapping run crashed");
+    assert!(slam.node_count() > 20, "too few scan nodes");
+
+    let slam_map = slam.map();
+    let (free, occ, _) = slam_map.census();
+    assert!(free > 500, "SLAM map has too little free space: {free}");
+    assert!(occ > 100, "SLAM map has too few walls: {occ}");
+    // The built map must resemble the ground truth.
+    let quality = raceloc::metrics::compare_maps(&track.grid, &slam_map, 0.2);
+    assert!(quality.wall_f1 > 0.5, "wall F1 {:.2}", quality.wall_f1);
+    assert!(quality.coverage > 0.5, "coverage {:.2}", quality.coverage);
+
+    // Phase 2: localize against the SLAM-built map (not the ground truth!)
+    // while racing faster.
+    let caster = RayMarching::new(&slam_map, 10.0);
+    let mut pf = SynPf::new(
+        caster,
+        SynPfConfig {
+            particles: 250,
+            ..SynPfConfig::default()
+        },
+    );
+    let mut cfg2 = WorldConfig::default();
+    cfg2.pursuit.speed_scale = 0.75;
+    cfg2.lidar.beams = 121;
+    let mut world2 = World::new(track, cfg2);
+    let log2 = world2.run(&mut pf, 8.0);
+    assert!(!log2.crashed, "racing on the SLAM map crashed");
+    let late: Vec<_> = log2.samples.iter().filter(|s| s.stamp > 2.0).collect();
+    let mean_err: f64 = late
+        .iter()
+        .map(|s| s.true_pose.dist(s.est_pose))
+        .sum::<f64>()
+        / late.len().max(1) as f64;
+    // The SLAM map carries its own (bounded) error, so the tolerance is
+    // looser than against ground truth.
+    assert!(
+        mean_err < 0.5,
+        "localization against the SLAM map drifted: {mean_err}"
+    );
+}
+
+#[test]
+fn slam_map_roundtrips_through_pgm() {
+    // Map → PGM bytes → map → localize: exercises the I/O path end to end.
+    let track = TrackSpec::new(TrackShape::Oval {
+        width: 10.0,
+        height: 6.0,
+    })
+    .resolution(0.1)
+    .build();
+    let mut buf = Vec::new();
+    raceloc::map::io::write_pgm(&track.grid, &mut buf).expect("write");
+    let restored = raceloc::map::io::read_pgm(std::io::Cursor::new(buf)).expect("read");
+    assert_eq!(restored, track.grid);
+    // The restored map supports range casting identically.
+    let a = RayMarching::new(&track.grid, 10.0);
+    let b = RayMarching::new(&restored, 10.0);
+    let p = track.start_pose();
+    for i in 0..16 {
+        let theta = i as f64 * 0.4;
+        assert_eq!(
+            raceloc::range::RangeMethod::range(&a, p.x, p.y, theta),
+            raceloc::range::RangeMethod::range(&b, p.x, p.y, theta)
+        );
+    }
+    // Census survives too.
+    assert_eq!(restored.census(), track.grid.census());
+    let free_state = restored.state_at_world(p.translation());
+    assert_eq!(free_state, CellState::Free);
+}
