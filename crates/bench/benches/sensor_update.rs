@@ -1,13 +1,22 @@
 //! Criterion bench backing experiment E3: one full SynPF sensor update
 //! (the paper's headline 1.25 ms number) across particle counts and range
-//! methods.
+//! methods, plus the telemetry overhead check — an enabled [`Telemetry`]
+//! handle must stay within a few percent of the disabled default.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use raceloc_bench::test_track;
 use raceloc_core::localizer::Localizer;
+use raceloc_obs::Telemetry;
 use raceloc_pf::{SynPf, SynPfConfig};
 use raceloc_range::{RangeLut, RayMarching};
 use raceloc_sim::{Lidar, LidarSpec};
+
+fn pf_config(particles: usize) -> SynPfConfig {
+    SynPfConfig::builder()
+        .particles(particles)
+        .build()
+        .expect("bench config is valid")
+}
 
 fn bench_sensor_update(c: &mut Criterion) {
     let track = test_track();
@@ -19,25 +28,29 @@ fn bench_sensor_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("synpf_sensor_update");
     for particles in [500usize, 1200, 2400] {
         group.bench_with_input(BenchmarkId::new("lut", particles), &particles, |b, &n| {
-            let mut pf = SynPf::new(
-                lut.clone(),
-                SynPfConfig {
-                    particles: n,
-                    ..SynPfConfig::default()
-                },
-            );
+            let mut pf = SynPf::new(lut.clone(), pf_config(n));
             pf.reset(track.start_pose());
             b.iter(|| pf.correct(black_box(&scan)));
         });
     }
     group.bench_function("ray_marching/1200", |b| {
-        let mut pf = SynPf::new(
-            RayMarching::new(&track.grid, 10.0),
-            SynPfConfig {
-                particles: 1200,
-                ..SynPfConfig::default()
-            },
-        );
+        let mut pf = SynPf::new(RayMarching::new(&track.grid, 10.0), pf_config(1200));
+        pf.reset(track.start_pose());
+        b.iter(|| pf.correct(black_box(&scan)));
+    });
+    group.finish();
+
+    // Telemetry overhead (acceptance: enabled spans cost <5% on a sensor
+    // update): identical filter and scan, with and without a live handle.
+    let mut group = c.benchmark_group("synpf_telemetry_overhead");
+    group.bench_function("disabled/1200", |b| {
+        let mut pf = SynPf::new(lut.clone(), pf_config(1200));
+        pf.reset(track.start_pose());
+        b.iter(|| pf.correct(black_box(&scan)));
+    });
+    group.bench_function("enabled/1200", |b| {
+        let mut pf = SynPf::new(lut.clone(), pf_config(1200));
+        pf.set_telemetry(Telemetry::enabled());
         pf.reset(track.start_pose());
         b.iter(|| pf.correct(black_box(&scan)));
     });

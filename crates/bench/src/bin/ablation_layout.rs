@@ -49,15 +49,13 @@ fn main() {
                 let p = track.raceline.point_at(s);
                 let truth = Pose2::new(p.x, p.y, track.raceline.heading_at(s));
                 let scan = lidar.scan(truth, &caster, 0.0);
-                let mut pf = SynPf::new(
-                    shared_lut.clone(),
-                    SynPfConfig {
-                        particles: 800,
-                        layout,
-                        seed: 100 + trial,
-                        ..SynPfConfig::default()
-                    },
-                );
+                let config = SynPfConfig::builder()
+                    .particles(800)
+                    .layout(layout)
+                    .seed(100 + trial)
+                    .build()
+                    .expect("ablation config is valid");
+                let mut pf = SynPf::new(shared_lut.clone(), config);
                 pf.reset(Pose2::new(
                     truth.x + 0.25,
                     truth.y - 0.15,

@@ -32,14 +32,12 @@ fn main() {
         ),
     ] {
         for (odom, mu) in [("HQ", MU_HIGH_QUALITY), ("LQ", MU_LOW_QUALITY)] {
-            let mut pf = SynPf::new(
-                shared_lut.clone(),
-                SynPfConfig {
-                    motion,
-                    seed: 7,
-                    ..SynPfConfig::default()
-                },
-            );
+            let config = SynPfConfig::builder()
+                .motion(motion)
+                .seed(7)
+                .build()
+                .expect("ablation config is valid");
+            let mut pf = SynPf::new(shared_lut.clone(), config);
             let r = run_cell_with_odom(&mut pf, name, odom, mu, laps, 42, OdomSource::ImuFused);
             println!("{}", format_row(&r));
         }

@@ -9,7 +9,7 @@
 use raceloc_bench::test_track;
 use raceloc_core::Rng64;
 use raceloc_map::CellState;
-use raceloc_range::{cast_batch, BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
 use std::time::Instant;
 
 fn free_space_queries(track: &raceloc_map::Track, n: usize) -> Vec<(f64, f64, f64)> {
@@ -105,7 +105,7 @@ fn main() {
     for threads in [1, 2, 4, 8] {
         let mut out = vec![0.0; queries.len()];
         let t0 = Instant::now();
-        cast_batch(&bres, &queries, &mut out, threads);
+        bres.par_ranges_into(&queries, &mut out, threads);
         println!(
             "  threads={threads}: {:>8.1} ns/query",
             t0.elapsed().as_secs_f64() / queries.len() as f64 * 1e9

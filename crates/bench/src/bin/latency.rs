@@ -3,15 +3,20 @@
 //! update (boxed 60-beam layout, LUT range queries) as a function of the
 //! particle count, plus the same measurement for the other range methods.
 //!
+//! All numbers come from the `raceloc-obs` telemetry spans the filter
+//! records (`pf.motion` / `pf.raycast` / `pf.sensor` / `pf.resample` /
+//! `pf.correct`), so the per-stage breakdown printed here is the same
+//! data path `World::run_recorded` streams to JSONL.
+//!
 //! Run with `cargo run -p raceloc-bench --release --bin latency`.
 
 use raceloc_bench::test_track;
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::LaserScan;
+use raceloc_obs::{Snapshot, Telemetry};
 use raceloc_pf::{SynPf, SynPfConfig};
 use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
 use raceloc_sim::{Lidar, LidarSpec};
-use std::time::Instant;
 
 fn scan_at_start(track: &raceloc_map::Track) -> LaserScan {
     let caster = RayMarching::new(&track.grid, 10.0);
@@ -19,30 +24,76 @@ fn scan_at_start(track: &raceloc_map::Track) -> LaserScan {
     lidar.scan(track.start_pose(), &caster, 0.0)
 }
 
+/// Runs warm-up + timed corrections and returns the telemetry snapshot the
+/// filter recorded over the timed repetitions.
 fn measure_pf<M: RangeMethod>(
     caster: M,
     particles: usize,
+    threads: usize,
     track: &raceloc_map::Track,
     scan: &LaserScan,
-) -> f64 {
-    let mut pf = SynPf::new(
-        caster,
-        SynPfConfig {
-            particles,
-            ..SynPfConfig::default()
-        },
-    );
+) -> Snapshot {
+    let config = SynPfConfig::builder()
+        .particles(particles)
+        .threads(threads)
+        .build()
+        .expect("latency bench config is valid");
+    let mut pf = SynPf::new(caster, config);
+    let tel = Telemetry::enabled();
+    pf.set_telemetry(tel.clone());
     pf.reset(track.start_pose());
-    // Warm up, then time.
+    // Warm up, then reset the telemetry so only timed reps are aggregated.
     for _ in 0..3 {
         pf.correct(scan);
     }
-    let reps = 20;
-    let t0 = Instant::now();
-    for _ in 0..reps {
+    tel.reset();
+    for _ in 0..20 {
         pf.correct(scan);
     }
-    t0.elapsed().as_secs_f64() / reps as f64
+    tel.snapshot()
+}
+
+fn correct_ms(snap: &Snapshot) -> f64 {
+    snap.span("pf.correct")
+        .map(|s| s.mean_seconds() * 1e3)
+        .unwrap_or(f64::NAN)
+}
+
+fn print_stage_breakdown(snap: &Snapshot) {
+    println!(
+        "  {:<14} {:>10} {:>10} {:>10}",
+        "stage", "mean [ms]", "min [ms]", "max [ms]"
+    );
+    for stage in [
+        "pf.motion",
+        "pf.raycast",
+        "pf.sensor",
+        "pf.resample",
+        "pf.correct",
+    ] {
+        if let Some(s) = snap.span(stage) {
+            println!(
+                "  {:<14} {:>10.4} {:>10.4} {:>10.4}",
+                stage,
+                s.mean_seconds() * 1e3,
+                s.min_seconds * 1e3,
+                s.max_seconds * 1e3,
+            );
+        }
+    }
+    if let Some(h) = snap.histogram("pf.correct") {
+        let p = |q: f64| {
+            h.quantile_upper_bound(q)
+                .map(|s| format!("{:.3}", s * 1e3))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        println!(
+            "  pf.correct latency histogram: p50 ≤ {} ms, p90 ≤ {} ms, p99 ≤ {} ms",
+            p(0.5),
+            p(0.9),
+            p(0.99)
+        );
+    }
 }
 
 fn main() {
@@ -54,50 +105,44 @@ fn main() {
     println!("LUT mode (the paper's configuration), boxed 60-beam layout:");
     for particles in [500, 1000, 1200, 2000, 4000] {
         let lut = RangeLut::new(&track.grid, 10.0, 72);
-        let dt = measure_pf(lut, particles, &track, &scan);
-        println!("  N={particles:>5}: {:>8.3} ms per scan update", dt * 1e3);
+        let snap = measure_pf(lut, particles, 1, &track, &scan);
+        println!(
+            "  N={particles:>5}: {:>8.3} ms per scan update",
+            correct_ms(&snap)
+        );
     }
 
     println!();
+    println!("Per-stage breakdown at N=1200 (LUT), from recorded obs spans:");
+    let snap = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, 1, &track, &scan);
+    print_stage_breakdown(&snap);
+
+    println!();
     println!("Range-method comparison at N=1200:");
-    let dt = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, &track, &scan);
-    println!("  {:<22} {:>8.3} ms", "LUT", dt * 1e3);
-    let dt = measure_pf(Cddt::new(&track.grid, 10.0, 180), 1200, &track, &scan);
-    println!("  {:<22} {:>8.3} ms", "CDDT", dt * 1e3);
-    let dt = measure_pf(RayMarching::new(&track.grid, 10.0), 1200, &track, &scan);
-    println!("  {:<22} {:>8.3} ms", "ray marching", dt * 1e3);
-    let dt = measure_pf(
+    let snap = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, 1, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "LUT", correct_ms(&snap));
+    let snap = measure_pf(Cddt::new(&track.grid, 10.0, 180), 1200, 1, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "CDDT", correct_ms(&snap));
+    let snap = measure_pf(RayMarching::new(&track.grid, 10.0), 1200, 1, &track, &scan);
+    println!("  {:<22} {:>8.3} ms", "ray marching", correct_ms(&snap));
+    let snap = measure_pf(
         BresenhamCasting::new(&track.grid, 10.0),
         1200,
+        1,
         &track,
         &scan,
     );
-    println!("  {:<22} {:>8.3} ms", "Bresenham", dt * 1e3);
+    println!("  {:<22} {:>8.3} ms", "Bresenham", correct_ms(&snap));
 
     println!();
     println!("Threaded batch casting (the rangelibc GPU-mode substitute), N=1200, LUT:");
     for threads in [1, 2, 4, 8] {
         let lut = RangeLut::new(&track.grid, 10.0, 72);
-        let mut pf = SynPf::new(
-            lut,
-            SynPfConfig {
-                particles: 1200,
-                threads,
-                ..SynPfConfig::default()
-            },
-        );
-        pf.reset(track.start_pose());
-        for _ in 0..3 {
-            pf.correct(&scan);
-        }
-        let reps = 20;
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            pf.correct(&scan);
-        }
+        let snap = measure_pf(lut, 1200, threads, &track, &scan);
+        let queries = snap.counter("range.queries").unwrap_or(0);
         println!(
-            "  threads={threads}: {:>8.3} ms",
-            t0.elapsed().as_secs_f64() / reps as f64 * 1e3
+            "  threads={threads}: {:>8.3} ms  ({queries} batched range queries)",
+            correct_ms(&snap)
         );
     }
 }

@@ -6,9 +6,10 @@
 //! Pass a lap count as the first argument to shorten the experiment.
 
 use raceloc_bench::{
-    build_cartographer, build_synpf, format_row, run_cell_with_odom, table_header, test_track,
+    build_cartographer, build_synpf, format_row, run_cell_instrumented, table_header, test_track,
     OdomSource, MU_HIGH_QUALITY, MU_LOW_QUALITY,
 };
+use raceloc_obs::Telemetry;
 
 fn main() {
     let laps: usize = std::env::args()
@@ -23,12 +24,17 @@ fn main() {
 
     let track = test_track();
     let mut results = Vec::new();
+    // One telemetry handle shared by the world and both localizers: the
+    // per-stage latency report below (Table III) is regenerated from the
+    // spans recorded here, not from ad-hoc timers.
+    let tel = Telemetry::enabled();
     // Cartographer consumes the stock VESC (Ackermann) odometry, SynPF the
     // IMU-fused odometry, matching the respective F1TENTH configurations
     // (DESIGN.md §5).
     for (odom, mu) in [("HQ", MU_HIGH_QUALITY), ("LQ", MU_LOW_QUALITY)] {
         let mut carto = build_cartographer(&track);
-        let r = run_cell_with_odom(
+        carto.set_telemetry(tel.clone());
+        let r = run_cell_instrumented(
             &mut carto,
             "Cartographer",
             odom,
@@ -36,13 +42,24 @@ fn main() {
             laps,
             42,
             OdomSource::Ackermann,
+            tel.clone(),
         );
         println!("{}", format_row(&r));
         results.push(r);
     }
     for (odom, mu) in [("HQ", MU_HIGH_QUALITY), ("LQ", MU_LOW_QUALITY)] {
         let mut pf = build_synpf(&track, 7);
-        let r = run_cell_with_odom(&mut pf, "SynPF", odom, mu, laps, 42, OdomSource::ImuFused);
+        pf.set_telemetry(tel.clone());
+        let r = run_cell_instrumented(
+            &mut pf,
+            "SynPF",
+            odom,
+            mu,
+            laps,
+            42,
+            OdomSource::ImuFused,
+            tel.clone(),
+        );
         println!("{}", format_row(&r));
         results.push(r);
     }
@@ -85,4 +102,24 @@ fn main() {
         100.0 * (est("Cartographer", "LQ") / est("Cartographer", "HQ") - 1.0),
         100.0 * (est("SynPF", "LQ") / est("SynPF", "HQ") - 1.0),
     );
+
+    println!();
+    println!("Per-stage latency over all four cells (recorded telemetry spans):");
+    let snap = tel.snapshot();
+    println!(
+        "{:<18} {:>10} {:>11} {:>11}",
+        "span", "calls", "mean [ms]", "max [ms]"
+    );
+    for (name, s) in snap.spans() {
+        println!(
+            "{:<18} {:>10} {:>11.4} {:>11.4}",
+            name,
+            s.count,
+            s.mean_seconds() * 1e3,
+            s.max_seconds * 1e3
+        );
+    }
+    if let Some(load) = raceloc_metrics::latency::snapshot_load_percent(&snap, 40.0, 50.0) {
+        println!("Span-derived closed-loop load (sim.correct@40Hz + sim.predict@50Hz): {load:.2}% of one core");
+    }
 }

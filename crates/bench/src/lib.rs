@@ -12,6 +12,7 @@ use raceloc_metrics::alignment::ScanAlignmentScorer;
 use raceloc_metrics::error::lateral_deviations;
 use raceloc_metrics::lap::lap_times;
 use raceloc_metrics::latency;
+use raceloc_obs::Telemetry;
 use raceloc_pf::{SynPf, SynPfConfig};
 use raceloc_range::RangeLut;
 use raceloc_sim::{World, WorldConfig};
@@ -63,13 +64,11 @@ pub enum OdomSource {
 /// TUM motion model) for a track.
 pub fn build_synpf(track: &Track, seed: u64) -> SynPf<RangeLut> {
     let lut = RangeLut::new(&track.grid, 10.0, 72);
-    SynPf::new(
-        lut,
-        SynPfConfig {
-            seed,
-            ..SynPfConfig::default()
-        },
-    )
+    let config = SynPfConfig::builder()
+        .seed(seed)
+        .build()
+        .expect("paper configuration is valid");
+    SynPf::new(lut, config)
 }
 
 /// Builds the Cartographer pure-localization baseline for a track.
@@ -134,10 +133,39 @@ pub fn run_cell_with_odom<L: Localizer + ?Sized>(
     seed: u64,
     odom_source: OdomSource,
 ) -> CellResult {
+    run_cell_instrumented(
+        localizer,
+        method,
+        odom_label,
+        mu,
+        laps,
+        seed,
+        odom_source,
+        Telemetry::disabled(),
+    )
+}
+
+/// [`run_cell_with_odom`] with a telemetry handle installed into the world,
+/// so the loop's `sim.predict` / `sim.correct` spans land next to whatever
+/// the localizer records into the same handle (install it there too via the
+/// concrete type's `set_telemetry`). This is how the Table III latency
+/// numbers are regenerated from recorded spans.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_instrumented<L: Localizer + ?Sized>(
+    localizer: &mut L,
+    method: &str,
+    odom_label: &str,
+    mu: f64,
+    laps: usize,
+    seed: u64,
+    odom_source: OdomSource,
+    tel: Telemetry,
+) -> CellResult {
     let track = test_track();
     let mut cfg = world_config(mu, seed);
     cfg.odom.use_imu_yaw = odom_source == OdomSource::ImuFused;
     let mut world = World::new(track, cfg);
+    world.set_telemetry(tel);
     // Generous wall-clock budget: warm-up + laps at ≈8–12 s per lap.
     let duration = 14.0 * (laps + 2) as f64;
     let log = world.run(localizer, duration);

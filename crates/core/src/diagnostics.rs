@@ -1,0 +1,95 @@
+//! Algorithm-agnostic filter-health diagnostics.
+//!
+//! The closed loop and the run recorder need to log *how* a localizer is
+//! doing (effective sample size, spread, per-stage timings) without knowing
+//! *which* localizer is running. [`Diagnostics`] is that common currency:
+//! every field is optional, so a dead-reckoning baseline reports almost
+//! nothing while a particle filter fills in ESS, particle count, and the
+//! per-stage breakdown of its last correction.
+
+use std::borrow::Cow;
+
+/// A snapshot of localizer health after the most recent correction step.
+///
+/// Produced by [`Localizer::diagnostics`](crate::Localizer::diagnostics).
+/// Fields a given algorithm cannot populate stay `None`/empty; consumers
+/// must treat every field as optional.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    /// Number of particles / hypotheses currently maintained.
+    pub particles: Option<usize>,
+    /// Effective sample size of the importance weights.
+    pub ess: Option<f64>,
+    /// Trace of the position covariance \[m²\] — a scalar spread measure.
+    pub covariance_trace: Option<f64>,
+    /// Score of the last scan match (method-specific scale).
+    pub match_score: Option<f64>,
+    /// Per-stage wall-clock timings \[s\] of the last correction, in
+    /// execution order (e.g. `("motion", 1.2e-4)`, `("raycast", 8e-4)`).
+    pub stages: Vec<(Cow<'static, str>, f64)>,
+}
+
+impl Diagnostics {
+    /// An empty diagnostics record (everything unknown).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether no field carries information.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_none()
+            && self.ess.is_none()
+            && self.covariance_trace.is_none()
+            && self.match_score.is_none()
+            && self.stages.is_empty()
+    }
+
+    /// Appends a stage timing (builder-style).
+    pub fn with_stage(mut self, name: impl Into<Cow<'static, str>>, seconds: f64) -> Self {
+        self.stages.push((name.into(), seconds));
+        self
+    }
+
+    /// Looks up a stage timing \[s\] by name.
+    pub fn stage(&self, name: &str) -> Option<f64> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Sum of all recorded stage timings \[s\].
+    pub fn stages_total(&self) -> f64 {
+        self.stages.iter().map(|(_, s)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_by_default() {
+        let d = Diagnostics::default();
+        assert!(d.is_empty());
+        assert_eq!(d.stage("motion"), None);
+        assert_eq!(d.stages_total(), 0.0);
+    }
+
+    #[test]
+    fn stage_lookup_and_total() {
+        let d = Diagnostics::empty()
+            .with_stage("motion", 1e-4)
+            .with_stage("raycast", 3e-4);
+        assert!(!d.is_empty());
+        assert_eq!(d.stage("motion"), Some(1e-4));
+        assert_eq!(d.stage("sensor"), None);
+        assert!((d.stages_total() - 4e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn populated_fields_flip_is_empty() {
+        let d = Diagnostics {
+            ess: Some(123.0),
+            ..Default::default()
+        };
+        assert!(!d.is_empty());
+    }
+}

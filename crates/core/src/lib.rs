@@ -27,6 +27,7 @@
 //! ```
 
 pub mod angle;
+pub mod diagnostics;
 pub mod linalg;
 pub mod localizer;
 pub mod pose;
@@ -34,6 +35,7 @@ pub mod rng;
 pub mod sensor_data;
 pub mod stats;
 
+pub use diagnostics::Diagnostics;
 pub use localizer::Localizer;
 pub use pose::{Point2, Pose2, Twist2};
 pub use rng::Rng64;

@@ -1,5 +1,6 @@
 //! The interface every localization algorithm in the workspace implements.
 
+use crate::diagnostics::Diagnostics;
 use crate::sensor_data::{LaserScan, Odometry};
 use crate::Pose2;
 
@@ -27,6 +28,18 @@ pub trait Localizer {
 
     /// A short human-readable name for experiment reports.
     fn name(&self) -> &str;
+
+    /// Filter-health diagnostics for the most recent correction step.
+    ///
+    /// The default implementation returns an empty record, so simple
+    /// estimators need not opt in. Stateful filters should report ESS,
+    /// particle count, covariance spread, and per-stage timings here —
+    /// the closed loop logs this through a
+    /// [`Diagnostics`]-shaped pipe instead of downcasting to concrete
+    /// localizer types.
+    fn diagnostics(&self) -> Diagnostics {
+        Diagnostics::empty()
+    }
 }
 
 /// A trivial localizer that integrates odometry only (dead reckoning).
@@ -88,6 +101,16 @@ impl Localizer for DeadReckoning {
     fn name(&self) -> &str {
         "dead-reckoning"
     }
+
+    fn diagnostics(&self) -> Diagnostics {
+        // A single deterministic hypothesis: no spread, nothing resampled.
+        Diagnostics {
+            particles: Some(1),
+            ess: Some(1.0),
+            covariance_trace: Some(0.0),
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +154,15 @@ mod tests {
         let scan = crate::sensor_data::LaserScan::new(0.0, 0.1, vec![1.0], 5.0);
         assert_eq!(dr.correct(&scan), dr.pose());
         assert_eq!(dr.name(), "dead-reckoning");
+    }
+
+    #[test]
+    fn dead_reckoning_reports_single_hypothesis_diagnostics() {
+        let dr = DeadReckoning::new();
+        let d = dr.diagnostics();
+        assert_eq!(d.particles, Some(1));
+        assert_eq!(d.ess, Some(1.0));
+        assert_eq!(d.covariance_trace, Some(0.0));
+        assert!(d.stages.is_empty());
     }
 }

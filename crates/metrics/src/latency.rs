@@ -38,6 +38,32 @@ pub fn combined_load_percent(
     cpu_load_percent(correct_mean_s, correct_hz) + cpu_load_percent(predict_mean_s, predict_hz)
 }
 
+/// Load proxy computed directly from a recorded telemetry span.
+pub fn span_load_percent(span: &raceloc_obs::SpanStat, rate_hz: f64) -> f64 {
+    cpu_load_percent(span.mean_seconds(), rate_hz)
+}
+
+/// The closed-loop load of Table I computed from a telemetry snapshot: the
+/// `sim.correct` span at the LiDAR rate plus the `sim.predict` span at the
+/// odometry rate. Returns `None` when the snapshot holds neither span
+/// (e.g. telemetry was disabled for the run).
+pub fn snapshot_load_percent(
+    snap: &raceloc_obs::Snapshot,
+    lidar_hz: f64,
+    odom_hz: f64,
+) -> Option<f64> {
+    let correct = snap
+        .span("sim.correct")
+        .map(|s| span_load_percent(s, lidar_hz));
+    let predict = snap
+        .span("sim.predict")
+        .map(|s| span_load_percent(s, odom_hz));
+    match (correct, predict) {
+        (None, None) => None,
+        (c, p) => Some(c.unwrap_or(0.0) + p.unwrap_or(0.0)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +93,19 @@ mod tests {
     fn combined_load_adds() {
         let total = combined_load_percent(1e-3, 40.0, 0.5e-3, 50.0);
         assert!((total - (4.0 + 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_load_matches_recorded_spans() {
+        let tel = raceloc_obs::Telemetry::enabled();
+        tel.record_span("sim.correct", 1.25e-3);
+        tel.record_span("sim.predict", 0.5e-3);
+        let snap = tel.snapshot();
+        // 1.25 ms at 40 Hz (5%) + 0.5 ms at 50 Hz (2.5%).
+        let load = snapshot_load_percent(&snap, 40.0, 50.0).expect("spans present");
+        assert!((load - 7.5).abs() < 1e-9);
+
+        let empty = raceloc_obs::Telemetry::enabled().snapshot();
+        assert_eq!(snapshot_load_percent(&empty, 40.0, 50.0), None);
     }
 }

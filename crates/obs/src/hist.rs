@@ -1,0 +1,220 @@
+//! Fixed-bucket histograms for latency accounting.
+//!
+//! Buckets are defined by a fixed, strictly increasing boundary ladder:
+//! value `v` lands in the first bucket `i` with `v < bounds[i]`, and values
+//! at or above the last boundary land in a dedicated overflow bucket. With
+//! fixed boundaries, histograms from different runs (or different stages of
+//! one run) merge and compare bucket-by-bucket — the property the Table III
+//! latency breakdown relies on.
+
+/// The default latency ladder \[seconds\]: a 1–2–5 series from 1 µs to 10 s.
+pub const LATENCY_BOUNDS_S: [f64; 22] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+    2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
+];
+
+/// A fixed-boundary histogram with an overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency()
+    }
+}
+
+impl Histogram {
+    /// A histogram over the default latency ladder [`LATENCY_BOUNDS_S`].
+    pub fn latency() -> Self {
+        Self::with_bounds(LATENCY_BOUNDS_S.to_vec())
+    }
+
+    /// A histogram over custom boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty, non-finite, non-positive, or not
+    /// strictly increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "boundaries must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b > 0.0),
+            "boundaries must be positive and finite"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The bucket index `v` falls into: the first `i` with `v < bounds[i]`,
+    /// or `bounds.len()` (the overflow bucket).
+    pub fn bucket_for(&self, v: f64) -> usize {
+        self.bounds.partition_point(|&b| b <= v)
+    }
+
+    /// Records one observation. Non-finite values are counted as overflow
+    /// (they are evidence of a broken timer, not of a fast one).
+    pub fn record(&mut self, v: f64) {
+        let idx = if v.is_finite() {
+            self.bucket_for(v)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+    }
+
+    /// The boundary ladder.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded (finite) observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0 <= q <= 1`): the boundary of
+    /// the first bucket whose cumulative count reaches `q · total`.
+    /// Returns `None` when empty or when the quantile lands in overflow.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram recorded over the same boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the boundary ladders differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge: bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_is_strictly_increasing() {
+        for w in LATENCY_BOUNDS_S.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_invariants() {
+        let h = Histogram::latency();
+        // Every value lands in the bucket whose half-open interval holds it:
+        // bounds[i-1] <= v < bounds[i].
+        for (i, &b) in h.bounds().iter().enumerate() {
+            // Just below the boundary → bucket i.
+            assert_eq!(h.bucket_for(b * (1.0 - 1e-12)), i, "below bound {b}");
+            // Exactly at the boundary → next bucket (half-open intervals).
+            assert_eq!(h.bucket_for(b), i + 1, "at bound {b}");
+        }
+        assert_eq!(h.bucket_for(0.0), 0);
+        assert_eq!(h.bucket_for(1e9), h.bounds().len());
+    }
+
+    #[test]
+    fn record_and_counts_sum() {
+        let mut h = Histogram::latency();
+        let values = [5e-7, 1.5e-6, 1e-3, 1e-3, 0.3, 99.0];
+        for v in values {
+            h.record(v);
+        }
+        assert_eq!(h.total(), values.len() as u64);
+        assert_eq!(
+            h.counts().iter().sum::<u64>(),
+            values.len() as u64,
+            "counts must sum to total"
+        );
+        // 99 s exceeds the ladder → overflow bucket.
+        assert_eq!(h.counts()[h.bounds().len()], 1);
+    }
+
+    #[test]
+    fn non_finite_goes_to_overflow() {
+        let mut h = Histogram::latency();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.counts()[h.bounds().len()], 2);
+        assert_eq!(h.mean(), 0.0); // non-finite values don't pollute the sum
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_median() {
+        let mut h = Histogram::latency();
+        for _ in 0..100 {
+            h.record(1.3e-3); // lands in (1e-3, 2e-3]
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), Some(2e-3));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(2e-3));
+        assert_eq!(Histogram::latency().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Histogram::latency();
+        let mut b = Histogram::latency();
+        a.record(1e-3);
+        b.record(1e-3);
+        b.record(0.5);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        Histogram::with_bounds(vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,46 @@
+//! **raceloc-obs** — the observability layer of the raceloc workspace.
+//!
+//! The paper's claims are about *runtime behaviour under stress*: per-stage
+//! sensor-update latency on embedded hardware (Table III) and recovery
+//! dynamics under wheel slip. This crate provides the measurement substrate
+//! those experiments are regenerated from:
+//!
+//! - [`Telemetry`] — a cheap, cloneable handle carrying monotonic
+//!   [span timers](Telemetry::span), [counters](Telemetry::add), and
+//!   fixed-bucket latency [histograms](Histogram). A disabled handle
+//!   (the default) costs one branch per call, so instrumented hot paths
+//!   (`SynPf::correct`, the SLAM matchers, `World` stepping, batch ray
+//!   casting) stay within the paper's latency budget.
+//! - [`RunRecorder`] — streams one JSONL record per closed-loop correction
+//!   step (ground truth, estimate, per-stage timings, filter
+//!   [`Diagnostics`](raceloc_core::Diagnostics)) to any writer, so runs are
+//!   machine-readable and latency tables are regenerated from recorded
+//!   spans instead of ad-hoc `Instant` calls.
+//! - [`Json`] — a minimal JSON value model (writer + parser) used by the
+//!   recorder; kept local so the crate stays dependency-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use raceloc_obs::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _outer = tel.span("correct");
+//!     let _inner = tel.span("correct.raycast");
+//! } // both spans record on drop
+//! tel.add("scans", 1);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.span("correct").unwrap().count, 1);
+//! assert_eq!(snap.counter("scans"), Some(1));
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod telemetry;
+
+pub use hist::Histogram;
+pub use json::{Json, JsonError};
+pub use recorder::{parse_steps, RunRecorder, SharedBuffer, StepRecord};
+pub use telemetry::{Snapshot, Span, SpanStat, Telemetry};

@@ -1,0 +1,340 @@
+//! JSONL run recording for the closed loop.
+//!
+//! A [`RunRecorder`] streams one JSON document per line to any writer:
+//! first an optional `meta` line describing the run, then one `step` line
+//! per correction step. The schema (documented field-by-field in
+//! DESIGN.md) is what `examples/race_lq_odom.rs` emits and what the
+//! Table III regeneration notes in EXPERIMENTS.md consume.
+//!
+//! Layout of a `step` line:
+//!
+//! ```json
+//! {"type":"step","step":12,"t":0.3,
+//!  "truth":[x,y,theta],"est":[x,y,theta],"correct_s":0.0012,
+//!  "diag":{"particles":500,"ess":312.4,"cov_trace":0.02,
+//!          "match_score":null,"stages":{"motion":1e-4,"raycast":8e-4}}}
+//! ```
+
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use raceloc_core::{Diagnostics, Pose2};
+
+use crate::json::{Json, JsonError};
+
+fn pose_json(p: Pose2) -> Json {
+    Json::Arr(vec![Json::num(p.x), Json::num(p.y), Json::num(p.theta)])
+}
+
+fn pose_from_json(v: &Json) -> Option<Pose2> {
+    let a = v.as_array()?;
+    match a {
+        [x, y, t] => Some(Pose2::new(x.as_f64()?, y.as_f64()?, t.as_f64()?)),
+        _ => None,
+    }
+}
+
+/// One recorded closed-loop correction step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Zero-based correction-step index.
+    pub step: u64,
+    /// Simulation time \[s\] of the correction.
+    pub stamp: f64,
+    /// Ground-truth vehicle pose at the correction instant.
+    pub true_pose: Pose2,
+    /// The localizer's pose estimate after the correction.
+    pub est_pose: Pose2,
+    /// Wall-clock duration \[s\] of the correction call.
+    pub correct_seconds: f64,
+    /// Filter-health diagnostics reported by the localizer.
+    pub diag: Diagnostics,
+}
+
+impl StepRecord {
+    /// Serializes to the JSONL `step` document.
+    pub fn to_json(&self) -> Json {
+        let diag = Json::Obj(vec![
+            (
+                "particles".into(),
+                Json::opt_num(self.diag.particles.map(|p| p as f64)),
+            ),
+            ("ess".into(), Json::opt_num(self.diag.ess)),
+            (
+                "cov_trace".into(),
+                Json::opt_num(self.diag.covariance_trace),
+            ),
+            ("match_score".into(), Json::opt_num(self.diag.match_score)),
+            (
+                "stages".into(),
+                Json::Obj(
+                    self.diag
+                        .stages
+                        .iter()
+                        .map(|(n, s)| (n.to_string(), Json::num(*s)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        Json::Obj(vec![
+            ("type".into(), Json::Str("step".into())),
+            ("step".into(), Json::num(self.step as f64)),
+            ("t".into(), Json::num(self.stamp)),
+            ("truth".into(), pose_json(self.true_pose)),
+            ("est".into(), pose_json(self.est_pose)),
+            ("correct_s".into(), Json::num(self.correct_seconds)),
+            ("diag".into(), diag),
+        ])
+    }
+
+    /// Parses one JSONL line back into a record. Returns `None` for lines
+    /// that parse as JSON but are not `step` documents (e.g. `meta`).
+    pub fn parse_line(line: &str) -> Result<Option<StepRecord>, JsonError> {
+        let doc = Json::parse(line.trim())?;
+        Ok(Self::from_json(&doc))
+    }
+
+    /// Extracts a record from a parsed `step` document.
+    pub fn from_json(doc: &Json) -> Option<StepRecord> {
+        if doc.get("type")?.as_str()? != "step" {
+            return None;
+        }
+        let diag_doc = doc.get("diag")?;
+        let stages = diag_doc
+            .get("stages")
+            .and_then(Json::as_object)
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter_map(|(n, v)| Some((Cow::Owned(n.clone()), v.as_f64()?)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let diag = Diagnostics {
+            particles: diag_doc
+                .get("particles")
+                .and_then(Json::as_u64)
+                .map(|p| p as usize),
+            ess: diag_doc.get("ess").and_then(Json::as_f64),
+            covariance_trace: diag_doc.get("cov_trace").and_then(Json::as_f64),
+            match_score: diag_doc.get("match_score").and_then(Json::as_f64),
+            stages,
+        };
+        Some(StepRecord {
+            step: doc.get("step")?.as_u64()?,
+            stamp: doc.get("t")?.as_f64()?,
+            true_pose: pose_from_json(doc.get("truth")?)?,
+            est_pose: pose_from_json(doc.get("est")?)?,
+            correct_seconds: doc.get("correct_s")?.as_f64()?,
+            diag,
+        })
+    }
+
+    /// Euclidean position error between truth and estimate \[m\].
+    pub fn position_error(&self) -> f64 {
+        let dx = self.true_pose.x - self.est_pose.x;
+        let dy = self.true_pose.y - self.est_pose.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Streams run records as JSON Lines to a writer.
+///
+/// Construct with [`RunRecorder::new`] around any `Write` (a
+/// [`SharedBuffer`] in tests), or [`RunRecorder::to_file`] for a buffered
+/// file. Each record call writes exactly one `\n`-terminated line.
+pub struct RunRecorder {
+    out: Box<dyn Write + Send>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for RunRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunRecorder")
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunRecorder {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        Self {
+            out: Box::new(out),
+            steps: 0,
+        }
+    }
+
+    /// Creates (truncating) `path` and records into it through a buffer.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Writes a `meta` line: run-level fields such as localizer name, map,
+    /// and configuration. Call once, before the first step.
+    pub fn record_meta(&mut self, fields: &[(&str, Json)]) -> io::Result<()> {
+        let mut obj = vec![("type".to_string(), Json::Str("meta".into()))];
+        obj.extend(fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+        writeln!(self.out, "{}", Json::Obj(obj))
+    }
+
+    /// Writes one `step` line.
+    pub fn record_step(&mut self, rec: &StepRecord) -> io::Result<()> {
+        writeln!(self.out, "{}", rec.to_json())?;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Number of step lines written so far.
+    pub fn steps_written(&self) -> u64 {
+        self.steps
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// A cloneable in-memory sink for [`RunRecorder`] — lets tests hand the
+/// recorder an owned writer and still read what it produced.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer contents decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("recorder output is UTF-8")
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Parses a full JSONL stream, returning only the step records in order.
+pub fn parse_steps(jsonl: &str) -> Result<Vec<StepRecord>, JsonError> {
+    let mut out = Vec::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rec) = StepRecord::parse_line(line)? {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(step: u64) -> StepRecord {
+        StepRecord {
+            step,
+            stamp: 0.025 * step as f64,
+            true_pose: Pose2::new(1.0 + step as f64, 2.0, 0.3),
+            est_pose: Pose2::new(1.1 + step as f64, 1.9, 0.28),
+            correct_seconds: 1.25e-3,
+            diag: Diagnostics {
+                particles: Some(500),
+                ess: Some(312.5),
+                covariance_trace: Some(0.0625),
+                match_score: None,
+                stages: vec![
+                    (Cow::Borrowed("motion"), 1e-4),
+                    (Cow::Borrowed("raycast"), 8e-4),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn step_record_round_trips_through_jsonl() {
+        let rec = sample_record(12);
+        let line = rec.to_json().to_string();
+        let back = StepRecord::parse_line(&line).unwrap().expect("is a step");
+        // Cow<'static> vs Cow<Owned> compare equal by content.
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn recorder_streams_meta_then_steps() {
+        let buf = SharedBuffer::new();
+        let mut rec = RunRecorder::new(buf.clone());
+        rec.record_meta(&[
+            ("localizer", Json::Str("synpf".into())),
+            ("particles", Json::num(500.0)),
+        ])
+        .unwrap();
+        for i in 0..3 {
+            rec.record_step(&sample_record(i)).unwrap();
+        }
+        rec.flush().unwrap();
+        assert_eq!(rec.steps_written(), 3);
+
+        let text = buf.contents();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let meta = Json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(meta.get("localizer").unwrap().as_str(), Some("synpf"));
+
+        let steps = parse_steps(&text).unwrap();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[1].step, 1);
+        assert_eq!(steps[2].diag.stage("raycast"), Some(8e-4));
+    }
+
+    #[test]
+    fn missing_optionals_parse_as_none() {
+        let line = r#"{"type":"step","step":0,"t":0,"truth":[0,0,0],"est":[0,0,0],
+                       "correct_s":0.001,
+                       "diag":{"particles":null,"ess":null,"cov_trace":null,
+                               "match_score":null,"stages":{}}}"#
+            .replace('\n', " ");
+        let rec = StepRecord::parse_line(&line).unwrap().unwrap();
+        assert!(rec.diag.is_empty());
+    }
+
+    #[test]
+    fn non_step_lines_are_skipped_by_parse_steps() {
+        let text = "{\"type\":\"meta\"}\n{\"type\":\"other\"}\n";
+        assert!(parse_steps(text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn position_error_is_euclidean() {
+        let mut rec = sample_record(0);
+        rec.true_pose = Pose2::new(0.0, 0.0, 0.0);
+        rec.est_pose = Pose2::new(3.0, 4.0, 0.1);
+        assert!((rec.position_error() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_file_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("raceloc_obs_recorder_test.jsonl");
+        {
+            let mut rec = RunRecorder::to_file(&path).unwrap();
+            rec.record_step(&sample_record(0)).unwrap();
+            rec.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_steps(&text).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,5 +1,8 @@
 //! SynPF: the Monte-Carlo localization filter itself.
 
+use std::borrow::Cow;
+use std::time::Instant;
+
 use crate::kld::KldConfig;
 use crate::layout::ScanLayout;
 use crate::motion::{DiffDriveModel, TumMotionModel};
@@ -7,9 +10,10 @@ use crate::resample::{effective_sample_size, normalize, systematic_indices};
 use crate::sensor::{BeamModelConfig, BeamSensorModel, LikelihoodField, LikelihoodFieldConfig};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{angle, Pose2, Rng64};
+use raceloc_core::{angle, Diagnostics, Pose2, Rng64};
 use raceloc_map::{CellState, OccupancyGrid};
-use raceloc_range::{cast_batch, RangeMethod};
+use raceloc_obs::Telemetry;
+use raceloc_range::RangeMethod;
 
 /// Which motion model drives the prediction step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,7 +131,8 @@ impl Default for SynPfConfig {
 ///     .resolution(0.1)
 ///     .build();
 /// let caster = RayMarching::new(&track.grid, 10.0);
-/// let mut pf = SynPf::new(caster, SynPfConfig { particles: 200, ..SynPfConfig::default() });
+/// let config = SynPfConfig::builder().particles(200).build().expect("valid config");
+/// let mut pf = SynPf::new(caster, config);
 /// pf.reset(track.start_pose());
 /// assert_eq!(pf.particles().len(), 200);
 /// ```
@@ -153,6 +158,12 @@ pub struct SynPf<M: RangeMethod> {
     // Scratch buffers reused across corrections to stay allocation-free.
     queries: Vec<(f64, f64, f64)>,
     expected: Vec<f64>,
+    /// Observability handle; disabled by default (one branch per record).
+    tel: Telemetry,
+    /// Motion-update time accumulated since the last correction \[s\].
+    motion_accum_seconds: f64,
+    /// Per-stage timings of the last correction, for [`Localizer::diagnostics`].
+    last_stages: Vec<(Cow<'static, str>, f64)>,
 }
 
 impl<M: RangeMethod> SynPf<M> {
@@ -182,7 +193,24 @@ impl<M: RangeMethod> SynPf<M> {
             w_fast: 0.0,
             queries: Vec::new(),
             expected: Vec::new(),
+            tel: Telemetry::disabled(),
+            motion_accum_seconds: 0.0,
+            last_stages: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry handle: every subsequent prediction and
+    /// correction records the `pf.motion`, `pf.raycast`, `pf.sensor`,
+    /// `pf.resample`, and `pf.correct` spans (plus the `range.*` metrics of
+    /// the batch caster) into it.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`SynPf::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Enables augmented-MCL recovery: the filter tracks short- and
@@ -390,6 +418,33 @@ impl<M: RangeMethod> SynPf<M> {
         self.weights.clear();
         self.weights.resize(target, u);
     }
+
+    /// Books the per-stage timings of a finished correction into telemetry
+    /// and into the stage list reported by [`Localizer::diagnostics`].
+    fn finish_correction(
+        &mut self,
+        motion_seconds: f64,
+        raycast_seconds: Option<f64>,
+        sensor_seconds: f64,
+        resample_seconds: f64,
+        correct_started: Instant,
+    ) {
+        self.last_stages.clear();
+        self.last_stages
+            .push((Cow::Borrowed("motion"), motion_seconds));
+        if let Some(raycast) = raycast_seconds {
+            self.tel.record_span("pf.raycast", raycast);
+            self.last_stages.push((Cow::Borrowed("raycast"), raycast));
+        }
+        self.tel.record_span("pf.sensor", sensor_seconds);
+        self.tel.record_span("pf.resample", resample_seconds);
+        self.tel
+            .record_span("pf.correct", correct_started.elapsed().as_secs_f64());
+        self.last_stages
+            .push((Cow::Borrowed("sensor"), sensor_seconds));
+        self.last_stages
+            .push((Cow::Borrowed("resample"), resample_seconds));
+    }
 }
 
 impl<M: RangeMethod> Localizer for SynPf<M> {
@@ -398,6 +453,7 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             self.last_odom = Some(*odom);
             return;
         };
+        let started = Instant::now();
         let delta = last.pose.relative_to(odom.pose);
         let dt = (odom.stamp - last.stamp).max(1e-4);
         match self.config.motion {
@@ -423,6 +479,9 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             }
         }
         self.last_odom = Some(*odom);
+        let seconds = started.elapsed().as_secs_f64();
+        self.motion_accum_seconds += seconds;
+        self.tel.record_span("pf.motion", seconds);
     }
 
     fn correct(&mut self, scan: &LaserScan) -> Pose2 {
@@ -430,11 +489,14 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         if beams.is_empty() {
             return self.estimate;
         }
+        let correct_started = Instant::now();
+        let motion_seconds = std::mem::take(&mut self.motion_accum_seconds);
         let n = self.particles.len();
         let k = beams.len();
         // Endpoint model: no range queries, score endpoints against the
         // distance field.
         if let Some(lf) = &self.likelihood_field {
+            let sensor_started = Instant::now();
             let mut log_w = vec![0.0f64; n];
             let cutoff = scan.max_range - 1e-9;
             for (i, p) in self.particles.iter().enumerate() {
@@ -462,8 +524,18 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             let inject = self.update_recovery(mean_lik);
             normalize(&mut self.weights);
             self.estimate = self.expected_pose();
+            let sensor_seconds = sensor_started.elapsed().as_secs_f64();
+            let resample_started = Instant::now();
             self.resample_if_needed();
             self.inject_random_particles(inject);
+            let resample_seconds = resample_started.elapsed().as_secs_f64();
+            self.finish_correction(
+                motion_seconds,
+                None,
+                sensor_seconds,
+                resample_seconds,
+                correct_started,
+            );
             return self.estimate;
         }
         // Beam model: expected ranges for every (particle, beam) pair.
@@ -480,17 +552,16 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             }
         }
         self.expected.resize(self.queries.len(), 0.0);
-        if self.config.threads > 1 {
-            cast_batch(
-                &self.caster,
-                &self.queries,
-                &mut self.expected,
-                self.config.threads,
-            );
-        } else {
-            self.caster.ranges_into(&self.queries, &mut self.expected);
-        }
+        let raycast_started = Instant::now();
+        self.caster.par_ranges_traced(
+            &self.queries,
+            &mut self.expected,
+            self.config.threads,
+            &self.tel,
+        );
+        let raycast_seconds = raycast_started.elapsed().as_secs_f64();
         // Per-particle squashed log-likelihood.
+        let sensor_started = Instant::now();
         let mut log_w = vec![0.0f64; n];
         for (i, lw) in log_w.iter_mut().enumerate() {
             let base = i * k;
@@ -510,8 +581,18 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         let inject = self.update_recovery(mean_lik);
         normalize(&mut self.weights);
         self.estimate = self.expected_pose();
+        let sensor_seconds = sensor_started.elapsed().as_secs_f64();
+        let resample_started = Instant::now();
         self.resample_if_needed();
         self.inject_random_particles(inject);
+        let resample_seconds = resample_started.elapsed().as_secs_f64();
+        self.finish_correction(
+            motion_seconds,
+            Some(raycast_seconds),
+            sensor_seconds,
+            resample_seconds,
+            correct_started,
+        );
         self.estimate
     }
 
@@ -534,10 +615,23 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         self.last_odom = None;
         self.w_slow = 0.0;
         self.w_fast = 0.0;
+        self.motion_accum_seconds = 0.0;
+        self.last_stages.clear();
     }
 
     fn name(&self) -> &str {
         "synpf"
+    }
+
+    fn diagnostics(&self) -> Diagnostics {
+        let (vx, vy, _vt) = self.covariance();
+        Diagnostics {
+            particles: Some(self.particles.len()),
+            ess: Some(self.ess()),
+            covariance_trace: Some(vx + vy),
+            match_score: self.recovery_health(),
+            stages: self.last_stages.clone(),
+        }
     }
 }
 
@@ -793,6 +887,65 @@ mod tests {
             pf.pose().to_array()
         };
         assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    fn diagnostics_populated_after_correction() {
+        let t = track();
+        let mut pf = small_pf(&t, 300);
+        pf.reset(t.start_pose());
+        assert!(pf.diagnostics().stages.is_empty(), "no correction yet");
+        let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.02));
+        pf.correct(&scan);
+        let d = pf.diagnostics();
+        assert_eq!(d.particles, Some(300));
+        let ess = d.ess.expect("ess reported");
+        assert!(ess > 0.0 && ess <= 300.0 + 1e-6, "ess {ess}");
+        assert!(d.covariance_trace.expect("cov reported") >= 0.0);
+        for stage in ["motion", "raycast", "sensor", "resample"] {
+            let s = d.stage(stage).unwrap_or_else(|| panic!("stage {stage}"));
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn telemetry_records_correction_spans() {
+        let t = track();
+        let mut pf = small_pf(&t, 200);
+        let tel = raceloc_obs::Telemetry::enabled();
+        pf.set_telemetry(tel.clone());
+        pf.reset(t.start_pose());
+        let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        for i in 0..3 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&scan);
+        }
+        let snap = tel.snapshot();
+        for span in [
+            "pf.motion",
+            "pf.raycast",
+            "pf.sensor",
+            "pf.resample",
+            "pf.correct",
+        ] {
+            let s = snap.span(span).unwrap_or_else(|| panic!("span {span}"));
+            assert!(s.count >= 1, "{span}");
+        }
+        assert_eq!(snap.span("pf.correct").unwrap().count, 3);
+        // The batch caster books its own metrics through the same handle.
+        assert!(snap.counter("range.queries").unwrap_or(0) > 0);
+        // Stage spans nest inside the whole correction.
+        let total = snap.span("pf.correct").unwrap().total_seconds;
+        let parts = snap.span("pf.raycast").unwrap().total_seconds
+            + snap.span("pf.sensor").unwrap().total_seconds
+            + snap.span("pf.resample").unwrap().total_seconds;
+        assert!(parts <= total + 1e-6, "stages {parts} exceed total {total}");
     }
 
     #[test]

@@ -32,11 +32,13 @@
 //!     .resolution(0.15)
 //!     .build();
 //! let lut = RangeLut::new(&track.grid, 10.0, 60);
-//! let mut pf = SynPf::new(lut, SynPfConfig { particles: 300, ..SynPfConfig::default() });
+//! let config = SynPfConfig::builder().particles(300).build().expect("valid config");
+//! let mut pf = SynPf::new(lut, config);
 //! pf.reset(track.start_pose());
 //! assert_eq!(pf.name(), "synpf");
 //! ```
 
+pub mod config;
 pub mod filter;
 pub mod kld;
 pub mod layout;
@@ -44,7 +46,8 @@ pub mod motion;
 pub mod resample;
 pub mod sensor;
 
-pub use filter::{MotionConfig, SynPf, SynPfConfig};
+pub use config::{ConfigError, RecoveryConfigBuilder, SynPfConfigBuilder};
+pub use filter::{MotionConfig, RecoveryConfig, SynPf, SynPfConfig};
 pub use kld::KldConfig;
 pub use layout::ScanLayout;
 pub use motion::{CloudDispersion, DiffDriveModel, MotionModel, TumMotionModel};

@@ -2,39 +2,20 @@
 //!
 //! `rangelibc` offers a GPU mode that parallelizes the per-particle,
 //! per-beam expected-range computation. This module is the CPU substitute
-//! (DESIGN.md §1): the query batch is split across OS threads with
-//! `crossbeam`'s scoped threads. For the LUT method a query is a single
-//! memory read, so parallelism only pays off for expensive methods
-//! (Bresenham) or very large batches.
+//! (DESIGN.md §1): the query batch is split across scoped OS threads. For
+//! the LUT method a query is a single memory read, so parallelism only pays
+//! off for expensive methods (Bresenham) or very large batches.
+//!
+//! The preferred entry point is [`RangeMethod::par_ranges_into`], which
+//! exposes the same fan-out as a provided trait method so callers can take
+//! parallelism through one object-safe surface; [`cast_batch`] remains as a
+//! deprecated shim.
 
 use crate::RangeMethod;
 
-/// Casts a batch of `(x, y, θ)` queries in parallel over `threads` workers.
-///
-/// Results are written into `out` in query order; with `threads <= 1` this
-/// degenerates to the sequential [`RangeMethod::ranges_into`].
-///
-/// # Panics
-///
-/// Panics when `queries.len() != out.len()`.
-///
-/// # Examples
-///
-/// ```
-/// use raceloc_map::{CellState, OccupancyGrid};
-/// use raceloc_core::Point2;
-/// use raceloc_range::{cast_batch, BresenhamCasting, RangeMethod};
-///
-/// let mut grid = OccupancyGrid::new(50, 50, 0.2, Point2::ORIGIN);
-/// grid.fill(CellState::Free);
-/// for r in 0..50 { grid.set((49i64, r as i64).into(), CellState::Occupied); }
-/// let caster = BresenhamCasting::new(&grid, 15.0);
-/// let queries = vec![(1.0, 5.0, 0.0); 64];
-/// let mut out = vec![0.0; 64];
-/// cast_batch(&caster, &queries, &mut out, 4);
-/// assert!(out.iter().all(|&r| (r - out[0]).abs() < 1e-12));
-/// ```
-pub fn cast_batch<M: RangeMethod + ?Sized>(
+/// The shared chunk-fanning implementation behind
+/// [`RangeMethod::par_ranges_into`] and the deprecated [`cast_batch`].
+pub(crate) fn chunked_cast<M: RangeMethod + ?Sized>(
     method: &M,
     queries: &[(f64, f64, f64)],
     out: &mut [f64],
@@ -50,14 +31,51 @@ pub fn cast_batch<M: RangeMethod + ?Sized>(
         return;
     }
     let chunk = queries.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 method.ranges_into(q_chunk, o_chunk);
             });
         }
-    })
-    .expect("batch worker panicked");
+    });
+}
+
+/// Casts a batch of `(x, y, θ)` queries in parallel over `threads` workers.
+///
+/// Results are written into `out` in query order; with `threads <= 1` this
+/// degenerates to the sequential [`RangeMethod::ranges_into`].
+///
+/// # Panics
+///
+/// Panics when `queries.len() != out.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_map::{CellState, OccupancyGrid};
+/// use raceloc_core::Point2;
+/// use raceloc_range::{BresenhamCasting, RangeMethod};
+///
+/// let mut grid = OccupancyGrid::new(50, 50, 0.2, Point2::ORIGIN);
+/// grid.fill(CellState::Free);
+/// for r in 0..50 { grid.set((49i64, r as i64).into(), CellState::Occupied); }
+/// let caster = BresenhamCasting::new(&grid, 15.0);
+/// let queries = vec![(1.0, 5.0, 0.0); 64];
+/// let mut out = vec![0.0; 64];
+/// caster.par_ranges_into(&queries, &mut out, 4);
+/// assert!(out.iter().all(|&r| (r - out[0]).abs() < 1e-12));
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RangeMethod::par_ranges_into` (or `par_ranges_traced`) instead"
+)]
+pub fn cast_batch<M: RangeMethod + ?Sized>(
+    method: &M,
+    queries: &[(f64, f64, f64)],
+    out: &mut [f64],
+    threads: usize,
+) {
+    chunked_cast(method, queries, out, threads);
 }
 
 #[cfg(test)]
@@ -87,7 +105,7 @@ mod tests {
         caster.ranges_into(&qs, &mut seq);
         for threads in [2, 3, 4, 8] {
             let mut par = vec![0.0; qs.len()];
-            cast_batch(&caster, &qs, &mut par, threads);
+            caster.par_ranges_into(&qs, &mut par, threads);
             assert_eq!(seq, par, "threads={threads}");
         }
     }
@@ -98,7 +116,7 @@ mod tests {
         let caster = BresenhamCasting::new(&g, 20.0);
         let qs = queries(10);
         let mut out = vec![0.0; 10];
-        cast_batch(&caster, &qs, &mut out, 1);
+        caster.par_ranges_into(&qs, &mut out, 1);
         assert!(out.iter().all(|r| r.is_finite()));
     }
 
@@ -107,7 +125,7 @@ mod tests {
         let g = room_with_pillar();
         let caster = BresenhamCasting::new(&g, 20.0);
         let mut out: Vec<f64> = Vec::new();
-        cast_batch(&caster, &[], &mut out, 4);
+        caster.par_ranges_into(&[], &mut out, 4);
     }
 
     #[test]
@@ -116,10 +134,38 @@ mod tests {
         let caster = BresenhamCasting::new(&g, 20.0);
         let qs = queries(3);
         let mut out = vec![0.0; 3];
-        cast_batch(&caster, &qs, &mut out, 64);
+        caster.par_ranges_into(&qs, &mut out, 64);
         let mut seq = vec![0.0; 3];
         caster.ranges_into(&qs, &mut seq);
         assert_eq!(out, seq);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_delegates() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let qs = queries(33);
+        let mut via_shim = vec![0.0; qs.len()];
+        cast_batch(&caster, &qs, &mut via_shim, 4);
+        let mut via_trait = vec![0.0; qs.len()];
+        caster.par_ranges_into(&qs, &mut via_trait, 4);
+        assert_eq!(via_shim, via_trait);
+    }
+
+    #[test]
+    fn traced_variant_records_span_and_counter() {
+        let g = room_with_pillar();
+        let caster = BresenhamCasting::new(&g, 20.0);
+        let qs = queries(64);
+        let tel = raceloc_obs::Telemetry::enabled();
+        let mut out = vec![0.0; qs.len()];
+        caster.par_ranges_traced(&qs, &mut out, 2, &tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("range.queries"), Some(64));
+        let span = snap.span("range.cast_batch").expect("span recorded");
+        assert_eq!(span.count, 1);
+        assert!(span.total_seconds >= 0.0);
     }
 
     #[test]
@@ -128,6 +174,6 @@ mod tests {
         let g = room_with_pillar();
         let caster = BresenhamCasting::new(&g, 20.0);
         let mut out = vec![0.0; 2];
-        cast_batch(&caster, &queries(5), &mut out, 2);
+        caster.par_ranges_into(&queries(5), &mut out, 2);
     }
 }

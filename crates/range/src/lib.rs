@@ -13,8 +13,10 @@
 //!
 //! The paper's headline experiment runs on a GPU-less Intel NUC using the
 //! LUT mode; [`RangeLut`] reproduces that configuration. The GPU ray-casting
-//! mode of `rangelibc` is substituted by [`batch::cast_batch`], which fans a
-//! query batch across OS threads (see DESIGN.md §1).
+//! mode of `rangelibc` is substituted by [`RangeMethod::par_ranges_into`],
+//! which fans a query batch across OS threads (see DESIGN.md §1);
+//! [`RangeMethod::par_ranges_traced`] additionally records the batch span
+//! and query count into a [`raceloc_obs::Telemetry`] handle.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@ pub mod cddt;
 pub mod lut;
 pub mod raymarch;
 
+#[allow(deprecated)]
 pub use batch::cast_batch;
 pub use bresenham::BresenhamCasting;
 pub use cddt::Cddt;
@@ -60,8 +63,9 @@ pub trait RangeMethod: Send + Sync {
 
     /// Casts many rays, writing into `out`.
     ///
-    /// The default implementation is a sequential loop; [`cast_batch`]
-    /// offers a parallel driver for large batches.
+    /// The default implementation is a sequential loop;
+    /// [`RangeMethod::par_ranges_into`] offers a parallel driver for large
+    /// batches.
     ///
     /// # Panics
     ///
@@ -71,6 +75,37 @@ pub trait RangeMethod: Send + Sync {
         for (o, &(x, y, t)) in out.iter_mut().zip(queries) {
             *o = self.range(x, y, t);
         }
+    }
+
+    /// Casts a batch of queries in parallel over up to `threads` scoped OS
+    /// threads, writing results into `out` in query order. With
+    /// `threads <= 1` this degenerates to the sequential
+    /// [`RangeMethod::ranges_into`].
+    ///
+    /// This is a provided method (all implementations share the chunk
+    /// fan-out), and the trait remains object-safe: `&dyn RangeMethod`
+    /// callers get parallelism too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries.len() != out.len()`.
+    fn par_ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64], threads: usize) {
+        batch::chunked_cast(self, queries, out, threads);
+    }
+
+    /// [`RangeMethod::par_ranges_into`] with telemetry: records the whole
+    /// batch under the `range.cast_batch` span and bumps the
+    /// `range.queries` counter by the batch size.
+    fn par_ranges_traced(
+        &self,
+        queries: &[(f64, f64, f64)],
+        out: &mut [f64],
+        threads: usize,
+        tel: &raceloc_obs::Telemetry,
+    ) {
+        let _span = tel.span("range.cast_batch");
+        tel.add("range.queries", queries.len() as u64);
+        batch::chunked_cast(self, queries, out, threads);
     }
 
     /// Approximate heap memory used by precomputed structures, in bytes.

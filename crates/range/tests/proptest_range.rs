@@ -159,7 +159,7 @@ proptest! {
         let mut a = vec![0.0; queries.len()];
         let mut b = vec![0.0; queries.len()];
         bres.ranges_into(&queries, &mut a);
-        raceloc_range::cast_batch(&bres, &queries, &mut b, threads);
+        bres.par_ranges_into(&queries, &mut b, threads);
         prop_assert_eq!(a, b);
     }
 }

@@ -8,7 +8,9 @@ use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::LaserScan;
 use raceloc_core::Pose2;
 use raceloc_map::{CellState, Track};
+use raceloc_obs::{Json, RunRecorder, StepRecord, Telemetry};
 use raceloc_range::RayMarching;
+use std::io;
 use std::time::Instant;
 
 /// Configuration of a closed-loop run.
@@ -134,6 +136,7 @@ pub struct World {
     grip_rng: raceloc_core::Rng64,
     /// Current grip deviation `g` of the OU process.
     grip_dev: f64,
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for World {
@@ -191,7 +194,21 @@ impl World {
             time: 0.0,
             grip_rng,
             grip_dev: 0.0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; the closed loop records `sim.predict`,
+    /// `sim.correct`, and `sim.physics` spans into it. Pass a clone of the
+    /// handle the localizer uses so one snapshot covers the whole stack.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The world's telemetry handle (disabled unless [`World::set_telemetry`]
+    /// installed an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// The track the world was built on.
@@ -233,7 +250,8 @@ impl World {
     /// controller consumes the *localizer's* pose. The run aborts early if
     /// the ground-truth pose leaves free space ("crash").
     pub fn run<L: Localizer + ?Sized>(&mut self, localizer: &mut L, duration: f64) -> SimLog {
-        self.run_inner(localizer, duration, false)
+        self.run_inner(localizer, duration, false, None)
+            .expect("no recorder attached, no I/O to fail")
     }
 
     /// Runs the closed loop with the controller fed the *ground-truth* pose
@@ -250,7 +268,37 @@ impl World {
         localizer: &mut L,
         duration: f64,
     ) -> SimLog {
-        self.run_inner(localizer, duration, true)
+        self.run_inner(localizer, duration, true, None)
+            .expect("no recorder attached, no I/O to fail")
+    }
+
+    /// Runs the closed loop like [`World::run`] while streaming one JSONL
+    /// `step` record per LiDAR correction into `recorder`.
+    ///
+    /// Each record carries the ground truth, the estimate, the correction
+    /// wall-clock time, and whatever [`Localizer::diagnostics`] reports —
+    /// the same schema for every localizer, with no downcasting. A `meta`
+    /// line naming the localizer and the loop rates is written first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the recorder's writer reports.
+    pub fn run_recorded<L: Localizer + ?Sized>(
+        &mut self,
+        localizer: &mut L,
+        duration: f64,
+        recorder: &mut RunRecorder,
+    ) -> io::Result<SimLog> {
+        recorder.record_meta(&[
+            ("localizer", Json::Str(localizer.name().to_string())),
+            ("duration_s", Json::num(duration)),
+            ("odom_hz", Json::num(self.config.odom_hz)),
+            ("lidar_hz", Json::num(self.config.lidar_hz)),
+            ("seed", Json::num(self.config.seed as f64)),
+        ])?;
+        let log = self.run_inner(localizer, duration, false, Some(recorder))?;
+        recorder.flush()?;
+        Ok(log)
     }
 
     fn run_inner<L: Localizer + ?Sized>(
@@ -258,7 +306,8 @@ impl World {
         localizer: &mut L,
         duration: f64,
         oracle_control: bool,
-    ) -> SimLog {
+        mut recorder: Option<&mut RunRecorder>,
+    ) -> io::Result<SimLog> {
         localizer.reset(self.state.pose);
         let dt = self.config.physics_dt;
         let steps = (duration / dt).ceil() as usize;
@@ -287,7 +336,9 @@ impl World {
                 wheel_speed_estimate = odom.twist.vx;
                 let t0 = Instant::now();
                 localizer.predict(&odom);
-                log.predict_seconds_total += t0.elapsed().as_secs_f64();
+                let predict_seconds = t0.elapsed().as_secs_f64();
+                self.tel.record_span("sim.predict", predict_seconds);
+                log.predict_seconds_total += predict_seconds;
                 log.predict_calls += 1;
             }
             if self.time + 1e-12 >= next_lidar {
@@ -296,6 +347,17 @@ impl World {
                 let t0 = Instant::now();
                 let est = localizer.correct(&scan);
                 let correct_seconds = t0.elapsed().as_secs_f64();
+                self.tel.record_span("sim.correct", correct_seconds);
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record_step(&StepRecord {
+                        step: log.samples.len() as u64,
+                        stamp: self.time,
+                        true_pose: self.state.pose,
+                        est_pose: est,
+                        correct_seconds,
+                        diag: localizer.diagnostics(),
+                    })?;
+                }
                 log.samples.push(LogSample {
                     stamp: self.time,
                     true_pose: self.state.pose,
@@ -327,7 +389,14 @@ impl World {
                 self.grip_dev = self.grip_dev.clamp(-0.25, 0.25);
                 self.vehicle.params_mut().mu = self.config.vehicle.mu * (1.0 + self.grip_dev);
             }
-            self.state = self.vehicle.step(&self.state, &cmd, dt);
+            if self.tel.is_enabled() {
+                let t0 = Instant::now();
+                self.state = self.vehicle.step(&self.state, &cmd, dt);
+                self.tel
+                    .record_span("sim.physics", t0.elapsed().as_secs_f64());
+            } else {
+                self.state = self.vehicle.step(&self.state, &cmd, dt);
+            }
             self.time += dt;
             if self
                 .track
@@ -340,7 +409,7 @@ impl World {
             }
         }
         log.duration = self.time - start_time;
-        log
+        Ok(log)
     }
 }
 
@@ -526,6 +595,42 @@ mod tests {
             lq > hq,
             "low-grip odometry should drift more: lq={lq} hq={hq}"
         );
+    }
+
+    #[test]
+    fn run_recorded_streams_steps_and_telemetry() {
+        let mut world = World::new(oval_track(), WorldConfig::default());
+        let tel = Telemetry::enabled();
+        world.set_telemetry(tel.clone());
+        let buf = raceloc_obs::SharedBuffer::new();
+        let mut rec = RunRecorder::new(buf.clone());
+        let mut dr = DeadReckoning::new();
+        let log = world.run_recorded(&mut dr, 1.0, &mut rec).unwrap();
+
+        // One JSONL step per logged correction, identical content.
+        let text = buf.contents();
+        let steps = raceloc_obs::parse_steps(&text).unwrap();
+        assert_eq!(steps.len(), log.samples.len());
+        assert_eq!(rec.steps_written() as usize, log.samples.len());
+        for (rec, sample) in steps.iter().zip(&log.samples) {
+            assert_eq!(rec.true_pose, sample.true_pose);
+            assert_eq!(rec.est_pose, sample.est_pose);
+            // Dead reckoning reports its fixed diagnostics.
+            assert_eq!(rec.diag.particles, Some(1));
+        }
+        let meta = raceloc_obs::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            meta.get("localizer").and_then(raceloc_obs::Json::as_str),
+            Some("dead-reckoning")
+        );
+
+        // The loop's own spans were recorded.
+        let snap = tel.snapshot();
+        let correct = snap.span("sim.correct").expect("sim.correct span");
+        assert_eq!(correct.count as usize, log.samples.len());
+        let predict = snap.span("sim.predict").expect("sim.predict span");
+        assert_eq!(predict.count as usize, log.predict_calls);
+        assert!(snap.span("sim.physics").is_some());
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! can neither cover the discrepancy (corridor sections are longitudinally
 //! ambiguous) nor recover more than one window per scan.
 
+use std::borrow::Cow;
+use std::time::Instant;
+
 use crate::probgrid::ProbabilityGrid;
 use crate::scan_matcher::{CorrelativeScanMatcher, GaussNewtonRefiner, SearchWindow};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{Point2, Pose2};
+use raceloc_core::{Diagnostics, Point2, Pose2};
 use raceloc_map::OccupancyGrid;
+use raceloc_obs::Telemetry;
 
 /// Configuration of the pure localizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +96,10 @@ pub struct CartoLocalizer {
     pose: Pose2,
     last_odom: Option<Odometry>,
     last_score: f64,
+    tel: Telemetry,
+    /// Per-stage timings of the last correction (refine, and optionally the
+    /// correlative rescue), for [`Localizer::diagnostics`].
+    last_stages: Vec<(Cow<'static, str>, f64)>,
 }
 
 impl CartoLocalizer {
@@ -106,8 +114,16 @@ impl CartoLocalizer {
             pose: Pose2::IDENTITY,
             last_odom: None,
             last_score: 0.0,
+            tel: Telemetry::disabled(),
+            last_stages: Vec::new(),
             config,
         }
+    }
+
+    /// Attaches a telemetry handle: corrections record the
+    /// `slam.refine`, `slam.correlative`, and `slam.correct` spans into it.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The configuration.
@@ -146,7 +162,10 @@ impl Localizer for CartoLocalizer {
         if points.is_empty() {
             return self.pose;
         }
+        let correct_started = Instant::now();
+        self.last_stages.clear();
         let prior = self.pose * self.config.lidar_mount;
+        let refine_started = Instant::now();
         let direct = self.refiner.refine_with_prior(
             &self.grid,
             &points,
@@ -155,7 +174,12 @@ impl Localizer for CartoLocalizer {
             self.config.prior_translation_weight,
             self.config.prior_rotation_weight,
         );
+        let refine_seconds = refine_started.elapsed().as_secs_f64();
+        self.tel.record_span("slam.refine", refine_seconds);
+        self.last_stages
+            .push((Cow::Borrowed("refine"), refine_seconds));
         let fine = if direct.score < self.config.correlative_rescue_score {
+            let rescue_started = Instant::now();
             let coarse = self
                 .matcher
                 .match_scan(&self.grid, &points, prior, self.config.window);
@@ -167,6 +191,10 @@ impl Localizer for CartoLocalizer {
                 self.config.prior_translation_weight,
                 self.config.prior_rotation_weight,
             );
+            let rescue_seconds = rescue_started.elapsed().as_secs_f64();
+            self.tel.record_span("slam.correlative", rescue_seconds);
+            self.last_stages
+                .push((Cow::Borrowed("correlative"), rescue_seconds));
             if rescued.score > direct.score {
                 rescued
             } else {
@@ -176,6 +204,8 @@ impl Localizer for CartoLocalizer {
             direct
         };
         self.last_score = fine.score;
+        self.tel
+            .record_span("slam.correct", correct_started.elapsed().as_secs_f64());
         if self.last_score >= self.config.min_score {
             // Clamp the refined pose back into the search window: the
             // single-hypothesis tracker never jumps beyond its window.
@@ -204,10 +234,20 @@ impl Localizer for CartoLocalizer {
         self.pose = pose;
         self.last_odom = None;
         self.last_score = 0.0;
+        self.last_stages.clear();
     }
 
     fn name(&self) -> &str {
         "cartographer"
+    }
+
+    fn diagnostics(&self) -> Diagnostics {
+        Diagnostics {
+            particles: Some(1),
+            match_score: Some(self.last_score),
+            stages: self.last_stages.clone(),
+            ..Default::default()
+        }
     }
 }
 
@@ -329,6 +369,25 @@ mod tests {
         loc.reset(Pose2::new(1.0, 2.0, 0.0));
         let est = loc.correct(&LaserScan::new(0.0, 0.1, vec![], 10.0));
         assert_eq!(est, Pose2::new(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn diagnostics_and_telemetry_record_match() {
+        let t = track();
+        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let tel = Telemetry::enabled();
+        loc.set_telemetry(tel.clone());
+        let truth = t.start_pose();
+        loc.reset(truth);
+        assert!(loc.diagnostics().stages.is_empty(), "no correction yet");
+        loc.correct(&scan_from(&t, truth, loc.config().lidar_mount));
+        let d = loc.diagnostics();
+        assert_eq!(d.particles, Some(1));
+        assert_eq!(d.match_score, Some(loc.last_score()));
+        assert!(d.stage("refine").expect("refine stage") >= 0.0);
+        let snap = tel.snapshot();
+        assert_eq!(snap.span("slam.correct").expect("span").count, 1);
+        assert!(snap.span("slam.refine").is_some());
     }
 
     #[test]

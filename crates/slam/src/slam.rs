@@ -1,6 +1,9 @@
 //! The online SLAM pipeline: local matching, submap insertion, pose-graph
 //! construction, loop closure, and map export.
 
+use std::borrow::Cow;
+use std::time::Instant;
+
 use crate::loop_closure::{BranchAndBoundConfig, BranchAndBoundMatcher};
 use crate::pose_graph::{Constraint, PoseGraph};
 use crate::probgrid::ProbabilityGrid;
@@ -8,8 +11,9 @@ use crate::scan_matcher::{CorrelativeScanMatcher, GaussNewtonRefiner, SearchWind
 use crate::submap::SubmapCollection;
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{Point2, Pose2};
+use raceloc_core::{Diagnostics, Point2, Pose2};
 use raceloc_map::OccupancyGrid;
+use raceloc_obs::Telemetry;
 
 /// Configuration of the [`CartoSlam`] pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +110,11 @@ pub struct CartoSlam {
     last_insert_pose: Option<Pose2>,
     nodes_since_closure: usize,
     closures_found: usize,
+    tel: Telemetry,
+    last_match_score: Option<f64>,
+    /// Per-stage timings of the last correction, for
+    /// [`Localizer::diagnostics`].
+    last_stages: Vec<(Cow<'static, str>, f64)>,
 }
 
 impl std::fmt::Debug for CartoSlam {
@@ -139,8 +148,18 @@ impl CartoSlam {
             last_insert_pose: None,
             nodes_since_closure: 0,
             closures_found: 0,
+            tel: Telemetry::disabled(),
+            last_match_score: None,
+            last_stages: Vec::new(),
             config,
         }
+    }
+
+    /// Attaches a telemetry handle: corrections record the `slam.match`,
+    /// `slam.insert`, `slam.loop_closure`, `slam.optimize`, and
+    /// `slam.correct` spans into it. Survives [`Localizer::reset`].
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The configuration.
@@ -217,6 +236,7 @@ impl CartoSlam {
             }
         }
         if self.closures_found > 0 {
+            let optimize_started = Instant::now();
             let before = self
                 .graph
                 .node(self.nodes.last().expect("has nodes").graph_idx);
@@ -227,6 +247,10 @@ impl CartoSlam {
             // Propagate the correction of the newest node to the tracked pose.
             let correction = after * before.inverse();
             self.tracked = correction * self.tracked;
+            let optimize_seconds = optimize_started.elapsed().as_secs_f64();
+            self.tel.record_span("slam.optimize", optimize_seconds);
+            self.last_stages
+                .push((Cow::Borrowed("optimize"), optimize_seconds));
         }
     }
 
@@ -302,12 +326,15 @@ impl Localizer for CartoSlam {
         if points.is_empty() {
             return self.tracked;
         }
+        let correct_started = Instant::now();
+        self.last_stages.clear();
         let sensor_prior = self.tracked * self.config.lidar_mount;
         // Local scan matching against the active submap (if it has data):
         // prior-regularized Gauss–Newton, with the correlative matcher as a
         // rescue when the refined placement scores poorly.
         if let Some(submap) = self.submaps.matching_submap() {
             if submap.scan_count() > 0 {
+                let match_started = Instant::now();
                 let fine = self.refiner.refine_with_prior(
                     submap.grid(),
                     &points,
@@ -335,6 +362,11 @@ impl Localizer for CartoSlam {
                     fine
                 };
                 self.tracked = fine.pose * self.config.lidar_mount.inverse();
+                self.last_match_score = Some(fine.score);
+                let match_seconds = match_started.elapsed().as_secs_f64();
+                self.tel.record_span("slam.match", match_seconds);
+                self.last_stages
+                    .push((Cow::Borrowed("match"), match_seconds));
             }
         }
         // Motion filter: only insert when the car moved enough.
@@ -346,6 +378,7 @@ impl Localizer for CartoSlam {
             }
         };
         if insert {
+            let insert_started = Instant::now();
             let sensor_pose = self.tracked * self.config.lidar_mount;
             let n_submaps_before = self.submaps.submaps().len();
             self.submaps.insert(sensor_pose, scan);
@@ -368,11 +401,22 @@ impl Localizer for CartoSlam {
             self.nodes.push(NodeData { graph_idx, points });
             self.last_insert_pose = Some(self.tracked);
             self.nodes_since_closure += 1;
+            let insert_seconds = insert_started.elapsed().as_secs_f64();
+            self.tel.record_span("slam.insert", insert_seconds);
+            self.last_stages
+                .push((Cow::Borrowed("insert"), insert_seconds));
             if self.nodes_since_closure >= self.config.loop_closure_every {
                 self.nodes_since_closure = 0;
+                let closure_started = Instant::now();
                 self.try_loop_closure();
+                let closure_seconds = closure_started.elapsed().as_secs_f64();
+                self.tel.record_span("slam.loop_closure", closure_seconds);
+                self.last_stages
+                    .push((Cow::Borrowed("loop_closure"), closure_seconds));
             }
         }
+        self.tel
+            .record_span("slam.correct", correct_started.elapsed().as_secs_f64());
         self.tracked
     }
 
@@ -382,12 +426,23 @@ impl Localizer for CartoSlam {
 
     fn reset(&mut self, pose: Pose2) {
         let config = self.config.clone();
+        let tel = self.tel.clone();
         *self = CartoSlam::new(config);
+        self.tel = tel;
         self.tracked = pose;
     }
 
     fn name(&self) -> &str {
         "carto-slam"
+    }
+
+    fn diagnostics(&self) -> Diagnostics {
+        Diagnostics {
+            particles: Some(1),
+            match_score: self.last_match_score,
+            stages: self.last_stages.clone(),
+            ..Default::default()
+        }
     }
 }
 
@@ -528,5 +583,60 @@ mod tests {
         slam.reset(Pose2::new(1.0, 1.0, 0.0));
         let est = slam.correct(&raceloc_core::LaserScan::new(0.0, 0.1, vec![], 10.0));
         assert_eq!(est, Pose2::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn telemetry_and_diagnostics_cover_pipeline_stages() {
+        let tel = Telemetry::enabled();
+        let track = TrackSpec::new(TrackShape::Oval {
+            width: 10.0,
+            height: 6.0,
+        })
+        .resolution(0.1)
+        .build();
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let mut slam = CartoSlam::new(CartoSlamConfig {
+            resolution: 0.1,
+            max_points: 90,
+            scans_per_submap: 20,
+            ..CartoSlamConfig::default()
+        });
+        let path = &track.centerline;
+        let start = Pose2::from_point(path.point_at(0.0), path.heading_at(0.0));
+        slam.set_telemetry(tel.clone());
+        slam.reset(start); // telemetry must survive the reset
+        let mount = slam.config().lidar_mount;
+        let mut odom_pose = Pose2::IDENTITY;
+        let ds = 0.12;
+        for i in 0..30 {
+            let s = i as f64 * ds;
+            let truth = Pose2::from_point(path.point_at(s), path.heading_at(s));
+            if i > 0 {
+                let prev = Pose2::from_point(path.point_at(s - ds), path.heading_at(s - ds));
+                odom_pose = odom_pose * prev.relative_to(truth);
+            }
+            slam.predict(&Odometry::new(odom_pose, Twist2::ZERO, i as f64 * 0.05));
+            let sensor = truth * mount;
+            let beams = 120;
+            let fov = 270.0f64.to_radians();
+            let inc = fov / (beams - 1) as f64;
+            let ranges: Vec<f64> = (0..beams)
+                .map(|b| {
+                    caster.range(
+                        sensor.x,
+                        sensor.y,
+                        sensor.theta - 0.5 * fov + b as f64 * inc,
+                    )
+                })
+                .collect();
+            slam.correct(&raceloc_core::LaserScan::new(-0.5 * fov, inc, ranges, 10.0));
+        }
+        let snap = tel.snapshot();
+        assert!(snap.span("slam.correct").expect("correct span").count >= 30);
+        assert!(snap.span("slam.match").expect("match span").count >= 1);
+        assert!(snap.span("slam.insert").expect("insert span").count >= 1);
+        let d = slam.diagnostics();
+        assert!(d.match_score.is_some());
+        assert!(d.stage("match").is_some() || d.stage("insert").is_some());
     }
 }

@@ -24,22 +24,20 @@ fn main() {
     .build();
 
     let caster = RayMarching::new(&track.grid, 10.0);
-    let mut pf = SynPf::new(
-        RayMarching::new(&track.grid, 10.0),
-        SynPfConfig {
-            particles: 12_000,
-            // A wider, uniform beam spread and a sharper likelihood help
-            // disambiguate aliased corridor segments during recovery.
-            layout: raceloc::pf::ScanLayout::Uniform { count: 90 },
-            squash: 8.0,
-            // KLD shrinks the set as the posterior collapses.
-            kld: Some(KldConfig {
-                max_particles: 12_000,
-                ..KldConfig::default()
-            }),
-            ..SynPfConfig::default()
-        },
-    );
+    let config = SynPfConfig::builder()
+        .particles(12_000)
+        // A wider, uniform beam spread and a sharper likelihood help
+        // disambiguate aliased corridor segments during recovery.
+        .layout(raceloc::pf::ScanLayout::Uniform { count: 90 })
+        .squash(8.0)
+        // KLD shrinks the set as the posterior collapses.
+        .kld(KldConfig {
+            max_particles: 12_000,
+            ..KldConfig::default()
+        })
+        .build()
+        .expect("relocalization config is valid");
+    let mut pf = SynPf::new(RayMarching::new(&track.grid, 10.0), config);
 
     // The car wakes up somewhere on the track; the filter knows nothing.
     let s = 0.37 * track.raceline.total_length();

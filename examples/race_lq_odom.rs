@@ -2,15 +2,24 @@
 //! and on "taped" slippery tires, with both localization algorithms, and
 //! watch what degraded wheel odometry does to each.
 //!
+//! Each run is streamed to a JSONL file (one `step` record per scan
+//! correction, carrying the localizer's [`Diagnostics`]) and the printed
+//! statistics are computed by parsing those files back — the same
+//! machine-readable pipeline EXPERIMENTS.md uses to regenerate tables.
+//!
 //! Run with `cargo run --release --example race_lq_odom`.
+//!
+//! [`Diagnostics`]: raceloc::core::Diagnostics
 
 use raceloc::core::localizer::Localizer;
 use raceloc::core::RunningStats;
 use raceloc::map::{Track, TrackShape, TrackSpec};
+use raceloc::obs::{parse_steps, RunRecorder};
 use raceloc::pf::{SynPf, SynPfConfig};
 use raceloc::range::RangeLut;
 use raceloc::sim::{World, WorldConfig};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
+use std::path::PathBuf;
 
 fn track() -> Track {
     TrackSpec::new(TrackShape::RandomFourier {
@@ -24,46 +33,125 @@ fn track() -> Track {
     .build()
 }
 
-fn race<L: Localizer>(mut loc: L, mu: f64, use_imu_yaw: bool) -> (String, f64, f64, bool) {
+struct RaceResult {
+    name: String,
+    est_error_cm: f64,
+    mean_slip: f64,
+    mean_ess: Option<f64>,
+    mean_match: Option<f64>,
+    crashed: bool,
+    log_path: PathBuf,
+}
+
+fn race<L: Localizer>(
+    mut loc: L,
+    mu: f64,
+    use_imu_yaw: bool,
+    tires: &str,
+    out_dir: &std::path::Path,
+) -> RaceResult {
     let mut cfg = WorldConfig::default();
     cfg.vehicle.mu = mu;
     cfg.odom.use_imu_yaw = use_imu_yaw;
     let mut world = World::new(track(), cfg);
-    let log = world.run(&mut loc, 25.0);
+
+    let log_path = out_dir.join(format!("race_{}_{}.jsonl", loc.name(), tires));
+    let mut recorder = RunRecorder::to_file(&log_path).expect("create JSONL log");
+    let log = world
+        .run_recorded(&mut loc, 25.0, &mut recorder)
+        .expect("write JSONL log");
+
+    // Everything below comes from re-parsing the JSONL file, proving the
+    // recorded stream is self-sufficient for analysis.
+    let text = std::fs::read_to_string(&log_path).expect("read back JSONL log");
+    let steps = parse_steps(&text).expect("recorded JSONL parses");
+    assert_eq!(steps.len(), log.samples.len());
     let mut err = RunningStats::new();
+    let mut ess = RunningStats::new();
+    let mut score = RunningStats::new();
+    for s in &steps {
+        err.push(100.0 * s.position_error());
+        if let Some(e) = s.diag.ess {
+            ess.push(e);
+        }
+        if let Some(m) = s.diag.match_score {
+            score.push(m);
+        }
+    }
     let mut slip = RunningStats::new();
     for s in &log.samples {
-        err.push(100.0 * s.true_pose.dist(s.est_pose));
         slip.push((s.wheel_speed - s.true_speed).max(0.0));
     }
-    (loc.name().to_string(), err.mean(), slip.mean(), log.crashed)
+    RaceResult {
+        name: loc.name().to_string(),
+        est_error_cm: err.mean(),
+        mean_slip: slip.mean(),
+        mean_ess: (ess.count() > 0).then(|| ess.mean()),
+        mean_match: (score.count() > 0).then(|| score.mean()),
+        crashed: log.crashed,
+        log_path,
+    }
 }
 
 fn main() {
     println!("building track and range structures…");
     let t = track();
     let lut = RangeLut::new(&t.grid, 10.0, 72);
+    let out_dir = std::env::temp_dir().join("raceloc_runs");
+    std::fs::create_dir_all(&out_dir).expect("create run-log directory");
 
     println!();
     println!(
-        "{:<14} {:<9} {:>14} {:>16} {:>8}",
-        "localizer", "tires", "est error [cm]", "mean slip [m/s]", "crashed"
+        "{:<14} {:<9} {:>14} {:>16} {:>10} {:>11} {:>8}",
+        "localizer", "tires", "est error [cm]", "mean slip [m/s]", "mean ESS", "match", "crashed"
     );
+    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+    let mut paths = Vec::new();
     for (label, mu) in [("grippy", 1.0), ("taped", 19.0 / 26.0)] {
         // Cartographer runs on the stock Ackermann (VESC) odometry.
-        let (name, err, slip, crashed) = race(
+        let r = race(
             CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default()),
             mu,
             false,
+            label,
+            &out_dir,
         );
-        println!("{name:<14} {label:<9} {err:>14.2} {slip:>16.3} {crashed:>8}");
+        println!(
+            "{:<14} {label:<9} {:>14.2} {:>16.3} {:>10} {:>11} {:>8}",
+            r.name,
+            r.est_error_cm,
+            r.mean_slip,
+            fmt_opt(r.mean_ess),
+            fmt_opt(r.mean_match),
+            r.crashed
+        );
+        paths.push(r.log_path);
         // SynPF runs on IMU-fused odometry (the TUM PF input convention).
-        let (name, err, slip, crashed) =
-            race(SynPf::new(lut.clone(), SynPfConfig::default()), mu, true);
-        println!("{name:<14} {label:<9} {err:>14.2} {slip:>16.3} {crashed:>8}");
+        let r = race(
+            SynPf::new(lut.clone(), SynPfConfig::default()),
+            mu,
+            true,
+            label,
+            &out_dir,
+        );
+        println!(
+            "{:<14} {label:<9} {:>14.2} {:>16.3} {:>10} {:>11} {:>8}",
+            r.name,
+            r.est_error_cm,
+            r.mean_slip,
+            fmt_opt(r.mean_ess),
+            fmt_opt(r.mean_match),
+            r.crashed
+        );
+        paths.push(r.log_path);
     }
     println!();
     println!("Taping the tires increases wheel slip; Cartographer's single-hypothesis");
     println!("matcher inherits the corrupted odometry prior while SynPF's particle");
     println!("cloud absorbs it — the paper's Table I in one run.");
+    println!();
+    println!("JSONL run logs (schema: DESIGN.md \"Observability\"):");
+    for p in &paths {
+        println!("  {}", p.display());
+    }
 }

@@ -19,6 +19,7 @@
 //! | [`pf`] | `raceloc-pf` | **SynPF** — the paper's particle filter |
 //! | [`slam`] | `raceloc-slam` | Cartographer-style SLAM + pure localization baseline |
 //! | [`metrics`] | `raceloc-metrics` | lap times, lateral error, scan alignment, latency, ATE/RPE |
+//! | [`obs`] | `raceloc-obs` | telemetry spans/counters/histograms, JSONL run recording |
 //!
 //! # Quickstart
 //!
@@ -34,7 +35,8 @@
 //!     .resolution(0.1)
 //!     .build();
 //! let caster = RayMarching::new(&track.grid, 10.0);
-//! let mut pf = SynPf::new(caster, SynPfConfig { particles: 300, ..SynPfConfig::default() });
+//! let config = SynPfConfig::builder().particles(300).build().expect("valid config");
+//! let mut pf = SynPf::new(caster, config);
 //! let mut world = World::new(track, WorldConfig::default());
 //! let log = world.run(&mut pf, 1.0);
 //! assert!(!log.samples.is_empty());
@@ -43,6 +45,7 @@
 pub use raceloc_core as core;
 pub use raceloc_map as map;
 pub use raceloc_metrics as metrics;
+pub use raceloc_obs as obs;
 pub use raceloc_pf as pf;
 pub use raceloc_range as range;
 pub use raceloc_sim as sim;

@@ -26,13 +26,11 @@ fn small_world(mu: f64) -> World {
 }
 
 fn small_pf(track: &Track) -> SynPf<RayMarching> {
-    SynPf::new(
-        RayMarching::new(&track.grid, 10.0),
-        SynPfConfig {
-            particles: 250,
-            ..SynPfConfig::default()
-        },
-    )
+    let config = SynPfConfig::builder()
+        .particles(250)
+        .build()
+        .expect("valid config");
+    SynPf::new(RayMarching::new(&track.grid, 10.0), config)
 }
 
 #[test]

@@ -10,6 +10,14 @@ use raceloc::pf::{SynPf, SynPfConfig};
 use raceloc::range::{RangeMethod, RayMarching};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
 
+fn pf_with(t: &Track, particles: usize) -> SynPf<RayMarching> {
+    let config = SynPfConfig::builder()
+        .particles(particles)
+        .build()
+        .expect("valid config");
+    SynPf::new(RayMarching::new(&t.grid, 10.0), config)
+}
+
 fn track() -> Track {
     TrackSpec::new(TrackShape::Oval {
         width: 11.0,
@@ -53,13 +61,7 @@ fn degraded_scan(
 #[test]
 fn synpf_survives_half_the_beams_dropping_out() {
     let t = track();
-    let mut pf = SynPf::new(
-        RayMarching::new(&t.grid, 10.0),
-        SynPfConfig {
-            particles: 400,
-            ..SynPfConfig::default()
-        },
-    );
+    let mut pf = pf_with(&t, 400);
     let pose = t.start_pose();
     pf.reset(pose);
     let mut rng = Rng64::new(3);
@@ -78,13 +80,7 @@ fn synpf_survives_half_the_beams_dropping_out() {
 #[test]
 fn synpf_survives_heavy_range_noise() {
     let t = track();
-    let mut pf = SynPf::new(
-        RayMarching::new(&t.grid, 10.0),
-        SynPfConfig {
-            particles: 400,
-            ..SynPfConfig::default()
-        },
-    );
+    let mut pf = pf_with(&t, 400);
     let pose = t.start_pose();
     pf.reset(pose);
     let mut rng = Rng64::new(5);
@@ -104,13 +100,7 @@ fn synpf_survives_heavy_range_noise() {
 #[test]
 fn synpf_all_beams_dropped_keeps_estimate_finite() {
     let t = track();
-    let mut pf = SynPf::new(
-        RayMarching::new(&t.grid, 10.0),
-        SynPfConfig {
-            particles: 200,
-            ..SynPfConfig::default()
-        },
-    );
+    let mut pf = pf_with(&t, 200);
     let pose = t.start_pose();
     pf.reset(pose);
     // Every beam at max range: the sensor model's max-range mass applies
@@ -146,13 +136,7 @@ fn odometry_blackout_degrades_gracefully() {
     let pose = t.start_pose();
     let mut rng = Rng64::new(11);
 
-    let mut pf = SynPf::new(
-        RayMarching::new(&t.grid, 10.0),
-        SynPfConfig {
-            particles: 300,
-            ..SynPfConfig::default()
-        },
-    );
+    let mut pf = pf_with(&t, 300);
     pf.reset(pose);
     let mut carto = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
     carto.reset(pose);
@@ -168,13 +152,7 @@ fn corrupted_scan_with_nonsense_ranges_is_contained() {
     // A scan whose ranges are garbage (alternating 0 and max): the filter's
     // weights must stay a valid distribution and the estimate finite.
     let t = track();
-    let mut pf = SynPf::new(
-        RayMarching::new(&t.grid, 10.0),
-        SynPfConfig {
-            particles: 200,
-            ..SynPfConfig::default()
-        },
-    );
+    let mut pf = pf_with(&t, 200);
     pf.reset(t.start_pose());
     let garbage: Vec<f64> = (0..181)
         .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })

@@ -23,13 +23,11 @@ fn run_laps(duration: f64) -> (Track, SimLog) {
     cfg.lidar.beams = 121;
     cfg.pursuit.speed_scale = 0.8;
     let mut world = World::new(track.clone(), cfg);
-    let mut pf = SynPf::new(
-        RayMarching::new(&track.grid, 10.0),
-        SynPfConfig {
-            particles: 250,
-            ..SynPfConfig::default()
-        },
-    );
+    let config = SynPfConfig::builder()
+        .particles(250)
+        .build()
+        .expect("valid config");
+    let mut pf = SynPf::new(RayMarching::new(&track.grid, 10.0), config);
     let log = world.run(&mut pf, duration);
     (track, log)
 }

@@ -46,13 +46,11 @@ fn map_with_slam_then_localize_with_synpf() {
     // Phase 2: localize against the SLAM-built map (not the ground truth!)
     // while racing faster.
     let caster = RayMarching::new(&slam_map, 10.0);
-    let mut pf = SynPf::new(
-        caster,
-        SynPfConfig {
-            particles: 250,
-            ..SynPfConfig::default()
-        },
-    );
+    let config = SynPfConfig::builder()
+        .particles(250)
+        .build()
+        .expect("valid config");
+    let mut pf = SynPf::new(caster, config);
     let mut cfg2 = WorldConfig::default();
     cfg2.pursuit.speed_scale = 0.75;
     cfg2.lidar.beams = 121;

@@ -1,0 +1,258 @@
+//! A minimal, dependency-free subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API, vendored so the workspace's `harness = false` bench
+//! targets build and run offline.
+//!
+//! The statistical machinery of upstream criterion (outlier detection,
+//! bootstrap confidence intervals, HTML reports) is replaced by a plain
+//! mean-over-samples timer that prints one line per benchmark. The API
+//! surface — [`Criterion`], [`BenchmarkId`], `benchmark_group`,
+//! `bench_function`, `bench_with_input`, [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — is call-compatible with the
+//! subset the raceloc benches use.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! targets) every benchmark body runs exactly once, keeping test runs fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the stub always runs a fixed sample count).
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.to_string(), self.sample_size, self.test_mode, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as it
+    /// goes, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples (or one
+    /// in `--test` mode). The routine's output is passed through
+    /// [`black_box`] so it is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // One untimed warm-up pass.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: String, sample_size: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label:<48} ok (test mode)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total.as_secs_f64() / b.samples.len() as f64;
+    let min = b.samples.iter().min().map(Duration::as_secs_f64).unwrap();
+    let max = b.samples.iter().max().map(Duration::as_secs_f64).unwrap();
+    println!(
+        "{label:<48} mean {:>10.3} µs  [min {:>10.3}  max {:>10.3}]",
+        mean * 1e6,
+        min * 1e6,
+        max * 1e6
+    );
+}
+
+/// Declares a group function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_input_benches_run() {
+        // Keep the unit test fast regardless of how it was invoked.
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        sample_bench(&mut c);
+        c.bench_function("free", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("lut", 1200).to_string(), "lut/1200");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
