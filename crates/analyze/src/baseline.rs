@@ -1,0 +1,238 @@
+//! The ratcheted baseline: a checked-in allowlist of pre-existing
+//! violations that lets the pass land green and then be tightened to zero.
+//!
+//! `analyze-baseline.json` stores per-`(file, rule)` *counts*, not line
+//! numbers, so unrelated edits that shift lines do not invalidate it. The
+//! ratchet semantics:
+//!
+//! - more violations in a `(file, rule)` group than its baselined count →
+//!   **new violations**, the run fails under `--check`;
+//! - fewer → the baseline is **stale**; `--update-baseline` rewrites it
+//!   with the lower count so the improvement is locked in;
+//! - a baselined count can never grow back without a human editing the
+//!   checked-in file in review.
+
+use raceloc_obs::Json;
+use std::collections::BTreeMap;
+
+use crate::rules::{Severity, Violation};
+
+/// Allowed violation counts, keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// The comparison of a scan against a [`Baseline`].
+#[derive(Debug, Clone, Default)]
+pub struct Verdict {
+    /// Deny violations beyond the baselined count, i.e. regressions.
+    pub new_violations: Vec<Violation>,
+    /// Deny violations covered by the baseline (grandfathered).
+    pub baselined: Vec<Violation>,
+    /// `(file, rule, allowed, found)` groups where the code now does
+    /// better than the baseline — candidates for `--update-baseline`.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// An empty baseline: every deny violation is new.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of `(file, rule)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline allows nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the JSON document produced by [`Baseline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the document is not valid
+    /// JSON or does not follow the baseline schema.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let mut entries = BTreeMap::new();
+        let list = doc
+            .get("entries")
+            .and_then(|e| e.as_array())
+            .ok_or("baseline must have an `entries` array")?;
+        for item in list {
+            let file = item
+                .get("file")
+                .and_then(|v| v.as_str())
+                .ok_or("baseline entry missing `file`")?;
+            let rule = item
+                .get("rule")
+                .and_then(|v| v.as_str())
+                .ok_or("baseline entry missing `rule`")?;
+            let count = item
+                .get("count")
+                .and_then(|v| v.as_u64())
+                .ok_or("baseline entry missing `count`")?;
+            entries.insert((file.to_string(), rule.to_string()), count as usize);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Builds the baseline that exactly covers the given violations
+    /// (advisory findings are never baselined).
+    pub fn covering(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            if v.severity == Severity::Deny {
+                *entries
+                    .entry((v.file.clone(), v.rule.to_string()))
+                    .or_insert(0) += 1;
+            }
+        }
+        Self { entries }
+    }
+
+    /// Serializes to the checked-in JSON document (stable order, so diffs
+    /// in review are minimal).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|((file, rule), count)| {
+                Json::Obj(vec![
+                    ("file".to_string(), Json::Str(file.clone())),
+                    ("rule".to_string(), Json::Str(rule.clone())),
+                    ("count".to_string(), Json::num(*count as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("version".to_string(), Json::num(1.0)),
+            ("entries".to_string(), Json::Arr(entries)),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// Splits a scan's violations into new / baselined / stale per the
+    /// ratchet semantics. Advisory findings are passed through untouched
+    /// (they are neither new nor baselined).
+    pub fn compare(&self, violations: &[Violation]) -> Verdict {
+        let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+        for v in violations {
+            if v.severity == Severity::Deny {
+                groups
+                    .entry((v.file.clone(), v.rule.to_string()))
+                    .or_default()
+                    .push(v);
+            }
+        }
+        let mut verdict = Verdict::default();
+        for (key, group) in &groups {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            if group.len() > allowed {
+                // More findings than grandfathered: the first `allowed` are
+                // treated as covered, the excess as regressions.
+                for v in &group[..allowed] {
+                    verdict.baselined.push((*v).clone());
+                }
+                for v in &group[allowed..] {
+                    verdict.new_violations.push((*v).clone());
+                }
+            } else {
+                for v in group {
+                    verdict.baselined.push((*v).clone());
+                }
+                if group.len() < allowed {
+                    verdict
+                        .stale
+                        .push((key.0.clone(), key.1.clone(), allowed, group.len()));
+                }
+            }
+        }
+        // Entries whose file no longer has any finding at all.
+        for (key, &allowed) in &self.entries {
+            if allowed > 0 && !groups.contains_key(key) {
+                verdict
+                    .stale
+                    .push((key.0.clone(), key.1.clone(), allowed, 0));
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(file: &str, rule: &'static str, line: usize) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            severity: Severity::Deny,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::covering(&[viol("a.rs", "R1", 3), viol("a.rs", "R1", 9)]);
+        let text = b.to_json();
+        let back = Baseline::from_json(&text).expect("parses");
+        assert_eq!(b, back);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_makes_everything_new() {
+        let vs = vec![viol("a.rs", "R1", 1)];
+        let verdict = Baseline::empty().compare(&vs);
+        assert_eq!(verdict.new_violations.len(), 1);
+        assert!(verdict.baselined.is_empty());
+        assert!(verdict.stale.is_empty());
+    }
+
+    #[test]
+    fn covered_counts_are_grandfathered_and_excess_fails() {
+        let b = Baseline::covering(&[viol("a.rs", "R1", 1)]);
+        let vs = vec![viol("a.rs", "R1", 1), viol("a.rs", "R1", 2)];
+        let verdict = b.compare(&vs);
+        assert_eq!(verdict.baselined.len(), 1);
+        assert_eq!(verdict.new_violations.len(), 1);
+    }
+
+    #[test]
+    fn improvement_is_reported_stale() {
+        let b = Baseline::covering(&[viol("a.rs", "R1", 1), viol("a.rs", "R1", 2)]);
+        let verdict = b.compare(&[viol("a.rs", "R1", 1)]);
+        assert!(verdict.new_violations.is_empty());
+        assert_eq!(verdict.stale, vec![("a.rs".into(), "R1".into(), 2, 1)]);
+        // Fully fixed file still reports its stale entry.
+        let verdict = b.compare(&[]);
+        assert_eq!(verdict.stale, vec![("a.rs".into(), "R1".into(), 2, 0)]);
+    }
+
+    #[test]
+    fn advisory_findings_never_enter_the_baseline() {
+        let adv = Violation {
+            severity: Severity::Advisory,
+            ..viol("a.rs", "R1-idx", 5)
+        };
+        assert!(Baseline::covering(std::slice::from_ref(&adv)).is_empty());
+        let verdict = Baseline::empty().compare(&[adv]);
+        assert!(verdict.new_violations.is_empty());
+        assert!(verdict.baselined.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::from_json("not json").is_err());
+        assert!(Baseline::from_json("{\"version\": 1}").is_err());
+        assert!(Baseline::from_json("{\"entries\": [{\"file\": \"a\"}]}").is_err());
+    }
+}

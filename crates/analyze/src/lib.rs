@@ -1,0 +1,71 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! **raceloc-analyze** — the workspace's own static-analysis pass.
+//!
+//! The paper's robustness argument rests on numeric kernels that must never
+//! silently produce NaN, panic mid-lap, or vary run-to-run. Clippy cannot
+//! express those *project* rules, so this crate implements a zero-new-
+//! dependency, comment/string-aware source scanner that can (the rule set
+//! is documented in [`rules`] and DESIGN.md §10):
+//!
+//! - **R1** panic-freedom in the hot-path crates (`pf`, `range`, `slam`,
+//!   `sim`), with an advisory slice-indexing audit (`R1-idx`);
+//! - **R2** float total-order: `partial_cmp(..).unwrap()` → `total_cmp`;
+//! - **R3** determinism: no hash containers, thread RNGs, or wall-clock
+//!   reads in the localization/sim crates (timing goes through
+//!   `raceloc_obs::Stopwatch`);
+//! - **R4** `unsafe` ban plus the lint wall in every crate root;
+//! - **R5** deprecated-API ratchet for the `cast_batch` shim.
+//!
+//! Pre-existing violations live in a checked-in, ratcheted
+//! [`baseline`](crate::baseline) (`analyze-baseline.json`): any *new*
+//! violation fails `--check`, improvements are locked in with
+//! `--update-baseline`, and counts can only go down.
+//!
+//! Run locally with `cargo run -p raceloc-analyze -- --check`.
+//!
+//! # Examples
+//!
+//! ```
+//! use raceloc_analyze::{mask::MaskedFile, rules};
+//!
+//! let masked = MaskedFile::new("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+//! let violations = rules::scan_file("crates/pf/src/filter.rs", &masked);
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].rule, "R1");
+//! ```
+
+pub mod baseline;
+pub mod mask;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+use baseline::Baseline;
+use mask::MaskedFile;
+use report::Report;
+use rules::Violation;
+
+/// Scans every workspace source under `root` and compares against
+/// `baseline`, producing the full [`Report`].
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading sources.
+pub fn run_scan(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let files = workspace::collect_sources(root)?;
+    let mut violations: Vec<Violation> = Vec::new();
+    for (path, text) in &files {
+        let masked = MaskedFile::new(text);
+        violations.extend(rules::scan_file(path, &masked));
+    }
+    let verdict = baseline.compare(&violations);
+    Ok(Report {
+        violations,
+        verdict,
+        files_scanned: files.len(),
+    })
+}

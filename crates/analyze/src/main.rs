@@ -1,0 +1,149 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! `raceloc-analyze` CLI: scan the workspace, diff against the ratcheted
+//! baseline, and report.
+//!
+//! ```text
+//! cargo run -p raceloc-analyze -- [--check] [--json <path>] [--advisory]
+//!                                 [--update-baseline] [--root <dir>]
+//!                                 [--baseline <path>]
+//! ```
+//!
+//! Exit codes: `0` clean (or report-only mode), `1` new violations under
+//! `--check`, `2` usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use raceloc_analyze::baseline::Baseline;
+use raceloc_analyze::{run_scan, workspace};
+
+struct Options {
+    check: bool,
+    advisory: bool,
+    update_baseline: bool,
+    json_path: Option<PathBuf>,
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        advisory: false,
+        update_baseline: false,
+        json_path: None,
+        root: None,
+        baseline_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--advisory" => opts.advisory = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => {
+                let v = args.next().ok_or("--json requires a path")?;
+                opts.json_path = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline requires a path")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: raceloc-analyze [--check] [--json <path>] [--advisory] \
+                            [--update-baseline] [--root <dir>] [--baseline <path>]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("raceloc-analyze: could not locate the workspace root (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("analyze-baseline.json"));
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::from_json(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "raceloc-analyze: bad baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::empty()
+    };
+
+    let report = match run_scan(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("raceloc-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let next = Baseline::covering(&report.violations);
+        if let Err(e) = std::fs::write(&baseline_path, next.to_json()) {
+            eprintln!(
+                "raceloc-analyze: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "raceloc-analyze: wrote {} with {} entr{}",
+            baseline_path.display(),
+            next.len(),
+            if next.len() == 1 { "y" } else { "ies" },
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(json_path) = &opts.json_path {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("raceloc-analyze: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.human_summary(opts.advisory));
+    if opts.check && !report.verdict.new_violations.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,395 @@
+//! Comment- and string-aware masking of Rust source, plus `#[cfg(test)]`
+//! region detection.
+//!
+//! The rule matchers in [`crate::rules`] are substring searches; running
+//! them over raw source would flag patterns that only occur in doc
+//! comments, string literals, or test modules. [`MaskedFile`] solves this
+//! with a small lexer: every comment, string, char, and byte literal is
+//! replaced by spaces (newlines preserved, so line numbers survive), and a
+//! second pass marks the line ranges covered by `#[cfg(test)]` items.
+
+/// A source file after masking, ready for rule matching.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Code-only text: comments and literal contents blanked to spaces,
+    /// line structure identical to the input.
+    pub code: String,
+    /// `test_lines[i]` is `true` when 0-based line `i` lies inside a
+    /// `#[cfg(test)]` item body.
+    pub test_lines: Vec<bool>,
+}
+
+impl MaskedFile {
+    /// Lexes `source` into masked code and test-region flags.
+    pub fn new(source: &str) -> Self {
+        let code = mask_source(source);
+        let test_lines = test_regions(&code);
+        Self { code, test_lines }
+    }
+
+    /// The masked lines (same count and byte layout as the input lines).
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.code.lines()
+    }
+
+    /// Whether 0-based line `i` is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, i: usize) -> bool {
+        self.test_lines.get(i).copied().unwrap_or(false)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Replaces comments and literal contents (including delimiters) with
+/// spaces, preserving newlines.
+fn mask_source(source: &str) -> String {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw/byte string start: r", r#", br", b"…
+                    let (consumed, hashes) = raw_string_open(&bytes[i..]);
+                    if consumed > 0 {
+                        state = if hashes == u32::MAX {
+                            State::Str
+                        } else {
+                            State::RawStr(hashes)
+                        };
+                        for _ in 0..consumed {
+                            out.push(' ');
+                        }
+                        i += consumed;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a literal is 'x' or an
+                    // escape; a lifetime is '<ident> with no closing quote.
+                    if next == Some('\\') {
+                        state = State::Char;
+                        out.push(' ');
+                        i += 1;
+                    } else if bytes.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes[i..], hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Detects a raw/byte string opener at the cursor: returns the number of
+/// chars in the opener and the hash count, or `(0, 0)` when there is none.
+/// A plain `b"` (byte string, no hashes) reports `u32::MAX` hashes as a
+/// sentinel meaning "terminate like a normal string".
+fn raw_string_open(rest: &[char]) -> (usize, u32) {
+    let mut j = 0usize;
+    if rest.first() == Some(&'b') {
+        j += 1;
+    }
+    let raw = rest.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while rest.get(j + hashes as usize) == Some(&'#') {
+        hashes += 1;
+    }
+    let quote_at = j + hashes as usize;
+    if rest.get(quote_at) != Some(&'"') {
+        return (0, 0);
+    }
+    if !raw {
+        if hashes > 0 || j == 0 {
+            return (0, 0); // `b#` is not a string, bare `"` handled elsewhere
+        }
+        return (quote_at + 1, u32::MAX); // b"…": escapes like a normal string
+    }
+    (quote_at + 1, hashes)
+}
+
+/// Whether the `"` at the cursor closes a raw string with `hashes` hashes.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+/// Marks the 0-based lines covered by `#[cfg(test)]` item bodies.
+///
+/// Works on *masked* text, so an occurrence inside a doc comment or string
+/// cannot open a region. The body is taken to be the first balanced
+/// `{ … }` block after the attribute (skipping further attributes); an
+/// attribute followed by `;` before any `{` covers nothing.
+fn test_regions(code: &str) -> Vec<bool> {
+    let n_lines = code.lines().count();
+    let mut flags = vec![false; n_lines];
+    let chars: Vec<char> = code.chars().collect();
+    let mut search_from = 0usize;
+    while let Some(rel) = find_sub(&chars, "#[cfg(test)]", search_from) {
+        let attr_end = rel + "#[cfg(test)]".len();
+        search_from = attr_end;
+        // Find the item body start: first `{` outside `[...]` attribute
+        // brackets; bail at a top-level `;`.
+        let mut j = attr_end;
+        let mut bracket = 0i32;
+        let mut body_start = None;
+        while j < chars.len() {
+            match chars[j] {
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                '{' if bracket == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ';' if bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_start else { continue };
+        let mut depth = 0i32;
+        let mut close = chars.len().saturating_sub(1);
+        for (k, &c) in chars.iter().enumerate().skip(open) {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+        }
+        let first_line = line_of(&chars, rel);
+        let last_line = line_of(&chars, close);
+        for f in flags
+            .iter_mut()
+            .take((last_line + 1).min(n_lines))
+            .skip(first_line)
+        {
+            *f = true;
+        }
+        search_from = close.max(attr_end);
+    }
+    flags
+}
+
+/// Finds `needle` in `haystack` starting at `from`; returns the char index.
+fn find_sub(haystack: &[char], needle: &str, from: usize) -> Option<usize> {
+    let needle: Vec<char> = needle.chars().collect();
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&s| haystack[s..s + needle.len()] == needle[..])
+}
+
+/// 0-based line number of char index `at`.
+fn line_of(chars: &[char], at: usize) -> usize {
+    chars[..at.min(chars.len())]
+        .iter()
+        .filter(|&&c| c == '\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let m = MaskedFile::new("let x = 1; // unwrap() here\n/// docs with panic!()\nfn f() {}\n");
+        assert!(m.code.contains("let x = 1;"));
+        assert!(!m.code.contains("unwrap"));
+        assert!(!m.code.contains("panic"));
+        assert!(m.code.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = MaskedFile::new("a /* outer /* inner unwrap() */ still */ b\n");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.starts_with('a'));
+        assert!(m.code.contains('b'));
+    }
+
+    #[test]
+    fn masks_strings_with_escapes() {
+        let m = MaskedFile::new(r#"let s = "quote \" unwrap()"; let t = 2;"#);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = "let s = r#\"raw \" unwrap() \"#; let u = 3;";
+        let m = MaskedFile::new(src);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("let u = 3;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = MaskedFile::new("fn f<'a>(x: &'a str) -> char { 'y' }\nlet e = '\\n';\n");
+        // Lifetimes survive as code; char literal contents are blanked.
+        assert!(m.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.code.contains('y'));
+    }
+
+    #[test]
+    fn preserves_line_structure() {
+        let src = "line1 /* c\nc2 */ line2\n\"s\n2\" line3\n";
+        let m = MaskedFile::new(src);
+        assert_eq!(m.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "\
+fn live() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+
+fn also_live() {}
+";
+        let m = MaskedFile::new(src);
+        assert!(!m.is_test_line(0));
+        assert!(m.is_test_line(2));
+        assert!(m.is_test_line(5));
+        assert!(!m.is_test_line(8));
+    }
+
+    #[test]
+    fn cfg_test_in_comment_is_ignored() {
+        let src = "// #[cfg(test)]\nfn live() {}\n";
+        let m = MaskedFile::new(src);
+        assert!(!m.is_test_line(0));
+        assert!(!m.is_test_line(1));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_covers_nothing() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let m = MaskedFile::new(src);
+        assert!(!m.is_test_line(2));
+    }
+}

@@ -1,0 +1,202 @@
+//! Human-readable and JSON rendering of a scan's outcome.
+
+use raceloc_obs::Json;
+
+use crate::baseline::Verdict;
+use crate::rules::{Severity, Violation};
+
+/// The full outcome of one pass over the workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, including advisory and baselined ones.
+    pub violations: Vec<Violation>,
+    /// The split against the baseline.
+    pub verdict: Verdict,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Advisory findings (never affect the exit code).
+    pub fn advisories(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Advisory)
+    }
+
+    /// The `file:line: rule: message` diagnostics for regressions, the
+    /// lines CI prints on failure.
+    pub fn human_new_violations(&self) -> Vec<String> {
+        self.verdict
+            .new_violations
+            .iter()
+            .map(|v| format!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message))
+            .collect()
+    }
+
+    /// Renders the one-screen human summary.
+    pub fn human_summary(&self, show_advisories: bool) -> String {
+        let mut out = String::new();
+        for line in self.human_new_violations() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for v in &self.verdict.baselined {
+            out.push_str(&format!(
+                "{}:{}: {}: baselined: {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        for (file, rule, allowed, found) in &self.verdict.stale {
+            out.push_str(&format!(
+                "{file}: {rule}: baseline is stale (allows {allowed}, found {found}); \
+                 run with --update-baseline to ratchet down\n"
+            ));
+        }
+        let advisories = self.advisories().count();
+        if show_advisories {
+            for v in self.advisories() {
+                out.push_str(&format!(
+                    "{}:{}: {}: advisory: {}\n",
+                    v.file, v.line, v.rule, v.message
+                ));
+            }
+        } else if advisories > 0 {
+            out.push_str(&format!(
+                "{advisories} advisory finding(s) (slice indexing); rerun with --advisory to list\n"
+            ));
+        }
+        out.push_str(&format!(
+            "raceloc-analyze: {} file(s), {} new violation(s), {} baselined, {} stale entr{}\n",
+            self.files_scanned,
+            self.verdict.new_violations.len(),
+            self.verdict.baselined.len(),
+            self.verdict.stale.len(),
+            if self.verdict.stale.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        ));
+        out
+    }
+
+    /// The machine-readable report uploaded as a CI artifact.
+    pub fn to_json(&self) -> String {
+        fn viol(v: &Violation, status: &str) -> Json {
+            Json::Obj(vec![
+                ("file".to_string(), Json::Str(v.file.clone())),
+                ("line".to_string(), Json::num(v.line as f64)),
+                ("rule".to_string(), Json::Str(v.rule.to_string())),
+                ("message".to_string(), Json::Str(v.message.clone())),
+                ("status".to_string(), Json::Str(status.to_string())),
+            ])
+        }
+        let mut findings: Vec<Json> = Vec::new();
+        for v in &self.verdict.new_violations {
+            findings.push(viol(v, "new"));
+        }
+        for v in &self.verdict.baselined {
+            findings.push(viol(v, "baselined"));
+        }
+        for v in self.advisories() {
+            findings.push(viol(v, "advisory"));
+        }
+        let stale: Vec<Json> = self
+            .verdict
+            .stale
+            .iter()
+            .map(|(file, rule, allowed, found)| {
+                Json::Obj(vec![
+                    ("file".to_string(), Json::Str(file.clone())),
+                    ("rule".to_string(), Json::Str(rule.clone())),
+                    ("allowed".to_string(), Json::num(*allowed as f64)),
+                    ("found".to_string(), Json::num(*found as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("version".to_string(), Json::num(1.0)),
+            (
+                "files_scanned".to_string(),
+                Json::num(self.files_scanned as f64),
+            ),
+            (
+                "new_violations".to_string(),
+                Json::num(self.verdict.new_violations.len() as f64),
+            ),
+            ("findings".to_string(), Json::Arr(findings)),
+            ("stale_baseline".to_string(), Json::Arr(stale)),
+        ]);
+        format!("{doc}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+
+    fn sample() -> Report {
+        let violations = vec![
+            Violation {
+                file: "crates/pf/src/filter.rs".to_string(),
+                line: 12,
+                rule: "R1",
+                message: "`unwrap()` can panic".to_string(),
+                severity: Severity::Deny,
+            },
+            Violation {
+                file: "crates/pf/src/filter.rs".to_string(),
+                line: 30,
+                rule: "R1-idx",
+                message: "direct indexing".to_string(),
+                severity: Severity::Advisory,
+            },
+        ];
+        let verdict = Baseline::empty().compare(&violations);
+        Report {
+            violations,
+            verdict,
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_diagnostic_has_file_line_rule_shape() {
+        let r = sample();
+        let lines = r.human_new_violations();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with("crates/pf/src/filter.rs:12: R1: "),
+            "{}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn summary_counts_advisories_without_listing_by_default() {
+        let r = sample();
+        let quiet = r.human_summary(false);
+        assert!(quiet.contains("1 advisory finding(s)"));
+        assert!(!quiet.contains("direct indexing"));
+        let loud = r.human_summary(true);
+        assert!(loud.contains("direct indexing"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_complete() {
+        let r = sample();
+        let doc = Json::parse(&r.to_json()).expect("valid json");
+        assert_eq!(doc.get("new_violations").and_then(Json::as_u64), Some(1));
+        let findings = doc
+            .get("findings")
+            .and_then(Json::as_array)
+            .expect("findings");
+        assert_eq!(findings.len(), 2);
+        assert_eq!(
+            findings[0].get("status").and_then(Json::as_str),
+            Some("new")
+        );
+    }
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Shared experiment infrastructure for the paper-reproduction harness.
 //!
 //! Every binary in this crate regenerates one table or figure of

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Core primitives shared by every crate in the `raceloc` workspace.
 //!
 //! This crate is dependency-free and provides:
@@ -28,6 +31,7 @@
 
 pub mod angle;
 pub mod diagnostics;
+pub mod invariant;
 pub mod linalg;
 pub mod localizer;
 pub mod pose;

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Occupancy-grid maps, distance transforms, and race-track generation.
 //!
 //! This crate provides the 2-D world representation shared by the ray-casting

@@ -110,10 +110,7 @@ impl ClosedPath {
     fn locate(&self, s: f64) -> (usize, f64) {
         let s = self.wrap_s(s);
         // Binary search in the cumulative lengths.
-        let i = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&s).expect("arc lengths are finite"))
-        {
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };

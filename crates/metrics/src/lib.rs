@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Evaluation metrics for racing localization — the proxy measurements of
 //! the paper's Table I plus standard trajectory-error metrics.
 //!

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! **raceloc-obs** — the observability layer of the raceloc workspace.
 //!
 //! The paper's claims are about *runtime behaviour under stress*: per-stage
@@ -39,8 +42,10 @@ pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod telemetry;
+pub mod time;
 
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use recorder::{parse_steps, RunRecorder, SharedBuffer, StepRecord};
 pub use telemetry::{Snapshot, Span, SpanStat, Telemetry};
+pub use time::Stopwatch;

@@ -1,0 +1,66 @@
+//! The workspace's single sanctioned gateway to the wall clock.
+//!
+//! The determinism rule **R3** enforced by `raceloc-analyze` bans direct
+//! `std::time::Instant` / `SystemTime` reads in the localization and
+//! simulation crates: estimator *behaviour* must be a pure function of its
+//! inputs and seed, never of how fast the host happens to run. Timing that
+//! exists purely to be *reported* (per-stage latency in diagnostics, span
+//! telemetry) funnels through [`Stopwatch`] instead, which keeps every
+//! clock read inside `raceloc-obs` where it is auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use raceloc_obs::Stopwatch;
+//!
+//! let sw = Stopwatch::start();
+//! let seconds = sw.elapsed_seconds();
+//! assert!(seconds >= 0.0);
+//! ```
+
+use std::time::Instant;
+
+/// A monotonic stopwatch wrapping [`std::time::Instant`].
+///
+/// This is deliberately minimal: it can only measure an elapsed duration,
+/// not read absolute time, so code holding one cannot branch on the date or
+/// synchronize with other clocks — the measured value is for *reporting*
+/// (diagnostics stages, telemetry spans), never for control flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a new stopwatch at the current monotonic instant.
+    #[inline]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_seconds();
+        let b = sw.elapsed_seconds();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn copies_share_the_start_instant() {
+        let sw = Stopwatch::start();
+        let copy = sw;
+        assert!(copy.elapsed_seconds() >= 0.0);
+        assert!(sw.elapsed_seconds() >= 0.0);
+    }
+}

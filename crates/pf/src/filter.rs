@@ -1,7 +1,7 @@
 //! SynPF: the Monte-Carlo localization filter itself.
 
+use raceloc_obs::Stopwatch;
 use std::borrow::Cow;
-use std::time::Instant;
 
 use crate::kld::KldConfig;
 use crate::layout::ScanLayout;
@@ -427,8 +427,23 @@ impl<M: RangeMethod> SynPf<M> {
         raycast_seconds: Option<f64>,
         sensor_seconds: f64,
         resample_seconds: f64,
-        correct_started: Instant,
+        correct_started: Stopwatch,
     ) {
+        // Every correction ends here, after normalize → resample → inject:
+        // the particle set the next prediction consumes must be sane.
+        raceloc_core::debug_invariant!(
+            !self.particles.is_empty(),
+            "correction produced an empty particle set"
+        );
+        raceloc_core::debug_invariant!(
+            self.weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative after resample"
+        );
+        raceloc_core::debug_invariant!(
+            (self.weights.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "weights must be normalized after resample (sum = {})",
+            self.weights.iter().sum::<f64>()
+        );
         self.last_stages.clear();
         self.last_stages
             .push((Cow::Borrowed("motion"), motion_seconds));
@@ -439,7 +454,7 @@ impl<M: RangeMethod> SynPf<M> {
         self.tel.record_span("pf.sensor", sensor_seconds);
         self.tel.record_span("pf.resample", resample_seconds);
         self.tel
-            .record_span("pf.correct", correct_started.elapsed().as_secs_f64());
+            .record_span("pf.correct", correct_started.elapsed_seconds());
         self.last_stages
             .push((Cow::Borrowed("sensor"), sensor_seconds));
         self.last_stages
@@ -453,7 +468,7 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             self.last_odom = Some(*odom);
             return;
         };
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let delta = last.pose.relative_to(odom.pose);
         let dt = (odom.stamp - last.stamp).max(1e-4);
         match self.config.motion {
@@ -479,7 +494,7 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             }
         }
         self.last_odom = Some(*odom);
-        let seconds = started.elapsed().as_secs_f64();
+        let seconds = started.elapsed_seconds();
         self.motion_accum_seconds += seconds;
         self.tel.record_span("pf.motion", seconds);
     }
@@ -489,14 +504,14 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         if beams.is_empty() {
             return self.estimate;
         }
-        let correct_started = Instant::now();
+        let correct_started = Stopwatch::start();
         let motion_seconds = std::mem::take(&mut self.motion_accum_seconds);
         let n = self.particles.len();
         let k = beams.len();
         // Endpoint model: no range queries, score endpoints against the
         // distance field.
         if let Some(lf) = &self.likelihood_field {
-            let sensor_started = Instant::now();
+            let sensor_started = Stopwatch::start();
             let mut log_w = vec![0.0f64; n];
             let cutoff = scan.max_range - 1e-9;
             for (i, p) in self.particles.iter().enumerate() {
@@ -524,11 +539,11 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             let inject = self.update_recovery(mean_lik);
             normalize(&mut self.weights);
             self.estimate = self.expected_pose();
-            let sensor_seconds = sensor_started.elapsed().as_secs_f64();
-            let resample_started = Instant::now();
+            let sensor_seconds = sensor_started.elapsed_seconds();
+            let resample_started = Stopwatch::start();
             self.resample_if_needed();
             self.inject_random_particles(inject);
-            let resample_seconds = resample_started.elapsed().as_secs_f64();
+            let resample_seconds = resample_started.elapsed_seconds();
             self.finish_correction(
                 motion_seconds,
                 None,
@@ -552,16 +567,16 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             }
         }
         self.expected.resize(self.queries.len(), 0.0);
-        let raycast_started = Instant::now();
+        let raycast_started = Stopwatch::start();
         self.caster.par_ranges_traced(
             &self.queries,
             &mut self.expected,
             self.config.threads,
             &self.tel,
         );
-        let raycast_seconds = raycast_started.elapsed().as_secs_f64();
+        let raycast_seconds = raycast_started.elapsed_seconds();
         // Per-particle squashed log-likelihood.
-        let sensor_started = Instant::now();
+        let sensor_started = Stopwatch::start();
         let mut log_w = vec![0.0f64; n];
         for (i, lw) in log_w.iter_mut().enumerate() {
             let base = i * k;
@@ -581,11 +596,11 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         let inject = self.update_recovery(mean_lik);
         normalize(&mut self.weights);
         self.estimate = self.expected_pose();
-        let sensor_seconds = sensor_started.elapsed().as_secs_f64();
-        let resample_started = Instant::now();
+        let sensor_seconds = sensor_started.elapsed_seconds();
+        let resample_started = Stopwatch::start();
         self.resample_if_needed();
         self.inject_random_particles(inject);
-        let resample_seconds = resample_started.elapsed().as_secs_f64();
+        let resample_seconds = resample_started.elapsed_seconds();
         self.finish_correction(
             motion_seconds,
             Some(raycast_seconds),

@@ -14,7 +14,7 @@
 //! standard normal for the confidence level.
 
 use raceloc_core::Pose2;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of KLD-adaptive sampling.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,10 @@ impl KldConfig {
 
     /// Counts the occupied histogram bins of a particle set.
     pub fn occupied_bins(&self, particles: &[Pose2]) -> usize {
-        let mut bins: HashSet<(i64, i64, i64)> = HashSet::with_capacity(particles.len());
+        // BTreeSet rather than HashSet: only `len()` is observed, but the
+        // determinism rule (R3) keeps randomized-layout containers out of
+        // the localization crates wholesale.
+        let mut bins: BTreeSet<(i64, i64, i64)> = BTreeSet::new();
         for p in particles {
             bins.insert((
                 (p.x / self.bin_xy).floor() as i64,

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! **SynPF** — the Monte-Carlo localization algorithm for high-speed
 //! autonomous racing introduced by *"Robustness Evaluation of Localization
 //! Techniques for Autonomous Racing"* (DATE 2024).

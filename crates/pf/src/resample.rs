@@ -5,14 +5,23 @@ use raceloc_core::Rng64;
 /// Normalizes a weight vector in place to sum to 1.
 ///
 /// Returns `false` (and resets to uniform) when the weights are degenerate:
-/// all zero, or containing non-finite values — the standard MCL recovery
-/// from a total measurement mismatch.
+/// all zero, or containing non-finite or negative values — the standard MCL
+/// recovery from a total measurement mismatch. Elements are validated
+/// individually, not just through the sum: `[-1.0, 2.0]` sums to a
+/// perfectly reasonable 1.0 but is no distribution.
 pub fn normalize(weights: &mut [f64]) -> bool {
     if weights.is_empty() {
         return false;
     }
-    let sum: f64 = weights.iter().sum();
-    if sum <= 0.0 || sum.is_nan() || !sum.is_finite() {
+    let mut sum = 0.0;
+    for &w in weights.iter() {
+        if !w.is_finite() || w < 0.0 {
+            sum = f64::NAN;
+            break;
+        }
+        sum += w;
+    }
+    if sum.is_nan() || sum <= 0.0 || !sum.is_finite() {
         let u = 1.0 / weights.len() as f64;
         weights.fill(u);
         return false;

@@ -1,0 +1,146 @@
+//! Property-based tests for degenerate resampling inputs (ISSUE 2,
+//! satellite 4): all-zero, NaN-contaminated, and single-survivor weight
+//! vectors must never panic and must always leave a valid particle set.
+//!
+//! These exercise the degeneracy guard in `raceloc_pf::resample::normalize`
+//! (reset-to-uniform on a zero/non-finite sum) both directly and through
+//! the full `SynPf::correct` path, where the invariants added by
+//! `raceloc_core::debug_invariant!` are live under `cargo test`.
+
+use proptest::prelude::*;
+use raceloc_core::localizer::Localizer;
+use raceloc_core::{LaserScan, Rng64};
+use raceloc_map::{CellState, OccupancyGrid};
+use raceloc_pf::resample::{effective_sample_size, normalize, systematic_indices};
+use raceloc_pf::{SynPf, SynPfConfig};
+use raceloc_range::BresenhamCasting;
+
+/// One weight drawn from a deliberately hostile distribution: mostly
+/// ordinary magnitudes, plus zeros, NaN, and infinities.
+fn hostile_weight() -> impl Strategy<Value = f64> {
+    (0u32..10u32, 0.0..1.0f64).prop_map(|(kind, x)| match kind {
+        0 => 0.0,
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        3 => -x, // negative mass: also degenerate
+        _ => x * 1e3,
+    })
+}
+
+fn hostile_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(hostile_weight(), 1..64)
+}
+
+proptest! {
+    #[test]
+    fn normalize_never_panics_and_yields_a_distribution(mut w in hostile_weights()) {
+        let ok = normalize(&mut w);
+        // Whatever came in, what comes out is a valid distribution.
+        prop_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        // The degenerate reset is exactly the uniform distribution.
+        if !ok {
+            let u = 1.0 / w.len() as f64;
+            prop_assert!(w.iter().all(|x| (x - u).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn systematic_resampling_survives_hostile_weights(
+        mut w in hostile_weights(),
+        count in 1usize..256,
+        seed in 0u64..1000,
+    ) {
+        normalize(&mut w);
+        let mut rng = Rng64::new(seed);
+        let idx = systematic_indices(&w, count, &mut rng);
+        prop_assert_eq!(idx.len(), count);
+        prop_assert!(idx.iter().all(|&i| i < w.len()));
+        // ESS of the normalized vector is well-defined and in [0, n].
+        let ess = effective_sample_size(&w);
+        prop_assert!(ess.is_finite() && ess >= 0.0 && ess <= w.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn all_zero_weights_reset_to_uniform(n in 1usize..128) {
+        let mut w = vec![0.0; n];
+        prop_assert!(!normalize(&mut w));
+        let u = 1.0 / n as f64;
+        prop_assert!(w.iter().all(|x| (x - u).abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_survivor_takes_all_samples(
+        n in 2usize..64,
+        survivor_frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let survivor = ((n - 1) as f64 * survivor_frac) as usize;
+        let mut w = vec![0.0; n];
+        w[survivor] = 123.4;
+        prop_assert!(normalize(&mut w));
+        let mut rng = Rng64::new(seed);
+        let idx = systematic_indices(&w, n, &mut rng);
+        prop_assert_eq!(idx.len(), n);
+        prop_assert!(idx.iter().all(|&i| i == survivor));
+    }
+}
+
+/// A small free room with solid walls for end-to-end filter runs.
+fn walled_room() -> OccupancyGrid {
+    let mut grid = OccupancyGrid::new(40, 40, 0.25, raceloc_core::Point2::ORIGIN);
+    grid.fill(CellState::Free);
+    for i in 0..40i64 {
+        grid.set((i, 0i64).into(), CellState::Occupied);
+        grid.set((i, 39i64).into(), CellState::Occupied);
+        grid.set((0i64, i).into(), CellState::Occupied);
+        grid.set((39i64, i).into(), CellState::Occupied);
+    }
+    grid
+}
+
+proptest! {
+    // End-to-end: a measurement that poisons every particle's likelihood
+    // (NaN / zero / out-of-envelope ranges) must flow through the
+    // normalize → resample guard without panicking, leaving a usable
+    // filter. `cargo test` runs in the debug profile, so the
+    // `debug_invariant!` checks in `SynPf::finish_correction` and the batch
+    // caster are active throughout.
+    #[test]
+    fn filter_survives_poisoned_scans(
+        kind in 0u32..3,
+        seed in 0u64..100,
+    ) {
+        let grid = walled_room();
+        let caster = BresenhamCasting::new(&grid, 10.0);
+        let config = SynPfConfig::builder()
+            .particles(50)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut pf = SynPf::new(caster, config);
+        pf.reset(raceloc_core::Pose2::new(5.0, 5.0, 0.0));
+        let n_beams = 30;
+        let poison = match kind {
+            0 => f64::NAN,
+            1 => 0.0,
+            _ => 1e12,
+        };
+        let scan = LaserScan::new(
+            -1.5,
+            3.0 / n_beams as f64,
+            vec![poison; n_beams],
+            10.0,
+        );
+        for _ in 0..3 {
+            let est = pf.correct(&scan);
+            prop_assert!(est.x.is_finite() && est.y.is_finite() && est.theta.is_finite());
+            prop_assert!(!pf.particles().is_empty());
+            let w = pf.weights();
+            prop_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "weight sum = {sum}");
+        }
+    }
+}

@@ -28,16 +28,24 @@ pub(crate) fn chunked_cast<M: RangeMethod + ?Sized>(
     let threads = threads.max(1).min(queries.len());
     if threads == 1 {
         method.ranges_into(queries, out);
-        return;
+    } else {
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    method.ranges_into(q_chunk, o_chunk);
+                });
+            }
+        });
     }
-    let chunk = queries.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                method.ranges_into(q_chunk, o_chunk);
-            });
-        }
-    });
+    // Zero is admitted for casts that start inside occupied space; anything
+    // non-finite, negative, or beyond the sensor envelope is a kernel bug.
+    raceloc_core::debug_invariant!(
+        out.iter()
+            .all(|r| r.is_finite() && *r >= 0.0 && *r <= method.max_range() + 1e-9),
+        "batch ranges must lie in [0, max_range = {}]",
+        method.max_range()
+    );
 }
 
 /// Casts a batch of `(x, y, θ)` queries in parallel over `threads` workers.

@@ -101,7 +101,7 @@ impl Cddt {
                 }
             }
             for col in &mut cols {
-                col.sort_by(|a, b| a.partial_cmp(b).expect("finite projections"));
+                col.sort_by(f32::total_cmp);
             }
             tables.push(ThetaTable {
                 cos,

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Fast 2-D ray casting for localization — a from-scratch reimplementation
 //! of the `rangelibc` library (Walsh & Karaman, ICRA 2018) that the paper's
 //! SynPF uses to evaluate its sensor model.

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! An F1TENTH-style racing simulator: vehicle dynamics with grip-dependent
 //! tire slip, slip-corrupted wheel odometry, a simulated 2-D LiDAR, a
 //! pure-pursuit racing controller, and a closed-loop world scheduler.

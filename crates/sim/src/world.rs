@@ -8,10 +8,10 @@ use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::LaserScan;
 use raceloc_core::Pose2;
 use raceloc_map::{CellState, Track};
+use raceloc_obs::Stopwatch;
 use raceloc_obs::{Json, RunRecorder, StepRecord, Telemetry};
 use raceloc_range::RayMarching;
 use std::io;
-use std::time::Instant;
 
 /// Configuration of a closed-loop run.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,8 +250,9 @@ impl World {
     /// controller consumes the *localizer's* pose. The run aborts early if
     /// the ground-truth pose leaves free space ("crash").
     pub fn run<L: Localizer + ?Sized>(&mut self, localizer: &mut L, duration: f64) -> SimLog {
-        self.run_inner(localizer, duration, false, None)
-            .expect("no recorder attached, no I/O to fail")
+        // Without a recorder there is no I/O, so the error slot is always
+        // `None` and can be dropped without losing information.
+        self.run_inner(localizer, duration, false, None).0
     }
 
     /// Runs the closed loop with the controller fed the *ground-truth* pose
@@ -268,8 +269,7 @@ impl World {
         localizer: &mut L,
         duration: f64,
     ) -> SimLog {
-        self.run_inner(localizer, duration, true, None)
-            .expect("no recorder attached, no I/O to fail")
+        self.run_inner(localizer, duration, true, None).0
     }
 
     /// Runs the closed loop like [`World::run`] while streaming one JSONL
@@ -296,18 +296,28 @@ impl World {
             ("lidar_hz", Json::num(self.config.lidar_hz)),
             ("seed", Json::num(self.config.seed as f64)),
         ])?;
-        let log = self.run_inner(localizer, duration, false, Some(recorder))?;
+        let (log, io_err) = self.run_inner(localizer, duration, false, Some(recorder));
+        if let Some(e) = io_err {
+            return Err(e);
+        }
         recorder.flush()?;
         Ok(log)
     }
 
+    /// The shared closed-loop body behind [`World::run`],
+    /// [`World::run_with_oracle_control`], and [`World::run_recorded`].
+    ///
+    /// Infallible by construction: a recorder write error aborts the run
+    /// and is handed back in the second tuple slot instead of unwinding, so
+    /// the recorder-less entry points stay panic-free (analysis rule R1)
+    /// without a structurally-impossible `expect`.
     fn run_inner<L: Localizer + ?Sized>(
         &mut self,
         localizer: &mut L,
         duration: f64,
         oracle_control: bool,
         mut recorder: Option<&mut RunRecorder>,
-    ) -> io::Result<SimLog> {
+    ) -> (SimLog, Option<io::Error>) {
         localizer.reset(self.state.pose);
         let dt = self.config.physics_dt;
         let steps = (duration / dt).ceil() as usize;
@@ -334,9 +344,9 @@ impl World {
                 next_odom += odom_period;
                 let odom = self.odometer.sample(&self.state, odom_period, self.time);
                 wheel_speed_estimate = odom.twist.vx;
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 localizer.predict(&odom);
-                let predict_seconds = t0.elapsed().as_secs_f64();
+                let predict_seconds = t0.elapsed_seconds();
                 self.tel.record_span("sim.predict", predict_seconds);
                 log.predict_seconds_total += predict_seconds;
                 log.predict_calls += 1;
@@ -344,19 +354,23 @@ impl World {
             if self.time + 1e-12 >= next_lidar {
                 next_lidar += lidar_period;
                 let scan = self.lidar.scan(self.state.pose, &self.caster, self.time);
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let est = localizer.correct(&scan);
-                let correct_seconds = t0.elapsed().as_secs_f64();
+                let correct_seconds = t0.elapsed_seconds();
                 self.tel.record_span("sim.correct", correct_seconds);
                 if let Some(rec) = recorder.as_deref_mut() {
-                    rec.record_step(&StepRecord {
+                    let write = rec.record_step(&StepRecord {
                         step: log.samples.len() as u64,
                         stamp: self.time,
                         true_pose: self.state.pose,
                         est_pose: est,
                         correct_seconds,
                         diag: localizer.diagnostics(),
-                    })?;
+                    });
+                    if let Err(e) = write {
+                        log.duration = self.time - start_time;
+                        return (log, Some(e));
+                    }
                 }
                 log.samples.push(LogSample {
                     stamp: self.time,
@@ -390,10 +404,9 @@ impl World {
                 self.vehicle.params_mut().mu = self.config.vehicle.mu * (1.0 + self.grip_dev);
             }
             if self.tel.is_enabled() {
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 self.state = self.vehicle.step(&self.state, &cmd, dt);
-                self.tel
-                    .record_span("sim.physics", t0.elapsed().as_secs_f64());
+                self.tel.record_span("sim.physics", t0.elapsed_seconds());
             } else {
                 self.state = self.vehicle.step(&self.state, &cmd, dt);
             }
@@ -409,7 +422,7 @@ impl World {
             }
         }
         log.duration = self.time - start_time;
-        Ok(log)
+        (log, None)
     }
 }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! A Cartographer-style 2-D LiDAR SLAM system — the state-of-the-art
 //! pose-graph baseline the paper benchmarks SynPF against.
 //!

@@ -12,8 +12,8 @@
 //! can neither cover the discrepancy (corridor sections are longitudinally
 //! ambiguous) nor recover more than one window per scan.
 
+use raceloc_obs::Stopwatch;
 use std::borrow::Cow;
-use std::time::Instant;
 
 use crate::probgrid::ProbabilityGrid;
 use crate::scan_matcher::{CorrelativeScanMatcher, GaussNewtonRefiner, SearchWindow};
@@ -162,10 +162,10 @@ impl Localizer for CartoLocalizer {
         if points.is_empty() {
             return self.pose;
         }
-        let correct_started = Instant::now();
+        let correct_started = Stopwatch::start();
         self.last_stages.clear();
         let prior = self.pose * self.config.lidar_mount;
-        let refine_started = Instant::now();
+        let refine_started = Stopwatch::start();
         let direct = self.refiner.refine_with_prior(
             &self.grid,
             &points,
@@ -174,12 +174,12 @@ impl Localizer for CartoLocalizer {
             self.config.prior_translation_weight,
             self.config.prior_rotation_weight,
         );
-        let refine_seconds = refine_started.elapsed().as_secs_f64();
+        let refine_seconds = refine_started.elapsed_seconds();
         self.tel.record_span("slam.refine", refine_seconds);
         self.last_stages
             .push((Cow::Borrowed("refine"), refine_seconds));
         let fine = if direct.score < self.config.correlative_rescue_score {
-            let rescue_started = Instant::now();
+            let rescue_started = Stopwatch::start();
             let coarse = self
                 .matcher
                 .match_scan(&self.grid, &points, prior, self.config.window);
@@ -191,7 +191,7 @@ impl Localizer for CartoLocalizer {
                 self.config.prior_translation_weight,
                 self.config.prior_rotation_weight,
             );
-            let rescue_seconds = rescue_started.elapsed().as_secs_f64();
+            let rescue_seconds = rescue_started.elapsed_seconds();
             self.tel.record_span("slam.correlative", rescue_seconds);
             self.last_stages
                 .push((Cow::Borrowed("correlative"), rescue_seconds));
@@ -205,7 +205,7 @@ impl Localizer for CartoLocalizer {
         };
         self.last_score = fine.score;
         self.tel
-            .record_span("slam.correct", correct_started.elapsed().as_secs_f64());
+            .record_span("slam.correct", correct_started.elapsed_seconds());
         if self.last_score >= self.config.min_score {
             // Clamp the refined pose back into the search window: the
             // single-hypothesis tracker never jumps beyond its window.

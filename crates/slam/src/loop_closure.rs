@@ -199,7 +199,7 @@ impl BranchAndBoundMatcher {
             }
         }
         // Best-first: highest bound on top of the stack.
-        stack.sort_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite scores"));
+        stack.sort_by(|a, b| a.bound.total_cmp(&b.bound));
         let mut best_score = cfg.min_score as f32;
         let mut best: Option<(usize, i64, i64)> = None;
         while let Some(cand) = stack.pop() {
@@ -233,7 +233,7 @@ impl BranchAndBoundMatcher {
                     0.0
                 };
             }
-            children.sort_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite scores"));
+            children.sort_by(|a, b| a.bound.total_cmp(&b.bound));
             for ch in children {
                 if ch.bound > best_score {
                     stack.push(ch);

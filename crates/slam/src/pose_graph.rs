@@ -251,6 +251,14 @@ impl PoseGraph {
                 break;
             }
         }
+        // A diverging Gauss-Newton step would poison every pose consumed
+        // downstream (tracking correction, map stitching).
+        raceloc_core::debug_invariant!(
+            self.nodes
+                .iter()
+                .all(|p| p.x.is_finite() && p.y.is_finite() && p.theta.is_finite()),
+            "pose-graph optimization produced a non-finite node pose"
+        );
         OptimizeReport {
             iterations,
             initial_chi2,

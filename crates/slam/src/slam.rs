@@ -1,8 +1,8 @@
 //! The online SLAM pipeline: local matching, submap insertion, pose-graph
 //! construction, loop closure, and map export.
 
+use raceloc_obs::Stopwatch;
 use std::borrow::Cow;
-use std::time::Instant;
 
 use crate::loop_closure::{BranchAndBoundConfig, BranchAndBoundMatcher};
 use crate::pose_graph::{Constraint, PoseGraph};
@@ -235,19 +235,20 @@ impl CartoSlam {
                 self.closures_found += 1;
             }
         }
+        // A closure can only be found once a node exists, so `nodes` is
+        // non-empty here; the `if let` keeps the path panic-free regardless.
         if self.closures_found > 0 {
-            let optimize_started = Instant::now();
-            let before = self
-                .graph
-                .node(self.nodes.last().expect("has nodes").graph_idx);
+            let Some(newest) = self.nodes.last().map(|n| n.graph_idx) else {
+                return;
+            };
+            let optimize_started = Stopwatch::start();
+            let before = self.graph.node(newest);
             self.graph.optimize(10);
-            let after = self
-                .graph
-                .node(self.nodes.last().expect("has nodes").graph_idx);
+            let after = self.graph.node(newest);
             // Propagate the correction of the newest node to the tracked pose.
             let correction = after * before.inverse();
             self.tracked = correction * self.tracked;
-            let optimize_seconds = optimize_started.elapsed().as_secs_f64();
+            let optimize_seconds = optimize_started.elapsed_seconds();
             self.tel.record_span("slam.optimize", optimize_seconds);
             self.last_stages
                 .push((Cow::Borrowed("optimize"), optimize_seconds));
@@ -326,7 +327,7 @@ impl Localizer for CartoSlam {
         if points.is_empty() {
             return self.tracked;
         }
-        let correct_started = Instant::now();
+        let correct_started = Stopwatch::start();
         self.last_stages.clear();
         let sensor_prior = self.tracked * self.config.lidar_mount;
         // Local scan matching against the active submap (if it has data):
@@ -334,7 +335,7 @@ impl Localizer for CartoSlam {
         // rescue when the refined placement scores poorly.
         if let Some(submap) = self.submaps.matching_submap() {
             if submap.scan_count() > 0 {
-                let match_started = Instant::now();
+                let match_started = Stopwatch::start();
                 let fine = self.refiner.refine_with_prior(
                     submap.grid(),
                     &points,
@@ -363,7 +364,7 @@ impl Localizer for CartoSlam {
                 };
                 self.tracked = fine.pose * self.config.lidar_mount.inverse();
                 self.last_match_score = Some(fine.score);
-                let match_seconds = match_started.elapsed().as_secs_f64();
+                let match_seconds = match_started.elapsed_seconds();
                 self.tel.record_span("slam.match", match_seconds);
                 self.last_stages
                     .push((Cow::Borrowed("match"), match_seconds));
@@ -378,7 +379,7 @@ impl Localizer for CartoSlam {
             }
         };
         if insert {
-            let insert_started = Instant::now();
+            let insert_started = Stopwatch::start();
             let sensor_pose = self.tracked * self.config.lidar_mount;
             let n_submaps_before = self.submaps.submaps().len();
             self.submaps.insert(sensor_pose, scan);
@@ -401,22 +402,22 @@ impl Localizer for CartoSlam {
             self.nodes.push(NodeData { graph_idx, points });
             self.last_insert_pose = Some(self.tracked);
             self.nodes_since_closure += 1;
-            let insert_seconds = insert_started.elapsed().as_secs_f64();
+            let insert_seconds = insert_started.elapsed_seconds();
             self.tel.record_span("slam.insert", insert_seconds);
             self.last_stages
                 .push((Cow::Borrowed("insert"), insert_seconds));
             if self.nodes_since_closure >= self.config.loop_closure_every {
                 self.nodes_since_closure = 0;
-                let closure_started = Instant::now();
+                let closure_started = Stopwatch::start();
                 self.try_loop_closure();
-                let closure_seconds = closure_started.elapsed().as_secs_f64();
+                let closure_seconds = closure_started.elapsed_seconds();
                 self.tel.record_span("slam.loop_closure", closure_seconds);
                 self.last_stages
                     .push((Cow::Borrowed("loop_closure"), closure_seconds));
             }
         }
         self.tel
-            .record_span("slam.correct", correct_started.elapsed().as_secs_f64());
+            .record_span("slam.correct", correct_started.elapsed_seconds());
         self.tracked
     }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! **raceloc** — robust localization for autonomous racing.
 //!
 //! A from-scratch Rust reproduction of *"Robustness Evaluation of
