@@ -9,14 +9,15 @@
 //! dependency, comment/string-aware source scanner that can (the rule set
 //! is documented in [`rules`] and DESIGN.md §10):
 //!
-//! - **R1** panic-freedom in the hot-path crates (`pf`, `range`, `slam`,
-//!   `sim`), with an advisory slice-indexing audit (`R1-idx`);
+//! - **R1** panic-freedom in the hot-path crates (`par`, `pf`, `range`,
+//!   `slam`, `sim`), with an advisory slice-indexing audit (`R1-idx`);
 //! - **R2** float total-order: `partial_cmp(..).unwrap()` → `total_cmp`;
 //! - **R3** determinism: no hash containers, thread RNGs, or wall-clock
 //!   reads in the localization/sim crates (timing goes through
 //!   `raceloc_obs::Stopwatch`);
 //! - **R4** `unsafe` ban plus the lint wall in every crate root;
-//! - **R5** deprecated-API ratchet for the `cast_batch` shim.
+//! - **R5** removed-API ratchet: the `cast_batch` shim is gone for good
+//!   and its token must not reappear.
 //!
 //! Pre-existing violations live in a checked-in, ratcheted
 //! [`baseline`](crate::baseline) (`analyze-baseline.json`): any *new*

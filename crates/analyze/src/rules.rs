@@ -8,13 +8,14 @@
 //! | `R2` | deny | whole workspace | float total-order: no `partial_cmp(..).unwrap()/expect()` — use `total_cmp` |
 //! | `R3` | deny | hot-path crates | determinism: no hash containers, `thread_rng`, or wall-clock reads outside `raceloc-obs` |
 //! | `R4` | deny | whole workspace | `unsafe` ban + lint wall (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`) in crate roots |
-//! | `R5` | deny | whole workspace | deprecated-API ratchet: no new callers of the `cast_batch` shim |
+//! | `R5` | deny | whole workspace | removed-API ratchet: the `cast_batch` shim is gone for good; the token must not reappear |
 
 use crate::mask::MaskedFile;
 
 /// The crates whose kernels must be panic-free and deterministic (R1, R3):
-/// the particle filter, ray casting, SLAM, and the simulator.
-pub const HOT_PATH_CRATES: [&str; 4] = ["pf", "range", "slam", "sim"];
+/// the particle filter, ray casting, the worker pool, SLAM, and the
+/// simulator.
+pub const HOT_PATH_CRATES: [&str; 5] = ["par", "pf", "range", "slam", "sim"];
 
 /// How a diagnostic participates in the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,23 +218,20 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Violation> {
             });
         }
 
-        // R5: deprecated-API ratchet. The `cast_batch` shim may keep its
-        // definition and the one sanctioned compatibility test (both in
-        // `crates/range/src/batch.rs`); every other caller must use
-        // `RangeMethod::par_ranges_into`.
-        if path != "crates/range/src/batch.rs" && line.contains("cast_batch(") {
-            let at = line.find("cast_batch(").unwrap_or(0);
-            if !ident_before(line, at) {
-                out.push(Violation {
-                    file: path.to_string(),
-                    line: lineno,
-                    rule: "R5",
-                    message: "new caller of the deprecated `cast_batch` shim; \
-                              use `RangeMethod::par_ranges_into`"
-                        .to_string(),
-                    severity: Severity::Deny,
-                });
-            }
+        // R5: removed-API ratchet. The deprecated `cast_batch` shim has
+        // been deleted; the token must never reappear anywhere — not even
+        // in `crates/range/src/batch.rs`, which used to host it. (String
+        // literals, comments, and `#[cfg(test)]` code are already masked.)
+        for _ in token_positions(line, "cast_batch") {
+            out.push(Violation {
+                file: path.to_string(),
+                line: lineno,
+                rule: "R5",
+                message: "the removed `cast_batch` shim must not come back; \
+                          use `RangeMethod::par_ranges_into`"
+                    .to_string(),
+                severity: Severity::Deny,
+            });
         }
     }
 
@@ -376,18 +374,27 @@ mod tests {
     }
 
     #[test]
-    fn r5_flags_new_shim_callers_but_not_batch_rs() {
+    fn r5_flags_the_removed_shim_token_everywhere() {
         let vs = scan(
             "crates/bench/src/bin/latency.rs",
             "cast_batch(&m, &q, &mut o, 4);\n",
         );
         assert_eq!(rules_of(&vs), ["R5"]);
+        // Gone for good: even its former home may not reintroduce it, as a
+        // call or as a definition.
+        assert_eq!(
+            rules_of(&scan(
+                "crates/range/src/batch.rs",
+                "pub fn cast_batch() {}\n"
+            )),
+            ["R5"]
+        );
+        // But only as a standalone token — and never in masked positions.
+        assert!(scan("crates/range/src/lut.rs", "chunked_cast_batched(q);\n").is_empty());
         assert!(scan(
-            "crates/range/src/batch.rs",
-            "cast_batch(&m, &q, &mut o, 4);\n"
+            "crates/range/src/lut.rs",
+            "// cast_batch used to live here\nlet s = \"cast_batch\";\n"
         )
         .is_empty());
-        // `chunked_cast(` is not the shim.
-        assert!(scan("crates/range/src/lut.rs", "chunked_cast(&m, q, o, 4);\n").is_empty());
     }
 }

@@ -26,7 +26,7 @@ fn scan_at_start(track: &raceloc_map::Track) -> LaserScan {
 
 /// Runs warm-up + timed corrections and returns the telemetry snapshot the
 /// filter recorded over the timed repetitions.
-fn measure_pf<M: RangeMethod>(
+fn measure_pf<M: RangeMethod + 'static>(
     caster: M,
     particles: usize,
     threads: usize,

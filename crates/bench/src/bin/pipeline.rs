@@ -1,0 +1,355 @@
+//! **Pipeline benchmark** — latency of the fused parallel particle
+//! pipeline (DESIGN.md §11) across worker-thread counts, in the Table III
+//! configuration (N = 1200 particles, boxed 60-beam layout, LUT range
+//! queries), plus a hard correctness gate: the fused cast+weight kernel is
+//! compared **bitwise** against the pre-fusion reference (the explicit
+//! n·k expected-range matrix) and the multi-threaded filter against the
+//! sequential one. Any divergence fails the run with exit code 1 — this is
+//! the check CI's `bench-smoke` job executes.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin pipeline --
+//! [--quick] [--threads 1,2,4] [--out BENCH_pipeline.json]`.
+
+use raceloc_bench::{build_synpf_threaded, test_track};
+use raceloc_core::localizer::Localizer;
+use raceloc_core::sensor_data::{LaserScan, Odometry};
+use raceloc_core::{Pose2, Twist2};
+use raceloc_map::Track;
+use raceloc_obs::{Json, Stopwatch, Telemetry};
+use raceloc_pf::resample::normalize;
+use raceloc_pf::{BeamSensorModel, SynPf, SynPfConfig};
+use raceloc_range::{RangeLut, RangeMethod, RayMarching};
+use raceloc_sim::{Lidar, LidarSpec};
+
+struct Args {
+    quick: bool,
+    threads: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: vec![1, 2, 4],
+        out: "BENCH_pipeline.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                let list = it.next().unwrap_or_default();
+                let parsed: Vec<usize> = list
+                    .split(',')
+                    .filter_map(|t| t.trim().parse::<usize>().ok())
+                    .filter(|&t| t >= 1)
+                    .collect();
+                if parsed.is_empty() {
+                    eprintln!("--threads needs a comma-separated list like 1,2,4");
+                    std::process::exit(2);
+                }
+                args.threads = parsed;
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !args.threads.contains(&1) {
+        // Thread count 1 is the sequential reference every other row is
+        // compared (and normalized) against.
+        args.threads.insert(0, 1);
+    }
+    args.threads.sort_unstable();
+    args.threads.dedup();
+    args
+}
+
+fn scan_at_start(track: &Track) -> LaserScan {
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let mut lidar = Lidar::new(LidarSpec::default(), 5);
+    lidar.scan(track.start_pose(), &caster, 0.0)
+}
+
+/// The pre-fusion sensor update, kept as the bitwise reference: materialize
+/// the full n·k expected-range matrix, then reduce to posterior weights
+/// with exactly the filter's operation order (uniform prior × exp-shifted
+/// likelihood, normalized).
+fn reference_weights(
+    track: &Track,
+    particles: &[Pose2],
+    scan: &LaserScan,
+    config: &SynPfConfig,
+) -> Vec<f64> {
+    let caster = RangeLut::new(&track.grid, 10.0, 72);
+    let sensor = BeamSensorModel::new(config.beam_model, caster.max_range());
+    let beams = config.layout.select(scan);
+    let n = particles.len();
+    let k = beams.len();
+    let mut queries = Vec::with_capacity(n * k);
+    for p in particles {
+        let sp = *p * config.lidar_mount;
+        for &b in &beams {
+            queries.push((sp.x, sp.y, sp.theta + scan.angle_of(b)));
+        }
+    }
+    let mut expected = vec![0.0; queries.len()];
+    caster.ranges_into(&queries, &mut expected);
+    let mut log_w = vec![0.0; n];
+    for (i, lw) in log_w.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &b) in beams.iter().enumerate() {
+            acc += sensor.log_prob(expected[i * k + j], scan.ranges[b]);
+        }
+        *lw = acc / config.squash;
+    }
+    let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut w = vec![1.0 / n as f64; n];
+    for (wi, lw) in w.iter_mut().zip(&log_w) {
+        *wi *= (lw - max_lw).exp();
+    }
+    normalize(&mut w);
+    w
+}
+
+/// Builds the Table III filter: resampling disabled (`ess_frac` 0) so the
+/// posterior weights stay observable for the divergence gate.
+fn gate_filter(track: &Track, threads: usize) -> SynPf<RangeLut> {
+    let lut = RangeLut::new(&track.grid, 10.0, 72);
+    let config = SynPfConfig::builder()
+        .particles(1200)
+        .threads(threads)
+        .resample_ess_frac(0.0)
+        .seed(7)
+        .build()
+        .expect("gate config is valid");
+    SynPf::new(lut, config)
+}
+
+/// Max |Δweight| between the fused kernel at `threads` and the unfused
+/// reference, from identical pre-correction particle sets.
+fn fused_divergence(track: &Track, scan: &LaserScan, threads: usize) -> f64 {
+    let mut pf = gate_filter(track, threads);
+    pf.reset(track.start_pose());
+    let particles = pf.particles().to_vec();
+    let reference = reference_weights(track, &particles, scan, pf.config());
+    pf.correct(scan);
+    pf.weights()
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Full predict/correct sequence state, for cross-thread bitwise checks.
+fn full_steps(track: &Track, scan: &LaserScan, threads: usize) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut pf = build_synpf_threaded(track, 3, threads);
+    pf.reset(track.start_pose());
+    let mut odom_pose = Pose2::IDENTITY;
+    for i in 0..5 {
+        odom_pose = odom_pose * Pose2::new(0.02, 0.0, 0.004);
+        pf.predict(&Odometry::new(
+            odom_pose,
+            Twist2::new(0.5, 0.0, 0.08),
+            i as f64 * 0.025,
+        ));
+        pf.correct(scan);
+    }
+    (
+        pf.particles().iter().map(|p| p.to_array()).collect(),
+        pf.weights().to_vec(),
+    )
+}
+
+struct ThreadRow {
+    threads: usize,
+    correct_ms_mean: f64,
+    correct_ms_p50: f64,
+    correct_ms_p99: f64,
+    step_ms_mean: f64,
+    step_ms_p50: f64,
+    step_ms_p99: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Times `reps` full SynPF steps (one odometry predict + one scan correct,
+/// the Table III unit of work) at a thread count.
+fn measure(track: &Track, scan: &LaserScan, threads: usize, reps: usize) -> ThreadRow {
+    let mut pf = build_synpf_threaded(track, 3, threads);
+    let tel = Telemetry::enabled();
+    pf.set_telemetry(tel.clone());
+    pf.reset(track.start_pose());
+    let mut odom_pose = Pose2::IDENTITY;
+    let mut step = |pf: &mut SynPf<RangeLut>, i: usize| {
+        odom_pose = odom_pose * Pose2::new(0.02, 0.0, 0.004);
+        pf.predict(&Odometry::new(
+            odom_pose,
+            Twist2::new(0.5, 0.0, 0.08),
+            i as f64 * 0.025,
+        ));
+        pf.correct(scan);
+    };
+    for i in 0..(reps / 10).max(3) {
+        step(&mut pf, i);
+    }
+    tel.reset();
+    let mut step_ms = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let t0 = Stopwatch::start();
+        step(&mut pf, i);
+        step_ms.push(t0.elapsed_seconds() * 1e3);
+    }
+    let snap = tel.snapshot();
+    let (correct_mean, correct_p50, correct_p99) = match snap.histogram("pf.correct") {
+        Some(h) => {
+            let p = |q: f64| h.quantile_upper_bound(q).map_or(f64::NAN, |s| s * 1e3);
+            let mean = snap
+                .span("pf.correct")
+                .map_or(f64::NAN, |s| s.mean_seconds() * 1e3);
+            (mean, p(0.5), p(0.99))
+        }
+        None => (f64::NAN, f64::NAN, f64::NAN),
+    };
+    step_ms.sort_by(|a, b| a.total_cmp(b));
+    ThreadRow {
+        threads,
+        correct_ms_mean: correct_mean,
+        correct_ms_p50: correct_p50,
+        correct_ms_p99: correct_p99,
+        step_ms_mean: step_ms.iter().sum::<f64>() / step_ms.len().max(1) as f64,
+        step_ms_p50: quantile(&step_ms, 0.5),
+        step_ms_p99: quantile(&step_ms, 0.99),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.quick { 20 } else { 200 };
+    println!("Fused particle-pipeline benchmark (Table III config: N=1200, boxed 60, LUT)");
+    let track = test_track();
+    let scan = scan_at_start(&track);
+
+    // Correctness gate 1: fused kernel vs the unfused n·k matrix reference.
+    let mut diverged = false;
+    let mut max_delta = 0.0f64;
+    for &threads in &args.threads {
+        let delta = fused_divergence(&track, &scan, threads);
+        max_delta = max_delta.max(delta);
+        if delta != 0.0 {
+            diverged = true;
+            eprintln!("DIVERGENCE: fused weights off by {delta:e} at threads={threads}");
+        }
+    }
+    // Correctness gate 2: full multi-threaded steps vs the sequential run.
+    let sequential = full_steps(&track, &scan, 1);
+    for &threads in args.threads.iter().filter(|&&t| t > 1) {
+        if full_steps(&track, &scan, threads) != sequential {
+            diverged = true;
+            eprintln!("DIVERGENCE: full step state differs at threads={threads}");
+        }
+    }
+    println!(
+        "divergence gate: max |Δweight| = {max_delta:e} ({})",
+        if diverged { "FAIL" } else { "ok" }
+    );
+
+    let rows: Vec<ThreadRow> = args
+        .threads
+        .iter()
+        .map(|&t| measure(&track, &scan, t, reps))
+        .collect();
+    let base = rows.first().map_or(f64::NAN, |r| r.step_ms_mean);
+    println!(
+        "  {:<8} {:>12} {:>11} {:>11} {:>12} {:>11} {:>11} {:>8}",
+        "threads",
+        "corr mean",
+        "corr p50",
+        "corr p99",
+        "step mean",
+        "step p50",
+        "step p99",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "  {:<8} {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>7.2}x",
+            r.threads,
+            r.correct_ms_mean,
+            r.correct_ms_p50,
+            r.correct_ms_p99,
+            r.step_ms_mean,
+            r.step_ms_p50,
+            r.step_ms_p99,
+            base / r.step_ms_mean
+        );
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("pipeline".into())),
+        ("quick".into(), Json::Bool(args.quick)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("particles".into(), Json::num(1200.0)),
+                ("layout".into(), Json::Str("boxed60".into())),
+                ("range_method".into(), Json::Str("lut".into())),
+                ("reps".into(), Json::num(reps as f64)),
+            ]),
+        ),
+        (
+            "divergence".into(),
+            Json::Obj(vec![
+                ("bitwise_identical".into(), Json::Bool(!diverged)),
+                ("max_abs_weight_delta".into(), Json::num(max_delta)),
+                (
+                    "threads_checked".into(),
+                    Json::Arr(args.threads.iter().map(|&t| Json::num(t as f64)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "threads".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("threads".into(), Json::num(r.threads as f64)),
+                            ("correct_ms_mean".into(), Json::num(r.correct_ms_mean)),
+                            ("correct_ms_p50".into(), Json::num(r.correct_ms_p50)),
+                            ("correct_ms_p99".into(), Json::num(r.correct_ms_p99)),
+                            ("step_ms_mean".into(), Json::num(r.step_ms_mean)),
+                            ("step_ms_p50".into(), Json::num(r.step_ms_p50)),
+                            ("step_ms_p99".into(), Json::num(r.step_ms_p99)),
+                            (
+                                "speedup_vs_sequential".into(),
+                                Json::num(base / r.step_ms_mean),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    if diverged {
+        std::process::exit(1);
+    }
+}

@@ -44,11 +44,33 @@ pub const MU_HIGH_QUALITY: f64 = 1.0;
 pub const MU_LOW_QUALITY: f64 = 19.0 / 26.0;
 
 /// Builds the closed-loop world configuration for a grip level.
+///
+/// The simulator's own ray casting honors [`env_threads`], which cannot
+/// change any result (scans are bit-identical for every thread count,
+/// rule R3) — only the wall-clock time of regenerating a table.
 pub fn world_config(mu: f64, seed: u64) -> WorldConfig {
     let mut cfg = WorldConfig::default();
     cfg.vehicle.mu = mu;
     cfg.seed = seed;
+    cfg.threads = env_threads();
     cfg
+}
+
+/// Worker-thread count for the experiment harnesses, taken from the
+/// `RACELOC_THREADS` environment variable (default 1).
+///
+/// Every parallel path in the workspace is bit-identical across thread
+/// counts (DESIGN.md §11), so this knob only trades wall-clock time; the
+/// regenerated tables never change.
+pub fn env_threads() -> usize {
+    parse_threads(std::env::var("RACELOC_THREADS").ok().as_deref())
+}
+
+/// Parses a thread-count override; `None`, empty, zero, or garbage → 1.
+fn parse_threads(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 /// Odometry source for an algorithm's run (DESIGN.md §5): the F1TENTH
@@ -64,11 +86,18 @@ pub enum OdomSource {
 }
 
 /// Builds the paper-configuration SynPF (LUT range queries, boxed layout,
-/// TUM motion model) for a track.
+/// TUM motion model) for a track, on [`env_threads`] worker threads.
 pub fn build_synpf(track: &Track, seed: u64) -> SynPf<RangeLut> {
+    build_synpf_threaded(track, seed, env_threads())
+}
+
+/// [`build_synpf`] with an explicit worker-thread count for the fused
+/// particle pipeline (results are identical for every value).
+pub fn build_synpf_threaded(track: &Track, seed: u64, threads: usize) -> SynPf<RangeLut> {
     let lut = RangeLut::new(&track.grid, 10.0, 72);
     let config = SynPfConfig::builder()
         .seed(seed)
+        .threads(threads.max(1))
         .build()
         .expect("paper configuration is valid");
     SynPf::new(lut, config)
@@ -310,6 +339,26 @@ mod tests {
         let cfg = world_config(0.8, 123);
         assert_eq!(cfg.vehicle.mu, 0.8);
         assert_eq!(cfg.seed, 123);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn thread_override_parses_defensively() {
+        assert_eq!(parse_threads(None), 1);
+        assert_eq!(parse_threads(Some("")), 1);
+        assert_eq!(parse_threads(Some("0")), 1);
+        assert_eq!(parse_threads(Some("junk")), 1);
+        assert_eq!(parse_threads(Some("4")), 4);
+        assert_eq!(parse_threads(Some(" 2 ")), 2);
+    }
+
+    #[test]
+    fn threaded_builder_matches_default_builder_output() {
+        let t = test_track();
+        let a = build_synpf_threaded(&t, 1, 1);
+        let b = build_synpf_threaded(&t, 1, 4);
+        assert_eq!(a.particles(), b.particles());
+        assert_eq!(b.config().threads, 4);
     }
 
     #[test]

@@ -2,17 +2,20 @@
 
 use raceloc_obs::Stopwatch;
 use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
 
 use crate::kld::KldConfig;
 use crate::layout::ScanLayout;
 use crate::motion::{DiffDriveModel, TumMotionModel};
-use crate::resample::{effective_sample_size, normalize, systematic_indices};
+use crate::parstep::{JobKind, PfShared, StepJob};
+use crate::resample::{effective_sample_size, normalize, systematic_indices_into};
 use crate::sensor::{BeamModelConfig, BeamSensorModel, LikelihoodField, LikelihoodFieldConfig};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
 use raceloc_core::{angle, Diagnostics, Pose2, Rng64};
 use raceloc_map::{CellState, OccupancyGrid};
 use raceloc_obs::Telemetry;
+use raceloc_par::{chunk_count, chunk_spans, PoolJob, WorkerPool, DEFAULT_CHUNK_MIN};
 use raceloc_range::RangeMethod;
 
 /// Which motion model drives the prediction step.
@@ -65,10 +68,19 @@ pub struct SynPfConfig {
     pub lidar_mount: Pose2,
     /// The motion model.
     pub motion: MotionConfig,
-    /// Worker threads for expected-range casting: 1 = sequential (the
-    /// paper's GPU-less LUT configuration); >1 emulates `rangelibc`'s
-    /// parallel mode (DESIGN.md §1).
+    /// Worker threads for the particle pipeline: 1 = every chunk runs
+    /// inline (the paper's GPU-less LUT configuration); >1 dispatches the
+    /// chunks to a persistent [`raceloc_par::WorkerPool`], emulating
+    /// `rangelibc`'s parallel mode (DESIGN.md §1, §11). The chunk layout
+    /// and RNG streams never depend on this value, so results are
+    /// bit-identical for any thread count.
     pub threads: usize,
+    /// Minimum particles per pipeline chunk (DESIGN.md §11): the particle
+    /// set is split into `clamp(particles / chunk_min, 1, 64)` chunks for
+    /// both motion sampling and the fused cast+weight kernel. Smaller
+    /// values expose more parallelism; larger values cut per-chunk
+    /// overhead. Must be positive.
+    pub chunk_min: usize,
     /// Optional KLD-adaptive particle counts (Fox 2003): when set, each
     /// resampling step resizes the particle set to the KLD bound for the
     /// cloud's current histogram occupancy, between the configured bounds.
@@ -101,6 +113,7 @@ impl Default for SynPfConfig {
             lidar_mount: Pose2::new(0.1, 0.0, 0.0),
             motion: MotionConfig::Tum(TumMotionModel::default()),
             threads: 1,
+            chunk_min: DEFAULT_CHUNK_MIN,
             kld: None,
             recovery: None,
             seed: 7,
@@ -136,11 +149,11 @@ impl Default for SynPfConfig {
 /// pf.reset(track.start_pose());
 /// assert_eq!(pf.particles().len(), 200);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SynPf<M: RangeMethod> {
     config: SynPfConfig,
-    caster: M,
-    sensor: BeamSensorModel,
+    /// Range oracle + sensor table, shared with the pool workers.
+    shared: Arc<PfShared<M>>,
     particles: Vec<Pose2>,
     weights: Vec<f64>,
     rng: Rng64,
@@ -155,9 +168,20 @@ pub struct SynPf<M: RangeMethod> {
     w_slow: f64,
     /// Short-term mean-likelihood EMA (augmented MCL).
     w_fast: f64,
-    // Scratch buffers reused across corrections to stay allocation-free.
-    queries: Vec<(f64, f64, f64)>,
-    expected: Vec<f64>,
+    // Scratch buffers reused across steps to stay allocation-free.
+    log_w: Vec<f64>,
+    /// Cached beam selection; recomputed only when the scan geometry
+    /// changes (the layout depends on nothing else).
+    beam_sel: Vec<usize>,
+    beam_key: Option<(usize, u64, u64)>,
+    /// Reusable chunk jobs (at most [`raceloc_par::MAX_CHUNKS`]).
+    jobs: Vec<StepJob>,
+    /// Worker pool, spawned lazily on the first step with `threads > 1`.
+    pool: OnceLock<WorkerPool<Arc<PfShared<M>>, StepJob>>,
+    /// Prediction counter; the high half of each chunk's motion RNG stream.
+    motion_epoch: u64,
+    resample_idx: Vec<usize>,
+    resample_scratch: Vec<Pose2>,
     /// Observability handle; disabled by default (one branch per record).
     tel: Telemetry,
     /// Motion-update time accumulated since the last correction \[s\].
@@ -166,22 +190,21 @@ pub struct SynPf<M: RangeMethod> {
     last_stages: Vec<(Cow<'static, str>, f64)>,
 }
 
-impl<M: RangeMethod> SynPf<M> {
+impl<M: RangeMethod + 'static> SynPf<M> {
     /// Creates a filter over the given range oracle.
     ///
     /// # Panics
     ///
-    /// Panics when `particles == 0` or `squash <= 0`.
+    /// Panics when `particles == 0`, `squash <= 0`, or `chunk_min == 0`.
     pub fn new(caster: M, config: SynPfConfig) -> Self {
         assert!(config.particles > 0, "particle count must be positive");
         assert!(config.squash > 0.0, "squash divisor must be positive");
+        assert!(config.chunk_min > 0, "chunk_min must be positive");
         let sensor = BeamSensorModel::new(config.beam_model, caster.max_range());
         let n = config.particles;
         let rng = Rng64::new(config.seed);
         Self {
-            config,
-            caster,
-            sensor,
+            shared: Arc::new(PfShared { caster, sensor }),
             particles: vec![Pose2::IDENTITY; n],
             weights: vec![1.0 / n as f64; n],
             rng,
@@ -191,11 +214,18 @@ impl<M: RangeMethod> SynPf<M> {
             recovery_map: None,
             w_slow: 0.0,
             w_fast: 0.0,
-            queries: Vec::new(),
-            expected: Vec::new(),
+            log_w: Vec::new(),
+            beam_sel: Vec::new(),
+            beam_key: None,
+            jobs: Vec::new(),
+            pool: OnceLock::new(),
+            motion_epoch: 0,
+            resample_idx: Vec::new(),
+            resample_scratch: Vec::new(),
             tel: Telemetry::disabled(),
             motion_accum_seconds: 0.0,
             last_stages: Vec::new(),
+            config,
         }
     }
 
@@ -411,12 +441,71 @@ impl<M: RangeMethod> SynPf<M> {
             Some(kld) => kld.adapt(&self.particles),
             None => n,
         };
-        let indices = systematic_indices(&self.weights, target, &mut self.rng);
-        let old = std::mem::take(&mut self.particles);
-        self.particles = indices.iter().map(|&src| old[src]).collect();
+        // In-place low-variance resample through reusable scratch: gather
+        // into the spare buffer, then swap it with the particle array.
+        systematic_indices_into(&self.weights, target, &mut self.rng, &mut self.resample_idx);
+        self.resample_scratch.clear();
+        self.resample_scratch
+            .extend(self.resample_idx.iter().map(|&src| self.particles[src]));
+        std::mem::swap(&mut self.particles, &mut self.resample_scratch);
         let u = 1.0 / target as f64;
         self.weights.clear();
         self.weights.resize(target, u);
+    }
+
+    /// Recomputes the cached beam selection when the scan geometry changed.
+    fn select_beams(&mut self, scan: &LaserScan) {
+        let key = (
+            scan.len(),
+            scan.angle_min.to_bits(),
+            scan.angle_increment.to_bits(),
+        );
+        if self.beam_key != Some(key) {
+            self.beam_sel = self.config.layout.select(scan);
+            self.beam_key = Some(key);
+        }
+    }
+
+    /// Ensures `jobs` holds at least `chunks` slots and parks any extras
+    /// (left over from a larger batch, e.g. after a KLD shrink) as idle.
+    fn prepare_jobs(&mut self, chunks: usize) {
+        while self.jobs.len() < chunks {
+            self.jobs.push(StepJob::empty(self.config.motion));
+        }
+        for job in self.jobs.iter_mut().skip(chunks) {
+            job.kind = JobKind::Idle;
+            job.particles.clear();
+        }
+    }
+
+    /// Runs the prepared job set: inline for `threads = 1`, otherwise on
+    /// the lazily spawned persistent pool. Both paths execute the exact
+    /// same chunk layout and RNG streams, so results are bit-identical.
+    fn run_jobs(&mut self) {
+        if self.config.threads > 1 {
+            let pool = self
+                .pool
+                .get_or_init(|| WorkerPool::new(Arc::clone(&self.shared), self.config.threads));
+            pool.run_batch(&mut self.jobs);
+            // The pool hands jobs back in completion order. Chunk sizes are
+            // unequal (balanced layout), so restore chunk order — otherwise a
+            // slot sized for a short chunk can be reloaded with a long one
+            // next step and its scratch regrows, breaking the
+            // zero-allocation steady state.
+            self.jobs
+                .sort_unstable_by_key(|j| (j.kind == JobKind::Idle, j.start));
+            pool.publish_stats(&self.tel);
+        } else {
+            for job in &mut self.jobs {
+                job.run(&self.shared);
+            }
+        }
+    }
+
+    /// Pool utilization counters, if the worker pool has been spawned
+    /// (`None` with `threads = 1` or before the first multi-threaded step).
+    pub fn pool_stats(&self) -> Option<raceloc_par::PoolStats> {
+        self.pool.get().map(WorkerPool::stats)
     }
 
     /// Books the per-stage timings of a finished correction into telemetry
@@ -462,7 +551,7 @@ impl<M: RangeMethod> SynPf<M> {
     }
 }
 
-impl<M: RangeMethod> Localizer for SynPf<M> {
+impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
     fn predict(&mut self, odom: &Odometry) {
         let Some(last) = self.last_odom else {
             self.last_odom = Some(*odom);
@@ -471,27 +560,35 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         let started = Stopwatch::start();
         let delta = last.pose.relative_to(odom.pose);
         let dt = (odom.stamp - last.stamp).max(1e-4);
-        match self.config.motion {
-            MotionConfig::DiffDrive(m) => {
-                crate::motion::propagate(
-                    &m,
-                    &mut self.particles,
-                    delta,
-                    odom.twist,
-                    dt,
-                    &mut self.rng,
-                );
+        // Chunked motion sampling: each chunk draws from a counter-derived
+        // RNG stream keyed by (prediction epoch, chunk index), so the noise
+        // sequence is a pure function of the seed and the step history —
+        // independent of thread count and scheduling.
+        self.motion_epoch += 1;
+        let n = self.particles.len();
+        let chunks = chunk_count(n, self.config.chunk_min);
+        self.prepare_jobs(chunks);
+        for (idx, span) in chunk_spans(n, self.config.chunk_min).enumerate() {
+            let job = &mut self.jobs[idx];
+            job.kind = JobKind::Motion;
+            job.start = span.start;
+            job.particles.clear();
+            job.particles.extend_from_slice(&self.particles[span]);
+            job.motion = self.config.motion;
+            job.delta = delta;
+            job.twist = odom.twist;
+            job.dt = dt;
+            job.seed = self.config.seed;
+            job.stream = (self.motion_epoch << 32) | idx as u64;
+        }
+        self.run_jobs();
+        // Jobs may come back in any completion order; scatter by offset.
+        for job in &self.jobs {
+            if job.kind != JobKind::Motion {
+                continue;
             }
-            MotionConfig::Tum(m) => {
-                crate::motion::propagate(
-                    &m,
-                    &mut self.particles,
-                    delta,
-                    odom.twist,
-                    dt,
-                    &mut self.rng,
-                );
-            }
+            self.particles[job.start..job.start + job.particles.len()]
+                .copy_from_slice(&job.particles);
         }
         self.last_odom = Some(*odom);
         let seconds = started.elapsed_seconds();
@@ -500,19 +597,24 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
     }
 
     fn correct(&mut self, scan: &LaserScan) -> Pose2 {
-        let beams = self.config.layout.select(scan);
-        if beams.is_empty() {
+        self.select_beams(scan);
+        if self.beam_sel.is_empty() {
             return self.estimate;
         }
         let correct_started = Stopwatch::start();
         let motion_seconds = std::mem::take(&mut self.motion_accum_seconds);
         let n = self.particles.len();
-        let k = beams.len();
+        let k = self.beam_sel.len();
+        // Borrow the cached selection and log-weight scratch out of `self`
+        // for the duration of the scoring pass; both are restored below.
+        let beams = std::mem::take(&mut self.beam_sel);
+        let mut log_w = std::mem::take(&mut self.log_w);
         // Endpoint model: no range queries, score endpoints against the
         // distance field.
         if let Some(lf) = &self.likelihood_field {
             let sensor_started = Stopwatch::start();
-            let mut log_w = vec![0.0f64; n];
+            log_w.clear();
+            log_w.resize(n, 0.0);
             let cutoff = scan.max_range - 1e-9;
             for (i, p) in self.particles.iter().enumerate() {
                 let sensor_pose = *p * self.config.lidar_mount;
@@ -536,6 +638,8 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
                 *w *= (lw - max_lw).exp();
             }
             let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+            self.beam_sel = beams;
+            self.log_w = log_w;
             let inject = self.update_recovery(mean_lik);
             normalize(&mut self.weights);
             self.estimate = self.expected_pose();
@@ -553,46 +657,48 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             );
             return self.estimate;
         }
-        // Beam model: expected ranges for every (particle, beam) pair.
-        self.queries.clear();
-        self.queries.reserve(n * k);
-        for p in &self.particles {
-            let sensor_pose = *p * self.config.lidar_mount;
-            for &b in &beams {
-                self.queries.push((
-                    sensor_pose.x,
-                    sensor_pose.y,
-                    sensor_pose.theta + scan.angle_of(b),
-                ));
-            }
-        }
-        self.expected.resize(self.queries.len(), 0.0);
+        // Beam model, fused cast + weight kernel (DESIGN.md §11): each
+        // chunk job ray-casts its particles and immediately accumulates the
+        // beam-model log-likelihood from a k-sized scratch, instead of
+        // materializing the n·k expected-range matrix.
         let raycast_started = Stopwatch::start();
-        self.caster.par_ranges_traced(
-            &self.queries,
-            &mut self.expected,
-            self.config.threads,
-            &self.tel,
-        );
-        let raycast_seconds = raycast_started.elapsed_seconds();
-        // Per-particle squashed log-likelihood.
-        let sensor_started = Stopwatch::start();
-        let mut log_w = vec![0.0f64; n];
-        for (i, lw) in log_w.iter_mut().enumerate() {
-            let base = i * k;
-            let mut acc = 0.0;
-            for (j, &b) in beams.iter().enumerate() {
-                acc += self
-                    .sensor
-                    .log_prob(self.expected[base + j], scan.ranges[b]);
-            }
-            *lw = acc / self.config.squash;
+        let chunks = chunk_count(n, self.config.chunk_min);
+        self.prepare_jobs(chunks);
+        for (idx, span) in chunk_spans(n, self.config.chunk_min).enumerate() {
+            let job = &mut self.jobs[idx];
+            job.kind = JobKind::CastWeight;
+            job.start = span.start;
+            job.particles.clear();
+            job.particles.extend_from_slice(&self.particles[span]);
+            job.beams.clear();
+            job.beams
+                .extend(beams.iter().map(|&b| (scan.angle_of(b), scan.ranges[b])));
+            job.mount = self.config.lidar_mount;
+            job.squash = self.config.squash;
         }
+        self.run_jobs();
+        log_w.clear();
+        log_w.resize(n, 0.0);
+        for job in &self.jobs {
+            if job.kind != JobKind::CastWeight {
+                continue;
+            }
+            log_w[job.start..job.start + job.log_w.len()].copy_from_slice(&job.log_w);
+        }
+        // Same telemetry contract as the unfused pipeline: the query count
+        // the kernel evaluated, and the casting time under `pf.raycast`
+        // (booked by `finish_correction`).
+        self.tel.add("range.queries", (n * k) as u64);
+        let raycast_seconds = raycast_started.elapsed_seconds();
+        // Weight reduction over the scattered per-particle log-likelihoods.
+        let sensor_started = Stopwatch::start();
         let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for (w, lw) in self.weights.iter_mut().zip(&log_w) {
             *w *= (lw - max_lw).exp();
         }
         let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+        self.beam_sel = beams;
+        self.log_w = log_w;
         let inject = self.update_recovery(mean_lik);
         normalize(&mut self.weights);
         self.estimate = self.expected_pose();
@@ -630,6 +736,7 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
         self.last_odom = None;
         self.w_slow = 0.0;
         self.w_fast = 0.0;
+        self.motion_epoch = 0;
         self.motion_accum_seconds = 0.0;
         self.last_stages.clear();
     }
@@ -646,6 +753,39 @@ impl<M: RangeMethod> Localizer for SynPf<M> {
             covariance_trace: Some(vx + vy),
             match_score: self.recovery_health(),
             stages: self.last_stages.clone(),
+        }
+    }
+}
+
+impl<M: RangeMethod + 'static> Clone for SynPf<M> {
+    /// Clones the filter state. The range oracle and sensor table are
+    /// shared (`Arc`), while the worker pool and scratch buffers are fresh:
+    /// the clone spawns its own pool lazily and replays identically from
+    /// its copied RNG state.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            shared: Arc::clone(&self.shared),
+            particles: self.particles.clone(),
+            weights: self.weights.clone(),
+            rng: self.rng.clone(),
+            last_odom: self.last_odom,
+            estimate: self.estimate,
+            likelihood_field: self.likelihood_field.clone(),
+            recovery_map: self.recovery_map.clone(),
+            w_slow: self.w_slow,
+            w_fast: self.w_fast,
+            log_w: Vec::new(),
+            beam_sel: self.beam_sel.clone(),
+            beam_key: self.beam_key,
+            jobs: Vec::new(),
+            pool: OnceLock::new(),
+            motion_epoch: self.motion_epoch,
+            resample_idx: Vec::new(),
+            resample_scratch: Vec::new(),
+            tel: self.tel.clone(),
+            motion_accum_seconds: self.motion_accum_seconds,
+            last_stages: self.last_stages.clone(),
         }
     }
 }

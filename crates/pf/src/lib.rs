@@ -46,6 +46,7 @@ pub mod filter;
 pub mod kld;
 pub mod layout;
 pub mod motion;
+mod parstep;
 pub mod resample;
 pub mod sensor;
 

@@ -1,0 +1,282 @@
+//! Chunked jobs for the fused parallel particle pipeline (DESIGN.md §11).
+//!
+//! [`SynPf`](crate::SynPf) splits its particle set into the deterministic
+//! static chunk layout from [`raceloc_par::chunk`] and dispatches one
+//! [`StepJob`] per chunk, either inline (`threads = 1`) or on a persistent
+//! [`raceloc_par::WorkerPool`]. Each job owns every buffer it touches, so
+//! the steady-state pipeline performs zero heap allocations and the chunk
+//! results can be scattered back in any completion order.
+//!
+//! Two kernels run through the same job type:
+//!
+//! - **Motion** ([`JobKind::Motion`]): propagates the chunk's particles
+//!   through the configured motion model using a *counter-derived* RNG
+//!   stream ([`Rng64::stream`]) identified by `(epoch, chunk index)`. The
+//!   stream is a pure function of the seed and those counters, so the
+//!   sampled noise — and therefore the whole filter trajectory — is
+//!   bit-identical for any thread count.
+//! - **Fused cast + weight** ([`JobKind::CastWeight`]): for each particle,
+//!   casts the selected beams through the shared range oracle into a
+//!   k-sized scratch and immediately accumulates the beam-model
+//!   log-likelihood. The old pipeline materialized the full
+//!   `n_particles × n_beams` expected-range matrix; fusing keeps the
+//!   working set at one beam set per worker, which is what makes the
+//!   multi-threaded sensor update memory-bandwidth-friendly. Per-beam
+//!   accumulation order matches the unfused reference exactly, so the
+//!   resulting log-weights are bitwise identical to it.
+
+use std::sync::Arc;
+
+use raceloc_core::{Pose2, Rng64, Twist2};
+use raceloc_par::PoolJob;
+use raceloc_range::RangeMethod;
+
+use crate::filter::MotionConfig;
+use crate::motion::propagate;
+use crate::sensor::BeamSensorModel;
+
+/// Immutable per-filter context shared with the pool workers: the range
+/// oracle and the precomputed sensor table.
+#[derive(Debug)]
+pub(crate) struct PfShared<M> {
+    /// The expected-range oracle.
+    pub caster: M,
+    /// The discretized beam sensor model.
+    pub sensor: BeamSensorModel,
+}
+
+/// What a [`StepJob`] computes when it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum JobKind {
+    /// Leftover job slot from a larger previous batch: does nothing.
+    Idle,
+    /// Propagate `particles` through the motion model.
+    Motion,
+    /// Fused expected-range cast + log-likelihood accumulation.
+    CastWeight,
+}
+
+/// One particle chunk's worth of pipeline work, with owned reusable
+/// buffers. The filter keeps a persistent `Vec<StepJob>` (at most
+/// [`raceloc_par::MAX_CHUNKS`] entries) and rewrites the fields each step.
+#[derive(Debug)]
+pub(crate) struct StepJob {
+    /// Which kernel to run.
+    pub kind: JobKind,
+    /// Offset of this chunk in the filter's particle array.
+    pub start: usize,
+    /// The chunk's particles (copied in, mutated by `Motion`).
+    pub particles: Vec<Pose2>,
+    /// Selected beams as `(bearing in sensor frame, measured range)`.
+    pub beams: Vec<(f64, f64)>,
+    /// LiDAR mount pose in the body frame.
+    pub mount: Pose2,
+    /// Log-likelihood squash divisor.
+    pub squash: f64,
+    /// `CastWeight` output: squashed log-weight per particle.
+    pub log_w: Vec<f64>,
+    /// Per-particle query scratch (k entries, reused).
+    queries: Vec<(f64, f64, f64)>,
+    /// Per-particle expected-range scratch (k entries, reused).
+    expected: Vec<f64>,
+    /// Motion model to sample from.
+    pub motion: MotionConfig,
+    /// Relative odometry since the last prediction.
+    pub delta: Pose2,
+    /// Body twist reported with the odometry.
+    pub twist: Twist2,
+    /// Time step \[s\].
+    pub dt: f64,
+    /// Filter seed; combined with `stream` into the chunk's RNG stream.
+    pub seed: u64,
+    /// Counter-derived stream id: `(motion epoch << 32) | chunk index`.
+    pub stream: u64,
+}
+
+impl StepJob {
+    /// A fresh idle job slot with empty buffers.
+    pub fn empty(motion: MotionConfig) -> Self {
+        Self {
+            kind: JobKind::Idle,
+            start: 0,
+            particles: Vec::new(),
+            beams: Vec::new(),
+            mount: Pose2::IDENTITY,
+            squash: 1.0,
+            log_w: Vec::new(),
+            queries: Vec::new(),
+            expected: Vec::new(),
+            motion,
+            delta: Pose2::IDENTITY,
+            twist: Twist2::ZERO,
+            dt: 0.0,
+            seed: 0,
+            stream: 0,
+        }
+    }
+}
+
+impl<M: RangeMethod> PoolJob<Arc<PfShared<M>>> for StepJob {
+    fn run(&mut self, ctx: &Arc<PfShared<M>>) {
+        match self.kind {
+            JobKind::Idle => {}
+            JobKind::Motion => {
+                // The stream depends only on (seed, epoch, chunk index) —
+                // never on which worker runs the job — so motion noise is
+                // identical for any thread count, including inline.
+                let mut rng = Rng64::stream(self.seed, self.stream);
+                match self.motion {
+                    MotionConfig::DiffDrive(m) => {
+                        propagate(
+                            &m,
+                            &mut self.particles,
+                            self.delta,
+                            self.twist,
+                            self.dt,
+                            &mut rng,
+                        );
+                    }
+                    MotionConfig::Tum(m) => {
+                        propagate(
+                            &m,
+                            &mut self.particles,
+                            self.delta,
+                            self.twist,
+                            self.dt,
+                            &mut rng,
+                        );
+                    }
+                }
+            }
+            JobKind::CastWeight => {
+                let k = self.beams.len();
+                self.log_w.clear();
+                self.expected.clear();
+                self.expected.resize(k, 0.0);
+                for p in &self.particles {
+                    let sensor_pose = *p * self.mount;
+                    self.queries.clear();
+                    for &(bearing, _) in &self.beams {
+                        self.queries.push((
+                            sensor_pose.x,
+                            sensor_pose.y,
+                            sensor_pose.theta + bearing,
+                        ));
+                    }
+                    ctx.caster.ranges_into(&self.queries, &mut self.expected);
+                    // Accumulate in beam order: the f64 addition order is
+                    // what makes this bitwise-equal to the unfused matrix
+                    // reference.
+                    let mut acc = 0.0;
+                    for (j, &(_, measured)) in self.beams.iter().enumerate() {
+                        acc += ctx.sensor.log_prob(self.expected[j], measured);
+                    }
+                    self.log_w.push(acc / self.squash);
+                }
+            }
+        }
+    }
+
+    fn items(&self) -> usize {
+        self.particles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raceloc_map::{CellState, OccupancyGrid};
+    use raceloc_range::BresenhamCasting;
+
+    fn shared() -> Arc<PfShared<BresenhamCasting>> {
+        let mut g = OccupancyGrid::new(80, 80, 0.1, raceloc_core::Point2::ORIGIN);
+        g.fill(CellState::Free);
+        for i in 0..80i64 {
+            g.set((i, 0).into(), CellState::Occupied);
+            g.set((i, 79).into(), CellState::Occupied);
+            g.set((0, i).into(), CellState::Occupied);
+            g.set((79, i).into(), CellState::Occupied);
+        }
+        Arc::new(PfShared {
+            caster: BresenhamCasting::new(&g, 10.0),
+            sensor: BeamSensorModel::new(crate::sensor::BeamModelConfig::default(), 10.0),
+        })
+    }
+
+    #[test]
+    fn fused_matches_unfused_reference() {
+        let ctx = shared();
+        let particles = vec![
+            Pose2::new(4.0, 4.0, 0.3),
+            Pose2::new(3.0, 5.0, -1.2),
+            Pose2::new(5.5, 2.0, 2.8),
+        ];
+        let beams: Vec<(f64, f64)> = (0..16)
+            .map(|i| (-1.5 + i as f64 * 0.2, 2.0 + (i % 5) as f64 * 0.7))
+            .collect();
+        let mount = Pose2::new(0.1, 0.0, 0.0);
+        let squash = 12.0;
+
+        // Unfused reference: full query matrix, then a weight pass.
+        let mut queries = Vec::new();
+        for p in &particles {
+            let sp = *p * mount;
+            for &(bearing, _) in &beams {
+                queries.push((sp.x, sp.y, sp.theta + bearing));
+            }
+        }
+        let mut expected = vec![0.0; queries.len()];
+        ctx.caster.ranges_into(&queries, &mut expected);
+        let reference: Vec<f64> = particles
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let base = i * beams.len();
+                let mut acc = 0.0;
+                for (j, &(_, measured)) in beams.iter().enumerate() {
+                    acc += ctx.sensor.log_prob(expected[base + j], measured);
+                }
+                acc / squash
+            })
+            .collect();
+
+        let mut job = StepJob::empty(MotionConfig::Tum(crate::motion::TumMotionModel::default()));
+        job.kind = JobKind::CastWeight;
+        job.particles = particles;
+        job.beams = beams;
+        job.mount = mount;
+        job.squash = squash;
+        job.run(&ctx);
+        assert_eq!(job.log_w, reference, "fused kernel must be bitwise exact");
+    }
+
+    #[test]
+    fn motion_stream_is_pure() {
+        let ctx = shared();
+        let mk = || {
+            let mut job =
+                StepJob::empty(MotionConfig::Tum(crate::motion::TumMotionModel::default()));
+            job.kind = JobKind::Motion;
+            job.particles = vec![Pose2::new(4.0, 4.0, 0.1); 8];
+            job.delta = Pose2::new(0.05, 0.0, 0.01);
+            job.twist = Twist2::new(1.0, 0.0, 0.2);
+            job.dt = 0.05;
+            job.seed = 7;
+            job.stream = (3u64 << 32) | 1;
+            job.run(&ctx);
+            job.particles
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn idle_job_is_a_noop() {
+        let ctx = shared();
+        let mut job = StepJob::empty(MotionConfig::Tum(crate::motion::TumMotionModel::default()));
+        job.particles = vec![Pose2::new(1.0, 1.0, 0.0)];
+        let before = job.particles.clone();
+        job.run(&ctx);
+        assert_eq!(job.particles, before);
+        assert!(job.log_w.is_empty());
+    }
+}

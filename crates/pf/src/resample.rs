@@ -58,14 +58,32 @@ pub fn effective_sample_size(weights: &[f64]) -> f64 {
 /// than multinomial sampling.
 ///
 /// The input weights must be normalized. Returns an empty vector for empty
-/// input.
+/// input. Allocates; the hot path uses [`systematic_indices_into`].
 pub fn systematic_indices(weights: &[f64], count: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut indices = Vec::new();
+    systematic_indices_into(weights, count, rng, &mut indices);
+    indices
+}
+
+/// Allocation-free [`systematic_indices`]: writes the `count` source
+/// indices into `out` (cleared first), reusing its capacity.
+///
+/// Draw-for-draw identical to [`systematic_indices`] — both consume one
+/// uniform variate, and none on empty input — so swapping one for the
+/// other never perturbs the filter's RNG stream.
+pub fn systematic_indices_into(
+    weights: &[f64],
+    count: usize,
+    rng: &mut Rng64,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     if weights.is_empty() || count == 0 {
-        return Vec::new();
+        return;
     }
     let step = 1.0 / count as f64;
     let mut target = rng.uniform() * step;
-    let mut indices = Vec::with_capacity(count);
+    out.reserve(count);
     let mut cum = weights[0];
     let mut i = 0usize;
     for _ in 0..count {
@@ -73,10 +91,9 @@ pub fn systematic_indices(weights: &[f64], count: usize, rng: &mut Rng64) -> Vec
             i += 1;
             cum += weights[i];
         }
-        indices.push(i);
+        out.push(i);
         target += step;
     }
-    indices
 }
 
 #[cfg(test)]

@@ -80,11 +80,14 @@ impl BeamSensorModel {
         let mut table = vec![0.0f32; bins * bins];
         let res = config.resolution;
         let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * config.sigma_hit);
+        // Row scratch hoisted out of the expected-bin loop; every element
+        // is overwritten each iteration.
+        let mut row = vec![0.0f64; bins];
+        let mut probs = vec![0.0f64; bins];
         for e in 0..bins {
             let expected = e as f64 * res;
             // Normalize the hit component over the truncated support so each
             // row is a proper distribution.
-            let mut row = vec![0.0f64; bins];
             let mut hit_mass = 0.0;
             for (m, slot) in row.iter_mut().enumerate() {
                 let measured = m as f64 * res;
@@ -100,7 +103,6 @@ impl BeamSensorModel {
             };
             // Short component normalization over [0, expected].
             let short_cdf = 1.0 - (-config.lambda_short * expected).exp();
-            let mut probs = vec![0.0f64; bins];
             let mut mass = 0.0;
             for (m, slot) in probs.iter_mut().enumerate() {
                 let measured = m as f64 * res;
@@ -149,16 +151,31 @@ impl BeamSensorModel {
         self.table.len() * std::mem::size_of::<f32>()
     }
 
+    /// Log-probability floor returned on an (impossible) out-of-table
+    /// access: `ln(1e-12)`, the same clamp the table rows are built with.
+    const LOG_FLOOR: f32 = -27.631021;
+
     #[inline]
     fn bin(&self, r: f64) -> usize {
         ((r.clamp(0.0, self.max_range) / self.config.resolution) as usize).min(self.bins - 1)
+    }
+
+    /// Checked table access: `bin` clamps both axes into range, so the
+    /// lookup cannot miss; the floor fallback keeps the hot path free of
+    /// panic branches (analysis rule R1-idx).
+    #[inline]
+    fn entry(&self, expected_bin: usize, measured_bin: usize) -> f32 {
+        self.table
+            .get(expected_bin * self.bins + measured_bin)
+            .copied()
+            .unwrap_or(Self::LOG_FLOOR)
     }
 
     /// Log-probability of measuring `measured` when the map predicts
     /// `expected` (both in meters; values are clamped to the table domain).
     #[inline]
     pub fn log_prob(&self, expected: f64, measured: f64) -> f64 {
-        self.table[self.bin(expected) * self.bins + self.bin(measured)] as f64
+        self.entry(self.bin(expected), self.bin(measured)) as f64
     }
 }
 

@@ -11,7 +11,9 @@ use proptest::prelude::*;
 use raceloc_core::localizer::Localizer;
 use raceloc_core::{LaserScan, Rng64};
 use raceloc_map::{CellState, OccupancyGrid};
-use raceloc_pf::resample::{effective_sample_size, normalize, systematic_indices};
+use raceloc_pf::resample::{
+    effective_sample_size, normalize, systematic_indices, systematic_indices_into,
+};
 use raceloc_pf::{SynPf, SynPfConfig};
 use raceloc_range::BresenhamCasting;
 
@@ -84,6 +86,81 @@ proptest! {
         let idx = systematic_indices(&w, n, &mut rng);
         prop_assert_eq!(idx.len(), n);
         prop_assert!(idx.iter().all(|&i| i == survivor));
+    }
+}
+
+/// The pre-pipeline systematic resampler, kept verbatim as the reference
+/// the allocation-free implementation must match draw-for-draw.
+fn reference_systematic(weights: &[f64], count: usize, rng: &mut Rng64) -> Vec<usize> {
+    if weights.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let step = 1.0 / count as f64;
+    let mut target = rng.uniform() * step;
+    let mut indices = Vec::with_capacity(count);
+    let mut cum = weights[0];
+    let mut i = 0usize;
+    for _ in 0..count {
+        while cum < target && i + 1 < weights.len() {
+            i += 1;
+            cum += weights[i];
+        }
+        indices.push(i);
+        target += step;
+    }
+    indices
+}
+
+proptest! {
+    // The in-place resampler is a refactor, not a behavior change: for any
+    // weights, count, and seed it must produce exactly the reference
+    // indices AND leave the RNG in the same state (so downstream draws —
+    // recovery injection, the next resample — are unperturbed).
+    #[test]
+    fn in_place_resampler_matches_reference(
+        mut w in hostile_weights(),
+        count in 0usize..256,
+        seed in 0u64..1000,
+    ) {
+        normalize(&mut w);
+        let mut rng_ref = Rng64::new(seed);
+        let expected = reference_systematic(&w, count, &mut rng_ref);
+
+        let mut rng_into = Rng64::new(seed);
+        // Pre-dirtied, under-sized buffer: `_into` must clear and refill.
+        let mut out = vec![usize::MAX; 3];
+        systematic_indices_into(&w, count, &mut rng_into, &mut out);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(rng_into.clone().next_u64(), rng_ref.clone().next_u64());
+
+        // The allocating wrapper delegates to the same code.
+        let mut rng_vec = Rng64::new(seed);
+        prop_assert_eq!(systematic_indices(&w, count, &mut rng_vec), expected);
+    }
+
+    // Gathering through a reusable scratch buffer (what
+    // `SynPf::resample_if_needed` does) equals the old take-and-collect.
+    #[test]
+    fn scratch_gather_matches_collect(
+        mut w in hostile_weights(),
+        seed in 0u64..1000,
+    ) {
+        normalize(&mut w);
+        let particles: Vec<raceloc_core::Pose2> = (0..w.len())
+            .map(|i| raceloc_core::Pose2::new(i as f64, -(i as f64), 0.1 * i as f64))
+            .collect();
+        let count = w.len();
+        let mut rng_a = Rng64::new(seed);
+        let idx = systematic_indices(&w, count, &mut rng_a);
+        let collected: Vec<_> = idx.iter().map(|&src| particles[src]).collect();
+
+        let mut rng_b = Rng64::new(seed);
+        let mut idx_scratch = Vec::new();
+        let mut gather_scratch = vec![raceloc_core::Pose2::IDENTITY; 2];
+        systematic_indices_into(&w, count, &mut rng_b, &mut idx_scratch);
+        gather_scratch.clear();
+        gather_scratch.extend(idx_scratch.iter().map(|&src| particles[src]));
+        prop_assert_eq!(gather_scratch, collected);
     }
 }
 

@@ -2,19 +2,25 @@
 //!
 //! `rangelibc` offers a GPU mode that parallelizes the per-particle,
 //! per-beam expected-range computation. This module is the CPU substitute
-//! (DESIGN.md §1): the query batch is split across scoped OS threads. For
-//! the LUT method a query is a single memory read, so parallelism only pays
-//! off for expensive methods (Bresenham) or very large batches.
+//! (DESIGN.md §1, §11): the query batch is split by the deterministic static
+//! chunk layout from [`raceloc_par::chunk`] and the chunks are drained by
+//! scoped OS threads. Because every chunk writes a disjoint output span in
+//! query order, results are bit-identical for any thread count.
 //!
-//! The preferred entry point is [`RangeMethod::par_ranges_into`], which
-//! exposes the same fan-out as a provided trait method so callers can take
-//! parallelism through one object-safe surface; [`cast_batch`] remains as a
-//! deprecated shim.
+//! The entry point is [`crate::RangeMethod::par_ranges_into`], exposed as a
+//! provided trait method so callers take parallelism through one
+//! object-safe surface. Long-lived callers should prefer
+//! [`crate::PooledCaster`], which runs the same chunk layout on a
+//! persistent [`raceloc_par::WorkerPool`] instead of spawning threads per
+//! batch.
+
+use raceloc_par::{chunk_spans, lock_unpoisoned, DEFAULT_CHUNK_MIN};
+use std::sync::Mutex;
 
 use crate::RangeMethod;
 
 /// The shared chunk-fanning implementation behind
-/// [`RangeMethod::par_ranges_into`] and the deprecated [`cast_batch`].
+/// [`RangeMethod::par_ranges_into`].
 pub(crate) fn chunked_cast<M: RangeMethod + ?Sized>(
     method: &M,
     queries: &[(f64, f64, f64)],
@@ -25,72 +31,61 @@ pub(crate) fn chunked_cast<M: RangeMethod + ?Sized>(
     if queries.is_empty() {
         return;
     }
-    let threads = threads.max(1).min(queries.len());
-    if threads == 1 {
-        method.ranges_into(queries, out);
+    // Split the output into the deterministic chunk layout. The layout is a
+    // pure function of the batch size, so the spans — and therefore every
+    // written value — are independent of `threads`.
+    type Chunk<'a> = (&'a [(f64, f64, f64)], &'a mut [f64]);
+    let mut work: Vec<Chunk<'_>> = Vec::new();
+    let mut rest = &mut *out;
+    let mut consumed = 0usize;
+    for span in chunk_spans(queries.len(), DEFAULT_CHUNK_MIN) {
+        let (head, tail) = rest.split_at_mut(span.len());
+        work.push((&queries[span.clone()], head));
+        rest = tail;
+        consumed = span.end;
+    }
+    debug_assert_eq!(consumed, queries.len());
+
+    let workers = threads.max(1).min(work.len());
+    if workers == 1 {
+        for (q_chunk, o_chunk) in work {
+            method.ranges_into(q_chunk, o_chunk);
+        }
     } else {
-        let chunk = queries.len().div_ceil(threads);
+        let work = Mutex::new(work);
         std::thread::scope(|scope| {
-            for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    method.ranges_into(q_chunk, o_chunk);
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = lock_unpoisoned(&work).pop();
+                    match job {
+                        Some((q_chunk, o_chunk)) => method.ranges_into(q_chunk, o_chunk),
+                        None => break,
+                    }
                 });
             }
         });
     }
-    // Zero is admitted for casts that start inside occupied space; anything
-    // non-finite, negative, or beyond the sensor envelope is a kernel bug.
-    raceloc_core::debug_invariant!(
-        out.iter()
-            .all(|r| r.is_finite() && *r >= 0.0 && *r <= method.max_range() + 1e-9),
-        "batch ranges must lie in [0, max_range = {}]",
-        method.max_range()
-    );
+    check_envelope(out, method.max_range());
 }
 
-/// Casts a batch of `(x, y, θ)` queries in parallel over `threads` workers.
-///
-/// Results are written into `out` in query order; with `threads <= 1` this
-/// degenerates to the sequential [`RangeMethod::ranges_into`].
-///
-/// # Panics
-///
-/// Panics when `queries.len() != out.len()`.
-///
-/// # Examples
-///
-/// ```
-/// use raceloc_map::{CellState, OccupancyGrid};
-/// use raceloc_core::Point2;
-/// use raceloc_range::{BresenhamCasting, RangeMethod};
-///
-/// let mut grid = OccupancyGrid::new(50, 50, 0.2, Point2::ORIGIN);
-/// grid.fill(CellState::Free);
-/// for r in 0..50 { grid.set((49i64, r as i64).into(), CellState::Occupied); }
-/// let caster = BresenhamCasting::new(&grid, 15.0);
-/// let queries = vec![(1.0, 5.0, 0.0); 64];
-/// let mut out = vec![0.0; 64];
-/// caster.par_ranges_into(&queries, &mut out, 4);
-/// assert!(out.iter().all(|&r| (r - out[0]).abs() < 1e-12));
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RangeMethod::par_ranges_into` (or `par_ranges_traced`) instead"
-)]
-pub fn cast_batch<M: RangeMethod + ?Sized>(
-    method: &M,
-    queries: &[(f64, f64, f64)],
-    out: &mut [f64],
-    threads: usize,
-) {
-    chunked_cast(method, queries, out, threads);
+/// Debug-build envelope check shared by the batch drivers: zero is admitted
+/// for casts that start inside occupied space; anything non-finite,
+/// negative, or beyond the sensor envelope is a kernel bug.
+#[allow(unused_variables)]
+pub(crate) fn check_envelope(out: &[f64], max_range: f64) {
+    raceloc_core::debug_invariant!(
+        out.iter()
+            .all(|r| r.is_finite() && *r >= 0.0 && *r <= max_range + 1e-9),
+        "batch ranges must lie in [0, max_range = {}]",
+        max_range
+    );
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::testutil::room_with_pillar;
     use crate::BresenhamCasting;
+    use crate::RangeMethod;
 
     fn queries(n: usize) -> Vec<(f64, f64, f64)> {
         (0..n)
@@ -149,19 +144,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_delegates() {
-        let g = room_with_pillar();
-        let caster = BresenhamCasting::new(&g, 20.0);
-        let qs = queries(33);
-        let mut via_shim = vec![0.0; qs.len()];
-        cast_batch(&caster, &qs, &mut via_shim, 4);
-        let mut via_trait = vec![0.0; qs.len()];
-        caster.par_ranges_into(&qs, &mut via_trait, 4);
-        assert_eq!(via_shim, via_trait);
-    }
-
-    #[test]
     fn traced_variant_records_span_and_counter() {
         let g = room_with_pillar();
         let caster = BresenhamCasting::new(&g, 20.0);
@@ -171,7 +153,7 @@ mod tests {
         caster.par_ranges_traced(&qs, &mut out, 2, &tel);
         let snap = tel.snapshot();
         assert_eq!(snap.counter("range.queries"), Some(64));
-        let span = snap.span("range.cast_batch").expect("span recorded");
+        let span = snap.span("range.batch").expect("span recorded");
         assert_eq!(span.count, 1);
         assert!(span.total_seconds >= 0.0);
     }

@@ -17,7 +17,10 @@
 //! The paper's headline experiment runs on a GPU-less Intel NUC using the
 //! LUT mode; [`RangeLut`] reproduces that configuration. The GPU ray-casting
 //! mode of `rangelibc` is substituted by [`RangeMethod::par_ranges_into`],
-//! which fans a query batch across OS threads (see DESIGN.md §1);
+//! which fans a query batch across OS threads using the deterministic
+//! static chunk layout from `raceloc-par` (see DESIGN.md §1, §11);
+//! [`PooledCaster`] runs the same layout on a persistent worker pool so
+//! long-lived callers avoid per-batch thread spawns, and
 //! [`RangeMethod::par_ranges_traced`] additionally records the batch span
 //! and query count into a [`raceloc_obs::Telemetry`] handle.
 //!
@@ -42,13 +45,13 @@ pub mod batch;
 pub mod bresenham;
 pub mod cddt;
 pub mod lut;
+pub mod pooled;
 pub mod raymarch;
 
-#[allow(deprecated)]
-pub use batch::cast_batch;
 pub use bresenham::BresenhamCasting;
 pub use cddt::Cddt;
 pub use lut::RangeLut;
+pub use pooled::PooledCaster;
 pub use raymarch::RayMarching;
 
 /// A 2-D range query oracle: "standing at `(x, y)` looking along `theta`,
@@ -97,7 +100,7 @@ pub trait RangeMethod: Send + Sync {
     }
 
     /// [`RangeMethod::par_ranges_into`] with telemetry: records the whole
-    /// batch under the `range.cast_batch` span and bumps the
+    /// batch under the `range.batch` span and bumps the
     /// `range.queries` counter by the batch size.
     fn par_ranges_traced(
         &self,
@@ -106,9 +109,12 @@ pub trait RangeMethod: Send + Sync {
         threads: usize,
         tel: &raceloc_obs::Telemetry,
     ) {
-        let _span = tel.span("range.cast_batch");
+        let _span = tel.span("range.batch");
         tel.add("range.queries", queries.len() as u64);
-        batch::chunked_cast(self, queries, out, threads);
+        // Route through `par_ranges_into` (not `chunked_cast` directly) so
+        // wrappers like `PooledCaster` that override the batch driver keep
+        // their tracing behavior consistent with their execution path.
+        self.par_ranges_into(queries, out, threads);
     }
 
     /// Approximate heap memory used by precomputed structures, in bytes.

@@ -184,6 +184,10 @@ impl Default for LidarSpec {
 pub struct Lidar {
     spec: LidarSpec,
     rng: Rng64,
+    /// Reusable query buffer for the batched sweep (DESIGN.md §11).
+    queries: Vec<(f64, f64, f64)>,
+    /// Reusable cast-result buffer for the batched sweep.
+    cast: Vec<f64>,
 }
 
 impl Lidar {
@@ -198,6 +202,8 @@ impl Lidar {
         Self {
             spec,
             rng: Rng64::new(seed),
+            queries: Vec::new(),
+            cast: Vec::new(),
         }
     }
 
@@ -213,31 +219,82 @@ impl Lidar {
         caster: &M,
         stamp: f64,
     ) -> LaserScan {
+        self.scan_with_threads(body_pose, caster, 1, stamp)
+    }
+
+    /// Produces one sweep, batch-casting the beams on up to `threads`
+    /// worker threads via [`RangeMethod::par_ranges_into`].
+    ///
+    /// Ray casting consumes no randomness and the noise draws replay the
+    /// exact per-beam order of the serial sweep (dropout first, range noise
+    /// only for in-envelope returns), so the scan is **bit-identical** to
+    /// [`Lidar::scan`] for every `threads` value — the rule-R3 contract of
+    /// DESIGN.md §11. With `threads <= 1` the sweep stays on the caller
+    /// thread and skips casting dropped beams entirely.
+    pub fn scan_with_threads<M: RangeMethod + ?Sized>(
+        &mut self,
+        body_pose: Pose2,
+        caster: &M,
+        threads: usize,
+        stamp: f64,
+    ) -> LaserScan {
         let sensor_pose = body_pose * self.spec.mount;
         let angle_min = -0.5 * self.spec.fov;
         let inc = self.spec.fov / (self.spec.beams - 1) as f64;
         let mut ranges = Vec::with_capacity(self.spec.beams);
-        for i in 0..self.spec.beams {
-            let beam_angle = sensor_pose.theta + angle_min + i as f64 * inc;
-            let r = if self.rng.bernoulli(self.spec.dropout) {
-                self.spec.max_range
-            } else {
-                let true_r = caster
-                    .range(sensor_pose.x, sensor_pose.y, beam_angle)
-                    .min(self.spec.max_range);
-                if true_r >= self.spec.max_range {
+        if threads > 1 {
+            // Pre-cast every beam, dropped ones included: casting is a pure
+            // function, so the extra casts cannot perturb the noise
+            // sequence replayed below.
+            self.queries.clear();
+            self.queries.extend((0..self.spec.beams).map(|i| {
+                (
+                    sensor_pose.x,
+                    sensor_pose.y,
+                    sensor_pose.theta + angle_min + i as f64 * inc,
+                )
+            }));
+            self.cast.clear();
+            self.cast.resize(self.spec.beams, 0.0);
+            caster.par_ranges_into(&self.queries, &mut self.cast, threads);
+            for i in 0..self.spec.beams {
+                let r = if self.rng.bernoulli(self.spec.dropout) {
                     self.spec.max_range
                 } else {
-                    self.rng
-                        .gaussian_with(true_r, self.spec.range_noise)
-                        .clamp(0.0, self.spec.max_range)
-                }
-            };
-            ranges.push(r);
+                    self.in_range_return(self.cast[i])
+                };
+                ranges.push(r);
+            }
+        } else {
+            for i in 0..self.spec.beams {
+                let beam_angle = sensor_pose.theta + angle_min + i as f64 * inc;
+                // Dropout is drawn before the (lazily skipped) cast.
+                let r = if self.rng.bernoulli(self.spec.dropout) {
+                    self.spec.max_range
+                } else {
+                    let true_r = caster.range(sensor_pose.x, sensor_pose.y, beam_angle);
+                    self.in_range_return(true_r)
+                };
+                ranges.push(r);
+            }
         }
         let mut scan = LaserScan::new(angle_min, inc, ranges, self.spec.max_range);
         scan.stamp = stamp;
         scan
+    }
+
+    /// Applies the in-envelope part of the beam noise model: saturating
+    /// returns report `max_range` with no noise draw; everything else gets
+    /// one Gaussian range-noise draw, clamped to the envelope.
+    fn in_range_return(&mut self, true_r: f64) -> f64 {
+        let true_r = true_r.min(self.spec.max_range);
+        if true_r >= self.spec.max_range {
+            self.spec.max_range
+        } else {
+            self.rng
+                .gaussian_with(true_r, self.spec.range_noise)
+                .clamp(0.0, self.spec.max_range)
+        }
     }
 }
 
@@ -455,6 +512,36 @@ mod tests {
         for &r in &sa.ranges {
             assert!((0.0..=10.0).contains(&r));
         }
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_bitwise() {
+        let caster = room_caster();
+        // High dropout so the replayed draw order (dropout before the
+        // conditional noise draw) is actually exercised.
+        let spec = LidarSpec {
+            range_noise: 0.05,
+            dropout: 0.2,
+            ..LidarSpec::default()
+        };
+        let mut serial = Lidar::new(spec, 7);
+        for threads in [2usize, 4, 8] {
+            let mut batched = Lidar::new(spec, 7);
+            let mut serial = Lidar::new(spec, 7);
+            for step in 0..5 {
+                let pose = Pose2::new(5.0 + 0.1 * step as f64, 5.0, 0.3 * step as f64);
+                let sa = serial.scan(pose, &caster, step as f64);
+                let sb = batched.scan_with_threads(pose, &caster, threads, step as f64);
+                assert_eq!(sa, sb, "threads={threads} step={step}");
+            }
+        }
+        // The serial entry point is itself the threads=1 batched path.
+        let mut one = Lidar::new(spec, 7);
+        let pose = Pose2::new(5.0, 5.0, 0.7);
+        assert_eq!(
+            serial.scan(pose, &caster, 0.0),
+            one.scan_with_threads(pose, &caster, 1, 0.0)
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use raceloc_core::Pose2;
 use raceloc_map::{CellState, Track};
 use raceloc_obs::Stopwatch;
 use raceloc_obs::{Json, RunRecorder, StepRecord, Telemetry};
-use raceloc_range::RayMarching;
+use raceloc_range::{PooledCaster, RayMarching};
 use std::io;
 
 /// Configuration of a closed-loop run.
@@ -49,6 +49,12 @@ pub struct WorldConfig {
     /// standard deviation `grip_noise` and ~0.5 s correlation time —
     /// the "varying grip levels" of a real track (dust, tire temperature).
     pub grip_noise: f64,
+    /// Worker threads for the simulator's own ray casting (the LiDAR
+    /// sweep). `1` (the default) keeps everything on the caller thread;
+    /// higher values batch the sweep onto a persistent
+    /// [`raceloc_range::PooledCaster`] pool. Scans are bit-identical for
+    /// every value (rule R3) — see DESIGN.md §11.
+    pub threads: usize,
 }
 
 impl Default for WorldConfig {
@@ -69,6 +75,7 @@ impl Default for WorldConfig {
             seed: 42,
             scan_log_stride: 4,
             grip_noise: 0.05,
+            threads: 1,
         }
     }
 }
@@ -128,7 +135,7 @@ pub struct World {
     config: WorldConfig,
     vehicle: Vehicle,
     state: VehicleState,
-    caster: RayMarching,
+    caster: PooledCaster<RayMarching>,
     lidar: Lidar,
     odometer: WheelOdometer,
     pursuit: PurePursuit,
@@ -163,7 +170,10 @@ impl World {
                 && config.control_hz > 0.0,
             "world rates must be positive"
         );
-        let caster = RayMarching::new(&track.grid, config.lidar.max_range);
+        let caster = PooledCaster::new(
+            RayMarching::new(&track.grid, config.lidar.max_range),
+            config.threads.max(1),
+        );
         let profile = SpeedProfile::new(
             &track.raceline,
             config.a_lat_max,
@@ -234,13 +244,25 @@ impl World {
     /// The ray caster over the ground-truth map (sharable with localizers
     /// that want the identical geometry, e.g. in tests).
     pub fn caster(&self) -> &RayMarching {
-        &self.caster
+        self.caster.inner()
+    }
+
+    /// Counters of the simulator's own casting pool, if one has been
+    /// spawned (`None` with `threads <= 1`, which never leaves the caller
+    /// thread).
+    pub fn pool_stats(&self) -> Option<raceloc_par::PoolStats> {
+        self.caster.pool_stats()
     }
 
     /// Produces one LiDAR scan from the current true pose (useful for
     /// initializing localizers or writing custom loops).
     pub fn scan_now(&mut self) -> LaserScan {
-        self.lidar.scan(self.state.pose, &self.caster, self.time)
+        self.lidar.scan_with_threads(
+            self.state.pose,
+            &self.caster,
+            self.config.threads,
+            self.time,
+        )
     }
 
     /// Runs the closed loop for `duration` simulated seconds.
@@ -353,7 +375,15 @@ impl World {
             }
             if self.time + 1e-12 >= next_lidar {
                 next_lidar += lidar_period;
-                let scan = self.lidar.scan(self.state.pose, &self.caster, self.time);
+                let scan = self.lidar.scan_with_threads(
+                    self.state.pose,
+                    &self.caster,
+                    self.config.threads,
+                    self.time,
+                );
+                if self.tel.is_enabled() {
+                    self.caster.publish_stats(&self.tel);
+                }
                 let t0 = Stopwatch::start();
                 let est = localizer.correct(&scan);
                 let correct_seconds = t0.elapsed_seconds();
@@ -584,6 +614,39 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn runs_are_bitwise_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let cfg = WorldConfig {
+                threads,
+                ..WorldConfig::default()
+            };
+            let mut world = World::new(oval_track(), cfg);
+            let mut dr = DeadReckoning::new();
+            let log = world.run(&mut dr, 2.0);
+            let spawned = world.pool_stats().is_some();
+            let scans: Vec<_> = log
+                .scans
+                .iter()
+                .map(|(t, est, scan)| (*t, *est, scan.ranges.clone()))
+                .collect();
+            let poses: Vec<_> = log
+                .samples
+                .iter()
+                .map(|s| (s.true_pose, s.est_pose))
+                .collect();
+            (poses, scans, spawned)
+        };
+        let (poses1, scans1, spawned1) = run(1);
+        assert!(!spawned1, "threads=1 must never spawn a pool");
+        for threads in [2usize, 4] {
+            let (poses, scans, spawned) = run(threads);
+            assert_eq!(poses, poses1, "trajectory diverged at threads={threads}");
+            assert_eq!(scans, scans1, "scans diverged at threads={threads}");
+            assert!(spawned, "threads={threads} should use the pool");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`core`] | `raceloc-core` | SE(2) poses, angles, PRNG, statistics, the [`core::localizer::Localizer`] trait |
 //! | [`map`] | `raceloc-map` | occupancy grids, distance transforms, PGM I/O, track generation |
 //! | [`range`] | `raceloc-range` | Bresenham / ray-marching / CDDT / LUT range queries |
+//! | [`par`] | `raceloc-par` | deterministic chunking + the persistent worker pool (DESIGN.md §11) |
 //! | [`sim`] | `raceloc-sim` | vehicle dynamics with tire slip, sensors, pure pursuit, the closed-loop [`sim::World`] |
 //! | [`pf`] | `raceloc-pf` | **SynPF** — the paper's particle filter |
 //! | [`slam`] | `raceloc-slam` | Cartographer-style SLAM + pure localization baseline |
@@ -49,6 +50,7 @@ pub use raceloc_core as core;
 pub use raceloc_map as map;
 pub use raceloc_metrics as metrics;
 pub use raceloc_obs as obs;
+pub use raceloc_par as par;
 pub use raceloc_pf as pf;
 pub use raceloc_range as range;
 pub use raceloc_sim as sim;

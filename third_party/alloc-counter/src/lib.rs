@@ -1,0 +1,117 @@
+//! Counting wrapper around the system allocator, for tests that assert a
+//! code path performs **zero heap allocations** in the steady state.
+//!
+//! This is a minimal, test-only vendored helper (see `third_party/README.md`
+//! for the offline-vendoring policy). It necessarily contains `unsafe`
+//! (implementing [`GlobalAlloc`] requires it), which is why it lives outside
+//! the `#![forbid(unsafe_code)]` workspace crates: the production crates stay
+//! unsafe-free and only test binaries link this allocator in.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! use alloc_counter::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! #[test]
+//! fn steady_state_is_allocation_free() {
+//!     // ... warm up ...
+//!     let before = ALLOC.allocations();
+//!     // ... hot path ...
+//!     assert_eq!(ALLOC.allocations(), before);
+//! }
+//! ```
+//!
+//! Counters are process-global and monotonically increasing; callers compare
+//! before/after deltas. `Relaxed` ordering suffices because tests read the
+//! counters from the same thread that performed the allocations (or after
+//! joining all worker threads).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] that delegates to [`System`] while counting calls.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    reallocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter set; intended for a `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        Self {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of `alloc`/`alloc_zeroed` calls since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total number of `dealloc` calls since process start.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total number of `realloc` calls since process start.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all allocation calls.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocation events of any kind (alloc + realloc): the quantity tests
+    /// assert stays flat across a steady-state step.
+    pub fn total_events(&self) -> u64 {
+        self.allocations() + self.reallocations()
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only adds relaxed atomic counting and
+// never inspects or fabricates pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
