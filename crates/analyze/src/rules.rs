@@ -13,9 +13,10 @@
 use crate::mask::MaskedFile;
 
 /// The crates whose kernels must be panic-free and deterministic (R1, R3):
-/// the particle filter, ray casting, the worker pool, SLAM, and the
-/// simulator.
-pub const HOT_PATH_CRATES: [&str; 5] = ["par", "pf", "range", "slam", "sim"];
+/// the particle filter, ray casting, the worker pool, SLAM, the
+/// simulator, and the fault-injection engine (whose schedules must replay
+/// bit-identically from `(seed, step)` alone).
+pub const HOT_PATH_CRATES: [&str; 6] = ["faults", "par", "pf", "range", "slam", "sim"];
 
 /// How a diagnostic participates in the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,170 @@
+//! **Fault matrix** — robustness of {SynPF, Cartographer, DeadReckoning}
+//! under the deterministic fault catalog (DESIGN.md §12): blackout, beam
+//! dropout, range miscalibration, odometry slip, stuck encoder, transport
+//! latency, pose kidnap, and map corruption. Each cell reports RMSE,
+//! worst-case error, recovery latency, and the fraction of corrections
+//! spent in each health state; `BENCH_faults.json` is the checked-in
+//! artifact.
+//!
+//! Hard gates (exit code 1, the CI `fault-smoke` job): any non-finite pose
+//! estimate, and SynPF failing to recover to Nominal within the budget
+//! after kidnap or blackout.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin fault_matrix --
+//! [--quick] [--threads N] [--out BENCH_faults.json]`.
+
+use raceloc_bench::env_threads;
+use raceloc_bench::faults::{
+    fault_catalog, row_violations, run_fault_cell, FaultCellConfig, FaultMethod, FaultRow,
+};
+use raceloc_obs::Json;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: env_threads(),
+        out: "BENCH_faults.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|t| t.trim().parse::<usize>().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn format_row(r: &FaultRow) -> String {
+    format!(
+        "{:<13} {:<15} {:>9.2} {:>9.2} {:>9} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6} {}",
+        r.method,
+        r.scenario,
+        r.rmse_cm,
+        r.max_err_cm,
+        r.recovery_steps
+            .map_or("never".to_string(), |s| s.to_string()),
+        100.0 * r.pct_nominal,
+        100.0 * r.pct_degraded,
+        100.0 * r.pct_lost,
+        100.0 * r.pct_recovering,
+        if r.finite { "yes" } else { "NO" },
+        if r.crashed { "CRASH" } else { "" }
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = if args.quick {
+        FaultCellConfig::quick(args.threads)
+    } else {
+        FaultCellConfig::full(args.threads)
+    };
+    let catalog = fault_catalog(cfg.total_steps());
+    println!(
+        "Fault matrix — {} scenarios × 3 localizers, {} corrections per cell ({} threads)",
+        catalog.len(),
+        cfg.total_steps(),
+        cfg.threads.max(1)
+    );
+    println!(
+        "{:<13} {:<15} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Method",
+        "Scenario",
+        "RMSE[cm]",
+        "Max[cm]",
+        "Recov",
+        "Nom%",
+        "Deg%",
+        "Lost%",
+        "Rec%",
+        "Finite"
+    );
+
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    for scenario in &catalog {
+        for method in FaultMethod::all() {
+            let row = run_fault_cell(method, scenario, &cfg);
+            println!("{}", format_row(&row));
+            violations.extend(row_violations(&row, scenario));
+            rows.push(row);
+        }
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("faults".into())),
+        ("quick".into(), Json::Bool(args.quick)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("steps".into(), Json::num(cfg.total_steps() as f64)),
+                ("particles".into(), Json::num(cfg.particles as f64)),
+                ("duration_s".into(), Json::num(cfg.duration_s)),
+                ("seed".into(), Json::num(cfg.seed as f64)),
+            ]),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                catalog
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("schedule".into(), s.schedule.to_json()),
+                            ("measure_from".into(), Json::num(s.measure_from as f64)),
+                            (
+                                "recovery_budget".into(),
+                                s.recovery_budget
+                                    .map_or(Json::Null, |b| Json::num(b as f64)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(FaultRow::to_json).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("GATE FAILURE: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed");
+}

@@ -90,7 +90,14 @@ fn reference_weights(
 ) -> Vec<f64> {
     let caster = RangeLut::new(&track.grid, 10.0, 72);
     let sensor = BeamSensorModel::new(config.beam_model, caster.max_range());
-    let beams = config.layout.select(scan);
+    // Same beam policy as the fused kernel: dropped beams (non-finite
+    // ranges) are skipped entirely, never scored.
+    let beams: Vec<usize> = config
+        .layout
+        .select(scan)
+        .into_iter()
+        .filter(|&b| scan.ranges[b].is_finite())
+        .collect();
     let n = particles.len();
     let k = beams.len();
     let mut queries = Vec::with_capacity(n * k);

@@ -8,6 +8,8 @@
 //! Racing"* (DATE 2024); see `DESIGN.md` §4 for the experiment index and
 //! `EXPERIMENTS.md` for recorded results.
 
+pub mod faults;
+
 use raceloc_core::localizer::Localizer;
 use raceloc_core::{Pose2, RunningStats, Summary};
 use raceloc_map::{Track, TrackShape, TrackSpec};

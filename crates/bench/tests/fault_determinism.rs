@@ -1,0 +1,46 @@
+//! Rule R3 at the artifact level: the same `(seed, schedule)` must yield
+//! bitwise-identical `BENCH_faults.json` rows no matter how many worker
+//! threads the simulator and the particle pipeline use (ISSUE satellite;
+//! see DESIGN.md §12). The cells here are miniature — the point is the
+//! thread sweep, not the fault physics, which `bench::faults` tests cover.
+
+use raceloc_bench::faults::{fault_catalog, run_fault_cell, FaultCellConfig, FaultMethod};
+
+/// A deliberately small cell so the 3-thread sweep stays test-sized.
+fn tiny_config(threads: usize) -> FaultCellConfig {
+    FaultCellConfig {
+        threads,
+        particles: 250,
+        duration_s: 2.5, // 100 corrections — the catalog's minimum scale
+        seed: 42,
+    }
+}
+
+#[test]
+fn fault_rows_are_bitwise_identical_across_thread_counts() {
+    let catalog = fault_catalog(tiny_config(1).total_steps());
+    // Kidnap exercises ground-truth teleport + health + recovery; dropout
+    // exercises the per-beam RNG; latency exercises the stale-scan queue.
+    let picks: Vec<_> = catalog
+        .iter()
+        .filter(|s| ["pose_kidnap", "beam_dropout", "latency"].contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(picks.len(), 3, "catalog scenario names changed");
+
+    for scenario in picks {
+        for method in [FaultMethod::SynPf, FaultMethod::Cartographer] {
+            let reference = run_fault_cell(method, scenario, &tiny_config(1));
+            let reference = format!("{}", reference.to_json());
+            for threads in [2, 4] {
+                let row = run_fault_cell(method, scenario, &tiny_config(threads));
+                assert_eq!(
+                    format!("{}", row.to_json()),
+                    reference,
+                    "{} x {} differs between 1 and {threads} threads",
+                    method.name(),
+                    scenario.name,
+                );
+            }
+        }
+    }
+}

@@ -9,6 +9,8 @@
 
 use std::borrow::Cow;
 
+use crate::health::Health;
+
 /// A snapshot of localizer health after the most recent correction step.
 ///
 /// Produced by [`Localizer::diagnostics`](crate::Localizer::diagnostics).
@@ -24,6 +26,9 @@ pub struct Diagnostics {
     pub covariance_trace: Option<f64>,
     /// Score of the last scan match (method-specific scale).
     pub match_score: Option<f64>,
+    /// The localizer's health state, when it runs a health monitor
+    /// (DESIGN.md §12); `None` when health tracking is disabled.
+    pub health: Option<Health>,
     /// Per-stage wall-clock timings \[s\] of the last correction, in
     /// execution order (e.g. `("motion", 1.2e-4)`, `("raycast", 8e-4)`).
     pub stages: Vec<(Cow<'static, str>, f64)>,
@@ -41,6 +46,7 @@ impl Diagnostics {
             && self.ess.is_none()
             && self.covariance_trace.is_none()
             && self.match_score.is_none()
+            && self.health.is_none()
             && self.stages.is_empty()
     }
 

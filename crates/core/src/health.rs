@@ -1,0 +1,320 @@
+//! Localizer health: a degradation state machine shared by every
+//! [`Localizer`](crate::localizer::Localizer) implementation.
+//!
+//! Divergence detectors (ESS collapse and likelihood z-scores in the
+//! particle filter, scan-match residuals in the SLAM localizer) reduce
+//! each correction to a coarse [`HealthSignal`]; a [`HealthMonitor`]
+//! debounces those signals through streak counters into the four-state
+//! machine of DESIGN.md §12:
+//!
+//! ```text
+//!            suspect/diverged streak          diverged streak
+//!  Nominal ─────────────────────────▶ Degraded ───────────────▶ Lost
+//!     ▲                                  │  ▲                    │
+//!     │ ok streak                        │  │ diverged streak    │ re-init /
+//!     │                        ok streak │  │                    │ ok streak
+//!     └────────── Recovering ◀───────────┘  └──── Recovering ◀───┘
+//! ```
+//!
+//! Streak debouncing keeps single noisy corrections from flapping the
+//! state; the thresholds are configurable per consumer.
+
+/// The coarse health of a localizer's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Health {
+    /// Tracking normally; the estimate is trustworthy.
+    #[default]
+    Nominal,
+    /// Inputs are degraded (dropouts, staleness, weak matches); the
+    /// estimate is coasting on reduced information.
+    Degraded,
+    /// The estimate has diverged from the sensors; do not trust it.
+    Lost,
+    /// A re-initialization is converging back toward Nominal.
+    Recovering,
+}
+
+impl Health {
+    /// The stable lowercase name used in JSON and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Health::Nominal => "nominal",
+            Health::Degraded => "degraded",
+            Health::Lost => "lost",
+            Health::Recovering => "recovering",
+        }
+    }
+
+    /// Parses a name written by [`Health::as_str`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nominal" => Some(Health::Nominal),
+            "degraded" => Some(Health::Degraded),
+            "lost" => Some(Health::Lost),
+            "recovering" => Some(Health::Recovering),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One correction's worth of detector output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthSignal {
+    /// Detectors agree the estimate is consistent with the sensors.
+    Ok,
+    /// Something is off (degraded input, weak match, mild divergence).
+    Suspect,
+    /// Strong evidence the estimate no longer explains the sensors.
+    Diverged,
+}
+
+/// Streak thresholds of the [`HealthMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive non-`Ok` corrections before leaving Nominal.
+    pub enter_degraded: u32,
+    /// Consecutive `Diverged` corrections before declaring Lost.
+    pub enter_lost: u32,
+    /// Consecutive `Ok` corrections before Degraded (or an un-reinitialized
+    /// Lost) steps back toward Nominal/Recovering.
+    pub exit_degraded: u32,
+    /// Consecutive `Ok` corrections before Recovering settles to Nominal.
+    pub exit_recovering: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enter_degraded: 3,
+            enter_lost: 8,
+            exit_degraded: 5,
+            exit_recovering: 10,
+        }
+    }
+}
+
+/// The streak-debounced health state machine.
+///
+/// Feed one [`HealthSignal`] per correction through
+/// [`HealthMonitor::observe`]; call [`HealthMonitor::notify_reinit`] when
+/// a global re-initialization was performed in response to Lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    state: Health,
+    ok_streak: u32,
+    bad_streak: u32,
+    diverged_streak: u32,
+}
+
+impl HealthMonitor {
+    /// A monitor starting in [`Health::Nominal`].
+    pub fn new(config: HealthConfig) -> Self {
+        Self {
+            config,
+            state: Health::Nominal,
+            ok_streak: 0,
+            bad_streak: 0,
+            diverged_streak: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> Health {
+        self.state
+    }
+
+    /// Returns to Nominal and clears every streak.
+    pub fn reset(&mut self) {
+        self.state = Health::Nominal;
+        self.clear_streaks();
+    }
+
+    fn clear_streaks(&mut self) {
+        self.ok_streak = 0;
+        self.bad_streak = 0;
+        self.diverged_streak = 0;
+    }
+
+    fn transition(&mut self, to: Health) {
+        self.state = to;
+        self.clear_streaks();
+    }
+
+    /// Records that a global re-initialization was performed: a Lost
+    /// localizer moves to Recovering (no-op in any other state).
+    pub fn notify_reinit(&mut self) {
+        if self.state == Health::Lost {
+            self.transition(Health::Recovering);
+        }
+    }
+
+    /// Feeds one correction's detector signal and returns the new state.
+    pub fn observe(&mut self, signal: HealthSignal) -> Health {
+        match signal {
+            HealthSignal::Ok => {
+                self.ok_streak += 1;
+                self.bad_streak = 0;
+                self.diverged_streak = 0;
+            }
+            HealthSignal::Suspect => {
+                self.ok_streak = 0;
+                self.bad_streak += 1;
+                // A Suspect between Diverged signals pauses, but does not
+                // clear, the divergence streak: oscillating evidence must
+                // still eventually reach Lost.
+            }
+            HealthSignal::Diverged => {
+                self.ok_streak = 0;
+                self.bad_streak += 1;
+                self.diverged_streak += 1;
+            }
+        }
+        match self.state {
+            Health::Nominal => {
+                if self.diverged_streak >= self.config.enter_lost {
+                    self.transition(Health::Lost);
+                } else if self.bad_streak >= self.config.enter_degraded {
+                    // Degrading is not a fresh start: the bad/diverged
+                    // streaks keep accumulating so sustained divergence
+                    // reaches Lost at `enter_lost` total, not
+                    // `enter_degraded + enter_lost`.
+                    self.state = Health::Degraded;
+                }
+            }
+            Health::Degraded => {
+                if self.diverged_streak >= self.config.enter_lost {
+                    self.transition(Health::Lost);
+                } else if self.ok_streak >= self.config.exit_degraded {
+                    self.transition(Health::Nominal);
+                }
+            }
+            Health::Lost => {
+                // Without an external re-init, a sustained run of healthy
+                // corrections (the filter found itself again) also moves
+                // toward Recovering.
+                if self.ok_streak >= self.config.exit_degraded {
+                    self.transition(Health::Recovering);
+                }
+            }
+            Health::Recovering => {
+                if self.diverged_streak >= self.config.enter_lost {
+                    self.transition(Health::Lost);
+                } else if self.ok_streak >= self.config.exit_recovering {
+                    self.transition(Health::Nominal);
+                }
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for h in [
+            Health::Nominal,
+            Health::Degraded,
+            Health::Lost,
+            Health::Recovering,
+        ] {
+            assert_eq!(Health::from_name(h.as_str()), Some(h));
+        }
+        assert_eq!(Health::from_name("confused"), None);
+    }
+
+    #[test]
+    fn ok_signals_keep_nominal() {
+        let mut m = monitor();
+        for _ in 0..50 {
+            assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
+        }
+    }
+
+    #[test]
+    fn suspect_streak_degrades_and_recovers() {
+        let mut m = monitor();
+        m.observe(HealthSignal::Suspect);
+        m.observe(HealthSignal::Suspect);
+        assert_eq!(m.state(), Health::Nominal, "debounced");
+        assert_eq!(m.observe(HealthSignal::Suspect), Health::Degraded);
+        for _ in 0..4 {
+            assert_eq!(m.observe(HealthSignal::Ok), Health::Degraded);
+        }
+        assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
+    }
+
+    #[test]
+    fn diverged_streak_reaches_lost_and_reinit_recovers() {
+        let mut m = monitor();
+        for _ in 0..8 {
+            m.observe(HealthSignal::Diverged);
+        }
+        assert_eq!(m.state(), Health::Lost);
+        m.notify_reinit();
+        assert_eq!(m.state(), Health::Recovering);
+        for _ in 0..9 {
+            assert_eq!(m.observe(HealthSignal::Ok), Health::Recovering);
+        }
+        assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
+    }
+
+    #[test]
+    fn suspect_does_not_clear_divergence_streak() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.observe(HealthSignal::Diverged);
+            m.observe(HealthSignal::Suspect);
+        }
+        for _ in 0..4 {
+            m.observe(HealthSignal::Diverged);
+        }
+        assert_eq!(m.state(), Health::Lost, "oscillation still reaches Lost");
+    }
+
+    #[test]
+    fn lost_without_reinit_can_still_recover() {
+        let mut m = monitor();
+        for _ in 0..8 {
+            m.observe(HealthSignal::Diverged);
+        }
+        assert_eq!(m.state(), Health::Lost);
+        for _ in 0..5 {
+            m.observe(HealthSignal::Ok);
+        }
+        assert_eq!(m.state(), Health::Recovering);
+    }
+
+    #[test]
+    fn reinit_outside_lost_is_a_noop() {
+        let mut m = monitor();
+        m.notify_reinit();
+        assert_eq!(m.state(), Health::Nominal);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = monitor();
+        for _ in 0..8 {
+            m.observe(HealthSignal::Diverged);
+        }
+        m.reset();
+        assert_eq!(m.state(), Health::Nominal);
+        m.observe(HealthSignal::Suspect);
+        m.observe(HealthSignal::Suspect);
+        assert_eq!(m.state(), Health::Nominal, "streaks were cleared");
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod angle;
 pub mod diagnostics;
+pub mod health;
 pub mod invariant;
 pub mod linalg;
 pub mod localizer;
@@ -40,6 +41,7 @@ pub mod sensor_data;
 pub mod stats;
 
 pub use diagnostics::Diagnostics;
+pub use health::{Health, HealthConfig, HealthMonitor, HealthSignal};
 pub use localizer::Localizer;
 pub use pose::{Point2, Pose2, Twist2};
 pub use rng::Rng64;

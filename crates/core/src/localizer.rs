@@ -1,6 +1,7 @@
 //! The interface every localization algorithm in the workspace implements.
 
 use crate::diagnostics::Diagnostics;
+use crate::health::Health;
 use crate::sensor_data::{LaserScan, Odometry};
 use crate::Pose2;
 
@@ -39,6 +40,16 @@ pub trait Localizer {
     /// localizer types.
     fn diagnostics(&self) -> Diagnostics {
         Diagnostics::empty()
+    }
+
+    /// The localizer's current health state (DESIGN.md §12).
+    ///
+    /// The default implementation reports [`Health::Nominal`] forever:
+    /// estimators without divergence detectors (dead reckoning) have no
+    /// basis to declare themselves degraded. Implementations running a
+    /// [`HealthMonitor`](crate::health::HealthMonitor) report its state.
+    fn health(&self) -> Health {
+        Health::Nominal
     }
 }
 

@@ -5,9 +5,11 @@ use crate::{Pose2, Twist2};
 /// One 2-D LiDAR sweep.
 ///
 /// Beam `i` points along `angle_min + i * angle_increment` in the *sensor*
-/// frame; `ranges[i]` is the measured distance in meters, already clamped to
-/// `[0, max_range]` by the producer. A range equal to `max_range` means "no
-/// return".
+/// frame; `ranges[i]` is the measured distance in meters. Valid returns are
+/// clamped to `[0, max_range]` by the producer; a range equal to
+/// `max_range` means "no return within the envelope" (saturation), and a
+/// non-finite range (`f64::INFINITY`) tags a *dropped/invalid* beam —
+/// sensor models must skip invalid beams rather than score them.
 ///
 /// # Examples
 ///

@@ -69,6 +69,13 @@ impl StepRecord {
             ),
             ("match_score".into(), Json::opt_num(self.diag.match_score)),
             (
+                "health".into(),
+                match self.diag.health {
+                    Some(h) => Json::Str(h.as_str().into()),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "stages".into(),
                 Json::Obj(
                     self.diag
@@ -121,6 +128,10 @@ impl StepRecord {
             ess: diag_doc.get("ess").and_then(Json::as_f64),
             covariance_trace: diag_doc.get("cov_trace").and_then(Json::as_f64),
             match_score: diag_doc.get("match_score").and_then(Json::as_f64),
+            health: diag_doc
+                .get("health")
+                .and_then(Json::as_str)
+                .and_then(raceloc_core::Health::from_name),
             stages,
         };
         Some(StepRecord {
@@ -254,6 +265,7 @@ mod tests {
                 ess: Some(312.5),
                 covariance_trace: Some(0.0625),
                 match_score: None,
+                health: Some(raceloc_core::Health::Degraded),
                 stages: vec![
                     (Cow::Borrowed("motion"), 1e-4),
                     (Cow::Borrowed("raycast"), 8e-4),

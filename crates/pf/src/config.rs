@@ -102,13 +102,19 @@ impl RecoveryConfig {
 pub struct RecoveryConfigBuilder(RecoveryConfig);
 
 impl RecoveryConfigBuilder {
-    /// Long-term likelihood EMA rate.
+    /// Long-term likelihood EMA rate. Must be *strictly* smaller than
+    /// [`alpha_fast`](Self::alpha_fast): equal rates make the injection
+    /// probability `1 - w_fast/w_slow` identically zero, silently disabling
+    /// recovery, so [`build`](Self::build) rejects `alpha_slow ==
+    /// alpha_fast` as well as the inverted ordering.
     pub fn alpha_slow(mut self, v: f64) -> Self {
         self.0.alpha_slow = v;
         self
     }
 
-    /// Short-term likelihood EMA rate.
+    /// Short-term likelihood EMA rate. Must be *strictly* greater than
+    /// [`alpha_slow`](Self::alpha_slow); see there for why the boundary
+    /// `alpha_slow == alpha_fast` is rejected too.
     pub fn alpha_fast(mut self, v: f64) -> Self {
         self.0.alpha_fast = v;
         self
@@ -186,6 +192,9 @@ impl SynPfConfig {
         }
         if let Some(rec) = self.recovery {
             rec.validated()?;
+        }
+        if let Some(health) = self.health {
+            health.validated()?;
         }
         Ok(self)
     }
@@ -271,6 +280,13 @@ impl SynPfConfigBuilder {
     /// Enables augmented-MCL recovery.
     pub fn recovery(mut self, v: RecoveryConfig) -> Self {
         self.0.recovery = Some(v);
+        self
+    }
+
+    /// Enables health monitoring (divergence detectors + degraded-mode
+    /// state machine, DESIGN.md §12).
+    pub fn health(mut self, v: crate::health::HealthPolicy) -> Self {
+        self.0.health = Some(v);
         self
     }
 
@@ -426,6 +442,42 @@ mod tests {
             })
             .build();
         assert!(nested.is_err());
+    }
+
+    #[test]
+    fn equal_recovery_rates_rejected() {
+        // Regression for the alpha_slow == alpha_fast boundary: equal rates
+        // make the injection probability identically zero (recovery
+        // silently disabled), so the strict ordering documented on the
+        // builder is enforced at the boundary too.
+        let e = RecoveryConfig::builder()
+            .alpha_slow(0.2)
+            .alpha_fast(0.2)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.field, "recovery.alpha_slow");
+        assert_eq!(e.reason, "must be smaller than alpha_fast");
+        let nested = SynPfConfig::builder()
+            .recovery(RecoveryConfig {
+                alpha_slow: 0.2,
+                alpha_fast: 0.2,
+            })
+            .build();
+        assert!(nested.is_err());
+    }
+
+    #[test]
+    fn health_policy_validated_when_nested() {
+        let bad = crate::health::HealthPolicy {
+            ema_alpha: 0.0,
+            ..crate::health::HealthPolicy::default()
+        };
+        let e = SynPfConfig::builder().health(bad).build().unwrap_err();
+        assert_eq!(e.field, "health.ema_alpha");
+        assert!(SynPfConfig::builder()
+            .health(crate::health::HealthPolicy::default())
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::resample::{effective_sample_size, normalize, systematic_indices_into}
 use crate::sensor::{BeamModelConfig, BeamSensorModel, LikelihoodField, LikelihoodFieldConfig};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{angle, Diagnostics, Pose2, Rng64};
+use raceloc_core::{angle, Diagnostics, Health, HealthSignal, Pose2, Rng64};
 use raceloc_map::{CellState, OccupancyGrid};
 use raceloc_obs::Telemetry;
 use raceloc_par::{chunk_count, chunk_spans, PoolJob, WorkerPool, DEFAULT_CHUNK_MIN};
@@ -93,6 +93,12 @@ pub struct SynPfConfig {
     /// [`SynPf::enable_recovery`] to supply the map to draw random poses
     /// from.
     pub recovery: Option<RecoveryConfig>,
+    /// Optional health monitoring (DESIGN.md §12): divergence detectors
+    /// feed a Nominal → Degraded → Lost → Recovering state machine, with
+    /// stale-input rejection, hold-and-coast on uninformative scans, and
+    /// automatic global re-initialization on Lost. `None` (the default)
+    /// disables every detector at zero cost in the steady-state step.
+    pub health: Option<crate::health::HealthPolicy>,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -116,6 +122,7 @@ impl Default for SynPfConfig {
             chunk_min: DEFAULT_CHUNK_MIN,
             kld: None,
             recovery: None,
+            health: None,
             seed: 7,
         }
     }
@@ -188,6 +195,22 @@ pub struct SynPf<M: RangeMethod> {
     motion_accum_seconds: f64,
     /// Per-stage timings of the last correction, for [`Localizer::diagnostics`].
     last_stages: Vec<(Cow<'static, str>, f64)>,
+    /// Health state machine (DESIGN.md §12); only fed when
+    /// [`SynPfConfig::health`] is set.
+    health_monitor: raceloc_core::HealthMonitor,
+    /// EMA mean of the per-step mean squashed log-likelihood.
+    lw_mean: f64,
+    /// EMA variance of the per-step mean squashed log-likelihood.
+    lw_var: f64,
+    /// Detector-internal slow mean-likelihood EMA (independent of the
+    /// augmented-MCL injection EMAs).
+    health_w_slow: f64,
+    /// Detector-internal fast mean-likelihood EMA.
+    health_w_fast: f64,
+    /// Corrections observed by the likelihood EMAs since the last (re)init.
+    health_steps: u32,
+    /// Detector mute countdown after an automatic global re-init.
+    reinit_holdoff: u32,
 }
 
 impl<M: RangeMethod + 'static> SynPf<M> {
@@ -225,6 +248,15 @@ impl<M: RangeMethod + 'static> SynPf<M> {
             tel: Telemetry::disabled(),
             motion_accum_seconds: 0.0,
             last_stages: Vec::new(),
+            health_monitor: raceloc_core::HealthMonitor::new(
+                config.health.map(|h| h.monitor).unwrap_or_default(),
+            ),
+            lw_mean: 0.0,
+            lw_var: 0.0,
+            health_w_slow: 0.0,
+            health_w_fast: 0.0,
+            health_steps: 0,
+            reinit_holdoff: 0,
             config,
         }
     }
@@ -549,6 +581,150 @@ impl<M: RangeMethod + 'static> SynPf<M> {
         self.last_stages
             .push((Cow::Borrowed("resample"), resample_seconds));
     }
+
+    /// Books a correction that carried no measurement information (empty,
+    /// fully dropped-out, or stale scan) into the health machine: the
+    /// filter holds and coasts on dead-reckoning, which is at best a
+    /// Degraded condition.
+    fn note_uninformative_scan(&mut self) {
+        if self.config.health.is_some() {
+            self.health_monitor.observe(HealthSignal::Suspect);
+        }
+    }
+
+    /// Whether the scan is too old relative to the newest odometry to be
+    /// corrected against (stale-input rejection, DESIGN.md §12).
+    fn scan_is_stale(&self, scan: &LaserScan) -> bool {
+        let Some(policy) = self.config.health else {
+            return false;
+        };
+        match self.last_odom {
+            Some(last) => last.stamp - scan.stamp > policy.max_scan_age,
+            None => false,
+        }
+    }
+
+    /// Feeds one mean-log-likelihood observation into the EMA tracker.
+    fn observe_likelihood(&mut self, policy: crate::health::HealthPolicy, mean_lw: f64) {
+        if self.health_steps == 0 {
+            self.lw_mean = mean_lw;
+            self.lw_var = 0.0;
+        } else {
+            let d = mean_lw - self.lw_mean;
+            self.lw_mean += policy.ema_alpha * d;
+            self.lw_var += policy.ema_alpha * (d * d - self.lw_var);
+        }
+        self.health_steps = self.health_steps.saturating_add(1);
+    }
+
+    /// Feeds one mean raw-likelihood observation into the detector's own
+    /// fast/slow EMA pair and returns the current `fast / slow` ratio.
+    fn observe_ratio(&mut self, policy: crate::health::HealthPolicy, mean_lik: f64) -> Option<f64> {
+        if self.health_w_slow == 0.0 {
+            self.health_w_slow = mean_lik;
+            self.health_w_fast = mean_lik;
+            return None;
+        }
+        self.health_w_slow += policy.ratio_alpha_slow * (mean_lik - self.health_w_slow);
+        self.health_w_fast += policy.ratio_alpha_fast * (mean_lik - self.health_w_fast);
+        (self.health_w_slow > 1e-300).then(|| self.health_w_fast / self.health_w_slow)
+    }
+
+    /// Reduces one correction to a coarse health signal: likelihood
+    /// z-score, pre-resample ESS fraction, covariance trace, and the
+    /// augmented-MCL likelihood ratio, each voting Suspect or Diverged.
+    fn detector_signal(
+        &mut self,
+        policy: crate::health::HealthPolicy,
+        mean_lw: f64,
+        mean_lik: f64,
+    ) -> HealthSignal {
+        let warmed = self.health_steps >= policy.warmup_steps;
+        let z = warmed.then(|| {
+            let sigma = self.lw_var.max(0.0).sqrt().max(policy.z_sigma_floor);
+            (mean_lw - self.lw_mean) / sigma
+        });
+        self.observe_likelihood(policy, mean_lw);
+        let ratio = self.observe_ratio(policy, mean_lik);
+        if !warmed {
+            return HealthSignal::Ok;
+        }
+        let mut diverged = false;
+        let mut suspect = false;
+        if let Some(z) = z {
+            if z < -policy.z_lost {
+                diverged = true;
+            } else if z < -policy.z_suspect {
+                suspect = true;
+            }
+        }
+        if let Some(ratio) = ratio {
+            if ratio < policy.ratio_lost {
+                diverged = true;
+            }
+        }
+        let (vx, vy, _) = self.covariance();
+        let cov = vx + vy;
+        if cov > policy.cov_suspect_m2 {
+            // Never a Diverged vote: a dispersed cloud with a healthy
+            // likelihood is augmented-MCL injection mid-recovery, and
+            // declaring Lost here would re-scatter a filter that is
+            // about to converge. Divergence proper is evidenced by the
+            // likelihood detectors above.
+            suspect = true;
+        }
+        let n = self.particles.len().max(1) as f64;
+        if effective_sample_size(&self.weights) / n < policy.ess_suspect_frac {
+            suspect = true;
+        }
+        if diverged {
+            HealthSignal::Diverged
+        } else if suspect {
+            HealthSignal::Suspect
+        } else {
+            HealthSignal::Ok
+        }
+    }
+
+    /// Runs the divergence detectors and the Lost → global re-init
+    /// degraded behavior. Called once per informative correction, after
+    /// normalization and before resampling; a no-op when
+    /// [`SynPfConfig::health`] is `None`.
+    fn update_health(&mut self, mean_lw: f64, mean_lik: f64) {
+        let Some(policy) = self.config.health else {
+            return;
+        };
+        if self.reinit_holdoff > 0 {
+            // A freshly scattered cloud legitimately has a huge covariance
+            // and an unsettled likelihood level: keep learning the EMAs
+            // but let the machine sit in Recovering undisturbed.
+            self.reinit_holdoff -= 1;
+            self.observe_likelihood(policy, mean_lw);
+            self.observe_ratio(policy, mean_lik);
+            return;
+        }
+        let signal = self.detector_signal(policy, mean_lw, mean_lik);
+        let state = self.health_monitor.observe(signal);
+        if state == Health::Lost && policy.auto_reinit {
+            let Some(grid) = self.recovery_map.clone() else {
+                return;
+            };
+            // Uniform reseed over free space: the same machinery as
+            // kidnapped-robot initialization, plus a detector holdoff and
+            // fresh likelihood statistics for the new cloud.
+            self.global_init(&grid);
+            self.health_monitor.notify_reinit();
+            self.reinit_holdoff = policy.reinit_holdoff;
+            self.w_slow = 0.0;
+            self.w_fast = 0.0;
+            self.lw_mean = 0.0;
+            self.lw_var = 0.0;
+            self.health_w_slow = 0.0;
+            self.health_w_fast = 0.0;
+            self.health_steps = 0;
+            self.tel.add("pf.health.reinit", 1);
+        }
+    }
 }
 
 impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
@@ -597,14 +773,36 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
     }
 
     fn correct(&mut self, scan: &LaserScan) -> Pose2 {
+        // Stale-input rejection (DESIGN.md §12): correcting against a scan
+        // older than the odometry horizon would drag the cloud backwards.
+        if self.scan_is_stale(scan) {
+            self.note_uninformative_scan();
+            return self.estimate;
+        }
         self.select_beams(scan);
         if self.beam_sel.is_empty() {
+            return self.estimate;
+        }
+        // Hold-and-coast: a scan whose selected beams are all dropped or
+        // saturated (e.g. a lidar blackout) carries no information —
+        // scoring it would weight every particle equally and poison the
+        // recovery EMAs, so the filter coasts on dead-reckoning instead.
+        let cutoff = scan.max_range - 1e-9;
+        let usable = self
+            .beam_sel
+            .iter()
+            .filter(|&&b| {
+                let r = scan.ranges[b];
+                r.is_finite() && r > 0.0 && r < cutoff
+            })
+            .count();
+        if usable == 0 {
+            self.note_uninformative_scan();
             return self.estimate;
         }
         let correct_started = Stopwatch::start();
         let motion_seconds = std::mem::take(&mut self.motion_accum_seconds);
         let n = self.particles.len();
-        let k = self.beam_sel.len();
         // Borrow the cached selection and log-weight scratch out of `self`
         // for the duration of the scoring pass; both are restored below.
         let beams = std::mem::take(&mut self.beam_sel);
@@ -638,11 +836,13 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
                 *w *= (lw - max_lw).exp();
             }
             let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+            let mean_lw = log_w.iter().sum::<f64>() / log_w.len().max(1) as f64;
             self.beam_sel = beams;
             self.log_w = log_w;
             let inject = self.update_recovery(mean_lik);
             normalize(&mut self.weights);
             self.estimate = self.expected_pose();
+            self.update_health(mean_lw, mean_lik);
             let sensor_seconds = sensor_started.elapsed_seconds();
             let resample_started = Stopwatch::start();
             self.resample_if_needed();
@@ -671,8 +871,16 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             job.particles.clear();
             job.particles.extend_from_slice(&self.particles[span]);
             job.beams.clear();
-            job.beams
-                .extend(beams.iter().map(|&b| (scan.angle_of(b), scan.ranges[b])));
+            // Dropped beams (non-finite ranges) are skipped entirely: the
+            // filter is identical for every chunk, so the layout stays a
+            // pure function of the scan and results stay bit-identical
+            // across thread counts.
+            job.beams.extend(
+                beams
+                    .iter()
+                    .map(|&b| (scan.angle_of(b), scan.ranges[b]))
+                    .filter(|&(_, r)| r.is_finite()),
+            );
             job.mount = self.config.lidar_mount;
             job.squash = self.config.squash;
         }
@@ -686,9 +894,13 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             log_w[job.start..job.start + job.log_w.len()].copy_from_slice(&job.log_w);
         }
         // Same telemetry contract as the unfused pipeline: the query count
-        // the kernel evaluated, and the casting time under `pf.raycast`
-        // (booked by `finish_correction`).
-        self.tel.add("range.queries", (n * k) as u64);
+        // the kernel evaluated (dropped beams are never cast), and the
+        // casting time under `pf.raycast` (booked by `finish_correction`).
+        let k_finite = beams
+            .iter()
+            .filter(|&&b| scan.ranges[b].is_finite())
+            .count();
+        self.tel.add("range.queries", (n * k_finite) as u64);
         let raycast_seconds = raycast_started.elapsed_seconds();
         // Weight reduction over the scattered per-particle log-likelihoods.
         let sensor_started = Stopwatch::start();
@@ -697,11 +909,13 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             *w *= (lw - max_lw).exp();
         }
         let mean_lik = log_w.iter().map(|lw| lw.exp()).sum::<f64>() / log_w.len().max(1) as f64;
+        let mean_lw = log_w.iter().sum::<f64>() / log_w.len().max(1) as f64;
         self.beam_sel = beams;
         self.log_w = log_w;
         let inject = self.update_recovery(mean_lik);
         normalize(&mut self.weights);
         self.estimate = self.expected_pose();
+        self.update_health(mean_lw, mean_lik);
         let sensor_seconds = sensor_started.elapsed_seconds();
         let resample_started = Stopwatch::start();
         self.resample_if_needed();
@@ -739,10 +953,21 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
         self.motion_epoch = 0;
         self.motion_accum_seconds = 0.0;
         self.last_stages.clear();
+        self.health_monitor.reset();
+        self.lw_mean = 0.0;
+        self.lw_var = 0.0;
+        self.health_w_slow = 0.0;
+        self.health_w_fast = 0.0;
+        self.health_steps = 0;
+        self.reinit_holdoff = 0;
     }
 
     fn name(&self) -> &str {
         "synpf"
+    }
+
+    fn health(&self) -> Health {
+        self.health_monitor.state()
     }
 
     fn diagnostics(&self) -> Diagnostics {
@@ -752,6 +977,11 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             ess: Some(self.ess()),
             covariance_trace: Some(vx + vy),
             match_score: self.recovery_health(),
+            health: self
+                .config
+                .health
+                .is_some()
+                .then(|| self.health_monitor.state()),
             stages: self.last_stages.clone(),
         }
     }
@@ -786,6 +1016,13 @@ impl<M: RangeMethod + 'static> Clone for SynPf<M> {
             tel: self.tel.clone(),
             motion_accum_seconds: self.motion_accum_seconds,
             last_stages: self.last_stages.clone(),
+            health_monitor: self.health_monitor.clone(),
+            lw_mean: self.lw_mean,
+            lw_var: self.lw_var,
+            health_w_slow: self.health_w_slow,
+            health_w_fast: self.health_w_fast,
+            health_steps: self.health_steps,
+            reinit_holdoff: self.reinit_holdoff,
         }
     }
 }
@@ -1240,6 +1477,226 @@ mod extension_tests {
             pf.pose().to_array()
         };
         assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod health_tests {
+    use super::*;
+    use crate::health::HealthPolicy;
+    use raceloc_core::Twist2;
+    use raceloc_map::{Track, TrackShape, TrackSpec};
+    use raceloc_range::RayMarching;
+
+    fn track() -> Track {
+        TrackSpec::new(TrackShape::RandomFourier {
+            seed: 5,
+            mean_radius: 5.0,
+            amplitude: 0.2,
+            harmonics: 3,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let beams = 181;
+        let fov = 270.0f64.to_radians();
+        let inc = fov / (beams - 1) as f64;
+        let sensor = pose * mount;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                )
+            })
+            .collect();
+        LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+    }
+
+    /// The stale-input detector compares scan stamps against odometry
+    /// stamps, so every scored scan must carry the loop time.
+    fn stamped(scan: &LaserScan, stamp: f64) -> LaserScan {
+        let mut s = scan.clone();
+        s.stamp = stamp;
+        s
+    }
+
+    fn health_pf(t: &Track, particles: usize) -> SynPf<RayMarching> {
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles,
+                recovery: Some(RecoveryConfig {
+                    alpha_slow: 0.01,
+                    alpha_fast: 0.4,
+                }),
+                health: Some(HealthPolicy::default()),
+                ..SynPfConfig::default()
+            },
+        );
+        pf.enable_recovery(&t.grid);
+        pf
+    }
+
+    #[test]
+    fn kidnap_reaches_lost_then_reinit_recovers_to_nominal() {
+        let t = track();
+        // Near-inert augmented-MCL rates: random injection stays negligible,
+        // so recovery must come from the health machine's Lost → global
+        // re-init path rather than from particle injection.
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 1500,
+                recovery: Some(RecoveryConfig {
+                    alpha_slow: 0.001,
+                    alpha_fast: 0.002,
+                }),
+                health: Some(HealthPolicy {
+                    reinit_holdoff: 60,
+                    ..HealthPolicy::default()
+                }),
+                ..SynPfConfig::default()
+            },
+        );
+        pf.enable_recovery(&t.grid);
+        let tel = raceloc_obs::Telemetry::enabled();
+        pf.set_telemetry(tel.clone());
+        let home = t.start_pose();
+        pf.reset(home);
+        let home_scan = scan_from(&t, home, pf.config().lidar_mount);
+        // Converge and warm the likelihood EMAs past the detector warmup.
+        for i in 0..30 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&stamped(&home_scan, i as f64 * 0.02));
+        }
+        assert_eq!(pf.health(), Health::Nominal);
+        // Kidnap: scans now come from the other side of the track.
+        let s = 0.5 * t.raceline.total_length();
+        let p = t.raceline.point_at(s);
+        let there = Pose2::new(p.x, p.y, t.raceline.heading_at(s));
+        let there_scan = scan_from(&t, there, pf.config().lidar_mount);
+        let mut est = pf.pose();
+        let mut saw_non_nominal = false;
+        for i in 30..280 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            est = pf.correct(&stamped(&there_scan, i as f64 * 0.02));
+            saw_non_nominal |= pf.health() != Health::Nominal;
+        }
+        assert!(saw_non_nominal, "detectors never reacted to the kidnap");
+        assert!(
+            tel.snapshot().counter("pf.health.reinit").unwrap_or(0) >= 1,
+            "Lost never triggered a global re-init"
+        );
+        assert_eq!(pf.health(), Health::Nominal, "did not settle after re-init");
+        assert!(
+            est.dist(there) < 0.6,
+            "did not recover from kidnapping: {est} vs {there}"
+        );
+    }
+
+    #[test]
+    fn blackout_coasts_and_degrades_then_recovers() {
+        let t = track();
+        let mut pf = health_pf(&t, 600);
+        let home = t.start_pose();
+        pf.reset(home);
+        let home_scan = scan_from(&t, home, pf.config().lidar_mount);
+        for i in 0..25 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&stamped(&home_scan, i as f64 * 0.02));
+        }
+        assert_eq!(pf.health(), Health::Nominal);
+        // Total blackout: every beam invalid. The filter must hold its
+        // estimate (no scoring) and degrade, not diverge or go non-finite.
+        let mut blackout = LaserScan::new(
+            home_scan.angle_min,
+            home_scan.angle_increment,
+            vec![f64::INFINITY; home_scan.len()],
+            home_scan.max_range,
+        );
+        blackout.stamp = 24.0 * 0.02;
+        let before = pf.pose();
+        for _ in 0..5 {
+            let est = pf.correct(&blackout);
+            assert_eq!(est, before, "blackout correction must coast");
+        }
+        assert_eq!(pf.health(), Health::Degraded);
+        // Scans return: the machine settles back to Nominal.
+        for i in 25..33 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&stamped(&home_scan, i as f64 * 0.02));
+        }
+        assert_eq!(pf.health(), Health::Nominal);
+    }
+
+    #[test]
+    fn stale_scan_is_rejected() {
+        let t = track();
+        let mut pf = health_pf(&t, 300);
+        let home = t.start_pose();
+        pf.reset(home);
+        let mut scan = scan_from(&t, home, pf.config().lidar_mount);
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 1.0));
+        scan.stamp = 0.0; // 1 s older than the odometry horizon.
+        let before = pf.pose();
+        let weights_before = pf.weights().to_vec();
+        assert_eq!(pf.correct(&scan), before);
+        assert_eq!(pf.weights(), &weights_before[..], "no scoring happened");
+        // A fresh scan is accepted again.
+        scan.stamp = 1.0;
+        pf.correct(&scan);
+        assert!(pf.diagnostics().stage("sensor").is_some());
+    }
+
+    #[test]
+    fn health_disabled_is_inert() {
+        let t = track();
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let mut pf = SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 200,
+                ..SynPfConfig::default()
+            },
+        );
+        pf.reset(t.start_pose());
+        let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        for _ in 0..5 {
+            pf.correct(&scan);
+        }
+        assert_eq!(pf.health(), Health::Nominal);
+        assert!(pf.diagnostics().health.is_none());
+        // Stale scans are not rejected without a policy either.
+        let mut old = scan.clone();
+        old.stamp = -10.0;
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        pf.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.02));
+        pf.correct(&old);
+        assert!(pf.diagnostics().stage("sensor").is_some());
     }
 }
 

@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod filter;
+pub mod health;
 pub mod kld;
 pub mod layout;
 pub mod motion;
@@ -52,6 +53,7 @@ pub mod sensor;
 
 pub use config::{ConfigError, RecoveryConfigBuilder, SynPfConfigBuilder};
 pub use filter::{MotionConfig, RecoveryConfig, SynPf, SynPfConfig};
+pub use health::HealthPolicy;
 pub use kld::KldConfig;
 pub use layout::ScanLayout;
 pub use motion::{CloudDispersion, DiffDriveModel, MotionModel, TumMotionModel};

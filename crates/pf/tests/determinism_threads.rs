@@ -149,6 +149,65 @@ fn kld_and_recovery_paths_stay_deterministic_across_threads() {
 }
 
 #[test]
+fn health_and_dropout_paths_stay_deterministic_across_threads() {
+    // Health monitoring plus invalid (dropped) beams exercise every new
+    // branch of the correction path: the finite-beam job filter, the
+    // blackout coast, and the detector EMAs. All of it must stay
+    // bit-identical across thread counts (rule R3).
+    let t = track();
+    let run = |threads: usize| {
+        let caster = RayMarching::new(&t.grid, 10.0);
+        let config = SynPfConfig::builder()
+            .particles(600)
+            .threads(threads)
+            .recovery(RecoveryConfig::default())
+            .health(raceloc_pf::HealthPolicy::default())
+            .seed(17)
+            .build()
+            .expect("valid config");
+        let mut pf = SynPf::new(caster, config);
+        pf.enable_recovery(&t.grid);
+        pf.reset(t.start_pose());
+        let clean = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        for i in 0..12 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.05,
+            ));
+            let mut scan = clean.clone();
+            scan.stamp = i as f64 * 0.05;
+            if (4..6).contains(&i) {
+                // Blackout window: every beam invalid.
+                scan.ranges.iter_mut().for_each(|r| *r = f64::INFINITY);
+            } else {
+                // Deterministic partial dropout: every 7th beam invalid.
+                for (b, r) in scan.ranges.iter_mut().enumerate() {
+                    if b % 7 == 0 {
+                        *r = f64::INFINITY;
+                    }
+                }
+            }
+            pf.correct(&scan);
+        }
+        (
+            pf.particles().to_vec(),
+            pf.weights().to_vec(),
+            pf.pose().to_array(),
+            pf.health(),
+        )
+    };
+    let seq = run(1);
+    for threads in [2usize, 4] {
+        let par = run(threads);
+        assert_eq!(seq.0, par.0, "particles diverged at threads={threads}");
+        assert_eq!(seq.1, par.1, "weights diverged at threads={threads}");
+        assert_eq!(seq.2, par.2, "estimate diverged at threads={threads}");
+        assert_eq!(seq.3, par.3, "health state diverged at threads={threads}");
+    }
+}
+
+#[test]
 fn pool_spawns_only_in_threaded_mode_and_reports_stats() {
     let t = track();
     let mk = |threads: usize| {

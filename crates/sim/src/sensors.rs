@@ -159,7 +159,9 @@ pub struct LidarSpec {
     pub max_range: f64,
     /// Additive Gaussian range noise σ \[m\].
     pub range_noise: f64,
-    /// Probability that a beam returns nothing (reported as `max_range`).
+    /// Probability that a beam returns nothing. Dropped beams are tagged
+    /// `f64::INFINITY` — an explicitly *invalid* return — so sensor models
+    /// skip them instead of scoring a phantom obstacle at `max_range`.
     pub dropout: f64,
     /// Pose of the sensor in the vehicle body frame.
     pub mount: Pose2,
@@ -259,7 +261,7 @@ impl Lidar {
             caster.par_ranges_into(&self.queries, &mut self.cast, threads);
             for i in 0..self.spec.beams {
                 let r = if self.rng.bernoulli(self.spec.dropout) {
-                    self.spec.max_range
+                    f64::INFINITY
                 } else {
                     self.in_range_return(self.cast[i])
                 };
@@ -270,7 +272,7 @@ impl Lidar {
                 let beam_angle = sensor_pose.theta + angle_min + i as f64 * inc;
                 // Dropout is drawn before the (lazily skipped) cast.
                 let r = if self.rng.bernoulli(self.spec.dropout) {
-                    self.spec.max_range
+                    f64::INFINITY
                 } else {
                     let true_r = caster.range(sensor_pose.x, sensor_pose.y, beam_angle);
                     self.in_range_return(true_r)
@@ -477,7 +479,7 @@ mod tests {
     }
 
     #[test]
-    fn lidar_dropout_reports_max_range() {
+    fn lidar_dropout_tags_beams_invalid() {
         let caster = room_caster();
         let mut lidar = Lidar::new(
             LidarSpec {
@@ -491,7 +493,8 @@ mod tests {
             3,
         );
         let scan = lidar.scan(Pose2::new(5.0, 5.0, 0.0), &caster, 0.0);
-        assert!(scan.ranges.iter().all(|&r| r == 10.0));
+        // Dropped beams are invalid, not a phantom wall at max_range.
+        assert!(scan.ranges.iter().all(|&r| r.is_infinite()));
         assert_eq!(scan.valid_returns().count(), 0);
     }
 

@@ -6,11 +6,13 @@ use crate::sensors::{Lidar, LidarSpec, WheelOdometer, WheelOdometerConfig};
 use crate::vehicle::{DriveCommand, Vehicle, VehicleParams, VehicleState};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::LaserScan;
-use raceloc_core::Pose2;
+use raceloc_core::{Health, Pose2};
+use raceloc_faults::{FaultSchedule, FaultTracker};
 use raceloc_map::{CellState, Track};
 use raceloc_obs::Stopwatch;
 use raceloc_obs::{Json, RunRecorder, StepRecord, Telemetry};
 use raceloc_range::{PooledCaster, RayMarching};
+use std::collections::VecDeque;
 use std::io;
 
 /// Configuration of a closed-loop run.
@@ -95,6 +97,9 @@ pub struct LogSample {
     pub true_speed: f64,
     /// Encoder wheel speed \[m/s\] (differs from `true_speed` under slip).
     pub wheel_speed: f64,
+    /// The localizer's self-reported health after this correction
+    /// ([`Health::Nominal`] for localizers without health monitoring).
+    pub health: Health,
 }
 
 /// The record of a closed-loop run.
@@ -125,6 +130,68 @@ impl SimLog {
     }
 }
 
+/// The runtime state of an installed [`FaultSchedule`]: the schedule
+/// itself plus everything the closed loop needs to execute it — the
+/// telemetry tracker, a pre-built caster over the corrupted map, the
+/// latency queue, and the stuck-encoder capture. All of it is keyed on the
+/// LiDAR correction-step counter, which resets at the start of every run,
+/// so runs replay bit-identically (rule R3).
+struct FaultBox {
+    schedule: FaultSchedule,
+    tracker: FaultTracker,
+    /// Caster over the map with every corruption region burned in as
+    /// occupied (`None` when the schedule declares no map corruption).
+    /// Built once at install time; swapped in per-step while a
+    /// map-corruption window is active.
+    corrupt_caster: Option<PooledCaster<RayMarching>>,
+    /// Scans awaiting emission while a latency fault is active.
+    delay_queue: VecDeque<LaserScan>,
+    /// `(wheel_speed, steer)` frozen at the first step of a stuck-encoder
+    /// window.
+    stuck_capture: Option<(f64, f64)>,
+    /// LiDAR correction-step counter — the schedule's clock.
+    scan_step: u64,
+}
+
+impl FaultBox {
+    fn new(schedule: FaultSchedule, track: &Track, config: &WorldConfig) -> Self {
+        let regions = schedule.corruption_regions();
+        let corrupt_caster = (!regions.is_empty()).then(|| {
+            let mut grid = track.grid.clone();
+            for region in &regions {
+                let a = grid.world_to_index(raceloc_core::Point2::new(region.x0, region.y0));
+                let b = grid.world_to_index(raceloc_core::Point2::new(region.x1, region.y1));
+                for row in a.row.min(b.row)..=a.row.max(b.row) {
+                    for col in a.col.min(b.col)..=a.col.max(b.col) {
+                        grid.set((col, row).into(), CellState::Occupied);
+                    }
+                }
+            }
+            PooledCaster::new(
+                RayMarching::new(&grid, config.lidar.max_range),
+                config.threads.max(1),
+            )
+        });
+        let tracker = FaultTracker::new(&schedule);
+        Self {
+            schedule,
+            tracker,
+            corrupt_caster,
+            delay_queue: VecDeque::new(),
+            stuck_capture: None,
+            scan_step: 0,
+        }
+    }
+
+    /// Forgets all per-run state (call at the start of a run).
+    fn reset(&mut self) {
+        self.tracker.reset();
+        self.delay_queue.clear();
+        self.stuck_capture = None;
+        self.scan_step = 0;
+    }
+}
+
 /// The closed-loop simulation world.
 ///
 /// Owns the ground truth (track + vehicle state), the sensor simulators, and
@@ -144,6 +211,9 @@ pub struct World {
     /// Current grip deviation `g` of the OU process.
     grip_dev: f64,
     tel: Telemetry,
+    /// Installed fault schedule and its runtime state (`None` keeps every
+    /// fault branch of the closed loop unreachable — the zero-cost path).
+    faults: Option<FaultBox>,
 }
 
 impl std::fmt::Debug for World {
@@ -205,7 +275,33 @@ impl World {
             grip_rng,
             grip_dev: 0.0,
             tel: Telemetry::disabled(),
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic fault schedule; subsequent runs execute it.
+    ///
+    /// Faults are applied between the ground-truth step and sensor
+    /// emission: odometry faults perturb what the encoders *report* (the
+    /// chassis is untouched), scan faults mutate the emitted ranges, a
+    /// kidnap teleports the ground-truth pose along the raceline, and map
+    /// corruption casts the scan against a map with the scheduled regions
+    /// burned in as occupied. Every stochastic choice is a pure function of
+    /// `(schedule seed, correction step)`, so runs stay bit-identical
+    /// across thread counts (rule R3). Fault activity is booked into the
+    /// world's telemetry as `faults.<kind>.activations` / `.steps`.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(FaultBox::new(schedule, &self.track, &self.config));
+    }
+
+    /// Removes any installed fault schedule.
+    pub fn clear_fault_schedule(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref().map(|fb| &fb.schedule)
     }
 
     /// Installs a telemetry handle; the closed loop records `sim.predict`,
@@ -341,6 +437,9 @@ impl World {
         mut recorder: Option<&mut RunRecorder>,
     ) -> (SimLog, Option<io::Error>) {
         localizer.reset(self.state.pose);
+        if let Some(fb) = self.faults.as_mut() {
+            fb.reset();
+        }
         let dt = self.config.physics_dt;
         let steps = (duration / dt).ceil() as usize;
         let odom_period = 1.0 / self.config.odom_hz;
@@ -364,7 +463,23 @@ impl World {
         for _ in 0..steps {
             if self.time + 1e-12 >= next_odom {
                 next_odom += odom_period;
-                let odom = self.odometer.sample(&self.state, odom_period, self.time);
+                // Odometry faults perturb what the encoders *report*; the
+                // chassis itself is untouched.
+                let mut observed = self.state;
+                if let Some(fb) = self.faults.as_mut() {
+                    let fx = fb.schedule.odom_effects(fb.scan_step);
+                    if fx.stuck {
+                        let (wheel, steer) = *fb
+                            .stuck_capture
+                            .get_or_insert((observed.wheel_speed, observed.steer));
+                        observed.wheel_speed = wheel;
+                        observed.steer = steer;
+                    } else {
+                        fb.stuck_capture = None;
+                        observed.wheel_speed *= fx.slip_factor;
+                    }
+                }
+                let odom = self.odometer.sample(&observed, odom_period, self.time);
                 wheel_speed_estimate = odom.twist.vx;
                 let t0 = Stopwatch::start();
                 localizer.predict(&odom);
@@ -375,12 +490,64 @@ impl World {
             }
             if self.time + 1e-12 >= next_lidar {
                 next_lidar += lidar_period;
-                let scan = self.lidar.scan_with_threads(
+                if let Some(fb) = self.faults.as_ref() {
+                    if let Some(advance) = fb.schedule.kidnap_advance_at(fb.scan_step) {
+                        // Kidnap: teleport the ground truth along the
+                        // raceline, keeping the body-frame velocities — a
+                        // collision relocates the car, it does not stop
+                        // the wheels.
+                        let (s, _) = self.track.raceline.project(self.state.pose.translation());
+                        let s = self.track.raceline.wrap_s(s + advance);
+                        let p = self.track.raceline.point_at(s);
+                        self.state.pose = Pose2::new(p.x, p.y, self.track.raceline.heading_at(s));
+                    }
+                }
+                let fault_fx = self
+                    .faults
+                    .as_ref()
+                    .map(|fb| fb.schedule.scan_effects(fb.scan_step));
+                // Map corruption swaps the caster; everything else leaves
+                // the sweep itself untouched (ray casting draws no
+                // randomness, so the swap cannot perturb the noise stream).
+                let sweep_caster = match (&fault_fx, self.faults.as_ref()) {
+                    (Some(fx), Some(fb)) if fx.corrupt_map => {
+                        fb.corrupt_caster.as_ref().unwrap_or(&self.caster)
+                    }
+                    _ => &self.caster,
+                };
+                let mut scan = self.lidar.scan_with_threads(
                     self.state.pose,
-                    &self.caster,
+                    sweep_caster,
                     self.config.threads,
                     self.time,
                 );
+                if let (Some(fx), Some(fb)) = (fault_fx, self.faults.as_mut()) {
+                    fx.apply(
+                        &mut scan.ranges,
+                        self.config.lidar.max_range,
+                        fb.schedule.seed(),
+                        fb.scan_step,
+                    );
+                    if fx.delay_steps > 0 {
+                        // Latency: the fresh scan joins the backlog and the
+                        // oldest one is emitted (re-emitting the head while
+                        // the backlog is still filling), so the localizer
+                        // sees a stale stamp `delay_steps` corrections old.
+                        fb.delay_queue.push_back(scan.clone());
+                        let emitted = if fb.delay_queue.len() as u64 > fx.delay_steps {
+                            fb.delay_queue.pop_front()
+                        } else {
+                            fb.delay_queue.front().cloned()
+                        };
+                        if let Some(stale) = emitted {
+                            scan = stale;
+                        }
+                    } else {
+                        fb.delay_queue.clear();
+                    }
+                    fb.tracker.record(&fb.schedule, fb.scan_step, &self.tel);
+                    fb.scan_step += 1;
+                }
                 if self.tel.is_enabled() {
                     self.caster.publish_stats(&self.tel);
                 }
@@ -409,6 +576,7 @@ impl World {
                     correct_seconds,
                     true_speed: self.state.speed(),
                     wheel_speed: self.state.wheel_speed,
+                    health: localizer.health(),
                 });
                 if scan_counter.is_multiple_of(self.config.scan_log_stride) {
                     log.scans.push((self.time, est, scan));
@@ -717,5 +885,217 @@ mod tests {
             ..WorldConfig::default()
         };
         World::new(oval_track(), cfg);
+    }
+
+    // ---- fault-injection wiring -------------------------------------------
+
+    use raceloc_faults::MapRegion;
+
+    /// Runs dead reckoning under oracle control with every scan logged.
+    fn fault_log(schedule: Option<FaultSchedule>, threads: usize, duration: f64) -> SimLog {
+        let cfg = WorldConfig {
+            threads,
+            scan_log_stride: 1,
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(oval_track(), cfg);
+        if let Some(s) = schedule {
+            world.set_fault_schedule(s);
+        }
+        let mut dr = DeadReckoning::new();
+        world.run_with_oracle_control(&mut dr, duration)
+    }
+
+    /// The deterministic content of a log (drops the wall-clock timings).
+    #[allow(clippy::type_complexity)]
+    fn log_key(log: &SimLog) -> (Vec<(Pose2, Pose2, Health)>, Vec<(f64, Pose2, Vec<f64>)>) {
+        (
+            log.samples
+                .iter()
+                .map(|s| (s.true_pose, s.est_pose, s.health))
+                .collect(),
+            log.scans
+                .iter()
+                .map(|(t, e, sc)| (*t, *e, sc.ranges.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_schedule_matches_no_schedule_bitwise() {
+        let a = fault_log(None, 1, 1.0);
+        let empty = FaultSchedule::builder().build().unwrap();
+        let b = fault_log(Some(empty), 1, 1.0);
+        assert_eq!(log_key(&a), log_key(&b));
+        // Localizers without health monitoring report Nominal throughout.
+        assert!(a.samples.iter().all(|s| s.health == Health::Nominal));
+    }
+
+    #[test]
+    fn blackout_window_invalidates_logged_scans() {
+        let s = FaultSchedule::builder()
+            .lidar_blackout(5, 15)
+            .build()
+            .unwrap();
+        let log = fault_log(Some(s), 1, 1.0);
+        assert!(!log.crashed);
+        assert!(log.scans.len() > 20);
+        for (i, (_, _, scan)) in log.scans.iter().enumerate() {
+            let dark = scan.ranges.iter().all(|r| r.is_infinite());
+            if (5..15).contains(&i) {
+                assert!(dark, "step {i} should be blacked out");
+            } else {
+                assert!(!dark, "step {i} should see the track");
+            }
+        }
+    }
+
+    #[test]
+    fn kidnap_teleports_ground_truth_along_raceline() {
+        let s = FaultSchedule::builder()
+            .pose_kidnap(20, 3.0)
+            .build()
+            .unwrap();
+        let log = fault_log(Some(s), 1, 1.0);
+        assert!(log.samples.len() > 21);
+        let prev = log.samples[18].true_pose;
+        let before = log.samples[19].true_pose;
+        let after = log.samples[20].true_pose;
+        // Nominal consecutive corrections move centimetres early in a run;
+        // the kidnap jumps metres.
+        assert!(before.dist(prev) < 0.5);
+        assert!(after.dist(before) > 1.0, "jump {}", after.dist(before));
+        // The teleport target is on the track (the run did not crash here).
+        assert!(!log.crashed);
+    }
+
+    #[test]
+    fn latency_emits_stale_scans_inside_the_window() {
+        let s = FaultSchedule::builder().latency(10, 30, 4).build().unwrap();
+        let log = fault_log(Some(s), 1, 1.0);
+        // Backlog full at step 20: the emitted scan is 4 corrections old.
+        let (stamp, _, scan) = &log.scans[20];
+        assert!(
+            stamp - scan.stamp > 3.0 * 0.025,
+            "scan not stale: emitted {stamp} generated {}",
+            scan.stamp
+        );
+        // Outside the window scans are live again.
+        let (stamp, _, scan) = &log.scans[35];
+        assert_eq!(*stamp, scan.stamp);
+    }
+
+    #[test]
+    fn stuck_encoder_freezes_dead_reckoning() {
+        // Encoder stuck at standstill from step 0: the car accelerates away
+        // but dead reckoning integrates a frozen zero speed.
+        let s = FaultSchedule::builder()
+            .stuck_encoder(0, 10_000)
+            .build()
+            .unwrap();
+        let log = fault_log(Some(s), 1, 2.0);
+        let start = log.samples[0].true_pose;
+        let last = log.samples.last().unwrap();
+        assert!(last.true_pose.dist(start) > 2.0, "car did not move");
+        assert!(
+            last.est_pose.dist(start) < 0.5,
+            "frozen encoder should pin the estimate, moved {}",
+            last.est_pose.dist(start)
+        );
+    }
+
+    #[test]
+    fn odom_slip_inflates_dead_reckoning_error() {
+        let s = FaultSchedule::builder()
+            .odom_slip(0, 10_000, 1.6)
+            .build()
+            .unwrap();
+        let err = |log: &SimLog| {
+            let l = log.samples.last().unwrap();
+            l.true_pose.dist(l.est_pose)
+        };
+        let slip = fault_log(Some(s), 1, 3.0);
+        let nominal = fault_log(None, 1, 3.0);
+        assert!(
+            err(&slip) > 2.0 * err(&nominal),
+            "slip {} vs nominal {}",
+            err(&slip),
+            err(&nominal)
+        );
+    }
+
+    #[test]
+    fn map_corruption_changes_scans_only_inside_the_window() {
+        let track = oval_track();
+        let start = track.start_pose();
+        // A phantom obstacle 1.5 m ahead of the (initially resting) car.
+        let ahead = start * Pose2::new(1.5, 0.0, 0.0);
+        let region = MapRegion {
+            x0: ahead.x - 0.3,
+            y0: ahead.y - 0.3,
+            x1: ahead.x + 0.3,
+            y1: ahead.y + 0.3,
+        };
+        let s = FaultSchedule::builder()
+            .map_corruption(2, 6, region)
+            .build()
+            .unwrap();
+        let faulty = fault_log(Some(s), 1, 0.5);
+        let nominal = fault_log(None, 1, 0.5);
+        assert_ne!(
+            faulty.scans[3].2.ranges, nominal.scans[3].2.ranges,
+            "the corrupted map must change the scan"
+        );
+        assert_eq!(
+            faulty.scans[8].2.ranges, nominal.scans[8].2.ranges,
+            "outside the window the true map is used"
+        );
+    }
+
+    #[test]
+    fn fault_activity_is_booked_into_telemetry() {
+        let mut world = World::new(oval_track(), WorldConfig::default());
+        let tel = Telemetry::enabled();
+        world.set_telemetry(tel.clone());
+        world.set_fault_schedule(
+            FaultSchedule::builder()
+                .lidar_blackout(3, 7)
+                .build()
+                .unwrap(),
+        );
+        assert!(world.fault_schedule().is_some());
+        let mut dr = DeadReckoning::new();
+        world.run_with_oracle_control(&mut dr, 0.5);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("faults.lidar_blackout.activations"), Some(1));
+        assert_eq!(snap.counter("faults.lidar_blackout.steps"), Some(4));
+        world.clear_fault_schedule();
+        assert!(world.fault_schedule().is_none());
+    }
+
+    #[test]
+    fn fault_runs_are_bitwise_identical_across_thread_counts() {
+        let schedule = || {
+            FaultSchedule::builder()
+                .seed(7)
+                .beam_dropout(2, 30, 0.4)
+                .lidar_blackout(10, 13)
+                .range_bias(15, 25, 0.2)
+                .range_scale(15, 25, 1.04)
+                .odom_slip(0, 20, 1.3)
+                .latency(26, 34, 3)
+                .pose_kidnap(30, 2.0)
+                .build()
+                .unwrap()
+        };
+        let run = |threads| log_key(&fault_log(Some(schedule()), threads, 1.0));
+        let base = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                run(threads),
+                base,
+                "fault run diverged at threads={threads}"
+            );
+        }
     }
 }

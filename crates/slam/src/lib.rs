@@ -42,7 +42,7 @@ pub mod scan_matcher;
 pub mod slam;
 pub mod submap;
 
-pub use localization::{CartoLocalizer, CartoLocalizerConfig};
+pub use localization::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
 pub use loop_closure::{BranchAndBoundConfig, BranchAndBoundMatcher};
 pub use pose_graph::{Constraint, OptimizeReport, PoseGraph};
 pub use probgrid::ProbabilityGrid;

@@ -19,9 +19,43 @@ use crate::probgrid::ProbabilityGrid;
 use crate::scan_matcher::{CorrelativeScanMatcher, GaussNewtonRefiner, SearchWindow};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{Diagnostics, Point2, Pose2};
+use raceloc_core::{Diagnostics, Health, HealthConfig, HealthMonitor, HealthSignal, Point2, Pose2};
 use raceloc_map::OccupancyGrid;
 use raceloc_obs::Telemetry;
+
+/// Divergence-detector policy for the Cartographer health machine
+/// (DESIGN.md §12).
+///
+/// The single signal a scan-to-map matcher has is its own match score: a
+/// strong match means the estimate explains the map, a weak one means the
+/// prior walked outside the search window (wheel slip, kidnap) or the
+/// scan is unusable (blackout). Unlike SynPF there is no global
+/// re-initialization to fall back on — a Lost Cartographer holds
+/// dead-reckoning, which is exactly the single-hypothesis limitation the
+/// paper's robustness comparison quantifies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlamHealthPolicy {
+    /// Streak thresholds of the underlying state machine.
+    pub monitor: HealthConfig,
+    /// Match scores below this vote Suspect.
+    pub suspect_score: f64,
+    /// Match scores below this vote Diverged.
+    pub lost_score: f64,
+    /// Scans older than this relative to the latest odometry \[s\] are
+    /// rejected and the step coasts on dead-reckoning.
+    pub max_scan_age: f64,
+}
+
+impl Default for SlamHealthPolicy {
+    fn default() -> Self {
+        Self {
+            monitor: HealthConfig::default(),
+            suspect_score: 0.35,
+            lost_score: 0.18,
+            max_scan_age: 0.15,
+        }
+    }
+}
 
 /// Configuration of the pure localizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +84,10 @@ pub struct CartoLocalizerConfig {
     /// matcher always on, matching the F1TENTH Cartographer configuration
     /// (`use_online_correlative_scan_matching = true`).
     pub correlative_rescue_score: f64,
+    /// Optional health monitoring (DESIGN.md §12): the scan-match score
+    /// drives a Nominal → Degraded → Lost state machine, with stale-input
+    /// rejection. `None` (the default) disables it at zero cost.
+    pub health: Option<SlamHealthPolicy>,
 }
 
 impl Default for CartoLocalizerConfig {
@@ -67,6 +105,7 @@ impl Default for CartoLocalizerConfig {
             prior_translation_weight: 2.6,
             prior_rotation_weight: 1.3,
             correlative_rescue_score: 1.0,
+            health: None,
         }
     }
 }
@@ -100,6 +139,9 @@ pub struct CartoLocalizer {
     /// Per-stage timings of the last correction (refine, and optionally the
     /// correlative rescue), for [`Localizer::diagnostics`].
     last_stages: Vec<(Cow<'static, str>, f64)>,
+    /// Health state machine (DESIGN.md §12); only fed when
+    /// [`CartoLocalizerConfig::health`] is set.
+    health_monitor: HealthMonitor,
 }
 
 impl CartoLocalizer {
@@ -116,6 +158,9 @@ impl CartoLocalizer {
             last_score: 0.0,
             tel: Telemetry::disabled(),
             last_stages: Vec::new(),
+            health_monitor: HealthMonitor::new(
+                config.health.map(|h| h.monitor).unwrap_or_default(),
+            ),
             config,
         }
     }
@@ -134,6 +179,45 @@ impl CartoLocalizer {
     /// Score of the most recent scan match (diagnostic).
     pub fn last_score(&self) -> f64 {
         self.last_score
+    }
+
+    /// Books a correction that could not be scored (empty, blacked-out, or
+    /// stale scan) into the health machine: the tracker is coasting on
+    /// dead-reckoning alone.
+    fn note_uninformative_scan(&mut self) {
+        if self.config.health.is_some() {
+            self.health_monitor.observe(HealthSignal::Suspect);
+        }
+    }
+
+    /// Whether the scan is too old relative to the newest odometry to be
+    /// matched against (stale-input rejection, DESIGN.md §12).
+    fn scan_is_stale(&self, scan: &LaserScan) -> bool {
+        let Some(policy) = self.config.health else {
+            return false;
+        };
+        match self.last_odom {
+            Some(last) => last.stamp - scan.stamp > policy.max_scan_age,
+            None => false,
+        }
+    }
+
+    /// Feeds the match score of a finished correction into the health
+    /// machine. Cartographer has no re-initialization machinery, so Lost
+    /// simply persists until the matcher re-acquires (the window happens to
+    /// cover the true pose again).
+    fn update_health(&mut self, score: f64) {
+        let Some(policy) = self.config.health else {
+            return;
+        };
+        let signal = if score >= policy.suspect_score {
+            HealthSignal::Ok
+        } else if score >= policy.lost_score {
+            HealthSignal::Suspect
+        } else {
+            HealthSignal::Diverged
+        };
+        self.health_monitor.observe(signal);
     }
 
     fn downsample(&self, scan: &LaserScan) -> Vec<Point2> {
@@ -158,8 +242,15 @@ impl Localizer for CartoLocalizer {
     }
 
     fn correct(&mut self, scan: &LaserScan) -> Pose2 {
+        // Stale-input rejection (DESIGN.md §12): matching a scan older than
+        // the odometry horizon would drag the estimate backwards.
+        if self.scan_is_stale(scan) {
+            self.note_uninformative_scan();
+            return self.pose;
+        }
         let points = self.downsample(scan);
         if points.is_empty() {
+            self.note_uninformative_scan();
             return self.pose;
         }
         let correct_started = Stopwatch::start();
@@ -204,6 +295,7 @@ impl Localizer for CartoLocalizer {
             direct
         };
         self.last_score = fine.score;
+        self.update_health(fine.score);
         self.tel
             .record_span("slam.correct", correct_started.elapsed_seconds());
         if self.last_score >= self.config.min_score {
@@ -235,16 +327,26 @@ impl Localizer for CartoLocalizer {
         self.last_odom = None;
         self.last_score = 0.0;
         self.last_stages.clear();
+        self.health_monitor.reset();
     }
 
     fn name(&self) -> &str {
         "cartographer"
     }
 
+    fn health(&self) -> Health {
+        self.health_monitor.state()
+    }
+
     fn diagnostics(&self) -> Diagnostics {
         Diagnostics {
             particles: Some(1),
             match_score: Some(self.last_score),
+            health: self
+                .config
+                .health
+                .is_some()
+                .then(|| self.health_monitor.state()),
             stages: self.last_stages.clone(),
             ..Default::default()
         }
@@ -388,6 +490,92 @@ mod tests {
         let snap = tel.snapshot();
         assert_eq!(snap.span("slam.correct").expect("span").count, 1);
         assert!(snap.span("slam.refine").is_some());
+    }
+
+    #[test]
+    fn health_tracks_match_quality() {
+        let t = track();
+        // Thresholds pinned between the nominal score band (> 0.4 on this
+        // map) and the smoothed grid's free-space floor (~0.3).
+        let cfg = CartoLocalizerConfig {
+            health: Some(SlamHealthPolicy {
+                suspect_score: 0.4,
+                lost_score: 0.33,
+                ..SlamHealthPolicy::default()
+            }),
+            ..CartoLocalizerConfig::default()
+        };
+        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let truth = t.start_pose();
+        loc.reset(truth);
+        let good = scan_from(&t, truth, loc.config().lidar_mount);
+        for _ in 0..5 {
+            loc.correct(&good);
+        }
+        assert_eq!(loc.health(), Health::Nominal);
+        assert_eq!(loc.diagnostics().health, Some(Health::Nominal));
+        // A scan inconsistent with the map (every return 0.4 m away, as if
+        // boxed in by an unmapped obstacle): every endpoint lands in free
+        // space, scores collapse, and the single-hypothesis tracker — with
+        // no re-init machinery — goes Lost.
+        let bad = LaserScan::new(-1.35, 0.02, vec![0.4; 136], 10.0);
+        let mut state = loc.health();
+        for _ in 0..20 {
+            loc.correct(&bad);
+            state = loc.health();
+        }
+        assert_eq!(state, Health::Lost, "score {}", loc.last_score());
+    }
+
+    #[test]
+    fn blackout_scan_degrades_health() {
+        let t = track();
+        let cfg = CartoLocalizerConfig {
+            health: Some(SlamHealthPolicy::default()),
+            ..CartoLocalizerConfig::default()
+        };
+        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let truth = t.start_pose();
+        loc.reset(truth);
+        // All beams dropped: `to_points` yields nothing, the tracker coasts.
+        let blackout = LaserScan::new(0.0, 0.01, vec![f64::INFINITY; 100], 10.0);
+        let before = loc.pose();
+        for _ in 0..4 {
+            assert_eq!(loc.correct(&blackout), before);
+        }
+        assert_eq!(loc.health(), Health::Degraded);
+        // Recovery: good scans return.
+        let good = scan_from(&t, truth, loc.config().lidar_mount);
+        for _ in 0..6 {
+            loc.correct(&good);
+        }
+        assert_eq!(loc.health(), Health::Nominal);
+    }
+
+    #[test]
+    fn stale_scan_is_rejected() {
+        let t = track();
+        let cfg = CartoLocalizerConfig {
+            health: Some(SlamHealthPolicy::default()),
+            ..CartoLocalizerConfig::default()
+        };
+        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let truth = t.start_pose();
+        loc.reset(truth);
+        let mut scan = scan_from(&t, truth, loc.config().lidar_mount);
+        loc.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        loc.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 1.0));
+        scan.stamp = 0.0; // 1 s older than the odometry horizon.
+        let score_before = loc.last_score();
+        assert_eq!(loc.correct(&scan), truth);
+        assert_eq!(loc.last_score(), score_before, "no match happened");
+        // Without a health policy the same scan is accepted.
+        let mut plain = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        plain.reset(truth);
+        plain.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
+        plain.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 1.0));
+        plain.correct(&scan);
+        assert!(plain.last_score() > 0.0);
     }
 
     #[test]
