@@ -14,9 +14,10 @@ use crate::mask::MaskedFile;
 
 /// The crates whose kernels must be panic-free and deterministic (R1, R3):
 /// the particle filter, ray casting, the worker pool, SLAM, the
-/// simulator, and the fault-injection engine (whose schedules must replay
-/// bit-identically from `(seed, step)` alone).
-pub const HOT_PATH_CRATES: [&str; 6] = ["faults", "par", "pf", "range", "slam", "sim"];
+/// simulator, the fault-injection engine (whose schedules must replay
+/// bit-identically from `(seed, step)` alone), and the fleet-evaluation
+/// engine (whose reports must be byte-identical for any pool width).
+pub const HOT_PATH_CRATES: [&str; 7] = ["eval", "faults", "par", "pf", "range", "slam", "sim"];
 
 /// How a diagnostic participates in the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

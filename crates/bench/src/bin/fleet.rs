@@ -1,0 +1,140 @@
+//! **Fleet evaluation** — the paper-style Monte-Carlo robustness tables
+//! (EXPERIMENTS.md A6): {SynPF, Cartographer, DeadReckoning} × {HQ, LQ
+//! grip} × {nominal, odometry slip, pose kidnap} × 2 tracks × 20 seed
+//! replicates, aggregated into per-cell success rates (Wilson 95%
+//! intervals), mean/p95 RMSE and lateral error, and recovery-latency
+//! distributions. `BENCH_fleet.json` is the checked-in artifact; it is
+//! byte-identical for every `--threads` value.
+//!
+//! Hard gates (exit code 1, the CI `fleet-smoke` job): the paper's
+//! qualitative localizer ordering — SynPF must beat Cartographer under
+//! odometry slip, and dead reckoning must be the nominal-scenario worst
+//! case — plus per-cell sanity (see `raceloc_eval::ordering_violations`).
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin fleet --
+//! [--quick] [--threads N] [--out BENCH_fleet.json]`.
+
+use raceloc_bench::env_threads;
+use raceloc_bench::fleet::fleet_spec;
+use raceloc_eval::{ordering_violations, run_fleet, CellSummary};
+use raceloc_obs::Json;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: env_threads(),
+        out: "BENCH_fleet.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|t| t.trim().parse::<usize>().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn format_cell(c: &CellSummary) -> String {
+    format!(
+        "{:<11} {:<3} {:<12} {:<13} {:>5} {:>5.2} [{:.2},{:.2}] {:>9.1} {:>9.1} {:>8.1} {:>7}",
+        c.map,
+        c.grip,
+        c.scenario,
+        c.method,
+        c.runs,
+        c.success_rate,
+        c.success_lo,
+        c.success_hi,
+        c.mean_rmse_cm,
+        c.p95_rmse_cm,
+        c.mean_lat_err_cm,
+        if c.unrecovered > 0 {
+            format!("{}!", c.unrecovered)
+        } else {
+            format!("{:.0}", c.mean_recovery_steps)
+        },
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = fleet_spec(args.quick);
+    println!(
+        "Fleet evaluation — {} cells × {} replicates = {} closed-loop runs ({} threads)",
+        spec.cells().len(),
+        spec.replicates,
+        spec.total_runs(),
+        args.threads.max(1)
+    );
+    let report = match run_fleet(&spec, args.threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "{:<11} {:<3} {:<12} {:<13} {:>5} {:>17} {:>9} {:>9} {:>8} {:>7}",
+        "Map",
+        "Odo",
+        "Scenario",
+        "Method",
+        "Runs",
+        "Success [95% CI]",
+        "RMSE[cm]",
+        "p95[cm]",
+        "Lat[cm]",
+        "Recov"
+    );
+    for cell in &report.cells {
+        println!("{}", format_cell(cell));
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("fleet".into())),
+        ("quick".into(), Json::Bool(args.quick)),
+        ("spec".into(), spec.to_json()),
+        ("report".into(), report.to_json()),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+
+    let violations = ordering_violations(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("GATE FAILURE: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed");
+}

@@ -1,0 +1,171 @@
+//! The paper-style robustness fleet (DESIGN.md §12, EXPERIMENTS.md A6):
+//! the checked-in [`FleetSpec`] behind `BENCH_fleet.json`.
+//!
+//! The matrix crosses two procedurally generated tracks, both surface
+//! qualities (the paper's HQ/LQ odometry axis), a nominal control plus
+//! the two fault scenarios the paper's narrative hinges on (wheelspin
+//! odometry slip and a kidnap-grade collision), all three localizers, and
+//! 20 seed replicates per cell — 720 closed-loop runs in full mode. The
+//! quick mode keeps the whole matrix and drops only the replicate count,
+//! so CI exercises every cell on a compressed budget.
+
+use raceloc_eval::{EvalMethod, FleetSpec, GripSpec, MapSpec, ScenarioSpec};
+use raceloc_faults::FaultSchedule;
+
+use crate::{MU_HIGH_QUALITY, MU_LOW_QUALITY};
+
+/// Replicates per cell in full mode (the checked-in artifact).
+pub const FULL_REPLICATES: u32 = 20;
+/// Replicates per cell in `--quick` mode (the CI smoke artifact).
+pub const QUICK_REPLICATES: u32 = 2;
+
+/// Builds the robustness fleet. `quick` only changes the replicate count;
+/// the cell matrix, seeds, and run length are identical in both modes.
+pub fn fleet_spec(quick: bool) -> FleetSpec {
+    // 8 s at 40 Hz = 320 corrections; windows follow the fault-catalog
+    // proportions (`fault_catalog`) at that run length.
+    let total_steps: u64 = 320;
+    let onset = total_steps / 4;
+    let end = onset + total_steps / 5;
+    let mid = total_steps / 2;
+    let budget = (total_steps / 4).clamp(40, 160);
+    let seed = 0xFA57;
+    let schedule =
+        |b: raceloc_faults::FaultScheduleBuilder| b.build().expect("fleet schedules are valid");
+    FleetSpec {
+        name: "robustness-fleet".into(),
+        master_seed: 2024,
+        replicates: if quick {
+            QUICK_REPLICATES
+        } else {
+            FULL_REPLICATES
+        },
+        duration_s: 8.0,
+        particles: 1200,
+        beams: 271,
+        // Success: the estimate's mean lateral error (the paper's primary
+        // error axis) stayed under ~a quarter of the corridor half-width —
+        // laterally on line, even if a global re-init picked the wrong
+        // longitudinal section of a symmetric circuit.
+        success_lat_cm: 30.0,
+        maps: vec![
+            MapSpec {
+                name: "fourier-33".into(),
+                fourier_seed: 33,
+                half_width: 1.25,
+                mean_radius: 6.0,
+            },
+            MapSpec {
+                name: "fourier-77".into(),
+                fourier_seed: 77,
+                half_width: 1.25,
+                mean_radius: 6.0,
+            },
+        ],
+        grips: vec![
+            GripSpec {
+                name: "HQ".into(),
+                mu: MU_HIGH_QUALITY,
+            },
+            GripSpec {
+                name: "LQ".into(),
+                mu: MU_LOW_QUALITY,
+            },
+        ],
+        scenarios: vec![
+            ScenarioSpec {
+                name: "nominal".into(),
+                schedule: schedule(FaultSchedule::builder().seed(seed)),
+                measure_from: 0,
+                recovery_budget: None,
+            },
+            ScenarioSpec {
+                name: "odom_slip".into(),
+                schedule: schedule(
+                    FaultSchedule::builder()
+                        .seed(seed)
+                        .odom_slip(onset, end, 1.8),
+                ),
+                measure_from: end,
+                recovery_budget: None,
+            },
+            ScenarioSpec {
+                name: "pose_kidnap".into(),
+                schedule: schedule(FaultSchedule::builder().seed(seed).pose_kidnap(mid, 6.0)),
+                measure_from: mid,
+                recovery_budget: Some(budget),
+            },
+        ],
+        methods: vec![
+            EvalMethod::SynPf,
+            EvalMethod::Cartographer,
+            EvalMethod::DeadReckoning,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_fleet_matches_the_issue_sizing() {
+        let spec = fleet_spec(false);
+        spec.validate().expect("fleet spec is valid");
+        assert_eq!(spec.cells().len(), 2 * 2 * 3 * 3);
+        assert_eq!(spec.total_runs(), 36 * 20);
+        assert!(
+            spec.replicates >= 20,
+            "paper-style statistics need ≥20 seeds"
+        );
+    }
+
+    #[test]
+    fn quick_fleet_keeps_the_matrix() {
+        let quick = fleet_spec(true);
+        let full = fleet_spec(false);
+        quick.validate().expect("quick spec is valid");
+        assert_eq!(quick.cells().len(), full.cells().len());
+        assert_eq!(quick.total_runs(), 36 * QUICK_REPLICATES as usize);
+        // Same matrix ⇒ same world seeds for the replicates both share.
+        assert_eq!(quick.world_seed(1, 1, 2, 1), full.world_seed(1, 1, 2, 1));
+    }
+
+    #[test]
+    fn both_maps_generate_drivable_tracks() {
+        for m in &fleet_spec(false).maps {
+            let track = m.build_track();
+            let len = track.raceline.total_length();
+            assert!((25.0..60.0).contains(&len), "{}: raceline {len} m", m.name);
+            assert!(
+                track.is_free(track.start_pose().translation()),
+                "{}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = fleet_spec(false);
+        let text = format!("{}", spec.to_json());
+        let back = FleetSpec::from_json_str(&text).expect("parse back");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn fault_windows_fit_the_run() {
+        let spec = fleet_spec(false);
+        let steps = (spec.duration_s * 40.0).round() as u64;
+        for s in &spec.scenarios {
+            assert!(
+                s.measure_from < steps,
+                "{}: measure_from out of run",
+                s.name
+            );
+            for f in s.schedule.faults() {
+                assert!(f.window.start < steps, "{}: window beyond run", s.name);
+            }
+        }
+    }
+}

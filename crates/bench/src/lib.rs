@@ -9,6 +9,7 @@
 //! `EXPERIMENTS.md` for recorded results.
 
 pub mod faults;
+pub mod fleet;
 
 use raceloc_core::localizer::Localizer;
 use raceloc_core::{Pose2, RunningStats, Summary};

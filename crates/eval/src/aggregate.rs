@@ -1,0 +1,379 @@
+//! Streaming aggregation of run outcomes into per-cell statistics and the
+//! fleet report.
+//!
+//! Outcomes are folded strictly in canonical run order (the runner
+//! scatters pool results back by job tag first), so the report — and its
+//! serialized JSON — is bit-identical for any pool width and any
+//! job-completion order.
+
+use raceloc_core::stats;
+use raceloc_metrics::wilson95;
+use raceloc_obs::{CounterRollup, Json};
+
+use crate::runner::RunOutcome;
+use crate::spec::{FleetSpec, RunDesc};
+
+/// Accumulates the outcomes of one cell's replicates.
+#[derive(Debug, Clone, Default)]
+pub struct CellAggregator {
+    rmse_cm: Vec<f64>,
+    lat_err_cm: Vec<f64>,
+    recovery_steps: Vec<u64>,
+    steps: u64,
+    runs: u64,
+    successes: u64,
+    crashes: u64,
+    nonfinite: u64,
+    unrecovered: u64,
+    missing: u64,
+}
+
+impl CellAggregator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one replicate's outcome in.
+    pub fn push(&mut self, out: &RunOutcome) {
+        self.runs += 1;
+        self.steps += out.steps as u64;
+        self.rmse_cm.push(out.rmse_cm);
+        self.lat_err_cm.push(out.mean_lat_err_cm);
+        if out.success {
+            self.successes += 1;
+        }
+        if out.crashed {
+            self.crashes += 1;
+        }
+        if !out.finite {
+            self.nonfinite += 1;
+        }
+        match out.recovery_steps {
+            Some(steps) => self.recovery_steps.push(steps),
+            None => self.unrecovered += 1,
+        }
+    }
+
+    /// Records a replicate whose outcome never arrived (a skipped or
+    /// failed job); counts as a non-finite failure so it can never
+    /// silently inflate a success rate.
+    pub fn push_missing(&mut self) {
+        self.runs += 1;
+        self.missing += 1;
+        self.nonfinite += 1;
+    }
+
+    /// Reduces the accumulated replicates to the cell's summary row.
+    pub fn summarize(&self, map: &str, grip: &str, scenario: &str, method: &str) -> CellSummary {
+        let iv = wilson95(self.successes, self.runs);
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let rec: Vec<f64> = self.recovery_steps.iter().map(|&s| s as f64).collect();
+        CellSummary {
+            map: map.to_string(),
+            grip: grip.to_string(),
+            scenario: scenario.to_string(),
+            method: method.to_string(),
+            runs: self.runs,
+            steps: self.steps,
+            successes: self.successes,
+            success_rate: iv.rate,
+            success_lo: iv.lo,
+            success_hi: iv.hi,
+            mean_rmse_cm: mean(&self.rmse_cm),
+            p95_rmse_cm: stats::quantile(&self.rmse_cm, 0.95).unwrap_or(0.0),
+            max_rmse_cm: self.rmse_cm.iter().copied().fold(0.0, f64::max),
+            mean_lat_err_cm: mean(&self.lat_err_cm),
+            p95_lat_err_cm: stats::quantile(&self.lat_err_cm, 0.95).unwrap_or(0.0),
+            recovered: self.recovery_steps.len() as u64,
+            unrecovered: self.unrecovered,
+            mean_recovery_steps: mean(&rec),
+            max_recovery_steps: self.recovery_steps.iter().copied().max().unwrap_or(0),
+            crashes: self.crashes,
+            nonfinite: self.nonfinite,
+            missing: self.missing,
+        }
+    }
+}
+
+/// One aggregated row of the fleet report: the statistics of every
+/// replicate of one `(map, grip, scenario, method)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Map label.
+    pub map: String,
+    /// Grip label.
+    pub grip: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Localizer label.
+    pub method: String,
+    /// Replicates folded into the row.
+    pub runs: u64,
+    /// Total scan corrections across the replicates.
+    pub steps: u64,
+    /// Replicates that stayed finite, crash-free, and within the RMSE
+    /// success threshold.
+    pub successes: u64,
+    /// `successes / runs`.
+    pub success_rate: f64,
+    /// Wilson 95% lower bound on the true success rate.
+    pub success_lo: f64,
+    /// Wilson 95% upper bound on the true success rate.
+    pub success_hi: f64,
+    /// Mean of the per-replicate translation RMSE \[cm\].
+    pub mean_rmse_cm: f64,
+    /// 95th percentile of the per-replicate RMSE \[cm\].
+    pub p95_rmse_cm: f64,
+    /// Worst per-replicate RMSE \[cm\].
+    pub max_rmse_cm: f64,
+    /// Mean of the per-replicate lateral estimation error \[cm\].
+    pub mean_lat_err_cm: f64,
+    /// 95th percentile of the per-replicate lateral error \[cm\].
+    pub p95_lat_err_cm: f64,
+    /// Replicates whose health settled back at Nominal.
+    pub recovered: u64,
+    /// Replicates that ended still non-Nominal.
+    pub unrecovered: u64,
+    /// Mean recovery latency over the recovered replicates \[corrections\].
+    pub mean_recovery_steps: f64,
+    /// Worst recovery latency \[corrections\].
+    pub max_recovery_steps: u64,
+    /// Replicates whose ground-truth run crashed.
+    pub crashes: u64,
+    /// Replicates with a non-finite pose estimate (includes `missing`).
+    pub nonfinite: u64,
+    /// Replicates whose outcome never arrived from the pool.
+    pub missing: u64,
+}
+
+impl CellSummary {
+    /// Serializes the row (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("map".into(), Json::Str(self.map.clone())),
+            ("grip".into(), Json::Str(self.grip.clone())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("runs".into(), Json::num(self.runs as f64)),
+            ("steps".into(), Json::num(self.steps as f64)),
+            ("successes".into(), Json::num(self.successes as f64)),
+            ("success_rate".into(), Json::num(self.success_rate)),
+            ("success_lo".into(), Json::num(self.success_lo)),
+            ("success_hi".into(), Json::num(self.success_hi)),
+            ("mean_rmse_cm".into(), Json::num(self.mean_rmse_cm)),
+            ("p95_rmse_cm".into(), Json::num(self.p95_rmse_cm)),
+            ("max_rmse_cm".into(), Json::num(self.max_rmse_cm)),
+            ("mean_lat_err_cm".into(), Json::num(self.mean_lat_err_cm)),
+            ("p95_lat_err_cm".into(), Json::num(self.p95_lat_err_cm)),
+            ("recovered".into(), Json::num(self.recovered as f64)),
+            ("unrecovered".into(), Json::num(self.unrecovered as f64)),
+            (
+                "mean_recovery_steps".into(),
+                Json::num(self.mean_recovery_steps),
+            ),
+            (
+                "max_recovery_steps".into(),
+                Json::num(self.max_recovery_steps as f64),
+            ),
+            ("crashes".into(), Json::num(self.crashes as f64)),
+            ("nonfinite".into(), Json::num(self.nonfinite as f64)),
+            ("missing".into(), Json::num(self.missing as f64)),
+        ])
+    }
+}
+
+/// The aggregated result of one fleet: spec echo, per-cell rows in
+/// canonical cell order, and the fleet-wide telemetry counter rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet label (from the spec).
+    pub name: String,
+    /// Master seed the fleet derived every world seed from.
+    pub master_seed: u64,
+    /// Replicates per cell.
+    pub replicates: u32,
+    /// Total runs folded into the report.
+    pub total_runs: u64,
+    /// Per-cell rows, in [`FleetSpec::cells`] order.
+    pub cells: Vec<CellSummary>,
+    /// Telemetry counters summed over every run (event counts only).
+    pub counters: CounterRollup,
+}
+
+impl FleetReport {
+    /// Folds scattered-back outcomes into the report. `outcomes` must be
+    /// indexed by run index ([`RunDesc::index`]); a `None` entry counts as
+    /// a missing, failed replicate.
+    pub fn from_outcomes(
+        spec: &FleetSpec,
+        runs: &[RunDesc],
+        outcomes: Vec<Option<RunOutcome>>,
+    ) -> FleetReport {
+        let cells = spec.cells();
+        let mut aggs: Vec<CellAggregator> = cells.iter().map(|_| CellAggregator::new()).collect();
+        let mut counters = CounterRollup::new();
+        let mut total_runs = 0u64;
+        for desc in runs {
+            total_runs += 1;
+            let Some(agg) = aggs.get_mut(desc.cell) else {
+                continue;
+            };
+            match outcomes.get(desc.index).and_then(|o| o.as_ref()) {
+                Some(out) => {
+                    agg.push(out);
+                    counters.absorb_counts(&out.counters);
+                }
+                None => agg.push_missing(),
+            }
+        }
+        let label =
+            |names: &[String], i: usize| -> String { names.get(i).cloned().unwrap_or_default() };
+        let map_names: Vec<String> = spec.maps.iter().map(|m| m.name.clone()).collect();
+        let grip_names: Vec<String> = spec.grips.iter().map(|g| g.name.clone()).collect();
+        let scen_names: Vec<String> = spec.scenarios.iter().map(|s| s.name.clone()).collect();
+        let rows = cells
+            .iter()
+            .zip(aggs.iter())
+            .map(|(key, agg)| {
+                agg.summarize(
+                    &label(&map_names, key.map),
+                    &label(&grip_names, key.grip),
+                    &label(&scen_names, key.scenario),
+                    spec.methods.get(key.method).map(|m| m.name()).unwrap_or(""),
+                )
+            })
+            .collect();
+        FleetReport {
+            name: spec.name.clone(),
+            master_seed: spec.master_seed,
+            replicates: spec.replicates,
+            total_runs,
+            cells: rows,
+            counters,
+        }
+    }
+
+    /// Looks a cell row up by its four labels.
+    pub fn cell(
+        &self,
+        map: &str,
+        grip: &str,
+        scenario: &str,
+        method: &str,
+    ) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| {
+            c.map == map && c.grip == grip && c.scenario == scenario && c.method == method
+        })
+    }
+
+    /// The rows of one `(map, grip, scenario)` group, in method order.
+    pub fn group<'a>(
+        &'a self,
+        map: &'a str,
+        grip: &'a str,
+        scenario: &'a str,
+    ) -> impl Iterator<Item = &'a CellSummary> + 'a {
+        self.cells
+            .iter()
+            .filter(move |c| c.map == map && c.grip == grip && c.scenario == scenario)
+    }
+
+    /// Serializes the report (stable key order; no wall-clock fields).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("master_seed".into(), Json::num(self.master_seed as f64)),
+            ("replicates".into(), Json::num(self.replicates as f64)),
+            ("total_runs".into(), Json::num(self.total_runs as f64)),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellSummary::to_json).collect()),
+            ),
+            ("counters".into(), self.counters.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(index: usize, rmse: f64, success: bool) -> RunOutcome {
+        RunOutcome {
+            index,
+            steps: 100,
+            rmse_cm: rmse,
+            p95_err_cm: rmse * 1.5,
+            max_err_cm: rmse * 2.0,
+            mean_lat_err_cm: rmse * 0.6,
+            recovery_steps: Some(4),
+            pct_nominal: 0.95,
+            crashed: false,
+            finite: true,
+            success,
+            counters: vec![("sim.scans", 100)],
+        }
+    }
+
+    #[test]
+    fn aggregator_reduces_replicates() {
+        let mut agg = CellAggregator::new();
+        agg.push(&outcome(0, 10.0, true));
+        agg.push(&outcome(1, 20.0, true));
+        agg.push(&outcome(2, 60.0, false));
+        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        assert_eq!(row.runs, 3);
+        assert_eq!(row.successes, 2);
+        assert!((row.mean_rmse_cm - 30.0).abs() < 1e-12);
+        assert!((row.max_rmse_cm - 60.0).abs() < 1e-12);
+        assert_eq!(row.recovered, 3);
+        assert_eq!(row.max_recovery_steps, 4);
+        assert!(row.success_lo < row.success_rate && row.success_rate < row.success_hi);
+    }
+
+    #[test]
+    fn missing_outcomes_count_as_failures() {
+        let mut agg = CellAggregator::new();
+        agg.push(&outcome(0, 10.0, true));
+        agg.push_missing();
+        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        assert_eq!(row.runs, 2);
+        assert_eq!(row.successes, 1);
+        assert_eq!(row.missing, 1);
+        assert_eq!(row.nonfinite, 1);
+        assert!((row.success_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_is_stable_and_parseable() {
+        let mut agg = CellAggregator::new();
+        agg.push(&outcome(0, 10.0, true));
+        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        let report = FleetReport {
+            name: "t".into(),
+            master_seed: 1,
+            replicates: 1,
+            total_runs: 1,
+            cells: vec![row],
+            counters: CounterRollup::new(),
+        };
+        let a = format!("{}", report.to_json());
+        let b = format!("{}", report.clone().to_json());
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).expect("valid JSON");
+        assert_eq!(doc.get("total_runs").and_then(Json::as_u64), Some(1));
+        let cells = doc.get("cells").and_then(Json::as_array).expect("cells");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("method").and_then(Json::as_str), Some("SynPF"));
+        assert!(report.cell("m", "HQ", "nominal", "SynPF").is_some());
+        assert!(report.cell("m", "HQ", "nominal", "Cartographer").is_none());
+        assert_eq!(report.group("m", "HQ", "nominal").count(), 1);
+    }
+}

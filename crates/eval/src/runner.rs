@@ -1,0 +1,395 @@
+//! Fleet execution: one closed-loop simulation per run, fanned over the
+//! persistent worker pool, reduced to deterministic per-run outcomes.
+//!
+//! Runs execute under **oracle control** (the car drives ground truth) so
+//! every localizer of a cell sees the identical trajectory and fault
+//! exposure. Each job pins its inner simulator and particle pipeline to
+//! one thread; the pool's thread count only fans *runs* out, and because
+//! every outcome is a pure function of its [`RunDesc`], the assembled
+//! outcome vector is bit-identical for any thread count and any
+//! job-completion order (rule R3 — `tests/fleet_determinism.rs` enforces
+//! this end to end).
+
+use std::sync::Arc;
+
+use raceloc_core::localizer::DeadReckoning;
+use raceloc_core::{stats, Health, Rng64};
+use raceloc_map::Track;
+use raceloc_obs::Telemetry;
+use raceloc_par::{FnJob, WorkerPool};
+use raceloc_pf::{HealthPolicy, RecoveryConfig, SynPf, SynPfConfig};
+use raceloc_range::RangeLut;
+use raceloc_sim::{SimLog, World, WorldConfig};
+use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
+
+use crate::aggregate::FleetReport;
+use crate::spec::{EvalMethod, FleetSpec, RunDesc, SpecError};
+
+/// Shared immutable resources of one evaluation map: built once per
+/// fleet, shared by every job on the map through `Arc` (the range LUT in
+/// particular is far too expensive to rebuild per run).
+#[derive(Debug, Clone)]
+pub struct MapResources {
+    /// The generated track (grid + reference lines).
+    pub track: Arc<Track>,
+    /// The precomputed ray-cast table over the track's grid.
+    pub lut: Arc<RangeLut>,
+}
+
+/// The read-only pool context every fleet job executes against, indexed
+/// by [`crate::spec::CellKey::map`].
+#[derive(Debug, Clone)]
+pub struct FleetCtx {
+    /// Per-map shared resources, in [`FleetSpec::maps`] order.
+    pub maps: Vec<MapResources>,
+}
+
+impl FleetCtx {
+    /// Builds every map of the spec and its LUT (the expensive, run-once
+    /// part of a fleet).
+    pub fn build(spec: &FleetSpec) -> Self {
+        Self {
+            maps: spec
+                .maps
+                .iter()
+                .map(|m| {
+                    let track = m.build_track();
+                    let lut = Arc::new(RangeLut::new(&track.grid, 10.0, 72));
+                    MapResources {
+                        track: Arc::new(track),
+                        lut,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The deterministic outcome of one simulation run. Carries no wall-clock
+/// fields; every field is a pure function of the run's [`RunDesc`] and
+/// the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The run's linear index (its scatter-back slot).
+    pub index: usize,
+    /// Scan corrections actually executed.
+    pub steps: usize,
+    /// Translation RMSE of the estimate vs ground truth \[cm\].
+    pub rmse_cm: f64,
+    /// 95th percentile of the per-step translation error \[cm\].
+    pub p95_err_cm: f64,
+    /// Worst translation error \[cm\].
+    pub max_err_cm: f64,
+    /// Mean |signed-lateral(est) − signed-lateral(truth)| w.r.t. the
+    /// raceline \[cm\] — the localization-induced lateral error, the
+    /// quantity that steers the car off line when the estimate is wrong.
+    pub mean_lat_err_cm: f64,
+    /// Corrections from the scenario's `measure_from` until health settles
+    /// at Nominal for the rest of the run (see `bench::faults` for the
+    /// exact convention); `None` when the run ends still non-Nominal.
+    pub recovery_steps: Option<u64>,
+    /// Fraction of corrections spent in [`Health::Nominal`].
+    pub pct_nominal: f64,
+    /// Whether the ground-truth run aborted in a crash.
+    pub crashed: bool,
+    /// Whether every pose estimate was finite.
+    pub finite: bool,
+    /// Finite, crash-free, and mean lateral error within
+    /// [`FleetSpec::success_lat_cm`].
+    pub success: bool,
+    /// Telemetry counters recorded during the run (event counts only —
+    /// never spans or wall-clock), sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl RunOutcome {
+    /// The outcome of a run whose axes could not be resolved against the
+    /// context — unreachable after [`FleetSpec::validate`], but kept as a
+    /// non-panicking fallback (rule R1).
+    fn unresolved(index: usize) -> Self {
+        Self {
+            index,
+            steps: 0,
+            rmse_cm: f64::INFINITY,
+            p95_err_cm: f64::INFINITY,
+            max_err_cm: f64::INFINITY,
+            mean_lat_err_cm: f64::INFINITY,
+            recovery_steps: None,
+            pct_nominal: 0.0,
+            crashed: false,
+            finite: false,
+            success: false,
+            counters: Vec::new(),
+        }
+    }
+}
+
+/// Executes one run of the fleet: builds the world for the run's map,
+/// grip, scenario, and derived seed, runs the localizer closed-loop under
+/// oracle control, and reduces the log. Pure in `(spec, desc)`; the
+/// context only caches what the spec already determines.
+pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcome {
+    let (Some(res), Some(grip), Some(scenario), Some(method)) = (
+        ctx.maps.get(desc.key.map),
+        spec.grips.get(desc.key.grip),
+        spec.scenarios.get(desc.key.scenario),
+        spec.methods.get(desc.key.method).copied(),
+    ) else {
+        return RunOutcome::unresolved(desc.index);
+    };
+
+    let mut wcfg = WorldConfig::default();
+    wcfg.vehicle.mu = grip.mu;
+    wcfg.seed = desc.world_seed;
+    wcfg.lidar.beams = spec.beams;
+    // Inner parallelism stays off: the fleet's unit of fan-out is the run.
+    wcfg.threads = 1;
+
+    let tel = Telemetry::enabled();
+    let mut world = World::new((*res.track).clone(), wcfg);
+    world.set_telemetry(tel.clone());
+    if !scenario.schedule.is_empty() {
+        world.set_fault_schedule(scenario.schedule.clone());
+    }
+
+    // The filter seed is derived from the world seed (not equal to it) so
+    // filter noise and world noise are independent streams.
+    let filter_seed = Rng64::stream(desc.world_seed, 0xF1).next_u64();
+
+    let log = match method {
+        EvalMethod::SynPf => {
+            let config = SynPfConfig::builder()
+                .particles(spec.particles)
+                .threads(1)
+                .seed(filter_seed)
+                .recovery(RecoveryConfig::default())
+                .health(HealthPolicy::default())
+                .build();
+            let Ok(config) = config else {
+                return RunOutcome::unresolved(desc.index);
+            };
+            let mut pf = SynPf::new(Arc::clone(&res.lut), config);
+            pf.enable_recovery(&res.track.grid);
+            pf.set_telemetry(tel.clone());
+            world.run_with_oracle_control(&mut pf, spec.duration_s)
+        }
+        EvalMethod::Cartographer => {
+            let config = CartoLocalizerConfig {
+                health: Some(SlamHealthPolicy::default()),
+                ..CartoLocalizerConfig::default()
+            };
+            let mut carto = CartoLocalizer::new(&res.track.grid, config);
+            carto.set_telemetry(tel.clone());
+            world.run_with_oracle_control(&mut carto, spec.duration_s)
+        }
+        EvalMethod::DeadReckoning => {
+            let mut dr = DeadReckoning::new();
+            world.run_with_oracle_control(&mut dr, spec.duration_s)
+        }
+    };
+
+    reduce(spec, desc, res, scenario.measure_from, &tel, &log)
+}
+
+/// Reduces one run log to its deterministic outcome.
+fn reduce(
+    spec: &FleetSpec,
+    desc: RunDesc,
+    res: &MapResources,
+    measure_from: u64,
+    tel: &Telemetry,
+    log: &SimLog,
+) -> RunOutcome {
+    let n = log.samples.len();
+    let denom = n.max(1) as f64;
+    let mut sq = 0.0;
+    let mut max_err = 0.0f64;
+    let mut lat_sum = 0.0;
+    let mut finite = true;
+    let mut nominal = 0usize;
+    let mut errors_cm = Vec::with_capacity(n);
+    let raceline = &res.track.raceline;
+    for s in &log.samples {
+        if !(s.est_pose.x.is_finite() && s.est_pose.y.is_finite() && s.est_pose.theta.is_finite()) {
+            finite = false;
+        }
+        let e = s.true_pose.dist(s.est_pose);
+        sq += e * e;
+        max_err = max_err.max(e);
+        errors_cm.push(100.0 * e);
+        let lat_true = raceline.project(s.true_pose.translation()).1;
+        let lat_est = raceline.project(s.est_pose.translation()).1;
+        if lat_est.is_finite() {
+            lat_sum += (lat_est - lat_true).abs();
+        }
+        if s.health == Health::Nominal {
+            nominal += 1;
+        }
+    }
+    let last_bad = log
+        .samples
+        .iter()
+        .enumerate()
+        .skip(measure_from as usize)
+        .filter(|(_, s)| s.health != Health::Nominal)
+        .map(|(i, _)| i)
+        .next_back();
+    let recovery_steps = match last_bad {
+        None => Some(0),
+        Some(i) if i + 1 < n => Some((i + 1) as u64 - measure_from),
+        Some(_) => None,
+    };
+    let rmse_cm = 100.0 * (sq / denom).sqrt();
+    let mean_lat_err_cm = 100.0 * lat_sum / denom;
+    // Success is judged on the paper's primary error axis: did the
+    // estimate keep the car laterally on line, on average, for the whole
+    // run? (Whole-run translation RMSE punishes the corridor's
+    // longitudinal ambiguity after a global re-init, which the paper
+    // treats separately via recovery latency.)
+    let success = finite && !log.crashed && mean_lat_err_cm <= spec.success_lat_cm;
+    // Fleet-level event counters (deterministic — no wall clock): these
+    // roll up next to whatever the localizer and fault tracker recorded.
+    tel.add("eval.runs", 1);
+    tel.add("eval.steps", n as u64);
+    if log.crashed {
+        tel.add("eval.crashes", 1);
+    }
+    if !finite {
+        tel.add("eval.nonfinite", 1);
+    }
+    if success {
+        tel.add("eval.successes", 1);
+    }
+    let snap = tel.snapshot();
+    let mut counters: Vec<(&'static str, u64)> = snap.counters().collect();
+    counters.sort_unstable_by_key(|&(name, _)| name);
+    RunOutcome {
+        index: desc.index,
+        steps: n,
+        rmse_cm,
+        p95_err_cm: stats::quantile(&errors_cm, 0.95).unwrap_or(0.0),
+        max_err_cm: 100.0 * max_err,
+        mean_lat_err_cm,
+        recovery_steps,
+        pct_nominal: nominal as f64 / denom,
+        crashed: log.crashed,
+        finite,
+        success,
+        counters,
+    }
+}
+
+/// Runs the whole fleet: validates the spec, builds the shared context,
+/// fans every run over a [`WorkerPool`] of `threads` workers, scatters
+/// outcomes back by job tag, and folds them in canonical run order into a
+/// [`FleetReport`]. The report is bit-identical for every `threads` value.
+pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<FleetReport, SpecError> {
+    spec.validate()?;
+    let runs = spec.runs();
+    let shared = Arc::new(spec.clone());
+    let mut jobs: Vec<FnJob<FleetCtx, RunOutcome>> = runs
+        .iter()
+        .map(|r| {
+            let spec = Arc::clone(&shared);
+            let desc = *r;
+            FnJob::new(desc.index, move |ctx: &FleetCtx| {
+                execute_run(&spec, desc, ctx)
+            })
+        })
+        .collect();
+
+    let pool: WorkerPool<FleetCtx, FnJob<FleetCtx, RunOutcome>> =
+        WorkerPool::new(FleetCtx::build(spec), threads.max(1));
+    pool.run_batch(&mut jobs);
+
+    // run_batch hands jobs back in unspecified order; scatter by tag, then
+    // fold in canonical run order so aggregation never sees pool order.
+    let mut outcomes: Vec<Option<RunOutcome>> = runs.iter().map(|_| None).collect();
+    for job in &mut jobs {
+        let tag = job.tag();
+        let out = job.take();
+        if let Some(slot) = outcomes.get_mut(tag) {
+            *slot = out;
+        }
+    }
+    Ok(FleetReport::from_outcomes(spec, &runs, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CellKey, GripSpec, MapSpec, ScenarioSpec};
+    use raceloc_faults::FaultSchedule;
+
+    fn micro_spec() -> FleetSpec {
+        FleetSpec {
+            name: "micro".into(),
+            master_seed: 9,
+            replicates: 1,
+            duration_s: 1.5,
+            particles: 80,
+            beams: 61,
+            success_lat_cm: 100.0,
+            maps: vec![MapSpec {
+                name: "m0".into(),
+                fourier_seed: 33,
+                half_width: 1.25,
+                mean_radius: 6.0,
+            }],
+            grips: vec![GripSpec {
+                name: "HQ".into(),
+                mu: 1.0,
+            }],
+            scenarios: vec![ScenarioSpec {
+                name: "nominal".into(),
+                schedule: FaultSchedule::builder().seed(1).build().expect("valid"),
+                measure_from: 0,
+                recovery_budget: None,
+            }],
+            methods: vec![EvalMethod::DeadReckoning],
+        }
+    }
+
+    #[test]
+    fn execute_run_is_pure_in_the_descriptor() {
+        let spec = micro_spec();
+        let ctx = FleetCtx::build(&spec);
+        let desc = spec.runs()[0];
+        let a = execute_run(&spec, desc, &ctx);
+        let b = execute_run(&spec, desc, &ctx);
+        assert_eq!(a, b, "same descriptor must give a bit-identical outcome");
+        assert!(a.steps > 30, "1.5 s at 40 Hz");
+        assert!(a.finite);
+        assert_eq!(a.pct_nominal, 1.0, "dead reckoning has no detectors");
+        assert!(a.p95_err_cm <= a.max_err_cm + 1e-12);
+        assert!(!a.counters.is_empty(), "world counters recorded");
+    }
+
+    #[test]
+    fn unresolved_axes_do_not_panic() {
+        let spec = micro_spec();
+        let ctx = FleetCtx::build(&spec);
+        let mut desc = spec.runs()[0];
+        desc.key = CellKey {
+            map: 7,
+            grip: 0,
+            scenario: 0,
+            method: 0,
+        };
+        let out = execute_run(&spec, desc, &ctx);
+        assert!(!out.success);
+        assert!(!out.finite);
+    }
+
+    #[test]
+    fn fleet_outcomes_are_identical_across_thread_counts() {
+        let spec = micro_spec();
+        let one = run_fleet(&spec, 1).expect("valid spec");
+        let two = run_fleet(&spec, 2).expect("valid spec");
+        assert_eq!(
+            format!("{}", one.to_json()),
+            format!("{}", two.to_json()),
+            "report must not depend on pool width"
+        );
+    }
+}

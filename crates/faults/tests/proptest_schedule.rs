@@ -1,0 +1,108 @@
+//! Property-based tests for the fault-schedule JSON mapping and the
+//! determinism of schedule evaluation.
+//!
+//! The JSON round-trip is the contract that lets fault matrices be checked
+//! in and replayed: any schedule the builder accepts must survive
+//! `to_json → Display → parse → from_json` losslessly, and the parsed-back
+//! schedule must *behave* identically — same effects at every step, same
+//! beam-dropout draws.
+//!
+//! Numeric domains are constrained to the schedule's real operating range
+//! (steps well under 2^32, seeds under 2^53) because the dependency-free
+//! JSON value carries integers through `f64`.
+
+use proptest::prelude::*;
+use raceloc_faults::{FaultKind, FaultSchedule, FaultSpec, MapRegion, StepWindow};
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::LidarBlackout),
+        (0.0..=1.0f64).prop_map(|extra_dropout| FaultKind::BeamDropout { extra_dropout }),
+        (-5.0..5.0f64).prop_map(|bias_m| FaultKind::RangeBias { bias_m }),
+        (0.05..4.0f64).prop_map(|scale| FaultKind::RangeScale { scale }),
+        (0.05..4.0f64).prop_map(|factor| FaultKind::OdomSlip { factor }),
+        Just(FaultKind::StuckEncoder),
+        (1u64..50).prop_map(|delay_steps| FaultKind::Latency { delay_steps }),
+        (-20.0..20.0f64)
+            .prop_filter("kidnap displacement must be non-zero", |a| *a != 0.0)
+            .prop_map(|advance_m| FaultKind::PoseKidnap { advance_m }),
+        (-10.0..10.0f64, -10.0..10.0f64, 0.1..8.0f64, 0.1..8.0f64).prop_map(|(x0, y0, w, h)| {
+            FaultKind::MapCorruption {
+                region: MapRegion {
+                    x0,
+                    y0,
+                    x1: x0 + w,
+                    y1: y0 + h,
+                },
+            }
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (arb_kind(), 0u64..500, 1u64..120).prop_map(|(kind, start, len)| FaultSpec {
+        kind,
+        window: StepWindow::new(start, start + len),
+    })
+}
+
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    (0u64..(1 << 53), prop::collection::vec(arb_spec(), 0..6)).prop_map(|(seed, faults)| {
+        FaultSchedule::new(seed, faults).expect("generated faults are valid by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn json_value_round_trip_is_lossless(s in arb_schedule()) {
+        let back = FaultSchedule::from_json(&s.to_json());
+        prop_assert_eq!(back, Ok(s));
+    }
+
+    #[test]
+    fn json_text_round_trip_is_lossless(s in arb_schedule()) {
+        let text = format!("{}", s.to_json());
+        let back = FaultSchedule::from_json_str(&text);
+        prop_assert_eq!(back, Ok(s));
+    }
+
+    #[test]
+    fn parsed_back_schedule_behaves_identically(s in arb_schedule(), step in 0u64..700) {
+        let back = FaultSchedule::from_json_str(&format!("{}", s.to_json()))
+            .expect("round-trip parses");
+        prop_assert_eq!(back.seed(), s.seed());
+        prop_assert_eq!(back.scan_effects(step), s.scan_effects(step));
+        prop_assert_eq!(back.odom_effects(step), s.odom_effects(step));
+        prop_assert_eq!(back.kidnap_advance_at(step), s.kidnap_advance_at(step));
+        // The stochastic beam-dropout draw is a pure function of
+        // (seed, step): both schedules mutate an identical scan the
+        // same way.
+        let mut a = vec![2.5; 48];
+        let mut b = a.clone();
+        s.scan_effects(step).apply(&mut a, 10.0, s.seed(), step);
+        back.scan_effects(step).apply(&mut b, 10.0, back.seed(), step);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_and_constructor_agree(s in arb_schedule()) {
+        let mut builder = FaultSchedule::builder().seed(s.seed());
+        for f in s.faults() {
+            builder = builder.fault(f.kind, f.window.start, f.window.end);
+        }
+        let built = builder.build().expect("same faults revalidate");
+        prop_assert_eq!(built, s);
+    }
+
+    #[test]
+    fn empty_windows_are_rejected(kind in arb_kind(), start in 0u64..500, slack in 0u64..5) {
+        // end <= start is never a valid window, whatever the kind.
+        let spec = FaultSpec {
+            kind,
+            window: StepWindow::new(start + slack, start),
+        };
+        prop_assert!(FaultSchedule::new(0, vec![spec]).is_err());
+    }
+}

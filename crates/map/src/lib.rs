@@ -16,6 +16,8 @@
 //! - [`trackgen`]: procedural corridor-style race tracks (the stand-in for
 //!   the paper's physical test track, see DESIGN.md §1).
 //! - [`io`]: PGM import/export for interoperability with ROS-style map files.
+//! - [`transform`]: exact rigid SE(2) transforms of grids and poses, the
+//!   substrate for metamorphic equivariance tests.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@ pub mod grid;
 pub mod io;
 pub mod path;
 pub mod trackgen;
+pub mod transform;
 
 pub use edt::DistanceMap;
 pub use grid::{CellState, GridIndex, OccupancyGrid};

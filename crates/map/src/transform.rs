@@ -1,0 +1,142 @@
+//! Rigid SE(2) transforms of occupancy grids and poses.
+//!
+//! Localization is equivariant under rigid motions of the world: moving
+//! the map and the robot by the same transform must move the estimate the
+//! same way, because nothing the localizer consumes (robot-frame scans,
+//! odometry-frame increments) changes. These helpers build the
+//! transformed worlds for that metamorphic property — exact translations
+//! of a grid, and exact quarter-turn rotations (the only rotations an
+//! axis-aligned grid represents without resampling cells).
+
+use raceloc_core::{angle, Point2, Pose2};
+
+use crate::{GridIndex, OccupancyGrid};
+
+/// The grid rigidly translated by `(dx, dy)` meters.
+///
+/// Cell contents are untouched — only the origin moves — so every world
+/// point `p` satisfies
+/// `translated(g, dx, dy).state_at_world(p + (dx, dy)) == g.state_at_world(p)`
+/// up to floating-point rounding at cell boundaries.
+pub fn translated(grid: &OccupancyGrid, dx: f64, dy: f64) -> OccupancyGrid {
+    let origin = grid.origin();
+    let mut out = OccupancyGrid::new(
+        grid.width(),
+        grid.height(),
+        grid.resolution(),
+        Point2::new(origin.x + dx, origin.y + dy),
+    );
+    for (idx, state) in grid.iter() {
+        out.set(idx, state);
+    }
+    out
+}
+
+/// The grid rotated by +90° (counter-clockwise) about the world origin.
+///
+/// A quarter turn maps the world point `(x, y)` to `(-y, x)`; cells are
+/// permuted exactly (no resampling): the source cell `(col, row)` of a
+/// `W × H` grid lands at `(H - 1 - row, col)` in the `H × W` result, and
+/// the new origin is the rotated image of the source grid's top-left
+/// corner, `(-(oy + H·res), ox)`.
+pub fn rotated90(grid: &OccupancyGrid) -> OccupancyGrid {
+    let (w, h) = (grid.width(), grid.height());
+    let res = grid.resolution();
+    let origin = grid.origin();
+    let mut out = OccupancyGrid::new(
+        h,
+        w,
+        res,
+        Point2::new(-(origin.y + h as f64 * res), origin.x),
+    );
+    for (idx, state) in grid.iter() {
+        let rotated = GridIndex::new(h as i64 - 1 - idx.row, idx.col);
+        out.set(rotated, state);
+    }
+    out
+}
+
+/// The pose rigidly translated by `(dx, dy)` meters (heading unchanged).
+pub fn translated_pose(pose: Pose2, dx: f64, dy: f64) -> Pose2 {
+    Pose2::new(pose.x + dx, pose.y + dy, pose.theta)
+}
+
+/// The pose rotated by +90° about the world origin, matching
+/// [`rotated90`]: position `(x, y) → (-y, x)`, heading advanced by π/2.
+pub fn rotated90_pose(pose: Pose2) -> Pose2 {
+    Pose2::new(
+        -pose.y,
+        pose.x,
+        angle::normalize(pose.theta + std::f64::consts::FRAC_PI_2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellState;
+
+    fn sample_grid() -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(7, 5, 0.5, Point2::new(-1.0, 2.0));
+        g.fill(CellState::Free);
+        g.set(GridIndex::new(0, 0), CellState::Occupied);
+        g.set(GridIndex::new(6, 1), CellState::Occupied);
+        g.set(GridIndex::new(3, 4), CellState::Unknown);
+        g
+    }
+
+    #[test]
+    fn translation_moves_world_coordinates_only() {
+        let g = sample_grid();
+        let t = translated(&g, 3.25, -0.75);
+        assert_eq!(t.width(), g.width());
+        assert_eq!(t.height(), g.height());
+        assert_eq!(t.cells(), g.cells());
+        for (idx, state) in g.iter() {
+            let p = g.index_to_world(idx);
+            let q = Point2::new(p.x + 3.25, p.y - 0.75);
+            assert_eq!(t.state_at_world(q), state, "at {idx}");
+        }
+    }
+
+    #[test]
+    fn quarter_turn_permutes_cells_exactly() {
+        let g = sample_grid();
+        let r = rotated90(&g);
+        assert_eq!(r.width(), g.height());
+        assert_eq!(r.height(), g.width());
+        let (f0, o0, u0) = g.census();
+        assert_eq!(r.census(), (f0, o0, u0));
+        for (idx, state) in g.iter() {
+            let p = g.index_to_world(idx);
+            let q = Point2::new(-p.y, p.x);
+            assert_eq!(r.state_at_world(q), state, "at {idx}");
+        }
+    }
+
+    #[test]
+    fn four_quarter_turns_restore_the_grid() {
+        let g = sample_grid();
+        let back = rotated90(&rotated90(&rotated90(&rotated90(&g))));
+        assert_eq!(back.width(), g.width());
+        assert_eq!(back.height(), g.height());
+        assert_eq!(back.cells(), g.cells());
+        let o = g.origin();
+        let b = back.origin();
+        assert!((b.x - o.x).abs() < 1e-12 && (b.y - o.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose_transforms_match_grid_transforms() {
+        let pose = Pose2::new(1.5, -2.0, 0.4);
+        let t = translated_pose(pose, 3.0, 4.0);
+        assert_eq!((t.x, t.y, t.theta), (4.5, 2.0, 0.4));
+        let r = rotated90_pose(pose);
+        assert!((r.x - 2.0).abs() < 1e-12);
+        assert!((r.y - 1.5).abs() < 1e-12);
+        assert!((r.theta - (0.4 + std::f64::consts::FRAC_PI_2)).abs() < 1e-12);
+        // Heading wraps back into (-π, π].
+        let wrapped = rotated90_pose(Pose2::new(0.0, 0.0, 3.0));
+        assert!(wrapped.theta <= std::f64::consts::PI);
+    }
+}

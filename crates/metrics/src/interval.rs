@@ -1,0 +1,124 @@
+//! Binomial confidence intervals for Monte-Carlo success rates.
+//!
+//! Fleet evaluation reports each cell's success rate over a finite number
+//! of seed replicates; a point estimate alone ("18/20 succeeded") hides
+//! how little 20 samples constrain the true rate. The Wilson score
+//! interval is the standard small-sample choice: unlike the normal
+//! (Wald) approximation it never leaves `[0, 1]`, stays informative at 0
+//! or n successes, and is accurate down to a handful of trials.
+
+/// A binomial proportion with its confidence bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateInterval {
+    /// The observed proportion `successes / trials` (0 when `trials` is 0).
+    pub rate: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+/// The Wilson score interval for `successes` out of `trials` at normal
+/// quantile `z` (e.g. 1.96 for 95% coverage).
+///
+/// With zero trials the proportion is unconstrained: the interval is the
+/// maximally uninformative `[0, 1]` around a rate of 0.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_metrics::interval::wilson_interval;
+///
+/// let iv = wilson_interval(18, 20, 1.96);
+/// assert!((iv.rate - 0.9).abs() < 1e-12);
+/// assert!(iv.lo > 0.65 && iv.lo < 0.9);
+/// assert!(iv.hi > 0.9 && iv.hi < 1.0);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> RateInterval {
+    if trials == 0 {
+        return RateInterval {
+            rate: 0.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+    }
+    let n = trials as f64;
+    let p = (successes.min(trials)) as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    RateInterval {
+        rate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// [`wilson_interval`] at 95% coverage (z = 1.96), the fleet-report
+/// default.
+pub fn wilson95(successes: u64, trials: u64) -> RateInterval {
+    wilson_interval(successes, trials, 1.96)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        for (s, n) in [(0u64, 20u64), (1, 20), (10, 20), (19, 20), (20, 20)] {
+            let iv = wilson95(s, n);
+            assert!(iv.lo <= iv.rate + 1e-12, "{s}/{n}: lo {} > rate", iv.lo);
+            assert!(iv.hi >= iv.rate - 1e-12, "{s}/{n}: hi {} < rate", iv.hi);
+            assert!((0.0..=1.0).contains(&iv.lo));
+            assert!((0.0..=1.0).contains(&iv.hi));
+        }
+    }
+
+    #[test]
+    fn extremes_stay_informative() {
+        // Unlike Wald, Wilson gives a non-degenerate interval at 0/n and n/n.
+        let zero = wilson95(0, 20);
+        assert_eq!(zero.rate, 0.0);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.1 && zero.hi < 0.3, "hi = {}", zero.hi);
+        let full = wilson95(20, 20);
+        assert_eq!(full.rate, 1.0);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo > 0.7 && full.lo < 0.9, "lo = {}", full.lo);
+    }
+
+    #[test]
+    fn more_trials_tighten_the_interval() {
+        let small = wilson95(9, 10);
+        let large = wilson95(900, 1000);
+        assert!((large.hi - large.lo) < (small.hi - small.lo) / 3.0);
+    }
+
+    #[test]
+    fn known_value_matches_reference() {
+        // Canonical textbook case: 45/50 at 95% → approximately
+        // [0.7864, 0.9565] (center 0.938416/1.076832, half-width
+        // (1.96/1.076832)·√(0.09/50 + 3.8416/10000)).
+        let iv = wilson95(45, 50);
+        assert!((iv.lo - 0.7864).abs() < 2e-3, "lo = {}", iv.lo);
+        assert!((iv.hi - 0.9565).abs() < 2e-3, "hi = {}", iv.hi);
+    }
+
+    #[test]
+    fn zero_trials_are_unconstrained() {
+        let iv = wilson95(0, 0);
+        assert_eq!((iv.rate, iv.lo, iv.hi), (0.0, 0.0, 1.0));
+        // Successes beyond trials are clamped rather than extrapolated.
+        let iv = wilson95(5, 3);
+        assert_eq!(iv.rate, 1.0);
+    }
+
+    #[test]
+    fn wider_z_widens_the_interval() {
+        let narrow = wilson_interval(15, 20, 1.0);
+        let wide = wilson_interval(15, 20, 2.58);
+        assert!(wide.lo < narrow.lo && wide.hi > narrow.hi);
+    }
+}

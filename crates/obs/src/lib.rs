@@ -47,5 +47,5 @@ pub mod time;
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use recorder::{parse_steps, RunRecorder, SharedBuffer, StepRecord};
-pub use telemetry::{Snapshot, Span, SpanStat, Telemetry};
+pub use telemetry::{CounterRollup, Snapshot, Span, SpanStat, Telemetry};
 pub use time::Stopwatch;

@@ -254,6 +254,99 @@ impl Snapshot {
     }
 }
 
+/// Deterministic accumulation of counters across many [`Snapshot`]s.
+///
+/// Fleet-scale evaluation runs hundreds of independent simulations, each
+/// with its own [`Telemetry`] registry; this rolls their counters up into
+/// one fleet-level view (`BTreeMap`-backed, so iteration and JSON output
+/// are in stable name order). Only counters are absorbed — spans and
+/// histograms carry wall-clock durations, which must never leak into
+/// deterministic report rows.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_obs::{CounterRollup, Telemetry};
+///
+/// let mut rollup = CounterRollup::new();
+/// for run in 0..3u64 {
+///     let tel = Telemetry::enabled();
+///     tel.add("scans", 10 + run);
+///     rollup.absorb(&tel.snapshot());
+/// }
+/// assert_eq!(rollup.total("scans"), Some(33));
+/// assert_eq!(rollup.snapshots(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRollup {
+    totals: BTreeMap<&'static str, u64>,
+    snapshots: u64,
+}
+
+impl CounterRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every counter of a snapshot into the running totals.
+    pub fn absorb(&mut self, snap: &Snapshot) {
+        self.absorb_pairs(snap.counters());
+        self.snapshots += 1;
+    }
+
+    /// Adds already-extracted `(name, value)` counter pairs (one logical
+    /// snapshot) into the running totals.
+    pub fn absorb_counts(&mut self, pairs: &[(&'static str, u64)]) {
+        self.absorb_pairs(pairs.iter().copied());
+        self.snapshots += 1;
+    }
+
+    fn absorb_pairs(&mut self, pairs: impl Iterator<Item = (&'static str, u64)>) {
+        for (name, value) in pairs {
+            *self.totals.entry(name).or_insert(0) += value;
+        }
+    }
+
+    /// Merges another rollup into this one (totals add, snapshot counts
+    /// add).
+    pub fn merge(&mut self, other: &CounterRollup) {
+        for (name, value) in &other.totals {
+            *self.totals.entry(name).or_insert(0) += value;
+        }
+        self.snapshots += other.snapshots;
+    }
+
+    /// The accumulated total for one counter, if it ever appeared.
+    pub fn total(&self, name: &str) -> Option<u64> {
+        self.totals.get(name).copied()
+    }
+
+    /// All accumulated counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.totals.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of snapshots absorbed so far.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Whether no counters have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// Serializes the totals as a JSON object in stable name order.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::Obj(
+            self.iter()
+                .map(|(name, v)| (name.to_string(), crate::Json::num(v as f64)))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +474,42 @@ mod tests {
         let b = report.find("b.stage").unwrap();
         assert!(a < b, "spans reported in name order");
         assert!(report.contains("z.count: 7"));
+    }
+
+    #[test]
+    fn rollup_accumulates_counters_only() {
+        let mut rollup = CounterRollup::new();
+        let tel = Telemetry::enabled();
+        tel.add("a", 2);
+        tel.record_span("timed", 0.5); // spans must not leak into the rollup
+        rollup.absorb(&tel.snapshot());
+        rollup.absorb_counts(&[("a", 3), ("b", 1)]);
+        assert_eq!(rollup.total("a"), Some(5));
+        assert_eq!(rollup.total("b"), Some(1));
+        assert_eq!(rollup.total("timed"), None);
+        assert_eq!(rollup.snapshots(), 2);
+        assert!(!rollup.is_empty());
+    }
+
+    #[test]
+    fn rollup_merge_adds_totals_and_counts() {
+        let mut a = CounterRollup::new();
+        a.absorb_counts(&[("x", 1)]);
+        let mut b = CounterRollup::new();
+        b.absorb_counts(&[("x", 2), ("y", 5)]);
+        a.merge(&b);
+        assert_eq!(a.total("x"), Some(3));
+        assert_eq!(a.total("y"), Some(5));
+        assert_eq!(a.snapshots(), 2);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["x", "y"], "name order is stable");
+    }
+
+    #[test]
+    fn rollup_json_is_stable_and_parseable() {
+        let mut rollup = CounterRollup::new();
+        rollup.absorb_counts(&[("b.n", 2), ("a.n", 1)]);
+        let text = format!("{}", rollup.to_json());
+        assert_eq!(text, "{\"a.n\":1,\"b.n\":2}");
     }
 }

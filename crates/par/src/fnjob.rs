@@ -1,0 +1,173 @@
+//! Heterogeneous closure jobs for the [`WorkerPool`](crate::WorkerPool).
+//!
+//! The chunked particle pipeline uses purpose-built job structs whose
+//! buffers round-trip through the pool. Coarser consumers — the fleet
+//! evaluation engine runs one *entire closed-loop simulation* per job —
+//! want to reuse the same pool machinery for jobs of different shapes
+//! without writing a struct per workload. [`FnJob`] packages an arbitrary
+//! `FnMut(&C) -> T` closure plus a caller-chosen `tag`, so results can be
+//! scattered back into a deterministic order after [`run_batch`] hands the
+//! jobs back **in unspecified order**.
+//!
+//! Determinism contract: the pool never adds nondeterminism (each job is a
+//! pure function of its captured inputs plus the shared context), so a
+//! batch of `FnJob`s produces the same tagged results for every thread
+//! count and every completion order — callers only need to sort or index
+//! by [`FnJob::tag`].
+//!
+//! [`run_batch`]: crate::WorkerPool::run_batch
+
+use crate::pool::PoolJob;
+
+/// A boxed-closure pool job carrying its own result slot.
+///
+/// # Examples
+///
+/// ```
+/// use raceloc_par::{FnJob, WorkerPool};
+///
+/// let pool: WorkerPool<u64, FnJob<u64, u64>> = WorkerPool::new(10, 2);
+/// let mut jobs: Vec<FnJob<u64, u64>> =
+///     (0..4).map(|i| FnJob::new(i as usize, move |ctx: &u64| i * ctx)).collect();
+/// pool.run_batch(&mut jobs);
+/// // Jobs come back in unspecified order; scatter by tag.
+/// let mut out = vec![0u64; 4];
+/// for job in &mut jobs {
+///     let tag = job.tag();
+///     if let (Some(slot), Some(v)) = (out.get_mut(tag), job.take()) {
+///         *slot = v;
+///     }
+/// }
+/// assert_eq!(out, [0, 10, 20, 30]);
+/// ```
+pub struct FnJob<C, T> {
+    tag: usize,
+    items: usize,
+    work: Box<dyn FnMut(&C) -> T + Send>,
+    result: Option<T>,
+}
+
+impl<C, T> FnJob<C, T> {
+    /// Wraps a closure as a pool job with a scatter-back `tag`.
+    pub fn new(tag: usize, work: impl FnMut(&C) -> T + Send + 'static) -> Self {
+        Self {
+            tag,
+            items: 1,
+            work: Box::new(work),
+            result: None,
+        }
+    }
+
+    /// Sets the item count reported to the pool's chunk-size histogram
+    /// (defaults to 1; purely observational).
+    pub fn with_items(mut self, items: usize) -> Self {
+        self.items = items;
+        self
+    }
+
+    /// The caller-chosen index identifying this job's output slot.
+    pub fn tag(&self) -> usize {
+        self.tag
+    }
+
+    /// The stored result, if the job has run.
+    pub fn result(&self) -> Option<&T> {
+        self.result.as_ref()
+    }
+
+    /// Takes the stored result out of the job (leaving `None`).
+    pub fn take(&mut self) -> Option<T> {
+        self.result.take()
+    }
+}
+
+impl<C, T: Send> PoolJob<C> for FnJob<C, T> {
+    fn run(&mut self, ctx: &C) {
+        self.result = Some((self.work)(ctx));
+    }
+
+    fn items(&self) -> usize {
+        self.items
+    }
+}
+
+impl<C, T> std::fmt::Debug for FnJob<C, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnJob")
+            .field("tag", &self.tag)
+            .field("items", &self.items)
+            .field("has_result", &self.result.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+
+    #[test]
+    fn results_scatter_back_by_tag_for_any_thread_count() {
+        let run = |threads: usize| {
+            let pool: WorkerPool<Vec<u64>, FnJob<Vec<u64>, u64>> =
+                WorkerPool::new((0..32).collect(), threads);
+            let mut jobs: Vec<_> = (0..32usize)
+                .map(|i| FnJob::new(i, move |ctx: &Vec<u64>| ctx[i] * 3 + i as u64))
+                .collect();
+            pool.run_batch(&mut jobs);
+            let mut out = vec![0u64; 32];
+            for job in &mut jobs {
+                out[job.tag()] = job.take().expect("job ran");
+            }
+            out
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_work_shares_one_pool() {
+        // Different closures (different captured state and work shapes) in
+        // one batch — the use case the fleet engine needs.
+        let pool: WorkerPool<u64, FnJob<u64, u64>> = WorkerPool::new(7, 2);
+        let mut jobs = vec![
+            FnJob::new(0, |ctx: &u64| ctx + 1),
+            FnJob::new(1, |ctx: &u64| {
+                (0..100u64).map(|i| i % ctx).sum() // a heavier, looping job
+            }),
+            FnJob::new(2, |ctx: &u64| ctx * ctx).with_items(5),
+        ];
+        pool.run_batch(&mut jobs);
+        jobs.sort_by_key(FnJob::tag);
+        assert_eq!(jobs[0].result(), Some(&8));
+        assert_eq!(jobs[1].result(), Some(&((0..100u64).map(|i| i % 7).sum())));
+        assert_eq!(jobs[2].result(), Some(&49));
+        assert_eq!(pool.stats().jobs, 3);
+    }
+
+    #[test]
+    fn take_empties_the_result_slot() {
+        let mut job: FnJob<(), u32> = FnJob::new(9, |_| 5);
+        assert!(job.result().is_none());
+        job.run(&());
+        assert_eq!(job.tag(), 9);
+        assert_eq!(job.take(), Some(5));
+        assert_eq!(job.take(), None);
+    }
+
+    #[test]
+    fn reused_jobs_recompute_on_each_batch() {
+        let pool: WorkerPool<u64, FnJob<u64, u64>> = WorkerPool::new(2, 1);
+        let mut count = 0u64;
+        let mut jobs = vec![FnJob::new(0, move |ctx: &u64| {
+            count += 1;
+            ctx * count
+        })];
+        pool.run_batch(&mut jobs);
+        assert_eq!(jobs[0].result(), Some(&2));
+        pool.run_batch(&mut jobs);
+        assert_eq!(jobs[0].result(), Some(&4), "FnMut state persists");
+    }
+}

@@ -43,7 +43,9 @@
 //! ```
 
 pub mod chunk;
+pub mod fnjob;
 pub mod pool;
 
 pub use chunk::{chunk_count, chunk_span, chunk_spans, DEFAULT_CHUNK_MIN, MAX_CHUNKS};
+pub use fnjob::FnJob;
 pub use pool::{lock_unpoisoned, PoolJob, PoolStats, WorkerPool};

@@ -139,6 +139,24 @@ impl<T: RangeMethod + ?Sized> RangeMethod for &T {
     }
 }
 
+/// Shared-ownership delegation: lets many concurrent consumers (e.g. the
+/// fleet-evaluation jobs, which each build a `SynPf<Arc<RangeLut>>`) share
+/// one expensive precomputed caster per map instead of rebuilding it.
+impl<T: RangeMethod + ?Sized> RangeMethod for std::sync::Arc<T> {
+    fn max_range(&self) -> f64 {
+        (**self).max_range()
+    }
+    fn range(&self, x: f64, y: f64, theta: f64) -> f64 {
+        (**self).range(x, y, theta)
+    }
+    fn ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64]) {
+        (**self).ranges_into(queries, out)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use raceloc_core::Point2;

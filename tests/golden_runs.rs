@@ -1,0 +1,126 @@
+//! Golden-run regression snapshots: fixed-seed closed-loop fleets whose
+//! serialized reports are checked in byte-for-byte.
+//!
+//! The entire raceloc pipeline is deterministic by construction (rule
+//! R3), so the strongest possible regression test is also the simplest:
+//! run a small fixed-seed fleet and compare the report JSON against a
+//! committed snapshot. Any behavioural drift — in the simulator, a
+//! localizer, the fault engine, or the aggregation — shows up as a byte
+//! diff, with the changed statistics named in the failure message.
+//!
+//! - The worker-pool width comes from `RACELOC_THREADS` (default 2), so
+//!   the CI thread matrix doubles as a thread-independence check: the
+//!   same snapshot must hold at every width.
+//! - To regenerate after an *intentional* behavioural change, run
+//!   `RACELOC_BLESS=1 cargo test --test golden_runs` and commit the
+//!   rewritten files under `tests/golden/`.
+
+use std::path::PathBuf;
+
+use raceloc_eval::{run_fleet, EvalMethod, FleetSpec, GripSpec, MapSpec, ScenarioSpec};
+use raceloc_faults::FaultSchedule;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn threads() -> usize {
+    std::env::var("RACELOC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+fn blessing() -> bool {
+    std::env::var("RACELOC_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Compares `actual` against the committed snapshot `name`, or rewrites
+/// the snapshot when `RACELOC_BLESS=1`.
+fn check_snapshot(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if blessing() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {name} ({e}); run with RACELOC_BLESS=1 to create it")
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual.trim_end(),
+        "golden run {name} drifted: a deliberate behavioural change must be \
+         re-blessed with RACELOC_BLESS=1 and the new snapshot committed"
+    );
+}
+
+/// A small but representative fleet: one map, low-quality grip, a
+/// fault-free control plus a slip burst, all three localizers, one
+/// replicate each. Roughly four seconds of wall clock in debug builds.
+fn golden_spec() -> FleetSpec {
+    FleetSpec {
+        name: "golden-small".into(),
+        master_seed: 20240831,
+        replicates: 1,
+        duration_s: 1.5,
+        particles: 80,
+        beams: 61,
+        success_lat_cm: 50.0,
+        maps: vec![MapSpec {
+            name: "fourier-33".into(),
+            fourier_seed: 33,
+            half_width: 1.25,
+            mean_radius: 6.0,
+        }],
+        grips: vec![GripSpec {
+            name: "LQ".into(),
+            mu: 19.0 / 26.0,
+        }],
+        scenarios: vec![
+            ScenarioSpec {
+                name: "nominal".into(),
+                schedule: FaultSchedule::builder().seed(5).build().expect("valid"),
+                measure_from: 0,
+                recovery_budget: None,
+            },
+            ScenarioSpec {
+                name: "odom_slip".into(),
+                schedule: FaultSchedule::builder()
+                    .seed(5)
+                    .odom_slip(20, 35, 1.8)
+                    .build()
+                    .expect("valid"),
+                measure_from: 35,
+                recovery_budget: None,
+            },
+        ],
+        methods: vec![
+            EvalMethod::SynPf,
+            EvalMethod::Cartographer,
+            EvalMethod::DeadReckoning,
+        ],
+    }
+}
+
+#[test]
+fn golden_fleet_report_matches_snapshot() {
+    let spec = golden_spec();
+    let report = run_fleet(&spec, threads()).expect("valid spec");
+    let json = format!("{}\n", report.to_json());
+    check_snapshot("fleet_small.json", &json);
+}
+
+#[test]
+fn golden_spec_round_trips_and_matches_snapshot() {
+    // The spec itself is part of the contract: a silent change to the
+    // spec JSON mapping (or to this fixture) also shows up as a diff.
+    let spec = golden_spec();
+    let json = format!("{}\n", spec.to_json());
+    check_snapshot("fleet_small_spec.json", &json);
+    let back = FleetSpec::from_json_str(&json).expect("spec parses back");
+    assert_eq!(back.to_json().to_string(), spec.to_json().to_string());
+}

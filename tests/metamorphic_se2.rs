@@ -1,0 +1,235 @@
+//! Metamorphic SE(2) equivariance of the localizers.
+//!
+//! Localization consumes only frame-relative inputs — robot-frame scans
+//! and odometry-frame increments — so rigidly moving the *world* (map +
+//! initial pose) must rigidly move the *estimate* and change nothing
+//! else. The test runs each localizer twice on identical scan/odometry
+//! streams: once on the original map, once on a transformed map with a
+//! transformed initial pose, and checks every per-step estimate maps
+//! across by the same transform.
+//!
+//! Transforms are chosen so the transformed grid is exact (no cell
+//! resampling): arbitrary translations, and the +90° quarter turn.
+//! SynPF is exercised under translation with resampling disabled (its
+//! init/motion noise is additive in map axes, which is only
+//! translation-equivariant draw-for-draw); Cartographer's deterministic
+//! matcher is exercised under both.
+
+use raceloc_core::localizer::Localizer;
+use raceloc_core::sensor_data::{LaserScan, Odometry};
+use raceloc_core::{Point2, Pose2, Twist2};
+use raceloc_map::transform::{rotated90, rotated90_pose, translated, translated_pose};
+use raceloc_map::{CellState, GridIndex, OccupancyGrid};
+use raceloc_pf::{SynPf, SynPfConfig};
+use raceloc_range::{BresenhamCasting, RangeMethod};
+use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig};
+
+const MAX_RANGE: f64 = 12.0;
+const BEAMS: usize = 121;
+const DT: f64 = 0.1;
+const STEPS: usize = 25;
+
+/// An asymmetric walled room: border walls plus two interior blocks, so
+/// scans pin down the pose with no rotational or translational ambiguity.
+fn room() -> OccupancyGrid {
+    let (w, h) = (140usize, 100usize);
+    let mut g = OccupancyGrid::new(w, h, 0.1, Point2::new(-7.0, -5.0));
+    g.fill(CellState::Free);
+    for c in 0..w as i64 {
+        g.set(GridIndex::new(c, 0), CellState::Occupied);
+        g.set(GridIndex::new(c, h as i64 - 1), CellState::Occupied);
+    }
+    for r in 0..h as i64 {
+        g.set(GridIndex::new(0, r), CellState::Occupied);
+        g.set(GridIndex::new(w as i64 - 1, r), CellState::Occupied);
+    }
+    for c in 30..40 {
+        for r in 20..28 {
+            g.set(GridIndex::new(c, r), CellState::Occupied);
+        }
+    }
+    for c in 110..115 {
+        for r in 60..80 {
+            g.set(GridIndex::new(c, r), CellState::Occupied);
+        }
+    }
+    g
+}
+
+/// True poses: a gentle circle around the room center.
+fn trajectory() -> Vec<Pose2> {
+    (0..=STEPS)
+        .map(|k| {
+            let phi = 0.15 * k as f64;
+            Pose2::new(
+                2.5 * phi.cos(),
+                2.5 * phi.sin(),
+                raceloc_core::angle::normalize(phi + std::f64::consts::FRAC_PI_2),
+            )
+        })
+        .collect()
+}
+
+/// Casts a full-circle scan from `pose` against `grid` (sensor at the
+/// body origin: both localizers run with an identity LiDAR mount here).
+fn cast_scan(grid: &OccupancyGrid, pose: Pose2, stamp: f64) -> LaserScan {
+    let caster = BresenhamCasting::new(grid, MAX_RANGE);
+    let angle_min = -std::f64::consts::PI;
+    let increment = 2.0 * std::f64::consts::PI / BEAMS as f64;
+    let ranges = (0..BEAMS)
+        .map(|i| {
+            let theta = pose.theta + angle_min + increment * i as f64;
+            caster.range(pose.x, pose.y, theta)
+        })
+        .collect();
+    LaserScan {
+        angle_min,
+        angle_increment: increment,
+        ranges,
+        max_range: MAX_RANGE,
+        stamp,
+    }
+}
+
+/// The shared (frame-independent) input stream: per-step odometry and
+/// robot-frame scans cast on the ORIGINAL map from the true trajectory.
+fn input_stream(grid: &OccupancyGrid) -> Vec<(Odometry, LaserScan)> {
+    let poses = trajectory();
+    poses
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let stamp = k as f64 * DT;
+            let twist = Twist2::new(2.5 * 0.15 / DT, 0.0, 0.15 / DT);
+            (Odometry::new(p, twist, stamp), cast_scan(grid, p, stamp))
+        })
+        .collect()
+}
+
+/// Drives one localizer over the stream and returns the per-correction
+/// estimates.
+fn run<L: Localizer>(loc: &mut L, start: Pose2, stream: &[(Odometry, LaserScan)]) -> Vec<Pose2> {
+    loc.reset(start);
+    stream
+        .iter()
+        .map(|(odom, scan)| {
+            loc.predict(odom);
+            loc.correct(scan)
+        })
+        .collect()
+}
+
+fn assert_equivariant(
+    label: &str,
+    original: &[Pose2],
+    transformed: &[Pose2],
+    map: impl Fn(Pose2) -> Pose2,
+    tol_m: f64,
+    tol_rad: f64,
+) {
+    assert_eq!(original.len(), transformed.len());
+    for (k, (&a, &b)) in original.iter().zip(transformed).enumerate() {
+        let expect = map(a);
+        let d = expect.dist(b);
+        let dth = expect.heading_dist(b);
+        assert!(
+            d <= tol_m && dth <= tol_rad,
+            "{label} step {k}: expected {expect:?}, got {b:?} (d={d:.6} m, dθ={dth:.6} rad)"
+        );
+    }
+}
+
+fn carto(grid: &OccupancyGrid) -> CartoLocalizer {
+    let config = CartoLocalizerConfig {
+        lidar_mount: Pose2::IDENTITY,
+        ..Default::default()
+    };
+    CartoLocalizer::new(grid, config)
+}
+
+#[test]
+fn cartographer_is_equivariant_under_translation_and_quarter_turn() {
+    let grid = room();
+    let stream = input_stream(&grid);
+    let start = trajectory()[0];
+    let baseline = run(&mut carto(&grid), start, &stream);
+
+    // Sanity: the baseline actually tracks the circle.
+    for (k, est) in baseline.iter().enumerate() {
+        assert!(
+            est.dist(trajectory()[k]) < 0.5,
+            "baseline diverged at step {k}: {est:?}"
+        );
+    }
+
+    let (dx, dy) = (6.4, -3.2);
+    let shifted = run(
+        &mut carto(&translated(&grid, dx, dy)),
+        translated_pose(start, dx, dy),
+        &stream,
+    );
+    assert_equivariant(
+        "carto/translation",
+        &baseline,
+        &shifted,
+        |p| translated_pose(p, dx, dy),
+        1e-3,
+        1e-3,
+    );
+
+    let turned = run(
+        &mut carto(&rotated90(&grid)),
+        rotated90_pose(start),
+        &stream,
+    );
+    assert_equivariant(
+        "carto/rotation90",
+        &baseline,
+        &turned,
+        rotated90_pose,
+        1e-3,
+        1e-3,
+    );
+}
+
+#[test]
+fn synpf_is_equivariant_under_translation() {
+    let grid = room();
+    let stream = input_stream(&grid);
+    let start = trajectory()[0];
+    let config = SynPfConfig::builder()
+        .particles(400)
+        .threads(1)
+        .seed(99)
+        // Resampling is a discrete, winner-takes-all operation: a
+        // boundary-grazing beam whose Bresenham cell flips under the
+        // shifted grid arithmetic could select a different survivor set.
+        // With resampling off the estimate is a continuous function of
+        // the weights and the comparison stays tight.
+        .resample_ess_frac(0.0)
+        .lidar_mount(Pose2::IDENTITY)
+        .build()
+        .expect("valid config");
+
+    let mut pf = SynPf::new(BresenhamCasting::new(&grid, MAX_RANGE), config.clone());
+    let baseline = run(&mut pf, start, &stream);
+    for (k, est) in baseline.iter().enumerate() {
+        assert!(
+            est.dist(trajectory()[k]) < 0.5,
+            "baseline diverged at step {k}: {est:?}"
+        );
+    }
+
+    let (dx, dy) = (6.4, -3.2);
+    let moved = translated(&grid, dx, dy);
+    let mut pf2 = SynPf::new(BresenhamCasting::new(&moved, MAX_RANGE), config);
+    let shifted = run(&mut pf2, translated_pose(start, dx, dy), &stream);
+    assert_equivariant(
+        "synpf/translation",
+        &baseline,
+        &shifted,
+        |p| translated_pose(p, dx, dy),
+        1e-2,
+        1e-2,
+    );
+}

@@ -5,7 +5,9 @@
 //!
 //! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! - [`prop_assert!`] / [`prop_assert_eq!`] (panic-on-failure),
-//! - [`Strategy`] for numeric ranges, tuples, `prop_map`, [`Just`],
+//! - [`Strategy`] for numeric ranges, tuples, `prop_map`,
+//!   `prop_filter`, [`Just`],
+//! - [`prop_oneof!`] for choosing among heterogeneous strategies,
 //! - `prop::collection::vec`, and [`any`] for primitive integers.
 //!
 //! Unlike upstream proptest there is no shrinking and no persisted failure
@@ -94,6 +96,21 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Keeps only values satisfying `f`, re-drawing on rejection.
+    /// `whence` names the predicate in the panic raised if the strategy
+    /// rejects too many consecutive draws.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
 }
 
 /// The [`Strategy::prop_map`] adapter.
@@ -114,6 +131,67 @@ where
     }
 }
 
+/// The [`Strategy::prop_filter`] adapter: rejection sampling with a
+/// bounded retry budget.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..256 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 256 consecutive draws: {}",
+            self.whence
+        );
+    }
+}
+
+/// A uniform choice among boxed strategies of one value type — the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A strategy drawing uniformly from `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof of no strategies");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Draws from one of several strategies, chosen uniformly per case. All
+/// arms must generate the same value type (upstream's weighted arms are
+/// not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(::std::boxed::Box::new($strategy)),+])
+    };
+}
+
 /// A strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
@@ -129,6 +207,16 @@ impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Scale by 2^53 − 1 so both endpoints are reachable.
+        let f = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + f * (hi - lo)
     }
 }
 
@@ -349,8 +437,8 @@ macro_rules! __proptest_impl {
 pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
-    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 
     /// The `prop` namespace (`prop::collection::vec`).
     pub mod prop {
@@ -392,6 +480,28 @@ mod tests {
         for _ in 0..100 {
             let n = Strategy::generate(&s, &mut rng);
             assert!((4..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_visits_every_arm_and_filter_rejects() {
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![Just(0u8), 1u8..3, Just(9u8)].prop_filter("no twos", |v| *v != 2);
+        let mut seen = [false; 10];
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng) as usize;
+            seen[v] = true;
+        }
+        assert!(seen[0] && seen[1] && seen[9], "{seen:?}");
+        assert!(!seen[2], "filter must reject twos");
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_in_bounds() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..1000 {
+            let f = Strategy::generate(&(0.25..=0.75f64), &mut rng);
+            assert!((0.25..=0.75).contains(&f));
         }
     }
 
