@@ -9,15 +9,20 @@
 //! | `R3` | deny | hot-path crates | determinism: no hash containers, `thread_rng`, or wall-clock reads outside `raceloc-obs` |
 //! | `R4` | deny | whole workspace | `unsafe` ban + lint wall (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`) in crate roots |
 //! | `R5` | deny | whole workspace | removed-API ratchet: the `cast_batch` shim is gone for good; the token must not reappear |
+//! | `R6` | deny | whole workspace | deprecated-API ratchet: the owning `with_owned_map` constructors live only in `compat.rs` shims; new uses are banned |
 
 use crate::mask::MaskedFile;
 
 /// The crates whose kernels must be panic-free and deterministic (R1, R3):
 /// the particle filter, ray casting, the worker pool, SLAM, the
 /// simulator, the fault-injection engine (whose schedules must replay
-/// bit-identically from `(seed, step)` alone), and the fleet-evaluation
-/// engine (whose reports must be byte-identical for any pool width).
-pub const HOT_PATH_CRATES: [&str; 7] = ["eval", "faults", "par", "pf", "range", "slam", "sim"];
+/// bit-identically from `(seed, step)` alone), the fleet-evaluation
+/// engine (whose reports must be byte-identical for any pool width), and
+/// the multi-session serve engine (whose session streams must replay
+/// bit-identically for any thread count).
+pub const HOT_PATH_CRATES: [&str; 8] = [
+    "eval", "faults", "par", "pf", "range", "serve", "slam", "sim",
+];
 
 /// How a diagnostic participates in the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +40,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`R1`, `R1-idx`, `R2`, `R3`, `R4`, `R5`).
+    /// Rule identifier (`R1`, `R1-idx`, `R2`, `R3`, `R4`, `R5`, `R6`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -235,6 +240,25 @@ pub fn scan_file(path: &str, masked: &MaskedFile) -> Vec<Violation> {
                 severity: Severity::Deny,
             });
         }
+
+        // R6: deprecated-API ratchet. The owning `with_owned_map`
+        // constructors are frozen inside the `compat.rs` shim modules;
+        // everything else builds localizers over a shared artifact bundle
+        // (`ArtifactStore::get_or_build` + `from_artifacts`). New uses —
+        // or new definitions outside a shim module — must not appear.
+        if !path.ends_with("/compat.rs") {
+            for _ in token_positions(line, "with_owned_map") {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: lineno,
+                    rule: "R6",
+                    message: "the deprecated `with_owned_map` shim is frozen in `compat.rs`; \
+                              use `ArtifactStore::get_or_build` + `from_artifacts` instead"
+                        .to_string(),
+                    severity: Severity::Deny,
+                });
+            }
+        }
     }
 
     // R4 (part 2): lint wall in crate roots. Matched on masked text so a
@@ -398,5 +422,48 @@ mod tests {
             "// cast_batch used to live here\nlet s = \"cast_batch\";\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn r6_flags_the_deprecated_shim_outside_compat_modules() {
+        let vs = scan(
+            "crates/bench/src/faults.rs",
+            "let pf = SynPf::with_owned_map(&grid, config);\n",
+        );
+        assert_eq!(rules_of(&vs), ["R6"]);
+        assert_eq!(vs[0].severity, Severity::Deny);
+        // A new definition outside a shim module is just as banned.
+        assert_eq!(
+            rules_of(&scan(
+                "crates/pf/src/filter.rs",
+                "pub fn with_owned_map() {}\n"
+            )),
+            ["R6"]
+        );
+    }
+
+    #[test]
+    fn r6_allows_the_shim_inside_compat_modules_only() {
+        // The frozen shims themselves live in compat.rs and stay legal.
+        assert!(scan("crates/pf/src/compat.rs", "pub fn with_owned_map() {}\n").is_empty());
+        assert!(scan("crates/slam/src/compat.rs", "pub fn with_owned_map() {}\n").is_empty());
+        // Only as a standalone token, and never in masked positions.
+        assert!(scan("crates/pf/src/filter.rs", "let x = with_owned_mapping;\n").is_empty());
+        assert!(scan(
+            "crates/pf/src/filter.rs",
+            "// with_owned_map is deprecated\nlet s = \"with_owned_map\";\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn serve_is_a_hot_path_crate() {
+        let vs = scan("crates/serve/src/engine.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(rules_of(&vs), ["R1"]);
+        let vs = scan(
+            "crates/serve/src/engine.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(rules_of(&vs), ["R3"]);
     }
 }

@@ -8,12 +8,13 @@
 //!
 //! Run with `cargo run -p raceloc-bench --release --bin ablation_layout`.
 
-use raceloc_bench::test_track;
+use raceloc_bench::{test_track, track_artifacts};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::{Pose2, RunningStats};
 use raceloc_pf::{ScanLayout, SynPf, SynPfConfig};
-use raceloc_range::{RangeLut, RayMarching};
+use raceloc_range::RayMarching;
 use raceloc_sim::{Lidar, LidarSpec};
+use std::sync::Arc;
 
 fn main() {
     println!("Boxed vs uniform scanline layout — relocalization error after 5");
@@ -22,8 +23,9 @@ fn main() {
     println!("{:<8} {:>16} {:>16}", "beams", "uniform [cm]", "boxed [cm]");
     let track = test_track();
     let caster = RayMarching::new(&track.grid, 10.0);
-    // Build the (expensive) LUT once and clone it per filter instance.
-    let shared_lut = RangeLut::new(&track.grid, 10.0, 72);
+    // One shared artifact bundle: the (expensive) LUT is built once and
+    // every filter instance borrows it through the `Arc`.
+    let artifacts = track_artifacts(&track);
     let mut lidar = Lidar::new(
         LidarSpec {
             beams: 1081,
@@ -55,7 +57,7 @@ fn main() {
                     .seed(100 + trial)
                     .build()
                     .expect("ablation config is valid");
-                let mut pf = SynPf::new(shared_lut.clone(), config);
+                let mut pf = SynPf::from_artifacts(Arc::clone(&artifacts), config);
                 pf.reset(Pose2::new(
                     truth.x + 0.25,
                     truth.y - 0.15,

@@ -7,11 +7,11 @@
 //! Run with `cargo run -p raceloc-bench --release --bin ablation_motion`.
 
 use raceloc_bench::{
-    format_row, run_cell_with_odom, table_header, test_track, OdomSource, MU_HIGH_QUALITY,
-    MU_LOW_QUALITY,
+    format_row, run_cell_with_odom, table_header, test_track, track_artifacts, OdomSource,
+    MU_HIGH_QUALITY, MU_LOW_QUALITY,
 };
 use raceloc_pf::{DiffDriveModel, MotionConfig, SynPf, SynPfConfig, TumMotionModel};
-use raceloc_range::RangeLut;
+use std::sync::Arc;
 
 fn main() {
     let laps: usize = std::env::args()
@@ -23,7 +23,9 @@ fn main() {
     println!();
     println!("{}", table_header());
     let track = test_track();
-    let shared_lut = RangeLut::new(&track.grid, 10.0, 72);
+    // One shared artifact bundle: every filter instance reuses the same
+    // EDT and lazily-built range LUT instead of cloning a dense table.
+    let artifacts = track_artifacts(&track);
     for (name, motion) in [
         ("SynPF-tum", MotionConfig::Tum(TumMotionModel::default())),
         (
@@ -37,7 +39,7 @@ fn main() {
                 .seed(7)
                 .build()
                 .expect("ablation config is valid");
-            let mut pf = SynPf::new(shared_lut.clone(), config);
+            let mut pf = SynPf::from_artifacts(Arc::clone(&artifacts), config);
             let r = run_cell_with_odom(&mut pf, name, odom, mu, laps, 42, OdomSource::ImuFused);
             println!("{}", format_row(&r));
         }

@@ -10,13 +10,14 @@
 //!
 //! Run with `cargo run -p raceloc-bench --release --bin latency`.
 
-use raceloc_bench::test_track;
+use raceloc_bench::{test_track, track_artifacts};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::LaserScan;
 use raceloc_obs::{Snapshot, Telemetry};
 use raceloc_pf::{SynPf, SynPfConfig};
-use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+use raceloc_range::{BresenhamCasting, Cddt, RangeMethod, RayMarching};
 use raceloc_sim::{Lidar, LidarSpec};
+use std::sync::Arc;
 
 fn scan_at_start(track: &raceloc_map::Track) -> LaserScan {
     let caster = RayMarching::new(&track.grid, 10.0);
@@ -103,9 +104,11 @@ fn main() {
     let scan = scan_at_start(&track);
 
     println!("LUT mode (the paper's configuration), boxed 60-beam layout:");
+    // One shared artifact bundle for every LUT-mode row: the LUT is built
+    // once and all filter instances query the same table.
+    let artifacts = track_artifacts(&track);
     for particles in [500, 1000, 1200, 2000, 4000] {
-        let lut = RangeLut::new(&track.grid, 10.0, 72);
-        let snap = measure_pf(lut, particles, 1, &track, &scan);
+        let snap = measure_pf(Arc::clone(&artifacts), particles, 1, &track, &scan);
         println!(
             "  N={particles:>5}: {:>8.3} ms per scan update",
             correct_ms(&snap)
@@ -114,12 +117,12 @@ fn main() {
 
     println!();
     println!("Per-stage breakdown at N=1200 (LUT), from recorded obs spans:");
-    let snap = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, 1, &track, &scan);
+    let snap = measure_pf(Arc::clone(&artifacts), 1200, 1, &track, &scan);
     print_stage_breakdown(&snap);
 
     println!();
     println!("Range-method comparison at N=1200:");
-    let snap = measure_pf(RangeLut::new(&track.grid, 10.0, 72), 1200, 1, &track, &scan);
+    let snap = measure_pf(Arc::clone(&artifacts), 1200, 1, &track, &scan);
     println!("  {:<22} {:>8.3} ms", "LUT", correct_ms(&snap));
     let snap = measure_pf(Cddt::new(&track.grid, 10.0, 180), 1200, 1, &track, &scan);
     println!("  {:<22} {:>8.3} ms", "CDDT", correct_ms(&snap));
@@ -137,8 +140,7 @@ fn main() {
     println!();
     println!("Threaded batch casting (the rangelibc GPU-mode substitute), N=1200, LUT:");
     for threads in [1, 2, 4, 8] {
-        let lut = RangeLut::new(&track.grid, 10.0, 72);
-        let snap = measure_pf(lut, 1200, threads, &track, &scan);
+        let snap = measure_pf(Arc::clone(&artifacts), 1200, threads, &track, &scan);
         let queries = snap.counter("range.queries").unwrap_or(0);
         println!(
             "  threads={threads}: {:>8.3} ms  ({queries} batched range queries)",

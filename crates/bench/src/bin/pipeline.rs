@@ -10,7 +10,7 @@
 //! Run with `cargo run -p raceloc-bench --release --bin pipeline --
 //! [--quick] [--threads 1,2,4] [--out BENCH_pipeline.json]`.
 
-use raceloc_bench::{build_synpf_threaded, test_track};
+use raceloc_bench::{build_synpf_threaded, test_track, track_artifacts};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
 use raceloc_core::{Pose2, Twist2};
@@ -18,8 +18,9 @@ use raceloc_map::Track;
 use raceloc_obs::{Json, Stopwatch, Telemetry};
 use raceloc_pf::resample::normalize;
 use raceloc_pf::{BeamSensorModel, SynPf, SynPfConfig};
-use raceloc_range::{RangeLut, RangeMethod, RayMarching};
+use raceloc_range::{MapArtifacts, RangeLut, RangeMethod, RayMarching};
 use raceloc_sim::{Lidar, LidarSpec};
+use std::sync::Arc;
 
 struct Args {
     quick: bool,
@@ -128,8 +129,7 @@ fn reference_weights(
 
 /// Builds the Table III filter: resampling disabled (`ess_frac` 0) so the
 /// posterior weights stay observable for the divergence gate.
-fn gate_filter(track: &Track, threads: usize) -> SynPf<RangeLut> {
-    let lut = RangeLut::new(&track.grid, 10.0, 72);
+fn gate_filter(track: &Track, threads: usize) -> SynPf<Arc<MapArtifacts>> {
     let config = SynPfConfig::builder()
         .particles(1200)
         .threads(threads)
@@ -137,7 +137,7 @@ fn gate_filter(track: &Track, threads: usize) -> SynPf<RangeLut> {
         .seed(7)
         .build()
         .expect("gate config is valid");
-    SynPf::new(lut, config)
+    SynPf::from_artifacts(track_artifacts(track), config)
 }
 
 /// Max |Δweight| between the fused kernel at `threads` and the unfused
@@ -201,7 +201,7 @@ fn measure(track: &Track, scan: &LaserScan, threads: usize, reps: usize) -> Thre
     pf.set_telemetry(tel.clone());
     pf.reset(track.start_pose());
     let mut odom_pose = Pose2::IDENTITY;
-    let mut step = |pf: &mut SynPf<RangeLut>, i: usize| {
+    let mut step = |pf: &mut SynPf<Arc<MapArtifacts>>, i: usize| {
         odom_pose = odom_pose * Pose2::new(0.02, 0.0, 0.004);
         pf.predict(&Odometry::new(
             odom_pose,

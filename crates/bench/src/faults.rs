@@ -16,7 +16,6 @@ use raceloc_core::Health;
 use raceloc_faults::{FaultSchedule, MapRegion};
 use raceloc_obs::Json;
 use raceloc_pf::{HealthPolicy, RecoveryConfig, SynPf, SynPfConfig};
-use raceloc_range::RangeLut;
 use raceloc_sim::{SimLog, World};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
 
@@ -317,7 +316,7 @@ pub fn run_fault_cell(
     }
     let log = match method {
         FaultMethod::SynPf => {
-            let lut = RangeLut::new(&track.grid, 10.0, 72);
+            let artifacts = crate::track_artifacts(&track);
             let config = SynPfConfig::builder()
                 .particles(cfg.particles)
                 .threads(cfg.threads.max(1))
@@ -326,7 +325,7 @@ pub fn run_fault_cell(
                 .health(HealthPolicy::default())
                 .build()
                 .expect("fault-cell SynPF configuration is valid");
-            let mut pf = SynPf::new(lut, config);
+            let mut pf = SynPf::from_artifacts(artifacts, config);
             pf.enable_recovery(&track.grid);
             world.run_with_oracle_control(&mut pf, cfg.duration_s)
         }
@@ -335,7 +334,7 @@ pub fn run_fault_cell(
                 health: Some(SlamHealthPolicy::default()),
                 ..CartoLocalizerConfig::default()
             };
-            let mut carto = CartoLocalizer::new(&track.grid, config);
+            let mut carto = CartoLocalizer::from_artifacts(&crate::track_artifacts(&track), config);
             world.run_with_oracle_control(&mut carto, cfg.duration_s)
         }
         FaultMethod::DeadReckoning => {

@@ -20,9 +20,10 @@ use raceloc_metrics::lap::lap_times;
 use raceloc_metrics::latency;
 use raceloc_obs::Telemetry;
 use raceloc_pf::{SynPf, SynPfConfig};
-use raceloc_range::RangeLut;
+use raceloc_range::{ArtifactParams, MapArtifacts};
 use raceloc_sim::{World, WorldConfig};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig};
+use std::sync::Arc;
 
 /// The paper-scale test track used by all closed-loop experiments: a
 /// rounded-rectangle corridor circuit comparable to the paper's tennis-hall
@@ -88,27 +89,33 @@ pub enum OdomSource {
     Ackermann,
 }
 
+/// Builds the shared artifact bundle (grid + EDT + lazy LUT) for a track
+/// at the paper's range parameters (10 m, 72 θ-bins). Clone the `Arc` to
+/// share one build between several localizer instances.
+pub fn track_artifacts(track: &Track) -> Arc<MapArtifacts> {
+    Arc::new(MapArtifacts::build(&track.grid, ArtifactParams::default()))
+}
+
 /// Builds the paper-configuration SynPF (LUT range queries, boxed layout,
 /// TUM motion model) for a track, on [`env_threads`] worker threads.
-pub fn build_synpf(track: &Track, seed: u64) -> SynPf<RangeLut> {
+pub fn build_synpf(track: &Track, seed: u64) -> SynPf<Arc<MapArtifacts>> {
     build_synpf_threaded(track, seed, env_threads())
 }
 
 /// [`build_synpf`] with an explicit worker-thread count for the fused
 /// particle pipeline (results are identical for every value).
-pub fn build_synpf_threaded(track: &Track, seed: u64, threads: usize) -> SynPf<RangeLut> {
-    let lut = RangeLut::new(&track.grid, 10.0, 72);
+pub fn build_synpf_threaded(track: &Track, seed: u64, threads: usize) -> SynPf<Arc<MapArtifacts>> {
     let config = SynPfConfig::builder()
         .seed(seed)
         .threads(threads.max(1))
         .build()
         .expect("paper configuration is valid");
-    SynPf::new(lut, config)
+    SynPf::from_artifacts(track_artifacts(track), config)
 }
 
 /// Builds the Cartographer pure-localization baseline for a track.
 pub fn build_cartographer(track: &Track) -> CartoLocalizer {
-    CartoLocalizer::new(&track.grid, CartoLocalizerConfig::default())
+    CartoLocalizer::from_artifacts(&track_artifacts(track), CartoLocalizerConfig::default())
 }
 
 /// The Table I measurements of one (algorithm × odometry-quality) cell.

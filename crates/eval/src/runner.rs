@@ -18,7 +18,7 @@ use raceloc_map::Track;
 use raceloc_obs::Telemetry;
 use raceloc_par::{FnJob, WorkerPool};
 use raceloc_pf::{HealthPolicy, RecoveryConfig, SynPf, SynPfConfig};
-use raceloc_range::RangeLut;
+use raceloc_range::{ArtifactParams, ArtifactStore, MapArtifacts};
 use raceloc_sim::{SimLog, World, WorldConfig};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
 
@@ -32,8 +32,9 @@ use crate::spec::{EvalMethod, FleetSpec, RunDesc, SpecError};
 pub struct MapResources {
     /// The generated track (grid + reference lines).
     pub track: Arc<Track>,
-    /// The precomputed ray-cast table over the track's grid.
-    pub lut: Arc<RangeLut>,
+    /// The shared artifact bundle (grid + EDT + lazy range LUT) over the
+    /// track's grid, deduplicated by content key across identical maps.
+    pub artifacts: Arc<MapArtifacts>,
 }
 
 /// The read-only pool context every fleet job executes against, indexed
@@ -45,19 +46,22 @@ pub struct FleetCtx {
 }
 
 impl FleetCtx {
-    /// Builds every map of the spec and its LUT (the expensive, run-once
-    /// part of a fleet).
+    /// Builds every map of the spec and its artifact bundle (the
+    /// expensive, run-once part of a fleet). Bundles come out of one
+    /// [`ArtifactStore`], so specs listing the same map twice share a
+    /// single EDT + LUT build.
     pub fn build(spec: &FleetSpec) -> Self {
+        let store = ArtifactStore::new();
         Self {
             maps: spec
                 .maps
                 .iter()
                 .map(|m| {
                     let track = m.build_track();
-                    let lut = Arc::new(RangeLut::new(&track.grid, 10.0, 72));
+                    let artifacts = store.get_or_build(&track.grid, ArtifactParams::default());
                     MapResources {
                         track: Arc::new(track),
-                        lut,
+                        artifacts,
                     }
                 })
                 .collect(),
@@ -168,7 +172,7 @@ pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcom
             let Ok(config) = config else {
                 return RunOutcome::unresolved(desc.index);
             };
-            let mut pf = SynPf::new(Arc::clone(&res.lut), config);
+            let mut pf = SynPf::from_artifacts(Arc::clone(&res.artifacts), config);
             pf.enable_recovery(&res.track.grid);
             pf.set_telemetry(tel.clone());
             world.run_with_oracle_control(&mut pf, spec.duration_s)
@@ -178,7 +182,7 @@ pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcom
                 health: Some(SlamHealthPolicy::default()),
                 ..CartoLocalizerConfig::default()
             };
-            let mut carto = CartoLocalizer::new(&res.track.grid, config);
+            let mut carto = CartoLocalizer::from_artifacts(&res.artifacts, config);
             carto.set_telemetry(tel.clone());
             world.run_with_oracle_control(&mut carto, spec.duration_s)
         }

@@ -255,6 +255,41 @@ impl OccupancyGrid {
         )
     }
 
+    /// A stable 64-bit content fingerprint covering the grid's *geometry*
+    /// (dimensions, resolution, origin) **and** its cell contents.
+    ///
+    /// Two grids with identical cell rasters but different metric geometry
+    /// (e.g. the same maze at 0.05 m vs 0.10 m resolution) hash differently,
+    /// which is what map-artifact caches need: the derived EDT and range LUT
+    /// depend on world coordinates, not just cell bytes.
+    ///
+    /// The hash is FNV-1a over a fixed little-endian encoding, so it is
+    /// stable across platforms and process runs (unlike `std::hash`).
+    pub fn content_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.width as u64).to_le_bytes());
+        eat(&(self.height as u64).to_le_bytes());
+        eat(&self.resolution.to_bits().to_le_bytes());
+        eat(&self.origin.x.to_bits().to_le_bytes());
+        eat(&self.origin.y.to_bits().to_le_bytes());
+        for c in &self.cells {
+            let tag: u8 = match c {
+                CellState::Free => 0,
+                CellState::Occupied => 1,
+                CellState::Unknown => 2,
+            };
+            h = (h ^ tag as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// The maximum possible in-grid ray length (the diagonal), in meters.
     pub fn diagonal(&self) -> f64 {
         let (w, h) = (
@@ -522,5 +557,26 @@ mod tests {
     fn iter_covers_all_cells() {
         let g = grid();
         assert_eq!(g.iter().count(), 200);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_covers_cells() {
+        let mut a = grid();
+        let b = grid();
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        a.set(GridIndex::new(3, 3), CellState::Occupied);
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_geometry_not_just_cells() {
+        // Identical cell rasters, different resolution / origin — these
+        // describe different worlds and must not collide.
+        let base = OccupancyGrid::new(8, 8, 0.1, Point2::ORIGIN);
+        let coarse = OccupancyGrid::new(8, 8, 0.2, Point2::ORIGIN);
+        let shifted = OccupancyGrid::new(8, 8, 0.1, Point2::new(1.0, 0.0));
+        assert_eq!(base.cells(), coarse.cells());
+        assert_ne!(base.content_fingerprint(), coarse.content_fingerprint());
+        assert_ne!(base.content_fingerprint(), shifted.content_fingerprint());
     }
 }

@@ -1,0 +1,94 @@
+//! Deprecated owning-map constructors, quarantined pending removal.
+//!
+//! The shared-artifact API (`SynPf::from_artifacts` over an
+//! [`raceloc_range::ArtifactStore`]) replaced the pattern where every
+//! filter privately built its own range LUT. The shim below keeps old
+//! call sites compiling for one release; `raceloc-analyze` rule **R6**
+//! denies the token outside `compat.rs` files, so no *new* uses can land
+//! (the same gone-for-good ratchet that retired `cast_batch` under R5).
+
+use crate::filter::{SynPf, SynPfConfig};
+use raceloc_map::OccupancyGrid;
+use raceloc_range::RangeLut;
+
+impl SynPf<RangeLut> {
+    /// Builds a filter that privately owns a freshly built range LUT for
+    /// `grid` (10 m clamp, 72 heading bins — the old hard-coded literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.particles == 0`, `config.squash <= 0`, or
+    /// `config.chunk_min == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "builds one private LUT per filter; share a bundle via \
+                ArtifactStore::get_or_build + SynPf::from_artifacts instead"
+    )]
+    pub fn with_owned_map(grid: &OccupancyGrid, config: SynPfConfig) -> Self {
+        Self::new(RangeLut::new(grid, 10.0, 72), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use raceloc_core::Point2;
+    use raceloc_map::CellState;
+    use raceloc_range::{ArtifactParams, ArtifactStore, RangeMethod};
+    use std::sync::Arc;
+
+    fn small_room() -> OccupancyGrid {
+        let n = 40;
+        let mut g = OccupancyGrid::new(n, n, 0.1, Point2::ORIGIN);
+        g.fill(CellState::Free);
+        for i in 0..n as i64 {
+            g.set((i, 0).into(), CellState::Occupied);
+            g.set((i, n as i64 - 1).into(), CellState::Occupied);
+            g.set((0, i).into(), CellState::Occupied);
+            g.set((n as i64 - 1, i).into(), CellState::Occupied);
+        }
+        g
+    }
+
+    #[test]
+    fn shim_matches_the_artifact_constructor_bitwise() {
+        use raceloc_core::localizer::Localizer;
+        use raceloc_core::sensor_data::{LaserScan, Odometry};
+        use raceloc_core::{Pose2, Twist2};
+
+        let grid = small_room();
+        let config = SynPfConfig {
+            particles: 48,
+            ..SynPfConfig::default()
+        };
+        let mut old = SynPf::with_owned_map(&grid, config.clone());
+        let store = ArtifactStore::new();
+        let artifacts = store.get_or_build(&grid, ArtifactParams::default());
+        let mut new = SynPf::from_artifacts(Arc::clone(&artifacts), config);
+        assert_eq!(new.artifacts().max_range(), 10.0);
+
+        // Same map, same LUT parameters, same seed → bit-identical steps.
+        let start = Pose2::new(2.0, 2.0, 0.0);
+        old.reset(start);
+        new.reset(start);
+        let caster = artifacts.lut();
+        for step in 0..3 {
+            let stamp = step as f64 * 0.1;
+            let pose = Pose2::new(2.0 + stamp, 2.0, 0.0);
+            let odom = Odometry::new(pose, Twist2::new(1.0, 0.0, 0.0), stamp);
+            old.predict(&odom);
+            new.predict(&odom);
+            let n = 30;
+            let ranges: Vec<f64> = (0..n)
+                .map(|i| {
+                    let theta = -1.5 + 3.0 * i as f64 / (n - 1) as f64;
+                    caster.range(pose.x, pose.y, pose.theta + theta)
+                })
+                .collect();
+            let scan = LaserScan::new(-1.5, 3.0 / (n - 1) as f64, ranges, 10.0);
+            assert_eq!(old.correct(&scan), new.correct(&scan), "step {step}");
+        }
+    }
+}

@@ -16,7 +16,7 @@ use raceloc_core::{angle, Diagnostics, Health, HealthSignal, Pose2, Rng64};
 use raceloc_map::{CellState, OccupancyGrid};
 use raceloc_obs::Telemetry;
 use raceloc_par::{chunk_count, chunk_spans, PoolJob, WorkerPool, DEFAULT_CHUNK_MIN};
-use raceloc_range::RangeMethod;
+use raceloc_range::{MapArtifacts, RangeMethod};
 
 /// Which motion model drives the prediction step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +211,54 @@ pub struct SynPf<M: RangeMethod> {
     health_steps: u32,
     /// Detector mute countdown after an automatic global re-init.
     reinit_holdoff: u32,
+}
+
+impl SynPf<Arc<MapArtifacts>> {
+    /// Creates a filter over a shared [`MapArtifacts`] bundle — the
+    /// service-oriented constructor: N filters on one track share a single
+    /// grid/EDT/LUT build (see [`raceloc_range::ArtifactStore`]).
+    ///
+    /// Sensor-range queries delegate to the bundle's lazily built LUT (the
+    /// paper's constant-time CPU configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `particles == 0`, `squash <= 0`, or `chunk_min == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use raceloc_map::{TrackShape, TrackSpec};
+    /// use raceloc_pf::{SynPf, SynPfConfig};
+    /// use raceloc_range::{ArtifactParams, ArtifactStore};
+    ///
+    /// let track = TrackSpec::new(TrackShape::Oval { width: 12.0, height: 7.0 })
+    ///     .resolution(0.1)
+    ///     .build();
+    /// let store = ArtifactStore::new();
+    /// let artifacts = store.get_or_build(&track.grid, ArtifactParams::default());
+    /// let config = SynPfConfig::builder().particles(200).build().expect("valid config");
+    /// let pf = SynPf::from_artifacts(artifacts, config);
+    /// assert_eq!(pf.particles().len(), 200);
+    /// ```
+    pub fn from_artifacts(artifacts: Arc<MapArtifacts>, config: SynPfConfig) -> Self {
+        Self::new(artifacts, config)
+    }
+
+    /// The shared artifact bundle this filter queries.
+    pub fn artifacts(&self) -> &Arc<MapArtifacts> {
+        &self.shared.caster
+    }
+
+    /// Enables augmented-MCL recovery using the bundle's own grid (see
+    /// [`SynPf::enable_recovery`]).
+    pub fn enable_recovery_from_artifacts(&mut self) {
+        let grid = self.shared.caster.grid().clone();
+        if self.config.recovery.is_none() {
+            self.config.recovery = Some(RecoveryConfig::default());
+        }
+        self.recovery_map = Some(grid);
+    }
 }
 
 impl<M: RangeMethod + 'static> SynPf<M> {

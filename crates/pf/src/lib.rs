@@ -41,6 +41,7 @@
 //! assert_eq!(pf.name(), "synpf");
 //! ```
 
+mod compat;
 pub mod config;
 pub mod filter;
 pub mod health;

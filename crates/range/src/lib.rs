@@ -41,6 +41,7 @@
 //! assert!((range - 9.9).abs() < 0.2);
 //! ```
 
+pub mod artifacts;
 pub mod batch;
 pub mod bresenham;
 pub mod cddt;
@@ -48,6 +49,7 @@ pub mod lut;
 pub mod pooled;
 pub mod raymarch;
 
+pub use artifacts::{ArtifactParams, ArtifactStore, MapArtifacts};
 pub use bresenham::BresenhamCasting;
 pub use cddt::Cddt;
 pub use lut::RangeLut;

@@ -1,0 +1,249 @@
+//! JSONL recording and replay of multi-session serve streams.
+//!
+//! The engine can stream one line per executed step to any writer, in the
+//! canonical `(session, seq)` order (independent of thread count and batch
+//! chunking). Each line carries the step's *inputs* (odometry, optional
+//! scan) as well as its *outputs* (estimate, health), so any single
+//! session can be replayed in isolation: filter the stream by session id,
+//! rebuild the [`StepRequest`]s, feed them to a fresh engine with the same
+//! spec and map, and the poses must come back bit-identical.
+//!
+//! Layout of a `serve_step` line:
+//!
+//! ```json
+//! {"type":"serve_step","session":3,"seq":5,
+//!  "odom":{"pose":[x,y,th],"twist":[vx,vy,om],"t":0.25},
+//!  "scan":{"amin":-1.5,"ainc":0.02,"rmax":10.0,"t":0.25,"ranges":[...]},
+//!  "est":[x,y,th],"health":"nominal"}
+//! ```
+//!
+//! `scan` is `null` for odometry-only steps. All floats round-trip exactly
+//! through the shortest-representation writer in `raceloc-obs`.
+
+use crate::engine::{StepRequest, StepResult};
+use crate::session::SessionId;
+use raceloc_core::sensor_data::{LaserScan, Odometry};
+use raceloc_core::{Health, Pose2, Twist2};
+use raceloc_obs::{Json, JsonError};
+
+fn pose_json(p: Pose2) -> Json {
+    Json::Arr(vec![Json::num(p.x), Json::num(p.y), Json::num(p.theta)])
+}
+
+fn pose_from_json(v: &Json) -> Option<Pose2> {
+    match v.as_array()? {
+        [x, y, t] => Some(Pose2::new(x.as_f64()?, y.as_f64()?, t.as_f64()?)),
+        _ => None,
+    }
+}
+
+/// One recorded serve step: the request that was executed plus the result
+/// it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStepRecord {
+    /// Session the step belongs to.
+    pub session: SessionId,
+    /// Per-session sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// The odometry input.
+    pub odom: Odometry,
+    /// The scan input, when the step included a correction.
+    pub scan: Option<LaserScan>,
+    /// The pose estimate after the step.
+    pub est: Pose2,
+    /// The localizer's health after the step.
+    pub health: Health,
+}
+
+impl ServeStepRecord {
+    /// Builds a record from an executed request/result pair.
+    pub fn from_step(req: &StepRequest, res: &StepResult) -> Self {
+        Self {
+            session: res.session,
+            seq: res.seq,
+            odom: req.odom,
+            scan: req.scan.clone(),
+            est: res.pose,
+            health: res.health,
+        }
+    }
+
+    /// The replayable request this record was produced from.
+    pub fn request(&self) -> StepRequest {
+        StepRequest {
+            session: self.session,
+            odom: self.odom,
+            scan: self.scan.clone(),
+        }
+    }
+
+    /// Serializes to the JSONL `serve_step` document.
+    pub fn to_json(&self) -> Json {
+        let odom = Json::Obj(vec![
+            ("pose".into(), pose_json(self.odom.pose)),
+            (
+                "twist".into(),
+                Json::Arr(vec![
+                    Json::num(self.odom.twist.vx),
+                    Json::num(self.odom.twist.vy),
+                    Json::num(self.odom.twist.omega),
+                ]),
+            ),
+            ("t".into(), Json::num(self.odom.stamp)),
+        ]);
+        let scan = match &self.scan {
+            Some(s) => Json::Obj(vec![
+                ("amin".into(), Json::num(s.angle_min)),
+                ("ainc".into(), Json::num(s.angle_increment)),
+                ("rmax".into(), Json::num(s.max_range)),
+                ("t".into(), Json::num(s.stamp)),
+                (
+                    "ranges".into(),
+                    Json::Arr(s.ranges.iter().map(|&r| Json::num(r)).collect()),
+                ),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("type".into(), Json::Str("serve_step".into())),
+            ("session".into(), Json::num(self.session.0 as f64)),
+            ("seq".into(), Json::num(self.seq as f64)),
+            ("odom".into(), odom),
+            ("scan".into(), scan),
+            ("est".into(), pose_json(self.est)),
+            ("health".into(), Json::Str(self.health.as_str().into())),
+        ])
+    }
+
+    /// Extracts a record from a parsed `serve_step` document; `None` for
+    /// other document types (e.g. `serve_open` meta lines).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        if doc.get("type")?.as_str()? != "serve_step" {
+            return None;
+        }
+        let odom_doc = doc.get("odom")?;
+        let twist = match odom_doc.get("twist")?.as_array()? {
+            [vx, vy, om] => Twist2::new(vx.as_f64()?, vy.as_f64()?, om.as_f64()?),
+            _ => return None,
+        };
+        let odom = Odometry::new(
+            pose_from_json(odom_doc.get("pose")?)?,
+            twist,
+            odom_doc.get("t")?.as_f64()?,
+        );
+        let scan = match doc.get("scan")? {
+            Json::Null => None,
+            s => {
+                let ranges = s
+                    .get("ranges")?
+                    .as_array()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Option<Vec<f64>>>()?;
+                let mut scan = LaserScan::new(
+                    s.get("amin")?.as_f64()?,
+                    s.get("ainc")?.as_f64()?,
+                    ranges,
+                    s.get("rmax")?.as_f64()?,
+                );
+                scan.stamp = s.get("t")?.as_f64()?;
+                Some(scan)
+            }
+        };
+        Some(Self {
+            session: SessionId(doc.get("session")?.as_u64()?),
+            seq: doc.get("seq")?.as_u64()?,
+            odom,
+            scan,
+            est: pose_from_json(doc.get("est")?)?,
+            health: Health::from_name(doc.get("health")?.as_str()?)?,
+        })
+    }
+
+    /// Parses one JSONL line; `Ok(None)` for non-`serve_step` documents.
+    pub fn parse_line(line: &str) -> Result<Option<Self>, JsonError> {
+        let doc = Json::parse(line.trim())?;
+        Ok(Self::from_json(&doc))
+    }
+}
+
+/// Parses a full JSONL stream, returning the `serve_step` records in
+/// stream order (which is the canonical `(session, seq)` order per batch).
+pub fn parse_serve_steps(jsonl: &str) -> Result<Vec<ServeStepRecord>, JsonError> {
+    let mut out = Vec::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rec) = ServeStepRecord::parse_line(line)? {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
+/// Filters a parsed stream down to one session's records, ordered by
+/// sequence number — the replay input for a fresh single-session engine.
+pub fn session_records(records: &[ServeStepRecord], id: SessionId) -> Vec<ServeStepRecord> {
+    let mut out: Vec<ServeStepRecord> = records
+        .iter()
+        .filter(|r| r.session == id)
+        .cloned()
+        .collect();
+    out.sort_by_key(|r| r.seq);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(session: u64, seq: u64, with_scan: bool) -> ServeStepRecord {
+        let mut scan = LaserScan::new(-1.5, 0.25, vec![1.0, 2.5, 0.125, 10.0], 10.0);
+        scan.stamp = 0.7;
+        ServeStepRecord {
+            session: SessionId(session),
+            seq,
+            odom: Odometry::new(
+                Pose2::new(1.5, -2.25, 0.3),
+                Twist2::new(3.0, 0.0, 0.125),
+                0.7,
+            ),
+            scan: with_scan.then_some(scan),
+            est: Pose2::new(1.51, -2.26, 0.29),
+            health: Health::Nominal,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        for with_scan in [true, false] {
+            let rec = sample(3, 5, with_scan);
+            let line = rec.to_json().to_string();
+            let back = ServeStepRecord::parse_line(&line)
+                .expect("parses")
+                .expect("is a serve_step");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn request_rebuilds_the_input() {
+        let rec = sample(2, 0, true);
+        let req = rec.request();
+        assert_eq!(req.session, SessionId(2));
+        assert_eq!(req.odom, rec.odom);
+        assert_eq!(req.scan, rec.scan);
+    }
+
+    #[test]
+    fn stream_parsing_skips_meta_and_filters_by_session() {
+        let mut text = String::from("{\"type\":\"serve_open\",\"session\":0}\n");
+        for (s, q) in [(0, 0), (1, 0), (0, 1)] {
+            text.push_str(&sample(s, q, s == 0).to_json().to_string());
+            text.push('\n');
+        }
+        let all = parse_serve_steps(&text).expect("parses");
+        assert_eq!(all.len(), 3);
+        let only0 = session_records(&all, SessionId(0));
+        assert_eq!(only0.len(), 2);
+        assert_eq!((only0[0].seq, only0[1].seq), (0, 1));
+    }
+}

@@ -1,0 +1,51 @@
+//! Deprecated owning-map constructors, quarantined pending removal.
+//!
+//! The shared-artifact API (`CartoLocalizer::from_artifacts` over an
+//! [`raceloc_range::ArtifactStore`] bundle) replaced the raw-grid
+//! constructor. The shim below keeps old call sites compiling for one
+//! release; `raceloc-analyze` rule **R6** denies the token outside
+//! `compat.rs` files, so no *new* uses can land (the same gone-for-good
+//! ratchet that retired `cast_batch` under R5).
+
+use crate::localization::{CartoLocalizer, CartoLocalizerConfig};
+use raceloc_map::OccupancyGrid;
+
+impl CartoLocalizer {
+    /// Builds the localizer directly over an occupancy grid, bypassing the
+    /// shared artifact cache.
+    #[deprecated(
+        since = "0.6.0",
+        note = "construct via ArtifactStore::get_or_build + \
+                CartoLocalizer::from_artifacts so sessions share per-map artifacts"
+    )]
+    pub fn with_owned_map(map: &OccupancyGrid, config: CartoLocalizerConfig) -> Self {
+        Self::from_grid(map, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use raceloc_core::localizer::Localizer;
+    use raceloc_map::{TrackShape, TrackSpec};
+    use raceloc_range::{ArtifactParams, MapArtifacts};
+
+    #[test]
+    fn shim_builds_the_same_localizer_as_from_artifacts() {
+        let track = TrackSpec::new(TrackShape::Oval {
+            width: 8.0,
+            height: 5.0,
+        })
+        .resolution(0.1)
+        .build();
+        let old = CartoLocalizer::with_owned_map(&track.grid, CartoLocalizerConfig::default());
+        let artifacts = MapArtifacts::build(&track.grid, ArtifactParams::default());
+        let new = CartoLocalizer::from_artifacts(&artifacts, CartoLocalizerConfig::default());
+        assert_eq!(old.name(), new.name());
+        assert_eq!(old.config(), new.config());
+        assert_eq!(old.pose(), new.pose());
+        assert!(!artifacts.lut_built(), "Carto must not trigger a LUT build");
+    }
+}

@@ -24,16 +24,19 @@
 //!
 //! ```
 //! use raceloc_map::{TrackShape, TrackSpec};
+//! use raceloc_range::{ArtifactParams, MapArtifacts};
 //! use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig};
 //! use raceloc_core::localizer::Localizer;
 //!
 //! let track = TrackSpec::new(TrackShape::Oval { width: 10.0, height: 6.0 })
 //!     .resolution(0.1)
 //!     .build();
-//! let mut localizer = CartoLocalizer::new(&track.grid, CartoLocalizerConfig::default());
+//! let artifacts = MapArtifacts::build(&track.grid, ArtifactParams::default());
+//! let mut localizer = CartoLocalizer::from_artifacts(&artifacts, CartoLocalizerConfig::default());
 //! localizer.reset(track.start_pose());
 //! ```
 
+mod compat;
 pub mod localization;
 pub mod loop_closure;
 pub mod pose_graph;

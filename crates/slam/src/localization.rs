@@ -22,6 +22,7 @@ use raceloc_core::sensor_data::{LaserScan, Odometry};
 use raceloc_core::{Diagnostics, Health, HealthConfig, HealthMonitor, HealthSignal, Point2, Pose2};
 use raceloc_map::OccupancyGrid;
 use raceloc_obs::Telemetry;
+use raceloc_range::MapArtifacts;
 
 /// Divergence-detector policy for the Cartographer health machine
 /// (DESIGN.md §12).
@@ -116,13 +117,15 @@ impl Default for CartoLocalizerConfig {
 ///
 /// ```
 /// use raceloc_map::{TrackShape, TrackSpec};
+/// use raceloc_range::{ArtifactParams, MapArtifacts};
 /// use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig};
 /// use raceloc_core::localizer::Localizer;
 ///
 /// let track = TrackSpec::new(TrackShape::Oval { width: 10.0, height: 6.0 })
 ///     .resolution(0.1)
 ///     .build();
-/// let mut loc = CartoLocalizer::new(&track.grid, CartoLocalizerConfig::default());
+/// let artifacts = MapArtifacts::build(&track.grid, ArtifactParams::default());
+/// let mut loc = CartoLocalizer::from_artifacts(&artifacts, CartoLocalizerConfig::default());
 /// loc.reset(track.start_pose());
 /// assert_eq!(loc.name(), "cartographer");
 /// ```
@@ -145,10 +148,19 @@ pub struct CartoLocalizer {
 }
 
 impl CartoLocalizer {
+    /// Builds the localizer from a shared [`MapArtifacts`] bundle — the
+    /// service-oriented constructor. Only the bundle's occupancy grid is
+    /// consumed (converted once to the matcher's smoothed probability
+    /// field); the bundle's lazy range LUT is *not* touched, so
+    /// Cartographer-only sessions never pay a LUT build.
+    pub fn from_artifacts(artifacts: &MapArtifacts, config: CartoLocalizerConfig) -> Self {
+        Self::from_grid(artifacts.grid(), config)
+    }
+
     /// Builds the localizer over a known occupancy map. The map is
     /// converted to a smoothed probability field (Gaussian ridge on the
     /// wall surface) so gradient refinement works on thick wall bands.
-    pub fn new(map: &OccupancyGrid, config: CartoLocalizerConfig) -> Self {
+    pub(crate) fn from_grid(map: &OccupancyGrid, config: CartoLocalizerConfig) -> Self {
         Self {
             grid: ProbabilityGrid::from_occupancy_smoothed(map, 3.0 * map.resolution()),
             matcher: CorrelativeScanMatcher::new(config.linear_step, config.angular_step),
@@ -369,6 +381,12 @@ mod tests {
         .build()
     }
 
+    /// Artifact bundle for a test track. The LUT stays unbuilt: these tests
+    /// only exercise the scan matcher, which needs the grid alone.
+    fn artifacts(t: &Track) -> MapArtifacts {
+        MapArtifacts::build(&t.grid, raceloc_range::ArtifactParams::default())
+    }
+
     fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
         let caster = RayMarching::new(&track.grid, 10.0);
         let beams = 140;
@@ -390,7 +408,8 @@ mod tests {
     #[test]
     fn corrects_small_offsets() {
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         let truth = t.start_pose();
         // Start with a ~13 cm, 1.7° error.
         let initial = Pose2::new(truth.x + 0.1, truth.y - 0.08, truth.theta + 0.03);
@@ -414,7 +433,8 @@ mod tests {
     #[test]
     fn tracks_motion_with_odometry() {
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         let path = &t.centerline;
         let start = Pose2::from_point(path.point_at(0.0), path.heading_at(0.0));
         loc.reset(start);
@@ -437,7 +457,8 @@ mod tests {
         // The single-hypothesis failure mode the paper quantifies: with the
         // prior far outside the window, one correction cannot recover.
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         let truth = t.start_pose();
         let far = Pose2::new(truth.x - 1.2, truth.y + 0.9, truth.theta + 0.4);
         loc.reset(far);
@@ -456,7 +477,7 @@ mod tests {
             min_score: 0.99, // unreachable
             ..CartoLocalizerConfig::default()
         };
-        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let mut loc = CartoLocalizer::from_artifacts(&artifacts(&t), cfg);
         let truth = t.start_pose();
         let offset = Pose2::new(truth.x + 0.1, truth.y, truth.theta);
         loc.reset(offset);
@@ -467,7 +488,8 @@ mod tests {
     #[test]
     fn empty_scan_keeps_pose() {
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         loc.reset(Pose2::new(1.0, 2.0, 0.0));
         let est = loc.correct(&LaserScan::new(0.0, 0.1, vec![], 10.0));
         assert_eq!(est, Pose2::new(1.0, 2.0, 0.0));
@@ -476,7 +498,8 @@ mod tests {
     #[test]
     fn diagnostics_and_telemetry_record_match() {
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         let tel = Telemetry::enabled();
         loc.set_telemetry(tel.clone());
         let truth = t.start_pose();
@@ -505,7 +528,7 @@ mod tests {
             }),
             ..CartoLocalizerConfig::default()
         };
-        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let mut loc = CartoLocalizer::from_artifacts(&artifacts(&t), cfg);
         let truth = t.start_pose();
         loc.reset(truth);
         let good = scan_from(&t, truth, loc.config().lidar_mount);
@@ -534,7 +557,7 @@ mod tests {
             health: Some(SlamHealthPolicy::default()),
             ..CartoLocalizerConfig::default()
         };
-        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let mut loc = CartoLocalizer::from_artifacts(&artifacts(&t), cfg);
         let truth = t.start_pose();
         loc.reset(truth);
         // All beams dropped: `to_points` yields nothing, the tracker coasts.
@@ -559,7 +582,7 @@ mod tests {
             health: Some(SlamHealthPolicy::default()),
             ..CartoLocalizerConfig::default()
         };
-        let mut loc = CartoLocalizer::new(&t.grid, cfg);
+        let mut loc = CartoLocalizer::from_artifacts(&artifacts(&t), cfg);
         let truth = t.start_pose();
         loc.reset(truth);
         let mut scan = scan_from(&t, truth, loc.config().lidar_mount);
@@ -570,7 +593,8 @@ mod tests {
         assert_eq!(loc.correct(&scan), truth);
         assert_eq!(loc.last_score(), score_before, "no match happened");
         // Without a health policy the same scan is accepted.
-        let mut plain = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut plain =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         plain.reset(truth);
         plain.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 0.0));
         plain.predict(&Odometry::new(Pose2::IDENTITY, Twist2::ZERO, 1.0));
@@ -581,7 +605,8 @@ mod tests {
     #[test]
     fn reset_clears_odometry_reference() {
         let t = track();
-        let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+        let mut loc =
+            CartoLocalizer::from_artifacts(&artifacts(&t), CartoLocalizerConfig::default());
         loc.predict(&Odometry::new(Pose2::new(3.0, 0.0, 0.0), Twist2::ZERO, 0.0));
         loc.reset(Pose2::IDENTITY);
         loc.predict(&Odometry::new(Pose2::new(9.0, 0.0, 0.0), Twist2::ZERO, 0.1));

@@ -5,8 +5,9 @@
 
 use raceloc::map::{TrackShape, TrackSpec};
 use raceloc::pf::{SynPf, SynPfConfig};
-use raceloc::range::RangeLut;
+use raceloc::range::{ArtifactParams, MapArtifacts};
 use raceloc::sim::{World, WorldConfig};
+use std::sync::Arc;
 
 fn main() {
     // 1. A race track: corridor walls rasterized into an occupancy grid,
@@ -27,9 +28,9 @@ fn main() {
 
     // 2. SynPF in the paper's configuration: constant-time LUT range
     //    queries, boxed 60-beam layout, TUM high-speed motion model.
-    println!("precomputing the range lookup table…");
-    let lut = RangeLut::new(&track.grid, 10.0, 72);
-    let mut pf = SynPf::new(lut, SynPfConfig::default());
+    println!("building the shared map artifacts (EDT + range LUT)…");
+    let artifacts = Arc::new(MapArtifacts::build(&track.grid, ArtifactParams::default()));
+    let mut pf = SynPf::from_artifacts(artifacts, SynPfConfig::default());
 
     // 3. The closed loop: vehicle dynamics + sensors + pure-pursuit racing
     //    controller, all fed by the filter's pose estimate.

@@ -16,7 +16,7 @@ use raceloc::core::RunningStats;
 use raceloc::map::{Track, TrackShape, TrackSpec};
 use raceloc::obs::{parse_steps, RunRecorder};
 use raceloc::pf::{SynPf, SynPfConfig};
-use raceloc::range::RangeLut;
+use raceloc::range::{ArtifactParams, MapArtifacts};
 use raceloc::sim::{World, WorldConfig};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
 use std::path::PathBuf;
@@ -94,9 +94,9 @@ fn race<L: Localizer>(
 }
 
 fn main() {
-    println!("building track and range structures…");
+    println!("building track and shared map artifacts…");
     let t = track();
-    let lut = RangeLut::new(&t.grid, 10.0, 72);
+    let artifacts = std::sync::Arc::new(MapArtifacts::build(&t.grid, ArtifactParams::default()));
     let out_dir = std::env::temp_dir().join("raceloc_runs");
     std::fs::create_dir_all(&out_dir).expect("create run-log directory");
 
@@ -110,7 +110,7 @@ fn main() {
     for (label, mu) in [("grippy", 1.0), ("taped", 19.0 / 26.0)] {
         // Cartographer runs on the stock Ackermann (VESC) odometry.
         let r = race(
-            CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default()),
+            CartoLocalizer::from_artifacts(&artifacts, CartoLocalizerConfig::default()),
             mu,
             false,
             label,
@@ -128,7 +128,7 @@ fn main() {
         paths.push(r.log_path);
         // SynPF runs on IMU-fused odometry (the TUM PF input convention).
         let r = race(
-            SynPf::new(lut.clone(), SynPfConfig::default()),
+            SynPf::from_artifacts(std::sync::Arc::clone(&artifacts), SynPfConfig::default()),
             mu,
             true,
             label,

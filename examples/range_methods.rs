@@ -4,7 +4,9 @@
 //! Run with `cargo run --release --example range_methods`.
 
 use raceloc::map::{TrackShape, TrackSpec};
-use raceloc::range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+use raceloc::range::{
+    ArtifactParams, BresenhamCasting, Cddt, MapArtifacts, RangeMethod, RayMarching,
+};
 use std::time::Instant;
 
 fn main() {
@@ -27,7 +29,10 @@ fn main() {
     let bres = BresenhamCasting::new(&track.grid, 10.0);
     let rm = RayMarching::new(&track.grid, 10.0);
     let cddt = Cddt::new(&track.grid, 10.0, 180);
-    let lut = RangeLut::new(&track.grid, 10.0, 72);
+    // The LUT row goes through the shared artifact bundle (the form every
+    // localizer constructor now takes); its RangeMethod impl delegates to
+    // the lazily-built table.
+    let artifacts = MapArtifacts::build(&track.grid, ArtifactParams::default());
 
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>12}",
@@ -37,7 +42,7 @@ fn main() {
         ("bresenham", &bres),
         ("ray-marching", &rm),
         ("cddt", &cddt),
-        ("lut", &lut),
+        ("lut", &artifacts),
     ];
     for (name, m) in methods {
         let ahead = m.range(pose.x, pose.y, pose.theta);
@@ -58,7 +63,7 @@ fn main() {
         ("bresenham", &bres as &dyn RangeMethod),
         ("ray-marching", &rm),
         ("cddt", &cddt),
-        ("lut", &lut),
+        ("lut", &artifacts),
     ] {
         let mut out = vec![0.0; sweep.len()];
         let t0 = Instant::now();

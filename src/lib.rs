@@ -24,6 +24,7 @@
 //! | [`slam`] | `raceloc-slam` | Cartographer-style SLAM + pure localization baseline |
 //! | [`metrics`] | `raceloc-metrics` | lap times, lateral error, scan alignment, latency, ATE/RPE |
 //! | [`obs`] | `raceloc-obs` | telemetry spans/counters/histograms, JSONL run recording |
+//! | [`serve`] | `raceloc-serve` | multi-session localization service over shared map artifacts (DESIGN.md §13) |
 //!
 //! # Quickstart
 //!
@@ -53,5 +54,6 @@ pub use raceloc_obs as obs;
 pub use raceloc_par as par;
 pub use raceloc_pf as pf;
 pub use raceloc_range as range;
+pub use raceloc_serve as serve;
 pub use raceloc_sim as sim;
 pub use raceloc_slam as slam;

@@ -4,7 +4,7 @@
 
 use raceloc::map::{Track, TrackShape, TrackSpec};
 use raceloc::pf::{SynPf, SynPfConfig};
-use raceloc::range::RayMarching;
+use raceloc::range::{ArtifactParams, MapArtifacts, RayMarching};
 use raceloc::sim::{World, WorldConfig};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
 
@@ -55,7 +55,10 @@ fn synpf_tracks_the_car_through_corners() {
 fn cartographer_tracks_the_car_through_corners() {
     let track = small_track();
     let mut world = small_world(1.0);
-    let mut loc = CartoLocalizer::new(&track.grid, CartoLocalizerConfig::default());
+    let mut loc = CartoLocalizer::from_artifacts(
+        &MapArtifacts::build(&track.grid, ArtifactParams::default()),
+        CartoLocalizerConfig::default(),
+    );
     let log = world.run(&mut loc, 8.0);
     assert!(!log.crashed, "crashed with Cartographer localization");
     let late: Vec<_> = log.samples.iter().filter(|s| s.stamp > 2.0).collect();

@@ -7,8 +7,16 @@ use raceloc::core::sensor_data::{LaserScan, Odometry};
 use raceloc::core::{Pose2, Rng64, Twist2};
 use raceloc::map::{Track, TrackShape, TrackSpec};
 use raceloc::pf::{SynPf, SynPfConfig};
-use raceloc::range::{RangeMethod, RayMarching};
+use raceloc::range::{ArtifactParams, MapArtifacts, RangeMethod, RayMarching};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
+
+/// Builds the Cartographer baseline over a fresh artifact bundle.
+fn carto(t: &Track) -> CartoLocalizer {
+    CartoLocalizer::from_artifacts(
+        &MapArtifacts::build(&t.grid, ArtifactParams::default()),
+        CartoLocalizerConfig::default(),
+    )
+}
 
 fn pf_with(t: &Track, particles: usize) -> SynPf<RayMarching> {
     let config = SynPfConfig::builder()
@@ -117,7 +125,7 @@ fn synpf_all_beams_dropped_keeps_estimate_finite() {
 #[test]
 fn cartographer_survives_dropout_storm() {
     let t = track();
-    let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+    let mut loc = carto(&t);
     let pose = t.start_pose();
     loc.reset(pose);
     let mut rng = Rng64::new(7);
@@ -138,7 +146,7 @@ fn odometry_blackout_degrades_gracefully() {
 
     let mut pf = pf_with(&t, 300);
     pf.reset(pose);
-    let mut carto = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+    let mut carto = carto(&t);
     carto.reset(pose);
     for _ in 0..15 {
         let scan = degraded_scan(&t, pose, Pose2::new(0.1, 0.0, 0.0), 0.0, 0.02, &mut rng);

@@ -21,7 +21,7 @@ use raceloc_core::{Point2, Pose2, Twist2};
 use raceloc_map::transform::{rotated90, rotated90_pose, translated, translated_pose};
 use raceloc_map::{CellState, GridIndex, OccupancyGrid};
 use raceloc_pf::{SynPf, SynPfConfig};
-use raceloc_range::{BresenhamCasting, RangeMethod};
+use raceloc_range::{ArtifactParams, BresenhamCasting, MapArtifacts, RangeMethod};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig};
 
 const MAX_RANGE: f64 = 12.0;
@@ -144,7 +144,10 @@ fn carto(grid: &OccupancyGrid) -> CartoLocalizer {
         lidar_mount: Pose2::IDENTITY,
         ..Default::default()
     };
-    CartoLocalizer::new(grid, config)
+    CartoLocalizer::from_artifacts(
+        &MapArtifacts::build(grid, ArtifactParams::default()),
+        config,
+    )
 }
 
 #[test]

@@ -7,7 +7,7 @@ use raceloc::core::localizer::Localizer;
 use raceloc::map::{Track, TrackShape, TrackSpec};
 use raceloc::obs::{parse_steps, Json, RunRecorder, SharedBuffer, Telemetry};
 use raceloc::pf::{SynPf, SynPfConfig};
-use raceloc::range::RayMarching;
+use raceloc::range::{ArtifactParams, MapArtifacts, RayMarching};
 use raceloc::sim::{World, WorldConfig};
 use raceloc::slam::{CartoLocalizer, CartoLocalizerConfig};
 
@@ -97,7 +97,10 @@ fn synpf_closed_loop_populates_diagnostics_every_step() {
 fn cartographer_closed_loop_reports_match_scores() {
     let t = track();
     let mut w = world(&t);
-    let mut loc = CartoLocalizer::new(&t.grid, CartoLocalizerConfig::default());
+    let mut loc = CartoLocalizer::from_artifacts(
+        &MapArtifacts::build(&t.grid, ArtifactParams::default()),
+        CartoLocalizerConfig::default(),
+    );
     let tel = Telemetry::enabled();
     loc.set_telemetry(tel.clone());
 
