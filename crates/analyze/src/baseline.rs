@@ -1,14 +1,23 @@
 //! The ratcheted baseline: a checked-in allowlist of pre-existing
 //! violations that lets the pass land green and then be tightened to zero.
 //!
-//! `analyze-baseline.json` stores per-`(file, rule)` *counts*, not line
-//! numbers, so unrelated edits that shift lines do not invalidate it. The
-//! ratchet semantics:
+//! `analyze-baseline.json` (version 2) has two sections:
 //!
-//! - more violations in a `(file, rule)` group than its baselined count →
-//!   **new violations**, the run fails under `--check`;
-//! - fewer → the baseline is **stale**; `--update-baseline` rewrites it
-//!   with the lower count so the improvement is locked in;
+//! - `entries`: per-`(file, rule)` *counts* of grandfathered **deny**
+//!   violations. Counts, not line numbers, so unrelated edits that shift
+//!   lines do not invalidate the baseline.
+//! - `ratchets`: per-rule workspace-wide counts for **ratchet**-severity
+//!   rules (R9 steady-state allocations) plus the pseudo-rule `allow`
+//!   (the total number of `analyze:allow` suppression directives in the
+//!   tree). These audit quantities may shrink but never silently grow.
+//!
+//! The ratchet semantics, for both sections:
+//!
+//! - more findings than the baselined count → **regression**, the run
+//!   fails under `--check`;
+//! - fewer → the baseline is **stale**; under `--check` this *also*
+//!   fails, so improvements must be locked in with `--update-baseline`
+//!   (a stale allowance left behind would let the next regression hide);
 //! - a baselined count can never grow back without a human editing the
 //!   checked-in file in review.
 
@@ -17,10 +26,24 @@ use std::collections::BTreeMap;
 
 use crate::rules::{Severity, Violation};
 
-/// Allowed violation counts, keyed by `(file, rule)`.
+/// Allowed violation counts, keyed by `(file, rule)`, plus per-rule
+/// ratchet counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     entries: BTreeMap<(String, String), usize>,
+    ratchets: BTreeMap<String, usize>,
+}
+
+/// One ratchet comparison: the baselined allowance vs. what the scan
+/// found, for a given rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// The ratcheted rule (`R9`, or the pseudo-rule `allow`).
+    pub rule: String,
+    /// The baselined count.
+    pub allowed: usize,
+    /// What this scan found.
+    pub found: usize,
 }
 
 /// The comparison of a scan against a [`Baseline`].
@@ -31,27 +54,65 @@ pub struct Verdict {
     /// Deny violations covered by the baseline (grandfathered).
     pub baselined: Vec<Violation>,
     /// `(file, rule, allowed, found)` groups where the code now does
-    /// better than the baseline — candidates for `--update-baseline`.
+    /// better than the baseline. Fails under `--check` until blessed with
+    /// `--update-baseline`.
     pub stale: Vec<(String, String, usize, usize)>,
+    /// Ratchet rules whose count grew past the baseline (regressions).
+    pub ratchet_regressions: Vec<RatchetDelta>,
+    /// Ratchet rules whose count shrank below the baseline (bless with
+    /// `--update-baseline`).
+    pub ratchet_stale: Vec<RatchetDelta>,
+}
+
+impl Verdict {
+    /// Whether the scan passes `--check`.
+    pub fn passes_check(&self) -> bool {
+        self.new_violations.is_empty()
+            && self.stale.is_empty()
+            && self.ratchet_regressions.is_empty()
+            && self.ratchet_stale.is_empty()
+    }
+}
+
+/// Per-rule counts of ratchet-severity findings, with the suppression
+/// directive count folded in as the pseudo-rule `allow`.
+fn ratchet_counts(violations: &[Violation], suppressions: usize) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for v in violations {
+        if v.severity == Severity::Ratchet {
+            *counts.entry(v.rule.to_string()).or_insert(0) += 1;
+        }
+    }
+    if suppressions > 0 {
+        counts.insert("allow".to_string(), suppressions);
+    }
+    counts
 }
 
 impl Baseline {
-    /// An empty baseline: every deny violation is new.
+    /// An empty baseline: every deny violation is new, every nonzero
+    /// ratchet count is a regression.
     pub fn empty() -> Self {
         Self::default()
     }
 
-    /// Number of `(file, rule)` entries.
+    /// Number of `(file, rule)` deny entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the baseline allows nothing.
+    /// Whether the baseline allows nothing (ratchets included).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.ratchets.iter().all(|(_, c)| *c == 0)
     }
 
-    /// Parses the JSON document produced by [`Baseline::to_json`].
+    /// The baselined allowance for a ratchet rule.
+    pub fn ratchet(&self, rule: &str) -> usize {
+        self.ratchets.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Parses the JSON document produced by [`Baseline::to_json`]
+    /// (version 2) or by older analyzers (version 1, no `ratchets`).
     ///
     /// # Errors
     ///
@@ -79,12 +140,28 @@ impl Baseline {
                 .ok_or("baseline entry missing `count`")?;
             entries.insert((file.to_string(), rule.to_string()), count as usize);
         }
-        Ok(Self { entries })
+        let mut ratchets = BTreeMap::new();
+        if let Some(list) = doc.get("ratchets").and_then(|r| r.as_array()) {
+            for item in list {
+                let rule = item
+                    .get("rule")
+                    .and_then(|v| v.as_str())
+                    .ok_or("ratchet entry missing `rule`")?;
+                let count = item
+                    .get("count")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("ratchet entry missing `count`")?;
+                ratchets.insert(rule.to_string(), count as usize);
+            }
+        }
+        Ok(Self { entries, ratchets })
     }
 
-    /// Builds the baseline that exactly covers the given violations
-    /// (advisory findings are never baselined).
-    pub fn covering(violations: &[Violation]) -> Self {
+    /// Builds the baseline that exactly covers the given scan: deny
+    /// findings per `(file, rule)`, ratchet findings per rule, and the
+    /// suppression-directive count (advisory findings are never
+    /// baselined).
+    pub fn covering(violations: &[Violation], suppressions: usize) -> Self {
         let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
         for v in violations {
             if v.severity == Severity::Deny {
@@ -93,7 +170,10 @@ impl Baseline {
                     .or_insert(0) += 1;
             }
         }
-        Self { entries }
+        Self {
+            entries,
+            ratchets: ratchet_counts(violations, suppressions),
+        }
     }
 
     /// Serializes to the checked-in JSON document (stable order, so diffs
@@ -110,17 +190,30 @@ impl Baseline {
                 ])
             })
             .collect();
+        let ratchets: Vec<Json> = self
+            .ratchets
+            .iter()
+            .filter(|(_, count)| **count > 0)
+            .map(|(rule, count)| {
+                Json::Obj(vec![
+                    ("rule".to_string(), Json::Str(rule.clone())),
+                    ("count".to_string(), Json::num(*count as f64)),
+                ])
+            })
+            .collect();
         let doc = Json::Obj(vec![
-            ("version".to_string(), Json::num(1.0)),
+            ("version".to_string(), Json::num(2.0)),
             ("entries".to_string(), Json::Arr(entries)),
+            ("ratchets".to_string(), Json::Arr(ratchets)),
         ]);
         format!("{doc}\n")
     }
 
-    /// Splits a scan's violations into new / baselined / stale per the
-    /// ratchet semantics. Advisory findings are passed through untouched
-    /// (they are neither new nor baselined).
-    pub fn compare(&self, violations: &[Violation]) -> Verdict {
+    /// Splits a scan's findings into new / baselined / stale per the
+    /// ratchet semantics, and diffs the ratchet counts. Advisory findings
+    /// are passed through untouched (neither new nor baselined);
+    /// `suppressions` is the tree-wide `analyze:allow` directive count.
+    pub fn compare(&self, violations: &[Violation], suppressions: usize) -> Verdict {
         let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
         for v in violations {
             if v.severity == Severity::Deny {
@@ -161,6 +254,24 @@ impl Baseline {
                     .push((key.0.clone(), key.1.clone(), allowed, 0));
             }
         }
+        // Ratchets: union of baselined and found rules.
+        let found = ratchet_counts(violations, suppressions);
+        let rules: std::collections::BTreeSet<&String> =
+            self.ratchets.keys().chain(found.keys()).collect();
+        for rule in rules {
+            let allowed = self.ratchets.get(rule).copied().unwrap_or(0);
+            let got = found.get(rule).copied().unwrap_or(0);
+            let delta = RatchetDelta {
+                rule: rule.clone(),
+                allowed,
+                found: got,
+            };
+            if got > allowed {
+                verdict.ratchet_regressions.push(delta);
+            } else if got < allowed {
+                verdict.ratchet_stale.push(delta);
+            }
+        }
         verdict
     }
 }
@@ -179,42 +290,109 @@ mod tests {
         }
     }
 
+    fn ratchet(file: &str, rule: &'static str, line: usize) -> Violation {
+        Violation {
+            severity: Severity::Ratchet,
+            ..viol(file, rule, line)
+        }
+    }
+
     #[test]
     fn roundtrips_through_json() {
-        let b = Baseline::covering(&[viol("a.rs", "R1", 3), viol("a.rs", "R1", 9)]);
+        let b = Baseline::covering(
+            &[
+                viol("a.rs", "R1", 3),
+                viol("a.rs", "R1", 9),
+                ratchet("k.rs", "R9", 4),
+            ],
+            2,
+        );
         let text = b.to_json();
         let back = Baseline::from_json(&text).expect("parses");
         assert_eq!(b, back);
         assert_eq!(back.len(), 1);
+        assert_eq!(back.ratchet("R9"), 1);
+        assert_eq!(back.ratchet("allow"), 2);
+    }
+
+    #[test]
+    fn parses_version_1_documents_without_ratchets() {
+        let v1 = "{\"version\": 1, \"entries\": []}";
+        let b = Baseline::from_json(v1).expect("v1 parses");
+        assert!(b.is_empty());
+        assert_eq!(b.ratchet("R9"), 0);
     }
 
     #[test]
     fn empty_baseline_makes_everything_new() {
         let vs = vec![viol("a.rs", "R1", 1)];
-        let verdict = Baseline::empty().compare(&vs);
+        let verdict = Baseline::empty().compare(&vs, 0);
         assert_eq!(verdict.new_violations.len(), 1);
         assert!(verdict.baselined.is_empty());
         assert!(verdict.stale.is_empty());
+        assert!(!verdict.passes_check());
     }
 
     #[test]
     fn covered_counts_are_grandfathered_and_excess_fails() {
-        let b = Baseline::covering(&[viol("a.rs", "R1", 1)]);
+        let b = Baseline::covering(&[viol("a.rs", "R1", 1)], 0);
         let vs = vec![viol("a.rs", "R1", 1), viol("a.rs", "R1", 2)];
-        let verdict = b.compare(&vs);
+        let verdict = b.compare(&vs, 0);
         assert_eq!(verdict.baselined.len(), 1);
         assert_eq!(verdict.new_violations.len(), 1);
     }
 
     #[test]
-    fn improvement_is_reported_stale() {
-        let b = Baseline::covering(&[viol("a.rs", "R1", 1), viol("a.rs", "R1", 2)]);
-        let verdict = b.compare(&[viol("a.rs", "R1", 1)]);
+    fn improvement_is_reported_stale_and_fails_check_until_blessed() {
+        let b = Baseline::covering(&[viol("a.rs", "R1", 1), viol("a.rs", "R1", 2)], 0);
+        let verdict = b.compare(&[viol("a.rs", "R1", 1)], 0);
         assert!(verdict.new_violations.is_empty());
         assert_eq!(verdict.stale, vec![("a.rs".into(), "R1".into(), 2, 1)]);
+        assert!(!verdict.passes_check(), "stale entries fail --check");
         // Fully fixed file still reports its stale entry.
-        let verdict = b.compare(&[]);
+        let verdict = b.compare(&[], 0);
         assert_eq!(verdict.stale, vec![("a.rs".into(), "R1".into(), 2, 0)]);
+        // Blessing with --update-baseline (covering) passes again.
+        let blessed = Baseline::covering(&[viol("a.rs", "R1", 1)], 0);
+        assert!(blessed.compare(&[viol("a.rs", "R1", 1)], 0).passes_check());
+    }
+
+    #[test]
+    fn ratchet_counts_may_shrink_but_not_grow() {
+        let b = Baseline::covering(&[ratchet("k.rs", "R9", 1), ratchet("h.rs", "R9", 2)], 3);
+        // Same counts: clean.
+        let same = b.compare(&[ratchet("k.rs", "R9", 1), ratchet("x.rs", "R9", 9)], 3);
+        assert!(same.passes_check(), "{same:?}");
+        // Growth: regression.
+        let grown = b.compare(
+            &[
+                ratchet("k.rs", "R9", 1),
+                ratchet("h.rs", "R9", 2),
+                ratchet("h.rs", "R9", 3),
+            ],
+            3,
+        );
+        assert_eq!(grown.ratchet_regressions.len(), 1);
+        assert_eq!(grown.ratchet_regressions[0].rule, "R9");
+        assert!(!grown.passes_check());
+        // Suppression growth is a regression too.
+        let more_allows = b.compare(&[ratchet("k.rs", "R9", 1), ratchet("h.rs", "R9", 2)], 4);
+        assert_eq!(more_allows.ratchet_regressions[0].rule, "allow");
+        // Shrinkage: stale until blessed.
+        let shrunk = b.compare(&[ratchet("k.rs", "R9", 1)], 3);
+        assert_eq!(shrunk.ratchet_stale.len(), 1);
+        assert!(!shrunk.passes_check());
+    }
+
+    #[test]
+    fn ratchet_findings_never_enter_deny_entries() {
+        let b = Baseline::covering(&[ratchet("k.rs", "R9", 1)], 0);
+        assert_eq!(b.len(), 0, "no (file, rule) entry for ratchet findings");
+        assert_eq!(b.ratchet("R9"), 1);
+        // And ratchet findings are never new_violations.
+        let verdict = Baseline::empty().compare(&[ratchet("k.rs", "R9", 1)], 0);
+        assert!(verdict.new_violations.is_empty());
+        assert_eq!(verdict.ratchet_regressions.len(), 1);
     }
 
     #[test]
@@ -223,8 +401,8 @@ mod tests {
             severity: Severity::Advisory,
             ..viol("a.rs", "R1-idx", 5)
         };
-        assert!(Baseline::covering(std::slice::from_ref(&adv)).is_empty());
-        let verdict = Baseline::empty().compare(&[adv]);
+        assert!(Baseline::covering(std::slice::from_ref(&adv), 0).is_empty());
+        let verdict = Baseline::empty().compare(&[adv], 0);
         assert!(verdict.new_violations.is_empty());
         assert!(verdict.baselined.is_empty());
     }
@@ -234,5 +412,8 @@ mod tests {
         assert!(Baseline::from_json("not json").is_err());
         assert!(Baseline::from_json("{\"version\": 1}").is_err());
         assert!(Baseline::from_json("{\"entries\": [{\"file\": \"a\"}]}").is_err());
+        assert!(
+            Baseline::from_json("{\"entries\": [], \"ratchets\": [{\"rule\": \"R9\"}]}").is_err()
+        );
     }
 }

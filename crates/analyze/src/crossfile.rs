@@ -1,0 +1,655 @@
+//! The cross-file rules: R7 (stream-key registry), R8 (telemetry
+//! catalog), R9 (steady-state allocations), and the suppression pass.
+//!
+//! Everything here is a cheap join over per-file [`FileFacts`] — the
+//! expensive lexing is cached by content hash ([`crate::cache`]), so these
+//! passes re-run on every scan.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use raceloc_obs::Json;
+
+use crate::facts::{AllowFact, FileFacts, RegistryFact};
+use crate::rules::{Severity, Violation};
+
+/// The canonical home of the stream-key registry, exempt from R7 call-site
+/// checks (its doc examples and the `Rng64` implementation itself may
+/// spell raw keys).
+pub const REGISTRY_FILE: &str = "crates/core/src/stream_keys.rs";
+
+/// Files whose `Rng64::stream` call sites R7 does not police.
+const R7_EXEMPT: [&str; 2] = [REGISTRY_FILE, "crates/core/src/rng.rs"];
+
+/// Path prefixes R8 does not police: the telemetry implementation itself
+/// and the analyzer (whose rule tables spell metric names as data).
+const R8_EXEMPT_PREFIXES: [&str; 2] = ["crates/obs/", "crates/analyze/"];
+
+/// The checked-in telemetry catalog's workspace-relative path.
+pub const CATALOG_FILE: &str = "telemetry-catalog.json";
+
+/// Callee names never followed by the R9 one-level closure: ubiquitous
+/// std / math names whose workspace-wide name-match would pull in
+/// unrelated functions.
+const CLOSURE_STOPLIST: [&str; 30] = [
+    "new",
+    "default",
+    "from",
+    "clone",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "enumerate",
+    "map",
+    "filter",
+    "collect",
+    "clear",
+    "resize",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "to_vec",
+    "to_string",
+    "with_capacity",
+    "as_ref",
+    "as_slice",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+];
+
+/// The parsed `telemetry-catalog.json`: the declared name domains and the
+/// registered metric names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// First-segment prefixes the workspace owns (`pf`, `sim`, …): any
+    /// dotted literal starting with one must be a registered name.
+    pub domains: Vec<String>,
+    /// Registered metric names → kind (`counter`, `span`, `histogram`).
+    pub names: BTreeMap<String, String>,
+}
+
+impl Catalog {
+    /// Parses the checked-in catalog document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on JSON or schema mismatch.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let domains = doc
+            .get("domains")
+            .and_then(Json::as_array)
+            .ok_or("catalog must have a `domains` array")?
+            .iter()
+            .filter_map(|d| d.as_str().map(str::to_string))
+            .collect();
+        let mut names = BTreeMap::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("catalog must have an `entries` array")?
+        {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("catalog entry missing `name`")?;
+            let kind = e
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("catalog entry missing `kind`")?;
+            if names.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("catalog entry `{name}` is duplicated"));
+            }
+        }
+        Ok(Self { domains, names })
+    }
+}
+
+fn deny(file: &str, line: usize, rule: &'static str, message: String) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        severity: Severity::Deny,
+    }
+}
+
+/// R7 (registry side): every region must be a valid interval, names must
+/// be unique, and no two namespaces in the same seed domain may overlap.
+/// `file` is where the entries live (diagnostics point there).
+pub fn registry_violations(file: &str, entries: &[RegistryFact]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        if e.lo > e.hi {
+            out.push(deny(
+                file,
+                e.line,
+                "R7",
+                format!(
+                    "namespace `{}` has an empty region (lo {:#x} > hi {:#x})",
+                    e.name, e.lo, e.hi
+                ),
+            ));
+        }
+        for prev in &entries[..i] {
+            if prev.name == e.name {
+                out.push(deny(
+                    file,
+                    e.line,
+                    "R7",
+                    format!("namespace `{}` is registered twice", e.name),
+                ));
+            }
+            if prev.domain == e.domain && prev.lo <= e.hi && e.lo <= prev.hi {
+                out.push(deny(
+                    file,
+                    e.line,
+                    "R7",
+                    format!(
+                        "namespace `{}` [{:#x}, {:#x}] overlaps `{}` [{:#x}, {:#x}] in seed \
+                         domain `{}`; overlapping streams under a shared seed correlate",
+                        e.name, e.lo, e.hi, prev.name, prev.lo, prev.hi, e.domain
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// R7 (call-site side): every non-test `Rng64::stream(seed, key)` call
+/// outside the exempt files must build `key` through a registered
+/// `stream_keys::` constructor.
+pub fn stream_key_violations(
+    files: &[(String, FileFacts)],
+    registry: &[RegistryFact],
+) -> Vec<Violation> {
+    let names: BTreeSet<&str> = registry.iter().map(|r| r.name.as_str()).collect();
+    let mut out = Vec::new();
+    for (path, facts) in files {
+        if R7_EXEMPT.contains(&path.as_str()) {
+            continue;
+        }
+        for site in &facts.stream_sites {
+            if site.in_test {
+                continue;
+            }
+            if site.key_names.is_empty() {
+                out.push(deny(
+                    path,
+                    site.line,
+                    "R7",
+                    format!(
+                        "`Rng64::stream` key `{}` is not built through the stream-key \
+                         registry; use a `raceloc_core::stream_keys::*` constructor \
+                         (register a namespace if none fits)",
+                        site.key_text
+                    ),
+                ));
+            } else {
+                for name in &site.key_names {
+                    if !names.contains(name.as_str()) {
+                        out.push(deny(
+                            path,
+                            site.line,
+                            "R7",
+                            format!(
+                                "`stream_keys::{name}` is not a registered namespace \
+                                 (registry: {REGISTRY_FILE})"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether a string literal is shaped like a dotted metric name
+/// (`seg.seg[.seg…]`, lowercase snake segments).
+fn is_metric_shaped(s: &str) -> bool {
+    let mut segs = s.split('.');
+    let Some(first) = segs.next() else {
+        return false;
+    };
+    let seg_ok = |seg: &str, digits_ok: bool| {
+        !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || (digits_ok && c.is_ascii_digit()))
+            && seg.starts_with(|c: char| c.is_ascii_lowercase())
+    };
+    let mut rest = 0usize;
+    for seg in segs {
+        if !seg_ok(seg, true) {
+            return false;
+        }
+        rest += 1;
+    }
+    rest >= 1 && seg_ok(first, false)
+}
+
+/// R8: telemetry names at call sites must be cataloged; dotted literals
+/// under a declared domain must be cataloged; catalog entries must still
+/// be alive in the tree.
+pub fn telemetry_violations(
+    files: &[(String, FileFacts)],
+    catalog: Option<&Catalog>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(catalog) = catalog else {
+        out.push(deny(
+            CATALOG_FILE,
+            1,
+            "R8",
+            format!("missing or unreadable telemetry catalog `{CATALOG_FILE}`"),
+        ));
+        return out;
+    };
+    let exempt = |path: &str| R8_EXEMPT_PREFIXES.iter().any(|p| path.starts_with(p));
+
+    // Liveness: every literal occurrence of a cataloged name anywhere in
+    // scanned non-test code keeps the entry alive (fault counter names,
+    // for instance, live in `FaultKind` match arms, not at obs call
+    // sites). The analyzer's own sources do not count — its fixtures and
+    // rule tables spell names as data.
+    let mut alive: BTreeSet<&str> = BTreeSet::new();
+
+    for (path, facts) in files {
+        let skip = exempt(path);
+        if !path.starts_with("crates/analyze/") {
+            for (_, lit) in &facts.literals {
+                if catalog.names.contains_key(lit.as_str()) {
+                    alive.insert(lit);
+                }
+            }
+        }
+        if skip {
+            continue;
+        }
+        for site in &facts.tel_sites {
+            if site.in_test {
+                continue;
+            }
+            if !catalog.names.contains_key(&site.name) {
+                out.push(deny(
+                    path,
+                    site.line,
+                    "R8",
+                    format!(
+                        "telemetry name `{}` (passed to `.{}(..)`) is not in `{CATALOG_FILE}`; \
+                         register it or fix the typo",
+                        site.name, site.api
+                    ),
+                ));
+            }
+        }
+        // Domain-prefix rule: a dotted literal under a declared domain is
+        // a metric name wherever it appears. Literals already reported as
+        // call-site names on the same line are not double-reported.
+        for (line, lit) in &facts.literals {
+            if !is_metric_shaped(lit) || catalog.names.contains_key(lit.as_str()) {
+                continue;
+            }
+            if facts
+                .tel_sites
+                .iter()
+                .any(|t| t.line == *line && t.name == *lit)
+            {
+                continue;
+            }
+            let first = lit.split('.').next().unwrap_or("");
+            if catalog.domains.iter().any(|d| d == first) {
+                out.push(deny(
+                    path,
+                    *line,
+                    "R8",
+                    format!(
+                        "literal `{lit}` uses the telemetry domain `{first}.` but is not in \
+                         `{CATALOG_FILE}`; register it or rename it out of the domain"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for name in catalog.names.keys() {
+        if !alive.contains(name.as_str()) {
+            out.push(deny(
+                CATALOG_FILE,
+                1,
+                "R8",
+                format!("catalog entry `{name}` matches no literal in the tree; delete it"),
+            ));
+        }
+    }
+    out
+}
+
+/// R9: allocation-shaped expressions in steady-state kernels — every fn
+/// marked `// analyze:steady-state` plus, one level deep, every
+/// workspace fn a marked fn calls by name (stoplisted std names
+/// excluded). Ratchet severity: counted, never failing outright.
+pub fn steady_state_violations(files: &[(String, FileFacts)]) -> Vec<Violation> {
+    // Pass 1: the marked set and the callee-name frontier.
+    let mut frontier: BTreeSet<&str> = BTreeSet::new();
+    for (_, facts) in files {
+        for f in &facts.fns {
+            if f.steady && !f.in_test {
+                for c in &f.callees {
+                    if !CLOSURE_STOPLIST.contains(&c.as_str()) {
+                        frontier.insert(c);
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: flag allocations in marked fns and frontier fns.
+    let mut out = Vec::new();
+    for (path, facts) in files {
+        for f in &facts.fns {
+            if f.in_test {
+                continue;
+            }
+            let why = if f.steady {
+                "marked steady-state"
+            } else if frontier.contains(f.name.as_str()) {
+                "called from a steady-state kernel"
+            } else {
+                continue;
+            };
+            for a in &f.allocs {
+                out.push(Violation {
+                    file: path.clone(),
+                    line: a.line,
+                    rule: "R9",
+                    message: format!(
+                        "`{}` allocates inside `{}` ({why}); hoist the buffer into the owning \
+                         struct or suppress with an `analyze:allow(R9, ..)` reason",
+                        a.what, f.name
+                    ),
+                    severity: Severity::Ratchet,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The result of the suppression pass.
+#[derive(Debug, Default)]
+pub struct Suppressed {
+    /// Violations that survived.
+    pub violations: Vec<Violation>,
+    /// Total `analyze:allow` directives in the tree (the ratcheted
+    /// suppression count).
+    pub directives: usize,
+    /// How many findings were suppressed.
+    pub matched: usize,
+}
+
+/// Applies `analyze:allow(RULE, ..)` directives: a directive at line `L`
+/// of file `F` suppresses findings of that rule in `F` at `L` (trailing
+/// comment) or `L+1` (comment-above form). A directive that suppresses
+/// nothing becomes an advisory finding so dead suppressions get cleaned
+/// up.
+pub fn apply_allows(
+    allows: &BTreeMap<String, Vec<AllowFact>>,
+    violations: Vec<Violation>,
+) -> Suppressed {
+    let mut used: BTreeMap<(String, usize), bool> = BTreeMap::new();
+    let mut directives = 0usize;
+    for (file, list) in allows {
+        for a in list {
+            directives += 1;
+            used.insert((file.clone(), a.line), false);
+        }
+    }
+    let mut kept = Vec::new();
+    let mut matched = 0usize;
+    'viol: for v in violations {
+        if let Some(list) = allows.get(&v.file) {
+            for a in list {
+                if a.rule == v.rule && (v.line == a.line || v.line == a.line + 1) {
+                    matched += 1;
+                    if let Some(flag) = used.get_mut(&(v.file.clone(), a.line)) {
+                        *flag = true;
+                    }
+                    continue 'viol;
+                }
+            }
+        }
+        kept.push(v);
+    }
+    for (file, list) in allows {
+        for a in list {
+            if used.get(&(file.clone(), a.line)) == Some(&false) {
+                kept.push(Violation {
+                    file: file.clone(),
+                    line: a.line,
+                    rule: "allow",
+                    message: format!(
+                        "`analyze:allow({}, ..)` suppresses nothing here; remove it",
+                        a.rule
+                    ),
+                    severity: Severity::Advisory,
+                });
+            }
+        }
+    }
+    kept.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Suppressed {
+        violations: kept,
+        directives,
+        matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+
+    fn reg(name: &str, domain: &str, lo: u64, hi: u64) -> RegistryFact {
+        RegistryFact {
+            name: name.to_string(),
+            domain: domain.to_string(),
+            lo,
+            hi,
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn registry_overlap_and_inversion_are_denied() {
+        let vs = registry_violations(
+            REGISTRY_FILE,
+            &[
+                reg("a", "run", 0x100, 0x1FF),
+                reg("b", "run", 0x180, 0x2FF),
+                reg("c", "other", 0x100, 0x1FF), // other domain: fine
+                reg("d", "run", 0x500, 0x400),   // inverted
+            ],
+        );
+        let msgs: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+        assert_eq!(msgs, ["R7", "R7"]);
+        assert!(vs[0].message.contains("overlaps"));
+        assert!(vs[1].message.contains("empty region"));
+    }
+
+    #[test]
+    fn unregistered_stream_sites_are_denied_and_exempt_files_skipped() {
+        let registry = [reg(
+            "pf_motion",
+            "run",
+            0x1_0000_0000,
+            0x00FF_FFFF_FFFF_FFFF,
+        )];
+        let good = extract(
+            "crates/pf/src/a.rs",
+            "fn f(s: u64) { Rng64::stream(s, stream_keys::pf_motion(1, 2)); }\n",
+        );
+        let raw = extract(
+            "crates/pf/src/b.rs",
+            "fn f(s: u64) { Rng64::stream(s, 0xF1); }\n",
+        );
+        let unknown = extract(
+            "crates/pf/src/c.rs",
+            "fn f(s: u64) { Rng64::stream(s, stream_keys::bogus(1)); }\n",
+        );
+        let exempt = extract(
+            "crates/core/src/rng.rs",
+            "fn f(s: u64) { Rng64::stream(s, 7); }\n",
+        );
+        let files = vec![
+            ("crates/pf/src/a.rs".to_string(), good),
+            ("crates/pf/src/b.rs".to_string(), raw),
+            ("crates/pf/src/c.rs".to_string(), unknown),
+            ("crates/core/src/rng.rs".to_string(), exempt),
+        ];
+        let vs = stream_key_violations(&files, &registry);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert_eq!(vs[0].file, "crates/pf/src/b.rs");
+        assert!(vs[0].message.contains("not built through"));
+        assert_eq!(vs[1].file, "crates/pf/src/c.rs");
+        assert!(vs[1].message.contains("bogus"));
+    }
+
+    fn catalog(domains: &[&str], names: &[&str]) -> Catalog {
+        Catalog {
+            domains: domains.iter().map(|s| s.to_string()).collect(),
+            names: names
+                .iter()
+                .map(|s| (s.to_string(), "counter".to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uncataloged_names_dead_entries_and_domain_literals() {
+        let cat = catalog(&["pf", "sim"], &["pf.motion", "pf.dead"]);
+        let a = extract(
+            "crates/pf/src/a.rs",
+            "fn f(t: &T) { t.add(\"pf.motion\", 1); t.add(\"pf.typo\", 1); }\n",
+        );
+        let b = extract(
+            "crates/sim/src/b.rs",
+            "const NAMES: [&str; 1] = [\"sim.rogue\"];\nfn g() { let msg = \"sim crashed hard\"; }\n",
+        );
+        let files = vec![
+            ("crates/pf/src/a.rs".to_string(), a),
+            ("crates/sim/src/b.rs".to_string(), b),
+        ];
+        let vs = telemetry_violations(&files, Some(&cat));
+        let summary: Vec<(&str, bool)> = vs
+            .iter()
+            .map(|v| (v.file.as_str(), v.message.contains("pf.typo")))
+            .collect();
+        assert_eq!(vs.len(), 3, "{vs:?}");
+        // Call site with uncataloged name.
+        assert!(summary.contains(&("crates/pf/src/a.rs", true)));
+        // Domain-shaped literal not registered.
+        assert!(vs.iter().any(|v| v.message.contains("sim.rogue")));
+        // Dead catalog entry (prose literal "sim crashed hard" is not
+        // metric-shaped and does not trip the domain rule).
+        assert!(vs
+            .iter()
+            .any(|v| v.file == CATALOG_FILE && v.message.contains("pf.dead")));
+    }
+
+    #[test]
+    fn missing_catalog_is_one_denial() {
+        let vs = telemetry_violations(&[], None);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "R8");
+    }
+
+    #[test]
+    fn metric_shape_grammar() {
+        assert!(is_metric_shaped("pf.motion"));
+        assert!(is_metric_shaped("faults.lidar_blackout.activations"));
+        assert!(is_metric_shaped("par.pool.chunk_le_64"));
+        assert!(!is_metric_shaped("plain"));
+        assert!(!is_metric_shaped("Not.a.metric"));
+        assert!(!is_metric_shaped("has space.x"));
+        assert!(!is_metric_shaped(".leading"));
+        assert!(!is_metric_shaped("trailing."));
+    }
+
+    #[test]
+    fn steady_state_closure_is_one_level_and_ratchet() {
+        let kernel = extract(
+            "crates/pf/src/k.rs",
+            "// analyze:steady-state\nfn run_kernel(v: &mut Vec<f64>) {\n    v.push(1.0);\n    helper();\n}\n",
+        );
+        let helpers = extract(
+            "crates/range/src/h.rs",
+            "fn helper() { let v = Vec::new(); deeper(); }\nfn deeper() { let b = Box::new(1); }\nfn unrelated() { let s = format!(\"x\"); }\n",
+        );
+        let files = vec![
+            ("crates/pf/src/k.rs".to_string(), kernel),
+            ("crates/range/src/h.rs".to_string(), helpers),
+        ];
+        let vs = steady_state_violations(&files);
+        assert!(vs
+            .iter()
+            .all(|v| v.severity == Severity::Ratchet && v.rule == "R9"));
+        // push in the kernel + Vec::new in helper; NOT deeper (two levels)
+        // and NOT unrelated.
+        let files_hit: Vec<&str> = vs.iter().map(|v| v.message.as_str()).collect();
+        assert_eq!(vs.len(), 2, "{files_hit:?}");
+        assert!(vs.iter().any(|v| v.message.contains(".push(..)")));
+        assert!(vs
+            .iter()
+            .any(|v| v.message.contains("Vec::new") && v.message.contains("helper")));
+    }
+
+    #[test]
+    fn allows_suppress_same_line_and_next_line_only() {
+        let facts = extract(
+            "crates/pf/src/x.rs",
+            "fn f(v: &[f64]) {\n    // analyze:allow(R1, reason = \"bounds checked above\")\n    let a = v.first().unwrap();\n    let b = v.last().unwrap();\n}\n",
+        );
+        let mut allows = BTreeMap::new();
+        allows.insert("crates/pf/src/x.rs".to_string(), facts.allows.clone());
+        let sup = apply_allows(&allows, facts.violations);
+        assert_eq!(sup.directives, 1);
+        assert_eq!(sup.matched, 1, "{:?}", sup.violations);
+        // Line 4's unwrap survives.
+        assert_eq!(
+            sup.violations
+                .iter()
+                .filter(|v| v.rule == "R1")
+                .map(|v| v.line)
+                .collect::<Vec<_>>(),
+            [4]
+        );
+    }
+
+    #[test]
+    fn unused_allow_becomes_advisory() {
+        let facts = extract(
+            "crates/metrics/src/x.rs",
+            "// analyze:allow(R1, reason = \"nothing here panics\")\nfn f() {}\n",
+        );
+        let mut allows = BTreeMap::new();
+        allows.insert("crates/metrics/src/x.rs".to_string(), facts.allows.clone());
+        let sup = apply_allows(&allows, facts.violations);
+        assert_eq!(sup.matched, 0);
+        let adv: Vec<&Violation> = sup
+            .violations
+            .iter()
+            .filter(|v| v.severity == Severity::Advisory)
+            .collect();
+        assert_eq!(adv.len(), 1);
+        assert!(adv[0].message.contains("suppresses nothing"));
+    }
+}

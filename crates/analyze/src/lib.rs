@@ -6,25 +6,44 @@
 //! The paper's robustness argument rests on numeric kernels that must never
 //! silently produce NaN, panic mid-lap, or vary run-to-run. Clippy cannot
 //! express those *project* rules, so this crate implements a zero-new-
-//! dependency, comment/string-aware source scanner that can (the rule set
-//! is documented in [`rules`] and DESIGN.md §10):
+//! dependency source analyzer that can (the rule set is documented in
+//! [`rules`] and DESIGN.md §10). Two layers:
 //!
-//! - **R1** panic-freedom in the hot-path crates (`par`, `pf`, `range`,
-//!   `slam`, `sim`), with an advisory slice-indexing audit (`R1-idx`);
+//! **Token rules** over masked source ([`mask`] blanks comments, strings,
+//! and `#[cfg(test)]` code):
+//!
+//! - **R1** panic-freedom in the hot-path crates, with an advisory
+//!   slice-indexing audit (`R1-idx`);
 //! - **R2** float total-order: `partial_cmp(..).unwrap()` → `total_cmp`;
 //! - **R3** determinism: no hash containers, thread RNGs, or wall-clock
-//!   reads in the localization/sim crates (timing goes through
-//!   `raceloc_obs::Stopwatch`);
+//!   reads in the localization/sim crates;
 //! - **R4** `unsafe` ban plus the lint wall in every crate root;
-//! - **R5** removed-API ratchet: the `cast_batch` shim is gone for good
-//!   and its token must not reappear.
+//! - **R5**/**R6** removed/deprecated-API ratchets.
 //!
-//! Pre-existing violations live in a checked-in, ratcheted
-//! [`baseline`](crate::baseline) (`analyze-baseline.json`): any *new*
-//! violation fails `--check`, improvements are locked in with
-//! `--update-baseline`, and counts can only go down.
+//! **Structural rules** over a real token stream ([`lex`] → [`syntax`] →
+//! per-file [`facts`], joined across files by [`crossfile`]):
 //!
-//! Run locally with `cargo run -p raceloc-analyze -- --check`.
+//! - **R7** every `Rng64::stream(seed, key)` call site must build `key`
+//!   through the central `raceloc_core::stream_keys` registry, whose
+//!   namespace regions the analyzer re-proves pairwise disjoint per seed
+//!   domain;
+//! - **R8** every telemetry name literal must be registered in the
+//!   checked-in `telemetry-catalog.json`, and every catalog entry must
+//!   still be alive in the tree;
+//! - **R9** (ratcheted) allocation-shaped expressions inside
+//!   `// analyze:steady-state` kernels and the fns they call.
+//!
+//! Findings are suppressed case-by-case with
+//! `// analyze:allow(RULE, reason = "...")` — the reason is mandatory and
+//! the tree-wide directive count is itself ratcheted. Pre-existing
+//! violations live in a checked-in, ratcheted [`baseline`]
+//! (`analyze-baseline.json`): any *new* violation fails `--check`, stale
+//! allowances fail too until blessed with `--update-baseline`, and counts
+//! only go down. Per-file extraction is cached by content hash
+//! ([`cache`]), so a warm rescan re-lexes only edited files.
+//!
+//! Run locally with `cargo run -p raceloc-analyze -- --check`; add
+//! `--format sarif` or `--sarif <path>` for SARIF 2.1.0 output.
 //!
 //! # Examples
 //!
@@ -38,35 +57,135 @@
 //! ```
 
 pub mod baseline;
+pub mod cache;
+pub mod crossfile;
+pub mod facts;
+pub mod lex;
 pub mod mask;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod syntax;
 pub mod workspace;
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
-use mask::MaskedFile;
+use cache::ScanCache;
+use crossfile::Catalog;
+use facts::{AllowFact, FileFacts};
 use report::Report;
 use rules::Violation;
 
+/// Knobs for [`run_scan_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Where the incremental cache lives; `None` scans cold and persists
+    /// nothing.
+    pub cache_path: Option<PathBuf>,
+    /// Path of the telemetry catalog; defaults to
+    /// `<root>/telemetry-catalog.json`.
+    pub catalog_path: Option<PathBuf>,
+}
+
 /// Scans every workspace source under `root` and compares against
-/// `baseline`, producing the full [`Report`].
+/// `baseline`, producing the full [`Report`]. Cold (uncached) variant.
 ///
 /// # Errors
 ///
 /// Returns the first I/O error hit while reading sources.
 pub fn run_scan(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    run_scan_with(root, baseline, &ScanOptions::default())
+}
+
+/// [`run_scan`] with an incremental cache and/or a custom catalog path.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading sources. A missing or
+/// corrupt cache is not an error (the scan runs cold); a missing catalog
+/// is an R8 finding, not an error.
+pub fn run_scan_with(
+    root: &Path,
+    baseline: &Baseline,
+    opts: &ScanOptions,
+) -> std::io::Result<Report> {
     let files = workspace::collect_sources(root)?;
-    let mut violations: Vec<Violation> = Vec::new();
+    let mut scan_cache = opts
+        .cache_path
+        .as_deref()
+        .map(ScanCache::load)
+        .unwrap_or_default();
+
+    // Per-file facts, from the cache when the content hash matches.
+    let mut files_relexed = 0usize;
+    let mut all_facts: Vec<(String, FileFacts)> = Vec::with_capacity(files.len());
     for (path, text) in &files {
-        let masked = MaskedFile::new(text);
-        violations.extend(rules::scan_file(path, &masked));
+        let hash = cache::fnv64(text);
+        let facts = match scan_cache.lookup(path, hash) {
+            Some(hit) => hit.clone(),
+            None => {
+                files_relexed += 1;
+                let fresh = facts::extract(path, text);
+                scan_cache.store(path, hash, fresh.clone());
+                fresh
+            }
+        };
+        all_facts.push((path.clone(), facts));
     }
-    let verdict = baseline.compare(&violations);
+
+    // Local findings plus the cross-file joins (cheap; run every pass).
+    let mut violations: Vec<Violation> = all_facts
+        .iter()
+        .flat_map(|(_, f)| f.violations.iter().cloned())
+        .collect();
+    let registry: Vec<facts::RegistryFact> = all_facts
+        .iter()
+        .find(|(p, _)| p == crossfile::REGISTRY_FILE)
+        .map(|(_, f)| f.registry.clone())
+        .unwrap_or_default();
+    violations.extend(crossfile::registry_violations(
+        crossfile::REGISTRY_FILE,
+        &registry,
+    ));
+    violations.extend(crossfile::stream_key_violations(&all_facts, &registry));
+    let catalog_path = opts
+        .catalog_path
+        .clone()
+        .unwrap_or_else(|| root.join(crossfile::CATALOG_FILE));
+    let catalog = std::fs::read_to_string(&catalog_path)
+        .ok()
+        .and_then(|t| Catalog::from_json(&t).ok());
+    violations.extend(crossfile::telemetry_violations(
+        &all_facts,
+        catalog.as_ref(),
+    ));
+    violations.extend(crossfile::steady_state_violations(&all_facts));
+
+    // Suppressions, then the baseline diff.
+    let allows: BTreeMap<String, Vec<AllowFact>> = all_facts
+        .iter()
+        .filter(|(_, f)| !f.allows.is_empty())
+        .map(|(p, f)| (p.clone(), f.allows.clone()))
+        .collect();
+    let sup = crossfile::apply_allows(&allows, violations);
+    let verdict = baseline.compare(&sup.violations, sup.directives);
+
+    if let Some(path) = opts.cache_path.as_deref() {
+        let scanned: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        scan_cache.retain_paths(&scanned);
+        // Persistence failures only cost the next run time, never
+        // correctness; surface nothing.
+        let _ = scan_cache.save(path);
+    }
+
     Ok(Report {
-        violations,
+        violations: sup.violations,
         verdict,
         files_scanned: files.len(),
+        files_relexed,
+        suppressions: sup.directives,
+        suppressed_findings: sup.matched,
     })
 }

@@ -7,25 +7,41 @@
 //! ```text
 //! cargo run -p raceloc-analyze -- [--check] [--json <path>] [--advisory]
 //!                                 [--update-baseline] [--root <dir>]
-//!                                 [--baseline <path>]
+//!                                 [--baseline <path>] [--format human|sarif]
+//!                                 [--sarif <path>] [--cache <path>]
+//!                                 [--no-cache] [--catalog <path>]
 //! ```
 //!
-//! Exit codes: `0` clean (or report-only mode), `1` new violations under
-//! `--check`, `2` usage or I/O failure.
+//! The incremental cache defaults to `<root>/target/analyze-cache.json`
+//! (disable with `--no-cache`); it only affects scan time, never results.
+//!
+//! Exit codes: `0` clean (or report-only mode), `1` regressions or stale
+//! baseline entries under `--check`, `2` usage or I/O failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use raceloc_analyze::baseline::Baseline;
-use raceloc_analyze::{run_scan, workspace};
+use raceloc_analyze::{run_scan_with, sarif, workspace, ScanOptions};
 
 struct Options {
     check: bool,
     advisory: bool,
     update_baseline: bool,
     json_path: Option<PathBuf>,
+    sarif_path: Option<PathBuf>,
+    format: Format,
     root: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
+    cache_path: Option<PathBuf>,
+    no_cache: bool,
+    catalog_path: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Sarif,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,31 +50,49 @@ fn parse_args() -> Result<Options, String> {
         advisory: false,
         update_baseline: false,
         json_path: None,
+        sarif_path: None,
+        format: Format::Human,
         root: None,
         baseline_path: None,
+        cache_path: None,
+        no_cache: false,
+        catalog_path: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut path_arg = |flag: &str| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{flag} requires a path"))
+        };
         match arg.as_str() {
             "--check" => opts.check = true,
             "--advisory" => opts.advisory = true,
             "--update-baseline" => opts.update_baseline = true,
-            "--json" => {
-                let v = args.next().ok_or("--json requires a path")?;
-                opts.json_path = Some(PathBuf::from(v));
-            }
-            "--root" => {
-                let v = args.next().ok_or("--root requires a directory")?;
-                opts.root = Some(PathBuf::from(v));
-            }
-            "--baseline" => {
-                let v = args.next().ok_or("--baseline requires a path")?;
-                opts.baseline_path = Some(PathBuf::from(v));
+            "--no-cache" => opts.no_cache = true,
+            "--json" => opts.json_path = Some(path_arg("--json")?),
+            "--sarif" => opts.sarif_path = Some(path_arg("--sarif")?),
+            "--root" => opts.root = Some(path_arg("--root")?),
+            "--baseline" => opts.baseline_path = Some(path_arg("--baseline")?),
+            "--cache" => opts.cache_path = Some(path_arg("--cache")?),
+            "--catalog" => opts.catalog_path = Some(path_arg("--catalog")?),
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format must be `human` or `sarif`, got {other:?}"
+                        ))
+                    }
+                };
             }
             "--help" | "-h" => {
                 return Err(
                     "usage: raceloc-analyze [--check] [--json <path>] [--advisory] \
-                            [--update-baseline] [--root <dir>] [--baseline <path>]"
+                            [--update-baseline] [--root <dir>] [--baseline <path>] \
+                            [--format human|sarif] [--sarif <path>] [--cache <path>] \
+                            [--no-cache] [--catalog <path>]"
                         .to_string(),
                 );
             }
@@ -109,7 +143,19 @@ fn main() -> ExitCode {
         Baseline::empty()
     };
 
-    let report = match run_scan(&root, &baseline) {
+    let scan_opts = ScanOptions {
+        cache_path: if opts.no_cache {
+            None
+        } else {
+            Some(
+                opts.cache_path
+                    .clone()
+                    .unwrap_or_else(|| root.join("target/analyze-cache.json")),
+            )
+        },
+        catalog_path: opts.catalog_path.clone(),
+    };
+    let report = match run_scan_with(&root, &baseline, &scan_opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("raceloc-analyze: scan failed: {e}");
@@ -118,7 +164,7 @@ fn main() -> ExitCode {
     };
 
     if opts.update_baseline {
-        let next = Baseline::covering(&report.violations);
+        let next = Baseline::covering(&report.violations, report.suppressions);
         if let Err(e) = std::fs::write(&baseline_path, next.to_json()) {
             eprintln!(
                 "raceloc-analyze: cannot write {}: {e}",
@@ -127,10 +173,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "raceloc-analyze: wrote {} with {} entr{}",
+            "raceloc-analyze: wrote {} with {} entr{} (R9 ratchet {}, allow ratchet {})",
             baseline_path.display(),
             next.len(),
             if next.len() == 1 { "y" } else { "ies" },
+            next.ratchet("R9"),
+            next.ratchet("allow"),
         );
         return ExitCode::SUCCESS;
     }
@@ -141,8 +189,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    print!("{}", report.human_summary(opts.advisory));
-    if opts.check && !report.verdict.new_violations.is_empty() {
+    if let Some(sarif_path) = &opts.sarif_path {
+        if let Err(e) = std::fs::write(sarif_path, sarif::to_sarif(&report)) {
+            eprintln!(
+                "raceloc-analyze: cannot write {}: {e}",
+                sarif_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    match opts.format {
+        Format::Human => print!("{}", report.human_summary(opts.advisory)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&report)),
+    }
+    if opts.check && !report.verdict.passes_check() {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -8,12 +8,20 @@ use crate::rules::{Severity, Violation};
 /// The full outcome of one pass over the workspace.
 #[derive(Debug)]
 pub struct Report {
-    /// Every finding, including advisory and baselined ones.
+    /// Every surviving finding, including advisory, ratchet, and
+    /// baselined ones (suppressed findings are gone).
     pub violations: Vec<Violation>,
     /// The split against the baseline.
     pub verdict: Verdict,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// How many files were actually re-lexed this pass (the rest came
+    /// from the incremental cache).
+    pub files_relexed: usize,
+    /// Total `analyze:allow` directives in the tree.
+    pub suppressions: usize,
+    /// How many findings those directives suppressed.
+    pub suppressed_findings: usize,
 }
 
 impl Report {
@@ -22,6 +30,13 @@ impl Report {
         self.violations
             .iter()
             .filter(|v| v.severity == Severity::Advisory)
+    }
+
+    /// Ratchet findings (counted against the baseline's `ratchets`).
+    pub fn ratchets(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Ratchet)
     }
 
     /// The `file:line: rule: message` diagnostics for regressions, the
@@ -53,6 +68,25 @@ impl Report {
                  run with --update-baseline to ratchet down\n"
             ));
         }
+        for d in &self.verdict.ratchet_regressions {
+            out.push_str(&format!(
+                "{}: ratchet regressed (allows {}, found {}); fix or suppress with a reason\n",
+                d.rule, d.allowed, d.found
+            ));
+            for v in self.ratchets().filter(|v| v.rule == d.rule) {
+                out.push_str(&format!(
+                    "{}:{}: {}: {}\n",
+                    v.file, v.line, v.rule, v.message
+                ));
+            }
+        }
+        for d in &self.verdict.ratchet_stale {
+            out.push_str(&format!(
+                "{}: ratchet is stale (allows {}, found {}); \
+                 run with --update-baseline to ratchet down\n",
+                d.rule, d.allowed, d.found
+            ));
+        }
         let advisories = self.advisories().count();
         if show_advisories {
             for v in self.advisories() {
@@ -63,12 +97,14 @@ impl Report {
             }
         } else if advisories > 0 {
             out.push_str(&format!(
-                "{advisories} advisory finding(s) (slice indexing); rerun with --advisory to list\n"
+                "{advisories} advisory finding(s); rerun with --advisory to list\n"
             ));
         }
         out.push_str(&format!(
-            "raceloc-analyze: {} file(s), {} new violation(s), {} baselined, {} stale entr{}\n",
+            "raceloc-analyze: {} file(s) ({} re-lexed), {} new violation(s), {} baselined, \
+             {} stale entr{}, {} ratchet finding(s), {} suppression(s)\n",
             self.files_scanned,
+            self.files_relexed,
             self.verdict.new_violations.len(),
             self.verdict.baselined.len(),
             self.verdict.stale.len(),
@@ -77,6 +113,8 @@ impl Report {
             } else {
                 "ies"
             },
+            self.ratchets().count(),
+            self.suppressions,
         ));
         out
     }
@@ -99,6 +137,9 @@ impl Report {
         for v in &self.verdict.baselined {
             findings.push(viol(v, "baselined"));
         }
+        for v in self.ratchets() {
+            findings.push(viol(v, "ratchet"));
+        }
         for v in self.advisories() {
             findings.push(viol(v, "advisory"));
         }
@@ -115,18 +156,57 @@ impl Report {
                 ])
             })
             .collect();
+        let ratchet_delta = |d: &crate::baseline::RatchetDelta| {
+            Json::Obj(vec![
+                ("rule".to_string(), Json::Str(d.rule.clone())),
+                ("allowed".to_string(), Json::num(d.allowed as f64)),
+                ("found".to_string(), Json::num(d.found as f64)),
+            ])
+        };
         let doc = Json::Obj(vec![
-            ("version".to_string(), Json::num(1.0)),
+            ("version".to_string(), Json::num(2.0)),
             (
                 "files_scanned".to_string(),
                 Json::num(self.files_scanned as f64),
             ),
             (
+                "files_relexed".to_string(),
+                Json::num(self.files_relexed as f64),
+            ),
+            (
                 "new_violations".to_string(),
                 Json::num(self.verdict.new_violations.len() as f64),
             ),
+            (
+                "suppressions".to_string(),
+                Json::num(self.suppressions as f64),
+            ),
+            (
+                "suppressed_findings".to_string(),
+                Json::num(self.suppressed_findings as f64),
+            ),
             ("findings".to_string(), Json::Arr(findings)),
             ("stale_baseline".to_string(), Json::Arr(stale)),
+            (
+                "ratchet_regressions".to_string(),
+                Json::Arr(
+                    self.verdict
+                        .ratchet_regressions
+                        .iter()
+                        .map(ratchet_delta)
+                        .collect(),
+                ),
+            ),
+            (
+                "ratchet_stale".to_string(),
+                Json::Arr(
+                    self.verdict
+                        .ratchet_stale
+                        .iter()
+                        .map(ratchet_delta)
+                        .collect(),
+                ),
+            ),
         ]);
         format!("{doc}\n")
     }
@@ -153,12 +233,22 @@ mod tests {
                 message: "direct indexing".to_string(),
                 severity: Severity::Advisory,
             },
+            Violation {
+                file: "crates/pf/src/parstep.rs".to_string(),
+                line: 7,
+                rule: "R9",
+                message: "`.push(..)` allocates".to_string(),
+                severity: Severity::Ratchet,
+            },
         ];
-        let verdict = Baseline::empty().compare(&violations);
+        let verdict = Baseline::empty().compare(&violations, 1);
         Report {
             violations,
             verdict,
             files_scanned: 2,
+            files_relexed: 2,
+            suppressions: 1,
+            suppressed_findings: 0,
         }
     }
 
@@ -185,18 +275,43 @@ mod tests {
     }
 
     #[test]
+    fn summary_lists_ratchet_regressions_with_their_findings() {
+        let r = sample();
+        let text = r.human_summary(false);
+        assert!(
+            text.contains("R9: ratchet regressed (allows 0, found 1)"),
+            "{text}"
+        );
+        assert!(text.contains("crates/pf/src/parstep.rs:7: R9: "), "{text}");
+        assert!(
+            text.contains("allow: ratchet regressed (allows 0, found 1)"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn json_report_is_parseable_and_complete() {
         let r = sample();
         let doc = Json::parse(&r.to_json()).expect("valid json");
         assert_eq!(doc.get("new_violations").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("files_relexed").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("suppressions").and_then(Json::as_u64), Some(1));
         let findings = doc
             .get("findings")
             .and_then(Json::as_array)
             .expect("findings");
-        assert_eq!(findings.len(), 2);
+        assert_eq!(findings.len(), 3);
         assert_eq!(
             findings[0].get("status").and_then(Json::as_str),
             Some("new")
         );
+        assert!(findings
+            .iter()
+            .any(|f| f.get("status").and_then(Json::as_str) == Some("ratchet")));
+        let regressions = doc
+            .get("ratchet_regressions")
+            .and_then(Json::as_array)
+            .expect("ratchet section");
+        assert_eq!(regressions.len(), 2, "R9 + allow");
     }
 }

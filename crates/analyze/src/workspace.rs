@@ -7,6 +7,11 @@ use std::path::{Path, PathBuf};
 /// and VCS metadata.
 const SKIP_DIRS: [&str; 4] = ["target", "third_party", ".git", "node_modules"];
 
+/// Workspace-relative directories never scanned: the analyzer's fixture
+/// corpus is deliberately full of known-bad snippets and must not trip
+/// the self-scan (the fixture table test reads those files itself).
+const SKIP_RELATIVE: [&str; 1] = ["crates/analyze/tests/fixtures"];
+
 /// Collects every workspace-owned `.rs` file under `root`, returned as
 /// `(relative_path, contents)` with `/`-separated relative paths, sorted
 /// for deterministic reports.
@@ -24,7 +29,10 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                if SKIP_DIRS.contains(&name.as_ref())
+                    || name.starts_with('.')
+                    || SKIP_RELATIVE.contains(&relative(root, &path).as_str())
+                {
                     continue;
                 }
                 stack.push(path);
@@ -81,6 +89,12 @@ mod tests {
         assert!(paths.contains(&"src/lib.rs"));
         assert!(!paths.iter().any(|p| p.starts_with("target/")));
         assert!(!paths.iter().any(|p| p.starts_with("third_party/")));
+        assert!(
+            !paths
+                .iter()
+                .any(|p| p.starts_with("crates/analyze/tests/fixtures/")),
+            "the known-bad fixture corpus must not reach the self-scan"
+        );
         // Sorted and unique.
         let mut sorted = paths.clone();
         sorted.sort();

@@ -1,0 +1,5 @@
+// Known-bad for the suppression grammar: the reason is mandatory.
+// analyze:allow(R1)
+pub fn pick(best: Option<f64>) -> f64 {
+    best.unwrap_or(0.0)
+}

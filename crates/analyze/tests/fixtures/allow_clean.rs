@@ -1,0 +1,6 @@
+// Known-clean for the suppression grammar: a reasoned directive
+// suppressing a real finding on the next line.
+pub fn pick(best: Option<f64>) -> f64 {
+    // analyze:allow(R1, reason = "fixture: demonstrates a reasoned suppression")
+    best.unwrap()
+}

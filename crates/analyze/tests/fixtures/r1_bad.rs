@@ -1,0 +1,4 @@
+// Known-bad for R1: `unwrap()` on the hot path can panic mid-lap.
+pub fn pick(best: Option<f64>) -> f64 {
+    best.unwrap()
+}

@@ -1,0 +1,4 @@
+// Known-clean for R1: the missing case is handled, not panicked on.
+pub fn pick(best: Option<f64>) -> f64 {
+    best.unwrap_or(0.0)
+}

@@ -1,0 +1,6 @@
+// R1-idx finding suppressed with a reasoned directive (satellite: the
+// suppression grammar applies to the advisory indexing audit too).
+pub fn third(xs: &[f64]) -> f64 {
+    // analyze:allow(R1-idx, reason = "index 2 is bounds-checked by the caller's arity contract")
+    xs[2]
+}

@@ -1,0 +1,4 @@
+// Known-bad for R1-idx (advisory): direct indexing can panic.
+pub fn third(xs: &[f64]) -> f64 {
+    xs[2]
+}

@@ -1,0 +1,4 @@
+// Known-clean for R1-idx: checked access.
+pub fn third(xs: &[f64]) -> Option<f64> {
+    xs.get(2).copied()
+}

@@ -1,0 +1,4 @@
+// Known-bad for R2: partial_cmp().unwrap() is not a total order over NaN.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

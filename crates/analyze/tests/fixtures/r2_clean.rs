@@ -1,0 +1,4 @@
+// Known-clean for R2: total_cmp is defined for every float bit pattern.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,5 @@
+// Known-bad for R3: randomized iteration order and wall-clock reads.
+use std::collections::HashMap;
+pub fn timing() -> std::time::Instant {
+    std::time::Instant::now()
+}

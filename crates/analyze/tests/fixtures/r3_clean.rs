@@ -1,0 +1,5 @@
+// Known-clean for R3: ordered container, no clock reads.
+use std::collections::BTreeMap;
+pub fn collect(names: &[String]) -> BTreeMap<String, usize> {
+    names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect()
+}

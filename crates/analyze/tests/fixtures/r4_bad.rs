@@ -1,0 +1,4 @@
+// Known-bad for R4: `unsafe` is banned workspace-wide.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

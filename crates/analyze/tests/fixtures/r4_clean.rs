@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Known-clean for R4: lint wall present, no unsafe.
+pub fn id(x: u8) -> u8 {
+    x
+}

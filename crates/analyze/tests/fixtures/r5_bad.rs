@@ -1,0 +1,4 @@
+// Known-bad for R5: the removed `cast_batch` shim must not reappear.
+pub fn refresh(m: &Map, q: &[Query], o: &mut [f64]) {
+    cast_batch(m, q, o, 4);
+}

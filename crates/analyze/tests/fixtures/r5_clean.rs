@@ -1,0 +1,4 @@
+// Known-clean for R5: the supported batched entry point.
+pub fn refresh(m: &Map, q: &[Query], o: &mut [f64]) {
+    m.par_ranges_into(q, o);
+}

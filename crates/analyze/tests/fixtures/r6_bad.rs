@@ -1,0 +1,4 @@
+// Known-bad for R6: the deprecated owning constructor outside compat.rs.
+pub fn build(grid: &Grid, cfg: Config) -> SynPf {
+    SynPf::with_owned_map(grid, cfg)
+}

@@ -1,0 +1,4 @@
+// Known-clean for R6: localizers built over the shared artifact bundle.
+pub fn build(store: &mut ArtifactStore, cfg: Config) -> SynPf {
+    SynPf::from_artifacts(store.get_or_build(cfg.map_id), cfg)
+}

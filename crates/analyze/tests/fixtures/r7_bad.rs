@@ -1,0 +1,5 @@
+// Known-bad for R7: an ad-hoc stream key outside the registry.
+pub fn noise(seed: u64, epoch: u64, chunk: u64) -> f64 {
+    let mut rng = Rng64::stream(seed, (epoch << 32) | chunk);
+    rng.next_f64()
+}

@@ -1,0 +1,5 @@
+// Known-clean for R7: the key comes from the central registry.
+pub fn noise(seed: u64, epoch: u64, chunk: u64) -> f64 {
+    let mut rng = Rng64::stream(seed, stream_keys::pf_motion(epoch, chunk));
+    rng.next_f64()
+}

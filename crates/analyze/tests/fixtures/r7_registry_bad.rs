@@ -1,0 +1,14 @@
+// Known-bad for R7 (registry side): two namespaces in the same seed
+// domain with overlapping key regions.
+pub const A: StreamNamespace = StreamNamespace {
+    name: "fixture_a",
+    domain: "run",
+    lo: 0x0000_0000_0000_0000,
+    hi: 0x00FF_FFFF_FFFF_FFFF,
+};
+pub const B: StreamNamespace = StreamNamespace {
+    name: "fixture_b",
+    domain: "run",
+    lo: 0x0080_0000_0000_0000,
+    hi: 0x01FF_FFFF_FFFF_FFFF,
+};

@@ -1,0 +1,13 @@
+// Known-clean for R7 (registry side): disjoint regions per domain.
+pub const A: StreamNamespace = StreamNamespace {
+    name: "fixture_a",
+    domain: "run",
+    lo: 0x0000_0000_0000_0000,
+    hi: 0x00FF_FFFF_FFFF_FFFF,
+};
+pub const B: StreamNamespace = StreamNamespace {
+    name: "fixture_b",
+    domain: "run",
+    lo: 0x0100_0000_0000_0000,
+    hi: 0x01FF_FFFF_FFFF_FFFF,
+};

@@ -1,0 +1,4 @@
+// Known-bad for R8: a telemetry name missing from the catalog.
+pub fn observe(tel: &Telemetry) {
+    tel.add("pf.unregistered_counter", 1);
+}

@@ -1,0 +1,4 @@
+// Known-clean for R8: the name is registered in the catalog.
+pub fn observe(tel: &Telemetry) {
+    tel.add("pf.motion", 1);
+}

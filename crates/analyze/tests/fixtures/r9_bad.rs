@@ -1,0 +1,7 @@
+// Known-bad for R9: per-step allocations inside a steady-state kernel.
+// analyze:steady-state
+pub fn step(&mut self) {
+    let mut scratch = Vec::new();
+    scratch.push(self.acc);
+    self.msg = format!("step {}", self.n);
+}

@@ -1,0 +1,6 @@
+// Known-clean for R9: the kernel reuses owned buffers.
+// analyze:steady-state
+pub fn step(&mut self) {
+    self.buf.clear();
+    self.acc = integrate(self.acc, self.dt);
+}

@@ -1,0 +1,251 @@
+//! Regression corpus for `MaskedFile` (ISSUE 7 satellite): raw strings,
+//! nested block comments, and `#[cfg(test)]` module boundaries. Every case
+//! here is a shape that once mis-masked (or plausibly could) and whose
+//! failure mode is silent — a rule matcher scanning text that should have
+//! been blanked, or test code policed as production code.
+
+use raceloc_analyze::mask::MaskedFile;
+
+// ---------------------------------------------------------------- raw strings
+
+#[test]
+fn raw_string_with_hashes_hides_inner_quote() {
+    let src = "let s = r#\"has \" quote and unwrap()\"#; let after = 1;";
+    let m = MaskedFile::new(src);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.contains("let after = 1;"), "{}", m.code);
+}
+
+#[test]
+fn raw_string_with_two_hashes_does_not_close_on_one() {
+    // `"#` appears inside an `r##"…"##` literal and must not terminate it.
+    let src = "let s = r##\"inner \"# still literal unwrap()\"##; let z = 2;";
+    let m = MaskedFile::new(src);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.contains("let z = 2;"), "{}", m.code);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_masked() {
+    let src = "let a = b\"unwrap()\"; let b2 = br#\"panic!()\"#; let c = 3;";
+    let m = MaskedFile::new(src);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(!m.code.contains("panic"), "{}", m.code);
+    assert!(m.code.contains("let c = 3;"), "{}", m.code);
+}
+
+#[test]
+fn identifier_ending_in_r_is_not_a_raw_string_opener() {
+    // `caster` ends in `r`; the following separate string must mask, and
+    // the identifier itself must survive.
+    let src = "let caster = lookup(\"unwrap()\"); let done = 4;";
+    let m = MaskedFile::new(src);
+    assert!(m.code.contains("let caster = lookup("), "{}", m.code);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.contains("let done = 4;"), "{}", m.code);
+}
+
+#[test]
+fn unterminated_raw_string_masks_to_eof_without_panic() {
+    let src = "let s = r#\"never closed unwrap()\nstill inside\n";
+    let m = MaskedFile::new(src);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert_eq!(m.code.lines().count(), src.lines().count());
+}
+
+#[test]
+fn multiline_raw_string_preserves_line_numbers() {
+    let src = "line0();\nlet s = r#\"a\nb\nc\"#;\nline4();\n";
+    let m = MaskedFile::new(src);
+    assert_eq!(m.code.lines().count(), 5);
+    let lines: Vec<&str> = m.code.lines().collect();
+    assert!(lines[0].contains("line0();"));
+    assert!(lines[4].contains("line4();"));
+}
+
+#[test]
+fn binary_literal_is_not_a_byte_string() {
+    let src = "let x = 0b1010; let s = \"unwrap()\";";
+    let m = MaskedFile::new(src);
+    assert!(m.code.contains("0b1010"), "{}", m.code);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+}
+
+// ------------------------------------------------------- nested block comments
+
+#[test]
+fn triply_nested_block_comment_masks_everything() {
+    let src = "a /* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */ b\n";
+    let m = MaskedFile::new(src);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.trim().starts_with('a'), "{}", m.code);
+    assert!(m.code.trim().ends_with('b'), "{}", m.code);
+}
+
+#[test]
+fn unterminated_nested_block_comment_masks_to_eof() {
+    let src = "code(); /* outer /* inner closes */ but outer never does\nunwrap()\n";
+    let m = MaskedFile::new(src);
+    assert!(m.code.contains("code();"), "{}", m.code);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert_eq!(m.code.lines().count(), src.lines().count());
+}
+
+#[test]
+fn quote_inside_block_comment_does_not_open_a_string() {
+    // If the `"` inside the comment leaked into string state, `after()`
+    // would be swallowed as literal text.
+    let src = "/* has a \" quote */ after(); \"real string unwrap()\" tail();";
+    let m = MaskedFile::new(src);
+    assert!(m.code.contains("after();"), "{}", m.code);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.contains("tail();"), "{}", m.code);
+}
+
+#[test]
+fn comment_openers_inside_strings_are_inert() {
+    let src = "let s = \"/* not a comment\"; live(); // real comment unwrap()\nnext();\n";
+    let m = MaskedFile::new(src);
+    assert!(m.code.contains("live();"), "{}", m.code);
+    assert!(!m.code.contains("unwrap"), "{}", m.code);
+    assert!(m.code.contains("next();"), "{}", m.code);
+}
+
+#[test]
+fn block_comment_across_lines_preserves_line_count() {
+    let src = "a();\n/* one\ntwo\nthree */\nb();\n";
+    let m = MaskedFile::new(src);
+    assert_eq!(m.code.lines().count(), 5);
+    let lines: Vec<&str> = m.code.lines().collect();
+    assert!(lines[0].contains("a();"));
+    assert!(lines[4].contains("b();"));
+}
+
+// --------------------------------------------------- cfg(test) module bounds
+
+#[test]
+fn code_after_test_module_is_not_flagged() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+fn live() {}
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(0));
+    assert!(m.is_test_line(2));
+    assert!(!m.is_test_line(4), "live fn after the test mod was flagged");
+}
+
+#[test]
+fn attributes_between_cfg_test_and_the_item_are_covered() {
+    let src = "\
+#[cfg(test)]
+#[allow(dead_code)]
+mod tests {
+    fn t() {}
+}
+fn live() {}
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(2), "mod line");
+    assert!(m.is_test_line(3), "body line");
+    assert!(!m.is_test_line(5), "live fn");
+}
+
+#[test]
+fn nested_braces_inside_test_module_do_not_end_the_region_early() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        if a { b() } else { c() }
+    }
+    fn u() {}
+}
+fn live() {}
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(5), "second test fn still inside the region");
+    assert!(!m.is_test_line(7), "live fn after the region");
+}
+
+#[test]
+fn two_test_modules_flag_two_disjoint_regions() {
+    let src = "\
+#[cfg(test)]
+mod a { fn t() {} }
+fn live() {}
+#[cfg(test)]
+mod b { fn u() {} }
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(1));
+    assert!(!m.is_test_line(2), "live fn between the two test mods");
+    assert!(m.is_test_line(4));
+}
+
+#[test]
+fn cfg_test_on_a_braceless_item_covers_nothing() {
+    let src = "\
+#[cfg(test)]
+use helper::Thing;
+fn live() { x() }
+";
+    let m = MaskedFile::new(src);
+    assert!(
+        !m.is_test_line(2),
+        "braceless item must not swallow live code"
+    );
+}
+
+#[test]
+fn cfg_test_spelled_in_a_string_is_ignored() {
+    let src = "let s = \"#[cfg(test)]\";\nfn live() { y() }\n";
+    let m = MaskedFile::new(src);
+    assert!(!m.is_test_line(0));
+    assert!(!m.is_test_line(1));
+}
+
+#[test]
+fn cfg_test_fn_item_covers_exactly_its_body() {
+    let src = "\
+#[cfg(test)]
+fn helper() {
+    inner();
+}
+fn live() {}
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(1));
+    assert!(m.is_test_line(2));
+    assert!(!m.is_test_line(4));
+}
+
+#[test]
+fn cfg_not_test_is_not_a_test_region() {
+    let src = "#[cfg(not(test))]\nfn live() { z() }\n";
+    let m = MaskedFile::new(src);
+    assert!(!m.is_test_line(1));
+}
+
+#[test]
+fn test_region_with_string_containing_brace_keeps_balance() {
+    // The `{` inside the string is masked before brace balancing, so the
+    // region must still end at the real closing brace.
+    let src = "\
+#[cfg(test)]
+mod tests {
+    const S: &str = \"{\";
+    fn t() {}
+}
+fn live() {}
+";
+    let m = MaskedFile::new(src);
+    assert!(m.is_test_line(3));
+    assert!(
+        !m.is_test_line(5),
+        "unbalanced-brace leak past the test mod"
+    );
+}

@@ -10,7 +10,7 @@
 //! [--quick] [--threads 1,2,4] [--out BENCH_serve.json]`.
 
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{Pose2, Rng64, Twist2};
+use raceloc_core::{stream_keys, Pose2, Rng64, Twist2};
 use raceloc_map::{Track, TrackShape, TrackSpec};
 use raceloc_obs::{Json, Stopwatch};
 use raceloc_pf::{ScanLayout, SynPfConfig};
@@ -153,7 +153,7 @@ fn input_tape(track: &Track, session: usize, steps: usize) -> Vec<(Odometry, Opt
     const DT: f64 = 0.1;
     const SPEED: f64 = 3.5;
     let caster = RayMarching::new(&track.grid, params().max_range);
-    let mut rng = Rng64::stream(0xBEEF, session as u64);
+    let mut rng = Rng64::stream(0xBEEF, stream_keys::bench_driver(session as u64));
     let path = &track.centerline;
     let s0 = session as f64 * 0.37;
     let mut odom_pose = Pose2::IDENTITY;

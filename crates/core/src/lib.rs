@@ -39,6 +39,7 @@ pub mod pose;
 pub mod rng;
 pub mod sensor_data;
 pub mod stats;
+pub mod stream_keys;
 
 pub use diagnostics::Diagnostics;
 pub use health::{Health, HealthConfig, HealthMonitor, HealthSignal};

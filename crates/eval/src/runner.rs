@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use raceloc_core::localizer::DeadReckoning;
-use raceloc_core::{stats, Health, Rng64};
+use raceloc_core::{stats, stream_keys, Health, Rng64};
 use raceloc_map::Track;
 use raceloc_obs::Telemetry;
 use raceloc_par::{FnJob, WorkerPool};
@@ -158,7 +158,7 @@ pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcom
 
     // The filter seed is derived from the world seed (not equal to it) so
     // filter noise and world noise are independent streams.
-    let filter_seed = Rng64::stream(desc.world_seed, 0xF1).next_u64();
+    let filter_seed = Rng64::stream(desc.world_seed, stream_keys::eval_filter()).next_u64();
 
     let log = match method {
         EvalMethod::SynPf => {

@@ -10,7 +10,7 @@
 //! face bit-identical world noise (paired comparison, exactly like the
 //! paper evaluating both algorithms on the same recorded drives).
 
-use raceloc_core::Rng64;
+use raceloc_core::{stream_keys, Rng64};
 use raceloc_faults::FaultSchedule;
 use raceloc_map::{Track, TrackShape, TrackSpec};
 use raceloc_obs::Json;
@@ -360,11 +360,11 @@ impl FleetSpec {
     /// independent of the localizer (paired comparison) and of everything
     /// about execution (thread count, run order).
     pub fn world_seed(&self, map: usize, grip: usize, scenario: usize, replicate: u32) -> u64 {
-        let tag = ((map as u64 & 0xFFFF) << 48)
-            | ((grip as u64 & 0xFF) << 40)
-            | ((scenario as u64 & 0xFF) << 32)
-            | replicate as u64;
-        Rng64::stream(self.master_seed, tag).next_u64()
+        Rng64::stream(
+            self.master_seed,
+            stream_keys::eval_world_cell(map as u64, grip as u64, scenario as u64, replicate),
+        )
+        .next_u64()
     }
 
     /// Serializes the spec (stable key order).

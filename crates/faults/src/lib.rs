@@ -58,7 +58,7 @@ pub use schedule::{
     FaultKind, FaultScheduleBuilder, FaultSpec, MapRegion, ScheduleError, StepWindow,
 };
 
-use raceloc_core::Rng64;
+use raceloc_core::{stream_keys, Rng64};
 use raceloc_obs::Json;
 
 /// A deterministic script of faults over a simulation run.
@@ -182,9 +182,11 @@ impl FaultSchedule {
     /// function of `(seed, step)`, independent of thread count and of any
     /// other RNG in the process.
     pub fn scan_rng(seed: u64, step: u64) -> Rng64 {
-        // Tag the stream so it can never collide with the sim's own
-        // counter-derived streams (which use small ids).
-        Rng64::stream(seed, (0xFA << 56) | step)
+        // The key comes from the central namespace registry: the 0xFA tag
+        // statically proves this stream can never collide with the pf
+        // motion streams or the eval filter-seed draw, even when the
+        // schedule shares a seed with them (analyzer rule R7).
+        Rng64::stream(seed, stream_keys::fault_scan(step))
     }
 
     /// Serializes the schedule to a [`Json`] value.

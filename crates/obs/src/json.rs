@@ -353,15 +353,32 @@ impl<'a> Parser<'a> {
                     if pending_surrogate.is_some() {
                         return Err(self.err("unpaired surrogate"));
                     }
-                    // Consume one UTF-8 encoded char.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("raw control character"));
+                    // Consume one UTF-8 encoded char, validating only its
+                    // own bytes: running `from_utf8` over the whole tail
+                    // here makes parsing quadratic in document size.
+                    if b < 0x80 {
+                        if b < 0x20 {
+                            return Err(self.err("raw control character"));
+                        }
+                        out.push(b as char);
+                        self.pos += 1;
+                    } else {
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return Err(self.err("invalid UTF-8")),
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(self.pos..self.pos + len)
+                            .ok_or_else(|| self.err("invalid UTF-8"))?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
+                        out.push(c);
+                        self.pos += len;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
                 }
             }
         }

@@ -803,7 +803,8 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             job.twist = odom.twist;
             job.dt = dt;
             job.seed = self.config.seed;
-            job.stream = (self.motion_epoch << 32) | idx as u64;
+            job.epoch = self.motion_epoch;
+            job.chunk = idx as u64;
         }
         self.run_jobs();
         // Jobs may come back in any completion order; scatter by offset.

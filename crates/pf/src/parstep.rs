@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use raceloc_core::{Pose2, Rng64, Twist2};
+use raceloc_core::{stream_keys, Pose2, Rng64, Twist2};
 use raceloc_par::PoolJob;
 use raceloc_range::RangeMethod;
 
@@ -87,10 +87,13 @@ pub(crate) struct StepJob {
     pub twist: Twist2,
     /// Time step \[s\].
     pub dt: f64,
-    /// Filter seed; combined with `stream` into the chunk's RNG stream.
+    /// Filter seed; combined with the `(epoch, chunk)` counters into the
+    /// chunk's registered RNG stream key.
     pub seed: u64,
-    /// Counter-derived stream id: `(motion epoch << 32) | chunk index`.
-    pub stream: u64,
+    /// The filter's prediction epoch (always ≥ 1 when the job runs).
+    pub epoch: u64,
+    /// This job's chunk index in the static layout.
+    pub chunk: u64,
 }
 
 impl StepJob {
@@ -111,20 +114,24 @@ impl StepJob {
             twist: Twist2::ZERO,
             dt: 0.0,
             seed: 0,
-            stream: 0,
+            epoch: 1,
+            chunk: 0,
         }
     }
 }
 
 impl<M: RangeMethod> PoolJob<Arc<PfShared<M>>> for StepJob {
+    // analyze:steady-state
     fn run(&mut self, ctx: &Arc<PfShared<M>>) {
         match self.kind {
             JobKind::Idle => {}
             JobKind::Motion => {
                 // The stream depends only on (seed, epoch, chunk index) —
                 // never on which worker runs the job — so motion noise is
-                // identical for any thread count, including inline.
-                let mut rng = Rng64::stream(self.seed, self.stream);
+                // identical for any thread count, including inline. The key
+                // is built through the central registry (analyzer rule R7).
+                let mut rng =
+                    Rng64::stream(self.seed, stream_keys::pf_motion(self.epoch, self.chunk));
                 match self.motion {
                     MotionConfig::DiffDrive(m) => {
                         propagate(
@@ -157,6 +164,7 @@ impl<M: RangeMethod> PoolJob<Arc<PfShared<M>>> for StepJob {
                     let sensor_pose = *p * self.mount;
                     self.queries.clear();
                     for &(bearing, _) in &self.beams {
+                        // analyze:allow(R9, reason = "push into a cleared buffer that retains capacity across steps; amortized allocation-free")
                         self.queries.push((
                             sensor_pose.x,
                             sensor_pose.y,
@@ -171,6 +179,7 @@ impl<M: RangeMethod> PoolJob<Arc<PfShared<M>>> for StepJob {
                     for (j, &(_, measured)) in self.beams.iter().enumerate() {
                         acc += ctx.sensor.log_prob(self.expected[j], measured);
                     }
+                    // analyze:allow(R9, reason = "push into a cleared buffer that retains capacity across steps; amortized allocation-free")
                     self.log_w.push(acc / self.squash);
                 }
             }
@@ -262,7 +271,8 @@ mod tests {
             job.twist = Twist2::new(1.0, 0.0, 0.2);
             job.dt = 0.05;
             job.seed = 7;
-            job.stream = (3u64 << 32) | 1;
+            job.epoch = 3;
+            job.chunk = 1;
             job.run(&ctx);
             job.particles
         };

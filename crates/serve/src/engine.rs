@@ -427,6 +427,7 @@ impl ServeEngine {
 /// Executes one chunk of sessions: serial steps per session, sessions in
 /// ascending-id order. Pure w.r.t. the pool context, so any worker
 /// produces identical results.
+// analyze:steady-state
 fn run_chunk(work: Option<ChunkWork>) -> ChunkOut {
     let Some(chunk) = work else {
         return Vec::new();

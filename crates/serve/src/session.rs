@@ -1,7 +1,7 @@
 //! Session identity, localizer specifications, and per-session state.
 
 use raceloc_core::localizer::{DeadReckoning, Localizer};
-use raceloc_core::Rng64;
+use raceloc_core::{stream_keys, Rng64};
 use raceloc_obs::{Snapshot, Telemetry};
 use raceloc_pf::{SynPf, SynPfConfig};
 use raceloc_range::MapArtifacts;
@@ -91,7 +91,7 @@ impl LocalizerSpec {
 /// Derives the deterministic seed of a session from the engine seed and the
 /// session id (a pure [`Rng64::stream`] draw — no global state).
 pub fn session_seed(engine_seed: u64, id: SessionId) -> u64 {
-    Rng64::stream(engine_seed, id.0).next_u64()
+    Rng64::stream(engine_seed, stream_keys::serve_session(id.0)).next_u64()
 }
 
 /// Per-session state owned by the engine's session table.

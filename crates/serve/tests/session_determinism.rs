@@ -4,7 +4,7 @@
 //! build, and backpressure must shed oldest-first.
 
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{Pose2, Rng64, Twist2};
+use raceloc_core::{stream_keys, Pose2, Rng64, Twist2};
 use raceloc_map::{Track, TrackShape, TrackSpec};
 use raceloc_obs::SharedBuffer;
 use raceloc_pf::SynPfConfig;
@@ -86,7 +86,7 @@ fn spec_for(i: usize) -> LocalizerSpec {
 /// Independent of the engine, so every run sees identical bytes.
 fn inputs_for(track: &Track, session: usize) -> Vec<(Odometry, Option<LaserScan>)> {
     let caster = RayMarching::new(&track.grid, params().max_range);
-    let mut rng = Rng64::stream(0x1A9E, session as u64);
+    let mut rng = Rng64::stream(0x1A9E, stream_keys::bench_driver(session as u64));
     let path = &track.centerline;
     let s0 = session as f64 * 0.4;
     let mut odom_pose = Pose2::IDENTITY;
