@@ -1,16 +1,19 @@
 //! **Pipeline benchmark** — latency of the fused parallel particle
-//! pipeline (DESIGN.md §11) across worker-thread counts, in the Table III
-//! configuration (N = 1200 particles, boxed 60-beam layout, LUT range
-//! queries), plus a hard correctness gate: the fused cast+weight kernel is
-//! compared **bitwise** against the pre-fusion reference (the explicit
-//! n·k expected-range matrix) and the multi-threaded filter against the
-//! sequential one. Any divergence fails the run with exit code 1 — this is
-//! the check CI's `bench-smoke` job executes.
+//! pipeline (DESIGN.md §11) across worker-thread counts and particle
+//! counts (the Table III N = 1200 configuration plus a 4000-particle
+//! stress row; boxed 60-beam layout, compressed-LUT beam fans), plus a
+//! hard correctness gate: the fused cast+weight kernel is compared
+//! **bitwise** against the pre-fusion reference (the explicit n·k
+//! expected-bin matrix, reduced in the filter's exact operation order)
+//! and the multi-threaded filter against the sequential one. Any
+//! divergence fails the run with exit code 1 — this is the check CI's
+//! `bench-gate` job executes.
 //!
 //! Run with `cargo run -p raceloc-bench --release --bin pipeline --
-//! [--quick] [--threads 1,2,4] [--out BENCH_pipeline.json]`.
+//! [--quick] [--threads 1,2,4] [--particles 1200,4000]
+//! [--out BENCH_pipeline.json]`.
 
-use raceloc_bench::{build_synpf_threaded, test_track, track_artifacts};
+use raceloc_bench::{test_track, track_artifacts};
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
 use raceloc_core::{Pose2, Twist2};
@@ -18,20 +21,35 @@ use raceloc_map::Track;
 use raceloc_obs::{Json, Stopwatch, Telemetry};
 use raceloc_pf::resample::normalize;
 use raceloc_pf::{BeamSensorModel, SynPf, SynPfConfig};
-use raceloc_range::{MapArtifacts, RangeLut, RangeMethod, RayMarching};
+use raceloc_range::{MapArtifacts, RangeMethod, RayMarching};
 use raceloc_sim::{Lidar, LidarSpec};
 use std::sync::Arc;
 
 struct Args {
     quick: bool,
     threads: Vec<usize>,
+    particles: Vec<usize>,
     out: String,
+}
+
+fn parse_usize_list(list: &str, flag: &str) -> Vec<usize> {
+    let parsed: Vec<usize> = list
+        .split(',')
+        .filter_map(|t| t.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    if parsed.is_empty() {
+        eprintln!("{flag} needs a comma-separated list like 1,2,4");
+        std::process::exit(2);
+    }
+    parsed
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         threads: vec![1, 2, 4],
+        particles: vec![1200, 4000],
         out: "BENCH_pipeline.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -39,17 +57,10 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--threads" => {
-                let list = it.next().unwrap_or_default();
-                let parsed: Vec<usize> = list
-                    .split(',')
-                    .filter_map(|t| t.trim().parse::<usize>().ok())
-                    .filter(|&t| t >= 1)
-                    .collect();
-                if parsed.is_empty() {
-                    eprintln!("--threads needs a comma-separated list like 1,2,4");
-                    std::process::exit(2);
-                }
-                args.threads = parsed;
+                args.threads = parse_usize_list(&it.next().unwrap_or_default(), "--threads");
+            }
+            "--particles" => {
+                args.particles = parse_usize_list(&it.next().unwrap_or_default(), "--particles");
             }
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| {
@@ -58,7 +69,9 @@ fn parse_args() -> Args {
                 });
             }
             other => {
-                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                eprintln!(
+                    "unknown argument {other:?} (known: --quick --threads --particles --out)"
+                );
                 std::process::exit(2);
             }
         }
@@ -70,6 +83,8 @@ fn parse_args() -> Args {
     }
     args.threads.sort_unstable();
     args.threads.dedup();
+    args.particles.sort_unstable();
+    args.particles.dedup();
     args
 }
 
@@ -80,17 +95,20 @@ fn scan_at_start(track: &Track) -> LaserScan {
 }
 
 /// The pre-fusion sensor update, kept as the bitwise reference: materialize
-/// the full n·k expected-range matrix, then reduce to posterior weights
-/// with exactly the filter's operation order (uniform prior × exp-shifted
-/// likelihood, normalized).
+/// the full n·k expected-bin matrix through the same public
+/// [`RangeMethod::beam_bins_into`] fan the kernel uses, then reduce it to
+/// posterior weights with exactly the filter's operation order (u64 code
+/// accumulation → `qscale / squash` decode → uniform prior × exp-shifted
+/// likelihood, normalized). The fused kernel never materializes the matrix
+/// and interleaves cast and accumulation per particle chunk — that fusion
+/// (and the thread-pool chunking on top of it) is what this gate pins.
 fn reference_weights(
-    track: &Track,
+    artifacts: &MapArtifacts,
     particles: &[Pose2],
     scan: &LaserScan,
     config: &SynPfConfig,
 ) -> Vec<f64> {
-    let caster = RangeLut::new(&track.grid, 10.0, 72);
-    let sensor = BeamSensorModel::new(config.beam_model, caster.max_range());
+    let sensor = BeamSensorModel::new(config.beam_model, artifacts.max_range());
     // Same beam policy as the fused kernel: dropped beams (non-finite
     // ranges) are skipped entirely, never scored.
     let beams: Vec<usize> = config
@@ -99,24 +117,36 @@ fn reference_weights(
         .into_iter()
         .filter(|&b| scan.ranges[b].is_finite())
         .collect();
+    let bearings: Vec<f64> = beams.iter().map(|&b| scan.angle_of(b)).collect();
+    let rows: Vec<u32> = beams
+        .iter()
+        .map(|&b| sensor.row_offset(scan.ranges[b]))
+        .collect();
     let n = particles.len();
-    let k = beams.len();
-    let mut queries = Vec::with_capacity(n * k);
-    for p in particles {
-        let sp = *p * config.lidar_mount;
-        for &b in &beams {
-            queries.push((sp.x, sp.y, sp.theta + scan.angle_of(b)));
-        }
+    let k = beams.len().max(1);
+    let inv_res = sensor.inv_resolution();
+    let max_bin = sensor.max_bin();
+    let mount = config.lidar_mount;
+    let mut matrix = vec![0u32; n * k];
+    for (p, row_out) in particles.iter().zip(matrix.chunks_mut(k)) {
+        // The lidar mount transform spelled exactly as the kernel spells
+        // it (lane cos/sin first); `Pose2::new` keeps headings in
+        // (-π, π], where its normalization is a bitwise no-op, so these
+        // inputs equal the filter's SoA lanes bit-for-bit.
+        let (c, s) = (p.theta.cos(), p.theta.sin());
+        let sx = p.x + mount.x * c - mount.y * s;
+        let sy = p.y + mount.x * s + mount.y * c;
+        let st = p.theta + mount.theta;
+        artifacts.beam_bins_into(sx, sy, st, &bearings, inv_res, max_bin, row_out);
     }
-    let mut expected = vec![0.0; queries.len()];
-    caster.ranges_into(&queries, &mut expected);
+    let qscale = sensor.quantization_scale();
     let mut log_w = vec![0.0; n];
-    for (i, lw) in log_w.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for (j, &b) in beams.iter().enumerate() {
-            acc += sensor.log_prob(expected[i * k + j], scan.ranges[b]);
+    for (lw, bins) in log_w.iter_mut().zip(matrix.chunks(k)) {
+        let mut acc: u64 = 0;
+        for (&row, &eb) in rows.iter().zip(bins) {
+            acc += u64::from(sensor.code_at(row + eb));
         }
-        *lw = acc / config.squash;
+        *lw = acc as f64 * qscale / config.squash;
     }
     let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut w = vec![1.0 / n as f64; n];
@@ -127,26 +157,44 @@ fn reference_weights(
     w
 }
 
-/// Builds the Table III filter: resampling disabled (`ess_frac` 0) so the
-/// posterior weights stay observable for the divergence gate.
-fn gate_filter(track: &Track, threads: usize) -> SynPf<Arc<MapArtifacts>> {
+/// Builds the benchmark filter at a particle count, sharing one artifact
+/// bundle (grid + EDT + compressed LUT) across every configuration.
+fn bench_filter(
+    artifacts: &Arc<MapArtifacts>,
+    particles: usize,
+    seed: u64,
+    threads: usize,
+) -> SynPf<Arc<MapArtifacts>> {
     let config = SynPfConfig::builder()
-        .particles(1200)
+        .particles(particles)
+        .threads(threads)
+        .seed(seed)
+        .build()
+        .expect("bench config is valid");
+    SynPf::from_artifacts(Arc::clone(artifacts), config)
+}
+
+/// Max |Δweight| between the fused kernel at `threads` and the unfused
+/// reference, from identical pre-correction particle sets. Resampling is
+/// disabled (`ess_frac` 0) so the posterior weights stay observable.
+fn fused_divergence(
+    artifacts: &Arc<MapArtifacts>,
+    track: &Track,
+    scan: &LaserScan,
+    particles: usize,
+    threads: usize,
+) -> f64 {
+    let config = SynPfConfig::builder()
+        .particles(particles)
         .threads(threads)
         .resample_ess_frac(0.0)
         .seed(7)
         .build()
         .expect("gate config is valid");
-    SynPf::from_artifacts(track_artifacts(track), config)
-}
-
-/// Max |Δweight| between the fused kernel at `threads` and the unfused
-/// reference, from identical pre-correction particle sets.
-fn fused_divergence(track: &Track, scan: &LaserScan, threads: usize) -> f64 {
-    let mut pf = gate_filter(track, threads);
+    let mut pf = SynPf::from_artifacts(Arc::clone(artifacts), config);
     pf.reset(track.start_pose());
-    let particles = pf.particles().to_vec();
-    let reference = reference_weights(track, &particles, scan, pf.config());
+    let cloud = pf.particles().to_vec();
+    let reference = reference_weights(artifacts, &cloud, scan, pf.config());
     pf.correct(scan);
     pf.weights()
         .iter()
@@ -156,8 +204,14 @@ fn fused_divergence(track: &Track, scan: &LaserScan, threads: usize) -> f64 {
 }
 
 /// Full predict/correct sequence state, for cross-thread bitwise checks.
-fn full_steps(track: &Track, scan: &LaserScan, threads: usize) -> (Vec<[f64; 3]>, Vec<f64>) {
-    let mut pf = build_synpf_threaded(track, 3, threads);
+fn full_steps(
+    artifacts: &Arc<MapArtifacts>,
+    track: &Track,
+    scan: &LaserScan,
+    particles: usize,
+    threads: usize,
+) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut pf = bench_filter(artifacts, particles, 3, threads);
     pf.reset(track.start_pose());
     let mut odom_pose = Pose2::IDENTITY;
     for i in 0..5 {
@@ -185,6 +239,13 @@ struct ThreadRow {
     step_ms_p99: f64,
 }
 
+struct Run {
+    particles: usize,
+    bitwise_identical: bool,
+    max_abs_weight_delta: f64,
+    rows: Vec<ThreadRow>,
+}
+
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
@@ -194,9 +255,16 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Times `reps` full SynPF steps (one odometry predict + one scan correct,
-/// the Table III unit of work) at a thread count.
-fn measure(track: &Track, scan: &LaserScan, threads: usize, reps: usize) -> ThreadRow {
-    let mut pf = build_synpf_threaded(track, 3, threads);
+/// the Table III unit of work) at a particle count and thread count.
+fn measure(
+    artifacts: &Arc<MapArtifacts>,
+    track: &Track,
+    scan: &LaserScan,
+    particles: usize,
+    threads: usize,
+    reps: usize,
+) -> ThreadRow {
+    let mut pf = bench_filter(artifacts, particles, 3, threads);
     let tel = Telemetry::enabled();
     pf.set_telemetry(tel.clone());
     pf.reset(track.start_pose());
@@ -246,63 +314,77 @@ fn measure(track: &Track, scan: &LaserScan, threads: usize, reps: usize) -> Thre
 fn main() {
     let args = parse_args();
     let reps = if args.quick { 20 } else { 200 };
-    println!("Fused particle-pipeline benchmark (Table III config: N=1200, boxed 60, LUT)");
+    println!("Fused particle-pipeline benchmark (boxed 60, compressed LUT)");
     let track = test_track();
+    let artifacts = track_artifacts(&track);
     let scan = scan_at_start(&track);
 
-    // Correctness gate 1: fused kernel vs the unfused n·k matrix reference.
     let mut diverged = false;
-    let mut max_delta = 0.0f64;
-    for &threads in &args.threads {
-        let delta = fused_divergence(&track, &scan, threads);
-        max_delta = max_delta.max(delta);
-        if delta != 0.0 {
-            diverged = true;
-            eprintln!("DIVERGENCE: fused weights off by {delta:e} at threads={threads}");
+    let mut runs = Vec::new();
+    for &n in &args.particles {
+        // Correctness gate 1: fused kernel vs the unfused n·k matrix
+        // reference, at every thread count.
+        let mut max_delta = 0.0f64;
+        let mut identical = true;
+        for &threads in &args.threads {
+            let delta = fused_divergence(&artifacts, &track, &scan, n, threads);
+            max_delta = max_delta.max(delta);
+            if delta != 0.0 {
+                identical = false;
+                eprintln!("DIVERGENCE: fused weights off by {delta:e} at N={n} threads={threads}");
+            }
         }
-    }
-    // Correctness gate 2: full multi-threaded steps vs the sequential run.
-    let sequential = full_steps(&track, &scan, 1);
-    for &threads in args.threads.iter().filter(|&&t| t > 1) {
-        if full_steps(&track, &scan, threads) != sequential {
-            diverged = true;
-            eprintln!("DIVERGENCE: full step state differs at threads={threads}");
+        // Correctness gate 2: full multi-threaded steps vs the sequential
+        // run.
+        let sequential = full_steps(&artifacts, &track, &scan, n, 1);
+        for &threads in args.threads.iter().filter(|&&t| t > 1) {
+            if full_steps(&artifacts, &track, &scan, n, threads) != sequential {
+                identical = false;
+                eprintln!("DIVERGENCE: full step state differs at N={n} threads={threads}");
+            }
         }
-    }
-    println!(
-        "divergence gate: max |Δweight| = {max_delta:e} ({})",
-        if diverged { "FAIL" } else { "ok" }
-    );
-
-    let rows: Vec<ThreadRow> = args
-        .threads
-        .iter()
-        .map(|&t| measure(&track, &scan, t, reps))
-        .collect();
-    let base = rows.first().map_or(f64::NAN, |r| r.step_ms_mean);
-    println!(
-        "  {:<8} {:>12} {:>11} {:>11} {:>12} {:>11} {:>11} {:>8}",
-        "threads",
-        "corr mean",
-        "corr p50",
-        "corr p99",
-        "step mean",
-        "step p50",
-        "step p99",
-        "speedup"
-    );
-    for r in &rows {
+        diverged |= !identical;
         println!(
-            "  {:<8} {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>7.2}x",
-            r.threads,
-            r.correct_ms_mean,
-            r.correct_ms_p50,
-            r.correct_ms_p99,
-            r.step_ms_mean,
-            r.step_ms_p50,
-            r.step_ms_p99,
-            base / r.step_ms_mean
+            "N={n}: divergence gate max |Δweight| = {max_delta:e} ({})",
+            if identical { "ok" } else { "FAIL" }
         );
+
+        let rows: Vec<ThreadRow> = args
+            .threads
+            .iter()
+            .map(|&t| measure(&artifacts, &track, &scan, n, t, reps))
+            .collect();
+        let base = rows.first().map_or(f64::NAN, |r| r.step_ms_mean);
+        println!(
+            "  {:<8} {:>12} {:>11} {:>11} {:>12} {:>11} {:>11} {:>8}",
+            "threads",
+            "corr mean",
+            "corr p50",
+            "corr p99",
+            "step mean",
+            "step p50",
+            "step p99",
+            "speedup"
+        );
+        for r in &rows {
+            println!(
+                "  {:<8} {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>10.3}ms {:>9.3}ms {:>9.3}ms {:>7.2}x",
+                r.threads,
+                r.correct_ms_mean,
+                r.correct_ms_p50,
+                r.correct_ms_p99,
+                r.step_ms_mean,
+                r.step_ms_p50,
+                r.step_ms_p99,
+                base / r.step_ms_mean
+            );
+        }
+        runs.push(Run {
+            particles: n,
+            bitwise_identical: identical,
+            max_abs_weight_delta: max_delta,
+            rows,
+        });
     }
 
     let json = Json::Obj(vec![
@@ -311,17 +393,9 @@ fn main() {
         (
             "config".into(),
             Json::Obj(vec![
-                ("particles".into(), Json::num(1200.0)),
                 ("layout".into(), Json::Str("boxed60".into())),
-                ("range_method".into(), Json::Str("lut".into())),
+                ("range_method".into(), Json::Str("compressed_lut".into())),
                 ("reps".into(), Json::num(reps as f64)),
-            ]),
-        ),
-        (
-            "divergence".into(),
-            Json::Obj(vec![
-                ("bitwise_identical".into(), Json::Bool(!diverged)),
-                ("max_abs_weight_delta".into(), Json::num(max_delta)),
                 (
                     "threads_checked".into(),
                     Json::Arr(args.threads.iter().map(|&t| Json::num(t as f64)).collect()),
@@ -329,21 +403,57 @@ fn main() {
             ]),
         ),
         (
-            "threads".into(),
+            "runs".into(),
             Json::Arr(
-                rows.iter()
-                    .map(|r| {
+                runs.iter()
+                    .map(|run| {
+                        let base = run.rows.first().map_or(f64::NAN, |r| r.step_ms_mean);
                         Json::Obj(vec![
-                            ("threads".into(), Json::num(r.threads as f64)),
-                            ("correct_ms_mean".into(), Json::num(r.correct_ms_mean)),
-                            ("correct_ms_p50".into(), Json::num(r.correct_ms_p50)),
-                            ("correct_ms_p99".into(), Json::num(r.correct_ms_p99)),
-                            ("step_ms_mean".into(), Json::num(r.step_ms_mean)),
-                            ("step_ms_p50".into(), Json::num(r.step_ms_p50)),
-                            ("step_ms_p99".into(), Json::num(r.step_ms_p99)),
+                            ("particles".into(), Json::num(run.particles as f64)),
                             (
-                                "speedup_vs_sequential".into(),
-                                Json::num(base / r.step_ms_mean),
+                                "divergence".into(),
+                                Json::Obj(vec![
+                                    (
+                                        "bitwise_identical".into(),
+                                        Json::Bool(run.bitwise_identical),
+                                    ),
+                                    (
+                                        "max_abs_weight_delta".into(),
+                                        Json::num(run.max_abs_weight_delta),
+                                    ),
+                                ]),
+                            ),
+                            (
+                                "threads".into(),
+                                Json::Arr(
+                                    run.rows
+                                        .iter()
+                                        .map(|r| {
+                                            Json::Obj(vec![
+                                                ("threads".into(), Json::num(r.threads as f64)),
+                                                (
+                                                    "correct_ms_mean".into(),
+                                                    Json::num(r.correct_ms_mean),
+                                                ),
+                                                (
+                                                    "correct_ms_p50".into(),
+                                                    Json::num(r.correct_ms_p50),
+                                                ),
+                                                (
+                                                    "correct_ms_p99".into(),
+                                                    Json::num(r.correct_ms_p99),
+                                                ),
+                                                ("step_ms_mean".into(), Json::num(r.step_ms_mean)),
+                                                ("step_ms_p50".into(), Json::num(r.step_ms_p50)),
+                                                ("step_ms_p99".into(), Json::num(r.step_ms_p99)),
+                                                (
+                                                    "speedup_vs_sequential".into(),
+                                                    Json::num(base / r.step_ms_mean),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
                             ),
                         ])
                     })

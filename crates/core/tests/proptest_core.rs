@@ -122,3 +122,38 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distribution-level pin of the ziggurat gaussian sampler: for any
+    /// stream, empirical moments and tail mass must match the standard
+    /// normal within generous (≥ 6σ) sampling-noise bounds. A broken layer
+    /// table, wedge test, or tail sampler shifts these statistics far
+    /// outside the bounds long before it would be visible in filter-level
+    /// tests.
+    #[test]
+    fn gaussian_matches_standard_normal_statistics(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let n = 20_000usize;
+        let (mut sum, mut sum2) = (0.0f64, 0.0f64);
+        let (mut beyond2, mut positive) = (0usize, 0usize);
+        for _ in 0..n {
+            let x = rng.gaussian();
+            prop_assert!(x.is_finite());
+            sum += x;
+            sum2 += x * x;
+            beyond2 += usize::from(x.abs() > 2.0);
+            positive += usize::from(x > 0.0);
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        prop_assert!(mean.abs() < 0.05, "mean {mean}");
+        prop_assert!((var - 1.0).abs() < 0.06, "variance {var}");
+        // P(|X| > 2) = 0.04550 for the standard normal.
+        let tail = beyond2 as f64 / n as f64;
+        prop_assert!((tail - 0.0455).abs() < 0.012, "2-sigma tail {tail}");
+        let sym = positive as f64 / n as f64;
+        prop_assert!((sym - 0.5).abs() < 0.025, "sign balance {sym}");
+    }
+}

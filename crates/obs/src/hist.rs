@@ -7,10 +7,24 @@
 //! one run) merge and compare bucket-by-bucket — the property the Table III
 //! latency breakdown relies on.
 
-/// The default latency ladder \[seconds\]: a 1–2–5 series from 1 µs to 10 s.
-pub const LATENCY_BOUNDS_S: [f64; 22] = [
-    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
-    2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
+/// The default latency ladder \[seconds\]: the R10 preferred-number series
+/// (1, 1.25, 1.6, 2, 2.5, 3.15, 4, 5, 6.3, 8 per decade) from 1 µs to 10 s.
+///
+/// Ten buckets per decade keep quantile upper bounds within ~25% of the
+/// true value everywhere on the ladder — microsecond-scale resolution in
+/// the sub-millisecond band where the fused particle pipeline now lands
+/// (DESIGN.md §11), while still covering multi-second outliers. The old
+/// 1–2–5 ladder could only say "somewhere in \[0.5 ms, 1 ms)" about a
+/// 0.8 ms correction step.
+pub const LATENCY_BOUNDS_S: [f64; 71] = [
+    1e-6, 1.25e-6, 1.6e-6, 2e-6, 2.5e-6, 3.15e-6, 4e-6, 5e-6, 6.3e-6, 8e-6, //
+    1e-5, 1.25e-5, 1.6e-5, 2e-5, 2.5e-5, 3.15e-5, 4e-5, 5e-5, 6.3e-5, 8e-5, //
+    1e-4, 1.25e-4, 1.6e-4, 2e-4, 2.5e-4, 3.15e-4, 4e-4, 5e-4, 6.3e-4, 8e-4, //
+    1e-3, 1.25e-3, 1.6e-3, 2e-3, 2.5e-3, 3.15e-3, 4e-3, 5e-3, 6.3e-3, 8e-3, //
+    1e-2, 1.25e-2, 1.6e-2, 2e-2, 2.5e-2, 3.15e-2, 4e-2, 5e-2, 6.3e-2, 8e-2, //
+    1e-1, 1.25e-1, 1.6e-1, 2e-1, 2.5e-1, 3.15e-1, 4e-1, 5e-1, 6.3e-1, 8e-1, //
+    1.0, 1.25, 1.6, 2.0, 2.5, 3.15, 4.0, 5.0, 6.3, 8.0, //
+    10.0,
 ];
 
 /// A fixed-boundary histogram with an overflow bucket.
@@ -193,10 +207,10 @@ mod tests {
     fn quantile_upper_bound_brackets_median() {
         let mut h = Histogram::latency();
         for _ in 0..100 {
-            h.record(1.3e-3); // lands in (1e-3, 2e-3]
+            h.record(1.3e-3); // lands in (1.25e-3, 1.6e-3]
         }
-        assert_eq!(h.quantile_upper_bound(0.5), Some(2e-3));
-        assert_eq!(h.quantile_upper_bound(0.99), Some(2e-3));
+        assert_eq!(h.quantile_upper_bound(0.5), Some(1.6e-3));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(1.6e-3));
         assert_eq!(Histogram::latency().quantile_upper_bound(0.5), None);
     }
 

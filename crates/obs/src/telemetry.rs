@@ -415,7 +415,7 @@ mod tests {
         let snap = tel.snapshot();
         let h = snap.histogram("stage").unwrap();
         assert_eq!(h.total(), 2);
-        assert_eq!(h.quantile_upper_bound(0.5), Some(2e-3));
+        assert_eq!(h.quantile_upper_bound(0.5), Some(1.6e-3));
     }
 
     #[test]

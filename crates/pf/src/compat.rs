@@ -9,9 +9,9 @@
 
 use crate::filter::{SynPf, SynPfConfig};
 use raceloc_map::OccupancyGrid;
-use raceloc_range::RangeLut;
+use raceloc_range::CompressedRangeLut;
 
-impl SynPf<RangeLut> {
+impl SynPf<CompressedRangeLut> {
     /// Builds a filter that privately owns a freshly built range LUT for
     /// `grid` (10 m clamp, 72 heading bins — the old hard-coded literals).
     ///
@@ -25,7 +25,7 @@ impl SynPf<RangeLut> {
                 ArtifactStore::get_or_build + SynPf::from_artifacts instead"
     )]
     pub fn with_owned_map(grid: &OccupancyGrid, config: SynPfConfig) -> Self {
-        Self::new(RangeLut::new(grid, 10.0, 72), config)
+        Self::new(CompressedRangeLut::new(grid, 10.0, 72), config)
     }
 }
 

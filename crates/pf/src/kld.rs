@@ -73,8 +73,13 @@ impl KldConfig {
         (n.ceil() as usize).clamp(self.min_particles, self.max_particles)
     }
 
-    /// Counts the occupied histogram bins of a particle set.
-    pub fn occupied_bins(&self, particles: &[Pose2]) -> usize {
+    /// Counts the occupied histogram bins of a particle cloud, given as
+    /// any pose iterator (e.g. a `&[Pose2]` via `.iter().copied()`, or a
+    /// [`crate::ParticleStore`]'s `iter()` without materializing poses).
+    pub fn occupied_bins<I>(&self, particles: I) -> usize
+    where
+        I: IntoIterator<Item = Pose2>,
+    {
         // BTreeSet rather than HashSet: only `len()` is observed, but the
         // determinism rule (R3) keeps randomized-layout containers out of
         // the localization crates wholesale.
@@ -91,7 +96,10 @@ impl KldConfig {
 
     /// The adaptive particle count for the given cloud: the KLD bound for
     /// its current histogram occupancy.
-    pub fn adapt(&self, particles: &[Pose2]) -> usize {
+    pub fn adapt<I>(&self, particles: I) -> usize
+    where
+        I: IntoIterator<Item = Pose2>,
+    {
         self.required_particles(self.occupied_bins(particles))
     }
 }
@@ -154,14 +162,14 @@ mod tests {
         let cfg = KldConfig::default();
         let tight = spread_cloud(1000, 0.01, 1);
         let wide = spread_cloud(1000, 2.0, 2);
-        assert!(cfg.occupied_bins(&tight) < 10);
-        assert!(cfg.occupied_bins(&wide) > 100);
-        assert!(cfg.adapt(&tight) < cfg.adapt(&wide));
+        assert!(cfg.occupied_bins(tight.iter().copied()) < 10);
+        assert!(cfg.occupied_bins(wide.iter().copied()) > 100);
+        assert!(cfg.adapt(tight.iter().copied()) < cfg.adapt(wide.iter().copied()));
     }
 
     #[test]
     fn adapt_of_empty_cloud_is_minimum() {
         let cfg = KldConfig::default();
-        assert_eq!(cfg.adapt(&[]), cfg.min_particles);
+        assert_eq!(cfg.adapt(std::iter::empty()), cfg.min_particles);
     }
 }

@@ -51,6 +51,7 @@ pub mod motion;
 mod parstep;
 pub mod resample;
 pub mod sensor;
+pub mod store;
 
 pub use config::{ConfigError, RecoveryConfigBuilder, SynPfConfigBuilder};
 pub use filter::{MotionConfig, RecoveryConfig, SynPf, SynPfConfig};
@@ -59,3 +60,4 @@ pub use kld::KldConfig;
 pub use layout::ScanLayout;
 pub use motion::{CloudDispersion, DiffDriveModel, MotionModel, TumMotionModel};
 pub use sensor::{BeamModelConfig, BeamSensorModel};
+pub use store::ParticleStore;

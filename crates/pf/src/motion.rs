@@ -99,6 +99,60 @@ impl MotionModel for DiffDriveModel {
     }
 }
 
+impl DiffDriveModel {
+    /// Lane (structure-of-arrays) form of [`MotionModel::sample`] over a
+    /// whole chunk: same decomposition, same noise, and the *same RNG draw
+    /// sequence* (`rot1`, `trans`, `rot2` per particle, in that order) as
+    /// calling `sample` in a loop — the lane kernel is draw-for-draw
+    /// compatible with the scalar model.
+    ///
+    /// Differences from the scalar path, by construction:
+    /// - the decomposition and σ's are hoisted out of the particle loop
+    ///   (they depend only on `delta`);
+    /// - headings accumulate unnormalized in the `theta` lane, and the
+    ///   `cos`/`sin` lanes are rotated incrementally by the step's own
+    ///   `sin_cos` instead of being recomputed from the new heading.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn propagate_lanes(
+        &self,
+        delta: Pose2,
+        rng: &mut Rng64,
+        x: &mut [f64],
+        y: &mut [f64],
+        theta: &mut [f64],
+        cos_t: &mut [f64],
+        sin_t: &mut [f64],
+    ) {
+        let trans = delta.translation().norm();
+        let rot1 = if trans < 1e-6 {
+            0.0
+        } else {
+            delta.y.atan2(delta.x)
+        };
+        let rot2 = raceloc_core::angle::diff(delta.theta, rot1);
+        let sigma_rot1 = (self.alpha1 * rot1 * rot1 + self.alpha2 * trans * trans).sqrt();
+        let sigma_trans =
+            (self.alpha3 * trans * trans + self.alpha4 * (rot1 * rot1 + rot2 * rot2)).sqrt();
+        let sigma_rot2 = (self.alpha1 * rot2 * rot2 + self.alpha2 * trans * trans).sqrt();
+        for i in 0..x.len() {
+            let r1 = rng.gaussian_with(rot1, sigma_rot1);
+            let tr = rng.gaussian_with(trans, sigma_trans);
+            let r2 = rng.gaussian_with(rot2, sigma_rot2);
+            let (s1, c1) = r1.sin_cos();
+            let dx = tr * c1;
+            let dy = tr * s1;
+            let dth = r1 + r2;
+            let (c0, s0) = (cos_t[i], sin_t[i]);
+            x[i] += dx * c0 - dy * s0;
+            y[i] += dx * s0 + dy * c0;
+            theta[i] += dth;
+            let (sd, cd) = dth.sin_cos();
+            cos_t[i] = c0 * cd - s0 * sd;
+            sin_t[i] = s0 * cd + c0 * sd;
+        }
+    }
+}
+
 /// Parameters of the TUM high-speed motion model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TumMotionModel {
@@ -164,6 +218,61 @@ impl MotionModel for TumMotionModel {
 
     fn name(&self) -> &str {
         "tum"
+    }
+}
+
+impl TumMotionModel {
+    /// Lane (structure-of-arrays) form of [`MotionModel::sample`] over a
+    /// whole chunk, drawing `v`, `ω`, then the two position jitters per
+    /// particle in exactly the scalar model's order.
+    ///
+    /// The twist integration is inlined for `vy = 0` (the model always
+    /// builds `Twist2::new(v, 0.0, omega)`), the speed-dependent σ's are
+    /// hoisted out of the particle loop, headings accumulate unnormalized
+    /// in the `theta` lane, and the `cos`/`sin` lanes are rotated
+    /// incrementally by the step's own `sin_cos`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn propagate_lanes(
+        &self,
+        twist: Twist2,
+        dt: f64,
+        rng: &mut Rng64,
+        x: &mut [f64],
+        y: &mut [f64],
+        theta: &mut [f64],
+        cos_t: &mut [f64],
+        sin_t: &mut [f64],
+    ) {
+        let v_meas = twist.vx;
+        let speed = v_meas.abs();
+        let sigma_v = self.sigma_v_rel * speed + self.sigma_v_abs;
+        let sigma_omega = self.sigma_omega_0 / (1.0 + speed / self.v_char);
+        let clamp = speed > 0.5;
+        let omega_max = if clamp { self.a_lat_max / speed } else { 0.0 };
+        for i in 0..x.len() {
+            let v = rng.gaussian_with(v_meas, sigma_v);
+            let mut omega = rng.gaussian_with(twist.omega, sigma_omega);
+            if clamp {
+                omega = omega.clamp(-omega_max, omega_max);
+            }
+            // Twist2::new(v, 0, omega).integrate(dt), specialized to vy = 0.
+            let vxt = v * dt;
+            let wt = omega * dt;
+            let (sw, cw) = wt.sin_cos();
+            let (dx, dy) = if wt.abs() < 1e-9 {
+                (vxt, 0.5 * wt * vxt)
+            } else {
+                (sw / wt * vxt, (1.0 - cw) / wt * vxt)
+            };
+            let (c0, s0) = (cos_t[i], sin_t[i]);
+            let px = x[i] + dx * c0 - dy * s0;
+            let py = y[i] + dx * s0 + dy * c0;
+            x[i] = rng.gaussian_with(px, self.sigma_pos);
+            y[i] = rng.gaussian_with(py, self.sigma_pos);
+            theta[i] += wt;
+            cos_t[i] = c0 * cw - s0 * sw;
+            sin_t[i] = s0 * cw + c0 * sw;
+        }
     }
 }
 
@@ -379,5 +488,126 @@ mod tests {
     fn names() {
         assert_eq!(DiffDriveModel::default().name(), "diff-drive");
         assert_eq!(TumMotionModel::default().name(), "tum");
+    }
+}
+
+/// Property tests pinning the lane (SoA) kernels to the scalar
+/// [`MotionModel::sample`] oracle, draw for draw: after propagating the
+/// same cloud through both paths with clones of one RNG, the poses agree
+/// to float-accumulation tolerance *and the two RNGs are in an identical
+/// state* — proving the lane kernel consumed exactly the same gaussian
+/// sequence (count and order) as the scalar loop.
+#[cfg(test)]
+mod lane_oracle_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pose() -> impl Strategy<Value = Pose2> {
+        (-8.0..8.0f64, -8.0..8.0f64, -3.1..3.1f64).prop_map(|(x, y, t)| Pose2::new(x, y, t))
+    }
+
+    /// Max |Δ| between a scalar-propagated pose and its lane twin, with the
+    /// heading compared circularly (the lane theta is unnormalized).
+    fn pose_gap(scalar: Pose2, lx: f64, ly: f64, ltheta: f64) -> f64 {
+        let dt = raceloc_core::angle::diff(ltheta, scalar.theta).abs();
+        (scalar.x - lx).abs().max((scalar.y - ly).abs()).max(dt)
+    }
+
+    type Lanes = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+    fn lanes_of(cloud: &[Pose2]) -> Lanes {
+        (
+            cloud.iter().map(|p| p.x).collect(),
+            cloud.iter().map(|p| p.y).collect(),
+            cloud.iter().map(|p| p.theta).collect(),
+            cloud.iter().map(|p| p.theta.cos()).collect(),
+            cloud.iter().map(|p| p.theta.sin()).collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tum_lanes_match_scalar_draw_for_draw(
+            cloud in proptest::collection::vec(arb_pose(), 1..40),
+            vx in -9.0..9.0f64,
+            omega in -2.0..2.0f64,
+            dt in 0.005..0.1f64,
+            seed in 0..u64::MAX,
+            steps in 1usize..4,
+        ) {
+            let model = TumMotionModel::default();
+            let twist = Twist2::new(vx, 0.0, omega);
+            let mut scalar = cloud.clone();
+            let mut scalar_rng = Rng64::new(seed);
+            let (mut x, mut y, mut theta, mut cos_t, mut sin_t) = lanes_of(&cloud);
+            let mut lane_rng = Rng64::new(seed);
+            for _ in 0..steps {
+                propagate(&model, &mut scalar, Pose2::IDENTITY, twist, dt, &mut scalar_rng);
+                model.propagate_lanes(
+                    twist, dt, &mut lane_rng,
+                    &mut x, &mut y, &mut theta, &mut cos_t, &mut sin_t,
+                );
+            }
+            prop_assert_eq!(&scalar_rng, &lane_rng, "RNG draw sequences diverged");
+            for (i, &p) in scalar.iter().enumerate() {
+                let gap = pose_gap(p, x[i], y[i], theta[i]);
+                prop_assert!(gap < 1e-9, "particle {i}: gap {gap}");
+                prop_assert!((cos_t[i] - theta[i].cos()).abs() < 1e-12, "cos lane drifted");
+                prop_assert!((sin_t[i] - theta[i].sin()).abs() < 1e-12, "sin lane drifted");
+            }
+        }
+
+        #[test]
+        fn diff_drive_lanes_match_scalar_draw_for_draw(
+            cloud in proptest::collection::vec(arb_pose(), 1..40),
+            dx in -0.4..0.4f64,
+            dy in -0.2..0.2f64,
+            dtheta in -0.5..0.5f64,
+            seed in 0..u64::MAX,
+            steps in 1usize..4,
+        ) {
+            let model = DiffDriveModel::default();
+            let delta = Pose2::new(dx, dy, dtheta);
+            let mut scalar = cloud.clone();
+            let mut scalar_rng = Rng64::new(seed);
+            let (mut x, mut y, mut theta, mut cos_t, mut sin_t) = lanes_of(&cloud);
+            let mut lane_rng = Rng64::new(seed);
+            for _ in 0..steps {
+                propagate(&model, &mut scalar, delta, Twist2::ZERO, 0.02, &mut scalar_rng);
+                model.propagate_lanes(
+                    delta, &mut lane_rng,
+                    &mut x, &mut y, &mut theta, &mut cos_t, &mut sin_t,
+                );
+            }
+            prop_assert_eq!(&scalar_rng, &lane_rng, "RNG draw sequences diverged");
+            for (i, &p) in scalar.iter().enumerate() {
+                let gap = pose_gap(p, x[i], y[i], theta[i]);
+                prop_assert!(gap < 1e-9, "particle {i}: gap {gap}");
+            }
+        }
+
+        #[test]
+        fn diff_drive_zero_motion_consumes_no_draws(
+            cloud in proptest::collection::vec(arb_pose(), 1..10),
+            seed in 0..u64::MAX,
+        ) {
+            // σ's are all zero for a zero delta, and gaussian_with(μ, 0)
+            // returns μ without touching the generator: the lane kernel
+            // must preserve that (chunked RNG streams rely on it).
+            let model = DiffDriveModel::default();
+            let (mut x, mut y, mut theta, mut cos_t, mut sin_t) = lanes_of(&cloud);
+            let mut rng = Rng64::new(seed);
+            model.propagate_lanes(
+                Pose2::IDENTITY, &mut rng,
+                &mut x, &mut y, &mut theta, &mut cos_t, &mut sin_t,
+            );
+            prop_assert_eq!(&rng, &Rng64::new(seed));
+            for (i, &p) in cloud.iter().enumerate() {
+                prop_assert!((x[i] - p.x).abs() < 1e-12);
+                prop_assert!((y[i] - p.y).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -43,6 +43,22 @@ impl Default for BeamModelConfig {
 
 /// The discretized beam sensor model.
 ///
+/// Two tables are built from the same mixture densities:
+///
+/// - the f32 `table` (expected-major), the original evaluator behind
+///   [`BeamSensorModel::log_prob`] — retained as the test oracle;
+/// - the u16 `qtable` (measured-major), the canonical hot path: each entry
+///   stores `round(log p / qscale)` with `qscale = ln(1e-12) / 65535`, so a
+///   particle's beam log-likelihoods can be *summed as integers* and
+///   converted to a float once per particle. Integer addition is exact and
+///   order-free, which is what makes the fused kernel bitwise identical
+///   across thread counts without prescribing a float summation order.
+///
+/// The measured-major layout matches the access pattern of one correction
+/// step: the measured bin is fixed per beam across all particles, so each
+/// beam reads from a single 402-byte row of the 81 KB table — fully
+/// L1/L2-resident.
+///
 /// # Examples
 ///
 /// ```
@@ -57,8 +73,15 @@ pub struct BeamSensorModel {
     config: BeamModelConfig,
     max_range: f64,
     bins: usize,
+    /// Reciprocal of the table resolution; binning multiplies by this
+    /// (one shared rounding path for both evaluators).
+    inv_res: f64,
     /// `table[expected_bin * bins + measured_bin]` = log p(measured | expected).
     table: Vec<f32>,
+    /// `qtable[measured_bin * bins + expected_bin]` = `round(log p / qscale)`.
+    qtable: Vec<u16>,
+    /// Log-likelihood per quantization code: `ln(1e-12) / 65535` (negative).
+    qscale: f64,
 }
 
 impl BeamSensorModel {
@@ -78,6 +101,8 @@ impl BeamSensorModel {
         );
         let bins = (max_range / config.resolution).ceil() as usize + 1;
         let mut table = vec![0.0f32; bins * bins];
+        let mut qtable = vec![0u16; bins * bins];
+        let qscale = Self::LOG_FLOOR_F64 / f64::from(u16::MAX);
         let res = config.resolution;
         let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * config.sigma_hit);
         // Row scratch hoisted out of the expected-bin loop; every element
@@ -125,14 +150,21 @@ impl BeamSensorModel {
             // no support and would otherwise leak its mixture weight.
             let scale = if mass > 1e-12 { 1.0 / mass } else { 1.0 };
             for (m, &p) in probs.iter().enumerate() {
-                table[e * bins + m] = ((p * scale).max(1e-12)).ln() as f32;
+                let logp = ((p * scale).max(1e-12)).ln();
+                table[e * bins + m] = logp as f32;
+                // Transposed (measured-major) and quantized from the same
+                // f64 density; `logp ∈ [ln 1e-12, 0]` so the code fits.
+                qtable[m * bins + e] = (logp / qscale).round() as u16;
             }
         }
         Self {
             config,
             max_range,
             bins,
+            inv_res: 1.0 / config.resolution,
             table,
+            qtable,
+            qscale,
         }
     }
 
@@ -146,18 +178,23 @@ impl BeamSensorModel {
         self.bins
     }
 
-    /// Heap bytes used by the table.
+    /// Heap bytes used by both tables (f32 oracle + u16 quantized).
     pub fn memory_bytes(&self) -> usize {
         self.table.len() * std::mem::size_of::<f32>()
+            + self.qtable.len() * std::mem::size_of::<u16>()
     }
 
     /// Log-probability floor returned on an (impossible) out-of-table
     /// access: `ln(1e-12)`, the same clamp the table rows are built with.
     const LOG_FLOOR: f32 = -27.631021;
 
+    /// The floor in f64, the quantized table's reference point: code 65535
+    /// decodes to exactly this value.
+    const LOG_FLOOR_F64: f64 = -27.631_021_115_928_547;
+
     #[inline]
     fn bin(&self, r: f64) -> usize {
-        ((r.clamp(0.0, self.max_range) / self.config.resolution) as usize).min(self.bins - 1)
+        ((r.clamp(0.0, self.max_range) * self.inv_res) as usize).min(self.bins - 1)
     }
 
     /// Checked table access: `bin` clamps both axes into range, so the
@@ -173,9 +210,67 @@ impl BeamSensorModel {
 
     /// Log-probability of measuring `measured` when the map predicts
     /// `expected` (both in meters; values are clamped to the table domain).
+    ///
+    /// This is the retained f32 oracle; the hot path goes through the
+    /// quantized accessors below.
     #[inline]
     pub fn log_prob(&self, expected: f64, measured: f64) -> f64 {
         self.entry(self.bin(expected), self.bin(measured)) as f64
+    }
+
+    /// Reciprocal of the table resolution, for quantizing expected ranges
+    /// to bins outside the model (the `beam_bins_into` fan).
+    #[inline]
+    pub fn inv_resolution(&self) -> f64 {
+        self.inv_res
+    }
+
+    /// Largest valid bin index on either table axis.
+    #[inline]
+    pub fn max_bin(&self) -> u32 {
+        (self.bins - 1) as u32
+    }
+
+    /// Start offset of a measured range's row in the quantized table.
+    /// One lookup per *beam* (not per particle×beam): the row then serves
+    /// every particle's expected-bin column reads.
+    #[inline]
+    pub fn row_offset(&self, measured: f64) -> u32 {
+        (self.bin(measured) * self.bins) as u32
+    }
+
+    /// Bin index of an expected range — the same rounding as the oracle's
+    /// internal binning, exposed for reference implementations.
+    #[inline]
+    pub fn expected_bin(&self, r: f64) -> u32 {
+        self.bin(r) as u32
+    }
+
+    /// Quantized-table read by flat index (`row_offset + expected_bin`).
+    /// The index is clamped arithmetically, keeping the fused kernel's
+    /// inner loop free of panic branches (analysis rule R1-idx); in-contract
+    /// callers can never be out of range because both factors are clamped
+    /// at construction.
+    #[inline]
+    pub fn code_at(&self, idx: u32) -> u16 {
+        self.qtable[(idx as usize).min(self.qtable.len() - 1)]
+    }
+
+    /// Log-likelihood units per quantization code: `ln(1e-12) / 65535`
+    /// (negative). A particle's log-weight is
+    /// `(Σ beam codes) · quantization_scale() / squash`.
+    #[inline]
+    pub fn quantization_scale(&self) -> f64 {
+        self.qscale
+    }
+
+    /// The quantized evaluator in oracle shape: decodes the u16 code for
+    /// one `(expected, measured)` pair. Differs from [`Self::log_prob`] by
+    /// at most half a quantization step (≈ 2.1·10⁻⁴ nats).
+    #[inline]
+    pub fn log_prob_quantized(&self, expected: f64, measured: f64) -> f64 {
+        let idx = self.row_offset(measured) + self.expected_bin(expected);
+        f64::from(self.code_at(idx)) * self.qscale
     }
 }
 
@@ -268,7 +363,78 @@ mod tests {
     #[test]
     fn memory_accounting() {
         let m = model();
-        assert_eq!(m.memory_bytes(), m.bins() * m.bins() * 4);
+        // 4 B/entry f32 oracle + 2 B/entry u16 quantized table.
+        assert_eq!(m.memory_bytes(), m.bins() * m.bins() * (4 + 2));
+    }
+
+    #[test]
+    fn quantized_matches_oracle_within_half_step() {
+        let m = model();
+        let half_step = m.quantization_scale().abs() / 2.0;
+        assert!((half_step - 27.631_021 / 65535.0 / 2.0).abs() < 1e-9);
+        let mut worst = 0.0f64;
+        for e in 0..=40 {
+            for me in 0..=40 {
+                let (exp, meas) = (e as f64 * 0.25, me as f64 * 0.25);
+                let err = (m.log_prob_quantized(exp, meas) - m.log_prob(exp, meas)).abs();
+                worst = worst.max(err);
+            }
+        }
+        // Half a u16 step plus the oracle's own f32 rounding of the f64
+        // source density.
+        assert!(worst <= half_step + 1e-5, "worst error {worst}");
+    }
+
+    #[test]
+    fn quantized_accessors_compose_to_the_quantized_evaluator() {
+        let m = model();
+        for (exp, meas) in [
+            (0.0, 0.0),
+            (3.2, 3.1),
+            (9.9, 10.0),
+            (5.0, 0.7),
+            (12.0, -1.0),
+        ] {
+            let idx = m.row_offset(meas) + m.expected_bin(exp);
+            let via_codes = f64::from(m.code_at(idx)) * m.quantization_scale();
+            assert_eq!(via_codes, m.log_prob_quantized(exp, meas));
+        }
+    }
+
+    #[test]
+    fn quantized_preserves_oracle_ordering() {
+        // The rankings the filter cares about must survive quantization.
+        let m = model();
+        assert!(m.log_prob_quantized(5.0, 5.0) > m.log_prob_quantized(5.0, 2.0));
+        assert!(m.log_prob_quantized(5.0, 2.0) > m.log_prob_quantized(5.0, 8.0));
+        assert!(m.log_prob_quantized(5.0, 10.0) > m.log_prob_quantized(5.0, 9.7) + 1.0);
+    }
+
+    #[test]
+    fn code_index_clamp_is_total() {
+        let m = model();
+        let last = (m.bins() * m.bins() - 1) as u32;
+        assert_eq!(m.code_at(u32::MAX), m.code_at(last));
+    }
+
+    #[test]
+    fn integer_beam_sum_equals_per_beam_decode_sum_scaled() {
+        // The kernel's weight formula: summing codes then scaling once is
+        // exactly Σ (code·qscale) when done in this order.
+        let m = model();
+        let beams = [(1.0, 1.2), (3.0, 2.9), (7.7, 10.0), (4.4, 0.3)];
+        let mut acc: u64 = 0;
+        for &(e, me) in &beams {
+            acc += u64::from(m.code_at(m.row_offset(me) + m.expected_bin(e)));
+        }
+        let lw = acc as f64 * m.quantization_scale();
+        let per_code: f64 = beams
+            .iter()
+            .map(|&(e, me)| f64::from(m.code_at(m.row_offset(me) + m.expected_bin(e))))
+            .sum::<f64>()
+            * m.quantization_scale();
+        assert!((lw - per_code).abs() < 1e-12);
+        assert!(lw < 0.0);
     }
 }
 

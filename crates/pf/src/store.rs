@@ -1,0 +1,230 @@
+//! Structure-of-arrays particle storage (DESIGN.md §11).
+//!
+//! The filter's hot loops — motion sampling, the fused cast+weight kernel,
+//! the weighted-mean reduction — touch one coordinate of *every* particle
+//! per pass. An array-of-structs `Vec<Pose2>` makes each of those passes
+//! stride over 24-byte records; [`ParticleStore`] keeps each coordinate in
+//! its own contiguous `Vec<f64>` lane so the kernels stream sequentially
+//! and the compiler can autovectorize the arithmetic.
+//!
+//! Two derived lanes, `cos` and `sin` of the heading, are maintained
+//! alongside the pose: every consumer of a particle's orientation (motion
+//! composition, the sensor mount transform, the circular-mean reduction)
+//! needs the heading's sine/cosine, and keeping them incremental — rotated
+//! by the motion step's own `sin_cos` via the angle-addition identities —
+//! replaces two transcendental calls per particle per step with four
+//! multiplies.
+//!
+//! The `theta` lane is *unnormalized*: motion steps add their heading
+//! increment without wrapping, and [`ParticleStore::pose`] normalizes on
+//! exposure (through [`Pose2::new`]). All angle consumers are periodic, so
+//! this is observationally equivalent to eager wrapping while keeping the
+//! hot loop branch-free.
+
+use raceloc_core::Pose2;
+
+/// The five mutable pose lanes in order: `x`, `y`, `theta`, `cos θ`,
+/// `sin θ` — what [`ParticleStore::lanes_mut`] hands to the chunk kernels.
+pub(crate) type LanesMut<'a> = (
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [f64],
+);
+
+/// Particle cloud in structure-of-arrays layout: one contiguous `f64` lane
+/// per coordinate, plus incrementally maintained `cos θ` / `sin θ` lanes.
+///
+/// Equality compares every lane bitwise (via `f64` equality), which is what
+/// the cross-thread determinism gates assert on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParticleStore {
+    pub(crate) x: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) theta: Vec<f64>,
+    pub(crate) cos: Vec<f64>,
+    pub(crate) sin: Vec<f64>,
+}
+
+impl ParticleStore {
+    /// A store of `n` identity poses.
+    pub(crate) fn identity(n: usize) -> Self {
+        Self {
+            x: vec![0.0; n],
+            y: vec![0.0; n],
+            theta: vec![0.0; n],
+            cos: vec![1.0; n],
+            sin: vec![0.0; n],
+        }
+    }
+
+    /// A store holding a copy of `poses`.
+    pub fn from_poses(poses: &[Pose2]) -> Self {
+        let mut s = Self::default();
+        for &p in poses {
+            s.push_pose(p);
+        }
+        s
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The `i`-th particle as a pose, heading normalized to `(-π, π]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn pose(&self, i: usize) -> Pose2 {
+        Pose2::new(self.x[i], self.y[i], self.theta[i])
+    }
+
+    /// The `i`-th particle, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<Pose2> {
+        (i < self.len()).then(|| self.pose(i))
+    }
+
+    /// Iterates the particles as (normalized) poses.
+    pub fn iter(&self) -> impl Iterator<Item = Pose2> + '_ {
+        (0..self.len()).map(|i| self.pose(i))
+    }
+
+    /// Copies the cloud out as a `Vec<Pose2>`.
+    pub fn to_vec(&self) -> Vec<Pose2> {
+        self.iter().collect()
+    }
+
+    /// Overwrites slot `i` with `pose`, recomputing the trig lanes from a
+    /// fresh `sin_cos` (used wherever a particle is *replaced* rather than
+    /// propagated: reset, global init, recovery injection).
+    pub(crate) fn set_pose(&mut self, i: usize, pose: Pose2) {
+        let (s, c) = pose.theta.sin_cos();
+        self.x[i] = pose.x;
+        self.y[i] = pose.y;
+        self.theta[i] = pose.theta;
+        self.cos[i] = c;
+        self.sin[i] = s;
+    }
+
+    /// Appends `pose` with fresh trig lanes.
+    pub(crate) fn push_pose(&mut self, pose: Pose2) {
+        let (s, c) = pose.theta.sin_cos();
+        self.x.push(pose.x);
+        self.y.push(pose.y);
+        self.theta.push(pose.theta);
+        self.cos.push(c);
+        self.sin.push(s);
+    }
+
+    /// All five lanes, mutably — the inline (`threads = 1`) kernel path
+    /// slices these per chunk and runs the same kernels the pool jobs do.
+    pub(crate) fn lanes_mut(&mut self) -> LanesMut<'_> {
+        (
+            &mut self.x,
+            &mut self.y,
+            &mut self.theta,
+            &mut self.cos,
+            &mut self.sin,
+        )
+    }
+
+    /// Gathers `idx` (with repeats) into `dst`, replacing its contents —
+    /// the resampling step's scatter/gather, kept out-of-place so the
+    /// filter can ping-pong two stores without per-step allocation.
+    pub(crate) fn gather_into(&self, idx: &[usize], dst: &mut ParticleStore) {
+        dst.x.clear();
+        dst.y.clear();
+        dst.theta.clear();
+        dst.cos.clear();
+        dst.sin.clear();
+        for &i in idx {
+            dst.x.push(self.x[i]);
+            dst.y.push(self.y[i]);
+            dst.theta.push(self.theta[i]);
+            dst.cos.push(self.cos[i]);
+            dst.sin.push(self.sin[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_store_is_identity_poses() {
+        let s = ParticleStore::identity(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        for p in s.iter() {
+            assert_eq!(p, Pose2::IDENTITY);
+        }
+    }
+
+    #[test]
+    fn round_trips_poses() {
+        let poses = vec![
+            Pose2::new(1.0, -2.0, 0.4),
+            Pose2::new(0.0, 3.5, -3.0),
+            Pose2::new(-7.25, 0.5, 3.13),
+        ];
+        let s = ParticleStore::from_poses(&poses);
+        assert_eq!(s.to_vec(), poses);
+        assert_eq!(s.get(1), Some(poses[1]));
+        assert_eq!(s.get(3), None);
+    }
+
+    #[test]
+    fn pose_normalizes_unbounded_theta() {
+        let mut s = ParticleStore::identity(1);
+        s.theta[0] = 3.0 * std::f64::consts::PI; // 1.5 turns
+        let p = s.pose(0);
+        assert!(
+            (p.theta - std::f64::consts::PI).abs() < 1e-12,
+            "{}",
+            p.theta
+        );
+    }
+
+    #[test]
+    fn set_pose_refreshes_trig_lanes() {
+        let mut s = ParticleStore::identity(2);
+        s.set_pose(1, Pose2::new(2.0, 3.0, 1.2));
+        assert_eq!(s.cos[1], 1.2f64.cos());
+        assert_eq!(s.sin[1], 1.2f64.sin());
+        assert_eq!(s.cos[0], 1.0, "other slots untouched");
+    }
+
+    #[test]
+    fn gather_resizes_and_repeats() {
+        let s = ParticleStore::from_poses(&[
+            Pose2::new(0.0, 0.0, 0.0),
+            Pose2::new(1.0, 1.0, 0.5),
+            Pose2::new(2.0, 2.0, 1.0),
+        ]);
+        let mut dst = ParticleStore::default();
+        s.gather_into(&[2, 2, 0], &mut dst);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.pose(0), s.pose(2));
+        assert_eq!(dst.pose(1), s.pose(2));
+        assert_eq!(dst.pose(2), s.pose(0));
+        assert_eq!(dst.cos[0], s.cos[2], "trig lanes gathered, not recomputed");
+    }
+
+    #[test]
+    fn equality_is_lane_wise() {
+        let a = ParticleStore::from_poses(&[Pose2::new(1.0, 2.0, 0.3)]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.x[0] += 1e-12;
+        assert_ne!(a, b);
+    }
+}

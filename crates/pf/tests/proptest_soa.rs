@@ -1,0 +1,123 @@
+//! Property-based pinning of the SoA particle pipeline (DESIGN.md §11):
+//! for *randomized* configurations — particle count, seed, step count,
+//! worker threads, resampling pressure — the chunked thread-pool execution
+//! of the lane kernels must reproduce the sequential inline path
+//! **bit-for-bit**, through the public `Localizer` API only. This is the
+//! randomized companion to the fixed-configuration cases in
+//! `determinism_threads.rs`: a chunk-boundary or accumulation-order bug
+//! that happens to cancel at one tuned configuration has to survive every
+//! sampled one here.
+
+use proptest::prelude::*;
+use raceloc_core::localizer::Localizer;
+use raceloc_core::sensor_data::{LaserScan, Odometry};
+use raceloc_core::{Pose2, Twist2};
+use raceloc_map::{Track, TrackShape, TrackSpec};
+use raceloc_pf::{SynPf, SynPfConfig};
+use raceloc_range::{RangeMethod, RayMarching};
+
+fn track() -> Track {
+    TrackSpec::new(TrackShape::Oval {
+        width: 12.0,
+        height: 7.0,
+    })
+    .resolution(0.1)
+    .build()
+}
+
+fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let beams = 181;
+    let fov = 270.0f64.to_radians();
+    let inc = fov / (beams - 1) as f64;
+    let sensor = pose * mount;
+    let ranges: Vec<f64> = (0..beams)
+        .map(|i| {
+            caster.range(
+                sensor.x,
+                sensor.y,
+                sensor.theta - 0.5 * fov + i as f64 * inc,
+            )
+        })
+        .collect();
+    LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+}
+
+/// Runs `steps` predict/correct cycles and returns the complete observable
+/// filter state: every particle, every weight, and the pose estimate.
+fn run_steps(
+    track: &Track,
+    particles: usize,
+    seed: u64,
+    threads: usize,
+    ess_frac: f64,
+    steps: usize,
+) -> (Vec<[f64; 3]>, Vec<f64>, [f64; 3]) {
+    let config = SynPfConfig::builder()
+        .particles(particles)
+        .seed(seed)
+        .threads(threads)
+        .resample_ess_frac(ess_frac)
+        .build()
+        .expect("sampled config is valid");
+    let caster = RayMarching::new(&track.grid, 10.0);
+    let mut pf = SynPf::new(caster, config);
+    pf.reset(track.start_pose());
+    let scan = scan_from(track, track.start_pose(), pf.config().lidar_mount);
+    let mut odom_pose = Pose2::IDENTITY;
+    for i in 0..steps {
+        odom_pose = odom_pose * Pose2::new(0.03, 0.0, 0.006);
+        pf.predict(&Odometry::new(
+            odom_pose,
+            Twist2::new(0.6, 0.0, 0.1),
+            i as f64 * 0.025,
+        ));
+        pf.correct(&scan);
+    }
+    let est = pf.pose();
+    (
+        pf.particles().iter().map(|p| p.to_array()).collect(),
+        pf.weights().to_vec(),
+        [est.x, est.y, est.theta],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Thread-count invariance of the full pipeline, on random
+    /// configurations. `ess_frac` is sampled across the whole range so a
+    /// fair share of cases exercise the gather-based resampling path (at
+    /// 1.0 every step resamples), not just cast+weight.
+    #[test]
+    fn pipeline_is_bitwise_thread_invariant(
+        particles in 40usize..200,
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        ess_frac in 0.0..=1.0f64,
+        steps in 1usize..5,
+    ) {
+        let t = track();
+        let sequential = run_steps(&t, particles, seed, 1, ess_frac, steps);
+        let pooled = run_steps(&t, particles, seed, threads, ess_frac, steps);
+        // Bitwise equality — `==` on f64 is exactly the contract here.
+        prop_assert_eq!(&sequential.0, &pooled.0, "particle lanes diverged");
+        prop_assert_eq!(&sequential.1, &pooled.1, "weights diverged");
+        prop_assert_eq!(sequential.2, pooled.2, "estimate diverged");
+    }
+
+    /// Re-running an identical configuration reproduces identical state:
+    /// the pipeline holds no hidden global state (thread-pool scratch,
+    /// lazily built tables) that could leak between runs.
+    #[test]
+    fn pipeline_is_reproducible_across_runs(
+        particles in 40usize..150,
+        seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let t = track();
+        let a = run_steps(&t, particles, seed, threads, 0.5, 3);
+        let b = run_steps(&t, particles, seed, threads, 0.5, 3);
+        prop_assert_eq!(a, b);
+    }
+}

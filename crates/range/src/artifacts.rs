@@ -38,7 +38,7 @@
 //! assert!((r - 2.95).abs() < 0.25, "{r}");
 //! ```
 
-use crate::{RangeLut, RangeMethod};
+use crate::{CompressedRangeLut, RangeMethod};
 use raceloc_map::{DistanceMap, OccupancyGrid};
 use raceloc_obs::Telemetry;
 use raceloc_par::lock_unpoisoned;
@@ -96,7 +96,7 @@ impl ArtifactParams {
 pub struct MapArtifacts {
     grid: OccupancyGrid,
     edt: DistanceMap,
-    lut: OnceLock<RangeLut>,
+    lut: OnceLock<CompressedRangeLut>,
     params: ArtifactParams,
     key: u64,
 }
@@ -144,10 +144,12 @@ impl MapArtifacts {
     }
 
     /// The range LUT, building it on first call (exactly once per bundle,
-    /// even under concurrent first-touch).
-    pub fn lut(&self) -> &RangeLut {
+    /// even under concurrent first-touch). Since the SoA hot-path rework
+    /// this is the u16 [`CompressedRangeLut`]: half the f32 footprint, with
+    /// each cell's heading fan contiguous in memory.
+    pub fn lut(&self) -> &CompressedRangeLut {
         self.lut.get_or_init(|| {
-            RangeLut::new(&self.grid, self.params.max_range, self.params.theta_bins)
+            CompressedRangeLut::new(&self.grid, self.params.max_range, self.params.theta_bins)
         })
     }
 
@@ -178,8 +180,22 @@ impl RangeMethod for MapArtifacts {
         self.lut().range(x, y, theta)
     }
 
+    fn beam_bins_into(
+        &self,
+        x: f64,
+        y: f64,
+        theta: f64,
+        bearings: &[f64],
+        inv_res: f64,
+        max_bin: u32,
+        out: &mut [u32],
+    ) {
+        self.lut()
+            .beam_bins_into(x, y, theta, bearings, inv_res, max_bin, out)
+    }
+
     fn memory_bytes(&self) -> usize {
-        let lut = self.lut.get().map_or(0, RangeLut::memory_bytes);
+        let lut = self.lut.get().map_or(0, CompressedRangeLut::memory_bytes);
         let cells = self.grid.cell_count();
         // EDT stores one f32 per cell; the grid one CellState per cell.
         lut + cells * (std::mem::size_of::<f32>() + std::mem::size_of::<u8>())
@@ -260,15 +276,18 @@ impl ArtifactStore {
 
     /// Publishes cumulative store counters (`range.artifacts.builds`,
     /// `range.artifacts.hits`, `range.artifacts.cached`,
-    /// `range.artifacts.luts_built`) into a telemetry handle. Counters are
-    /// cumulative totals; call once per report.
+    /// `range.artifacts.luts_built`, `range.lut.compressed_bytes`) into a
+    /// telemetry handle. Counters are cumulative totals; call once per
+    /// report.
     pub fn publish_stats(&self, tel: &Telemetry) {
         let state = lock_unpoisoned(&self.state);
         tel.add("range.artifacts.builds", state.builds);
         tel.add("range.artifacts.hits", state.hits);
         tel.add("range.artifacts.cached", state.cache.len() as u64);
-        let luts = state.cache.values().filter(|a| a.lut_built()).count() as u64;
-        tel.add("range.artifacts.luts_built", luts);
+        let built: Vec<_> = state.cache.values().filter_map(|a| a.lut.get()).collect();
+        tel.add("range.artifacts.luts_built", built.len() as u64);
+        let bytes: usize = built.iter().map(|l| l.memory_bytes()).sum();
+        tel.add("range.lut.compressed_bytes", bytes as u64);
     }
 }
 
@@ -390,7 +409,7 @@ mod tests {
     fn range_method_delegation_matches_direct_lut() {
         let g = room_with_pillar();
         let art = MapArtifacts::build(&g, params_small());
-        let lut = RangeLut::new(&g, 8.0, 16);
+        let lut = CompressedRangeLut::new(&g, 8.0, 16);
         assert_eq!(art.max_range(), 8.0);
         for i in 0..40 {
             let x = 1.0 + (i % 8) as f64;
@@ -413,7 +432,24 @@ mod tests {
         assert_eq!(snap.counter("range.artifacts.hits"), Some(1));
         assert_eq!(snap.counter("range.artifacts.cached"), Some(1));
         assert_eq!(snap.counter("range.artifacts.luts_built"), Some(0));
+        assert_eq!(snap.counter("range.lut.compressed_bytes"), Some(0));
         assert_eq!(store.luts_built(), 0, "no query ran, no LUT built");
+    }
+
+    #[test]
+    fn publish_stats_reports_compressed_lut_bytes_once_built() {
+        let store = ArtifactStore::new();
+        let g = square_room();
+        let a = store.get_or_build(&g, params_small());
+        a.range(5.05, 5.05, 0.0); // force the lazy LUT build
+        let tel = Telemetry::enabled();
+        store.publish_stats(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("range.artifacts.luts_built"), Some(1));
+        assert_eq!(
+            snap.counter("range.lut.compressed_bytes"),
+            Some((100 * 100 * 16 * 2) as u64),
+        );
     }
 
     #[test]
@@ -431,16 +467,16 @@ mod tests {
     #[test]
     fn concurrent_first_touch_builds_one_lut() {
         let art = Arc::new(MapArtifacts::build(&square_room(), params_small()));
-        let ptrs: Vec<*const RangeLut> = std::thread::scope(|s| {
+        let ptrs: Vec<*const CompressedRangeLut> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let art = Arc::clone(&art);
-                    s.spawn(move || art.lut() as *const RangeLut as usize)
+                    s.spawn(move || art.lut() as *const CompressedRangeLut as usize)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("thread") as *const RangeLut)
+                .map(|h| h.join().expect("thread") as *const CompressedRangeLut)
                 .collect()
         });
         for p in &ptrs[1..] {

@@ -13,6 +13,7 @@
 //! | [`RayMarching`] | O(cells) EDT | O(log range) typical | 1 float/cell |
 //! | [`Cddt`] | O(θ-bins · occupied) | O(log obstacles) | compressed |
 //! | [`RangeLut`] | O(θ-bins · cells · query) | **O(1)** | 1 float/cell/θ-bin |
+//! | [`CompressedRangeLut`] | O(θ-bins · cells · query) | **O(1)** | 2 bytes/cell/θ-bin |
 //!
 //! The paper's headline experiment runs on a GPU-less Intel NUC using the
 //! LUT mode; [`RangeLut`] reproduces that configuration. The GPU ray-casting
@@ -52,7 +53,7 @@ pub mod raymarch;
 pub use artifacts::{ArtifactParams, ArtifactStore, MapArtifacts};
 pub use bresenham::BresenhamCasting;
 pub use cddt::Cddt;
-pub use lut::RangeLut;
+pub use lut::{CompressedRangeLut, RangeLut};
 pub use pooled::PooledCaster;
 pub use raymarch::RayMarching;
 
@@ -119,6 +120,42 @@ pub trait RangeMethod: Send + Sync {
         self.par_ranges_into(queries, out, threads);
     }
 
+    /// Casts one fan of beams from a common sensor pose and quantizes each
+    /// expected range straight to a sensor-model bin index:
+    /// `out[j] = min(⌊range(x, y, theta + bearings[j]) · inv_res⌋, max_bin)`.
+    ///
+    /// This is the particle filter's hot query shape — every beam of one
+    /// particle shares `(x, y)` — and returning bin indices instead of
+    /// meters lets a quantized sensor model stay in integer arithmetic.
+    /// Table-backed methods override this to hoist the shared position
+    /// lookup out of the bearing loop; overrides may disagree with this
+    /// default by one heading bin when `theta + bearing` lands within
+    /// float rounding of a bin boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bearings.len() != out.len()`.
+    // Scalars stay unbundled: wrapping (x, y, theta, inv_res, max_bin) in
+    // a struct would force the per-particle hot loop to build one per call.
+    #[allow(clippy::too_many_arguments)]
+    fn beam_bins_into(
+        &self,
+        x: f64,
+        y: f64,
+        theta: f64,
+        bearings: &[f64],
+        inv_res: f64,
+        max_bin: u32,
+        out: &mut [u32],
+    ) {
+        assert_eq!(bearings.len(), out.len(), "bearing/output length mismatch");
+        for (o, &b) in out.iter_mut().zip(bearings) {
+            // `as u32` saturates negatives and NaN to 0, keeping the loop
+            // branchless even for degenerate inputs.
+            *o = ((self.range(x, y, theta + b) * inv_res) as u32).min(max_bin);
+        }
+    }
+
     /// Approximate heap memory used by precomputed structures, in bytes.
     /// Used by the method-comparison ablation (DESIGN.md A2).
     fn memory_bytes(&self) -> usize {
@@ -135,6 +172,18 @@ impl<T: RangeMethod + ?Sized> RangeMethod for &T {
     }
     fn ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64]) {
         (**self).ranges_into(queries, out)
+    }
+    fn beam_bins_into(
+        &self,
+        x: f64,
+        y: f64,
+        theta: f64,
+        bearings: &[f64],
+        inv_res: f64,
+        max_bin: u32,
+        out: &mut [u32],
+    ) {
+        (**self).beam_bins_into(x, y, theta, bearings, inv_res, max_bin, out)
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
@@ -153,6 +202,18 @@ impl<T: RangeMethod + ?Sized> RangeMethod for std::sync::Arc<T> {
     }
     fn ranges_into(&self, queries: &[(f64, f64, f64)], out: &mut [f64]) {
         (**self).ranges_into(queries, out)
+    }
+    fn beam_bins_into(
+        &self,
+        x: f64,
+        y: f64,
+        theta: f64,
+        bearings: &[f64],
+        inv_res: f64,
+        max_bin: u32,
+        out: &mut [u32],
+    ) {
+        (**self).beam_bins_into(x, y, theta, bearings, inv_res, max_bin, out)
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()

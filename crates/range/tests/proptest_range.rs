@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use raceloc_core::Point2;
 use raceloc_map::{CellState, GridIndex, OccupancyGrid};
-use raceloc_range::{BresenhamCasting, Cddt, RangeLut, RangeMethod, RayMarching};
+use raceloc_range::{
+    BresenhamCasting, Cddt, CompressedRangeLut, RangeLut, RangeMethod, RayMarching,
+};
 
 /// A random wall-enclosed room with scattered interior obstacles.
 fn arb_room() -> impl Strategy<Value = OccupancyGrid> {
@@ -161,5 +163,80 @@ proptest! {
         bres.ranges_into(&queries, &mut a);
         bres.par_ranges_into(&queries, &mut b, threads);
         prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The u16 compressed LUT must stay within half a quantization step of
+    /// the f32 LUT everywhere (plus the f32 table's own single-precision
+    /// rounding): both tables discretize headings with the identical
+    /// nearest-bin rule, so the only disagreement left is each table's own
+    /// value quantization (DESIGN.md §11).
+    #[test]
+    fn compressed_lut_tracks_f32_lut_within_quantization(
+        g in arb_room(),
+        fx in 0.1..0.9f64,
+        fy in 0.1..0.9f64,
+        theta in -6.0..6.0f64,
+    ) {
+        let Some((x, y)) = free_pose(&g, fx, fy) else {
+            return Ok(());
+        };
+        let max_range = 8.0;
+        let bins = 72;
+        let f32_lut = RangeLut::new(&g, max_range, bins);
+        let clut = CompressedRangeLut::new(&g, max_range, bins);
+        let step = max_range / f64::from(u16::MAX);
+        let a = f32_lut.range(x, y, theta);
+        let b = clut.range(x, y, theta);
+        prop_assert!((a - b).abs() <= 0.5 * step + 1e-5,
+            "compressed {b} vs f32 {a} (step {step})");
+    }
+
+    /// The fused beam fan must agree with per-beam scalar queries up to
+    /// the documented one-heading-bin boundary wobble: every fan output
+    /// equals the quantized bin of the scalar range at the nearest heading
+    /// bin or one of its two neighbors. This exercises the fan's branchless
+    /// wrap, its cached code→bin table, and its float fallback against the
+    /// simple scalar decode chain on random maps, poses, and bearings.
+    #[test]
+    fn beam_fan_matches_scalar_within_one_heading_bin(
+        g in arb_room(),
+        fx in 0.1..0.9f64,
+        fy in 0.1..0.9f64,
+        theta in -6.0..6.0f64,
+        bearings in prop::collection::vec(-3.1..3.1f64, 1..48),
+        max_bin in 50u32..400,
+    ) {
+        let Some((x, y)) = free_pose(&g, fx, fy) else {
+            return Ok(());
+        };
+        let max_range = 8.0;
+        let bins = 60usize;
+        let clut = CompressedRangeLut::new(&g, max_range, bins);
+        let inv_res = f64::from(max_bin) / max_range;
+        let mut fan = vec![0u32; bearings.len()];
+        clut.beam_bins_into(x, y, theta, &bearings, inv_res, max_bin, &mut fan);
+        let tau = std::f64::consts::TAU;
+        let kn = bins as f64;
+        let scalar_bin = |k: usize| -> u32 {
+            let center = k as f64 * tau / kn;
+            let r = clut.range(x, y, center);
+            ((r * inv_res) as u32).min(max_bin)
+        };
+        for (&b, &got) in bearings.iter().zip(&fan) {
+            let phi = (theta + b).rem_euclid(tau);
+            let k0 = (phi / tau * kn).round() as usize % bins;
+            let candidates = [
+                scalar_bin((k0 + bins - 1) % bins),
+                scalar_bin(k0),
+                scalar_bin((k0 + 1) % bins),
+            ];
+            prop_assert!(candidates.contains(&got),
+                "fan bin {got} not within one heading bin of scalar {candidates:?} \
+                 (bearing {b}, theta {theta})");
+        }
     }
 }

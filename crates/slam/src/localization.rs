@@ -148,6 +148,14 @@ pub struct CartoLocalizer {
 }
 
 impl CartoLocalizer {
+    /// Books one pipeline stage's wall-clock share into the stage list
+    /// surfaced by [`Localizer::diagnostics`]. The list is cleared at the
+    /// start of each correction and retains its capacity, so steady-state
+    /// corrections append without reallocating.
+    fn record_stage(&mut self, name: &'static str, seconds: f64) {
+        self.last_stages.push((Cow::Borrowed(name), seconds));
+    }
+
     /// Builds the localizer from a shared [`MapArtifacts`] bundle — the
     /// service-oriented constructor. Only the bundle's occupancy grid is
     /// consumed (converted once to the matcher's smoothed probability
@@ -279,8 +287,7 @@ impl Localizer for CartoLocalizer {
         );
         let refine_seconds = refine_started.elapsed_seconds();
         self.tel.record_span("slam.refine", refine_seconds);
-        self.last_stages
-            .push((Cow::Borrowed("refine"), refine_seconds));
+        self.record_stage("refine", refine_seconds);
         let fine = if direct.score < self.config.correlative_rescue_score {
             let rescue_started = Stopwatch::start();
             let coarse = self
@@ -296,8 +303,7 @@ impl Localizer for CartoLocalizer {
             );
             let rescue_seconds = rescue_started.elapsed_seconds();
             self.tel.record_span("slam.correlative", rescue_seconds);
-            self.last_stages
-                .push((Cow::Borrowed("correlative"), rescue_seconds));
+            self.record_stage("correlative", rescue_seconds);
             if rescued.score > direct.score {
                 rescued
             } else {

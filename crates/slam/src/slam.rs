@@ -129,6 +129,14 @@ impl std::fmt::Debug for CartoSlam {
 }
 
 impl CartoSlam {
+    /// Books one pipeline stage's wall-clock share into the stage list
+    /// surfaced by [`Localizer::diagnostics`]. The list is cleared at the
+    /// start of each correction and retains its capacity, so steady-state
+    /// corrections append without reallocating.
+    fn record_stage(&mut self, name: &'static str, seconds: f64) {
+        self.last_stages.push((Cow::Borrowed(name), seconds));
+    }
+
     /// Creates a SLAM instance.
     pub fn new(config: CartoSlamConfig) -> Self {
         let matcher = CorrelativeScanMatcher::new(config.resolution, 0.01);
@@ -250,8 +258,7 @@ impl CartoSlam {
             self.tracked = correction * self.tracked;
             let optimize_seconds = optimize_started.elapsed_seconds();
             self.tel.record_span("slam.optimize", optimize_seconds);
-            self.last_stages
-                .push((Cow::Borrowed("optimize"), optimize_seconds));
+            self.record_stage("optimize", optimize_seconds);
         }
     }
 
@@ -366,8 +373,7 @@ impl Localizer for CartoSlam {
                 self.last_match_score = Some(fine.score);
                 let match_seconds = match_started.elapsed_seconds();
                 self.tel.record_span("slam.match", match_seconds);
-                self.last_stages
-                    .push((Cow::Borrowed("match"), match_seconds));
+                self.record_stage("match", match_seconds);
             }
         }
         // Motion filter: only insert when the car moved enough.
@@ -404,16 +410,14 @@ impl Localizer for CartoSlam {
             self.nodes_since_closure += 1;
             let insert_seconds = insert_started.elapsed_seconds();
             self.tel.record_span("slam.insert", insert_seconds);
-            self.last_stages
-                .push((Cow::Borrowed("insert"), insert_seconds));
+            self.record_stage("insert", insert_seconds);
             if self.nodes_since_closure >= self.config.loop_closure_every {
                 self.nodes_since_closure = 0;
                 let closure_started = Stopwatch::start();
                 self.try_loop_closure();
                 let closure_seconds = closure_started.elapsed_seconds();
                 self.tel.record_span("slam.loop_closure", closure_seconds);
-                self.last_stages
-                    .push((Cow::Borrowed("loop_closure"), closure_seconds));
+                self.record_stage("loop_closure", closure_seconds);
             }
         }
         self.tel
