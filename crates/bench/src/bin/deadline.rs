@@ -1,0 +1,185 @@
+//! **Deadline sweep** — SynPF under the deadline scheduler's budget ×
+//! compute-pressure matrix (DESIGN.md §14): an uncapped reference plus
+//! three per-step work-unit budgets, each against a fault-free control, a
+//! mid-run budget halving, and a near-total compute cliff. Rows report
+//! accuracy, ladder-rung occupancy, deadline misses, and coast steps;
+//! `BENCH_deadline.json` is the checked-in artifact.
+//!
+//! Hard gates (exit code 1, the CI `deadline-smoke` job): non-finite or
+//! crashed rows, any deadline miss outside the cliff scenario, the slack
+//! budget never degrading under the halving, a capped row failing to
+//! recover its fault-free rung after pressure lifts, and capped fault-free
+//! accuracy drifting beyond 2× the uncapped row.
+//!
+//! Run with `cargo run -p raceloc-bench --release --bin deadline --
+//! [--quick] [--threads N] [--out BENCH_deadline.json]`.
+
+use raceloc_bench::deadline::{
+    budget_points, pressure_scenarios, run_deadline_cell, sweep_violations, DeadlineCellConfig,
+    DeadlineRow,
+};
+use raceloc_bench::env_threads;
+use raceloc_obs::Json;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: env_threads(),
+        out: "BENCH_deadline.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|t| t.trim().parse::<usize>().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn format_row(r: &DeadlineRow) -> String {
+    let occupancy: Vec<String> = r.rung_occupancy.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{:<14} {:<9} {:>9} {:>9.2} {:>9.2} {:>6} {:>6} {:>4} {:<28} {}",
+        r.scenario,
+        r.budget_label,
+        r.budget_units,
+        r.rmse_cm,
+        r.mean_lat_err_cm,
+        r.misses,
+        r.coast_steps,
+        r.final_rung,
+        occupancy.join("/"),
+        if r.finite { "" } else { "NON-FINITE" }
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = if args.quick {
+        DeadlineCellConfig::quick(args.threads)
+    } else {
+        DeadlineCellConfig::full(args.threads)
+    };
+    let budgets = budget_points(&cfg);
+    let scenarios = pressure_scenarios(cfg.total_steps());
+    println!(
+        "Deadline sweep — {} budgets × {} scenarios, {} corrections per cell \
+         (full step = {} units, {} threads)",
+        budgets.len(),
+        scenarios.len(),
+        cfg.total_steps(),
+        cfg.full_step_units(),
+        cfg.threads.max(1)
+    );
+    println!(
+        "{:<14} {:<9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>4} {:<28}",
+        "Scenario",
+        "Budget",
+        "Units",
+        "RMSE[cm]",
+        "Lat[cm]",
+        "Miss",
+        "Coast",
+        "End",
+        "Rung occupancy 0..5"
+    );
+
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        for budget in &budgets {
+            let row = run_deadline_cell(budget, scenario, &cfg);
+            println!("{}", format_row(&row));
+            rows.push(row);
+        }
+    }
+    let violations = sweep_violations(&rows);
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("deadline".into())),
+        ("quick".into(), Json::Bool(args.quick)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("steps".into(), Json::num(cfg.total_steps() as f64)),
+                ("particles".into(), Json::num(cfg.particles as f64)),
+                ("duration_s".into(), Json::num(cfg.duration_s)),
+                ("seed".into(), Json::num(cfg.seed as f64)),
+                (
+                    "full_step_units".into(),
+                    Json::num(cfg.full_step_units() as f64),
+                ),
+            ]),
+        ),
+        (
+            "budgets".into(),
+            Json::Arr(
+                budgets
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::Str(b.label.clone())),
+                            ("units".into(), Json::num(b.units as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                scenarios
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("schedule".into(), s.schedule.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(DeadlineRow::to_json).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("GATE FAILURE: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed");
+}

@@ -242,6 +242,7 @@ fn run_fleet(
         queue_capacity: sessions * 2,
         max_sessions: sessions,
         chunk_min: 2,
+        ..ServeConfig::default()
     });
     let mut ids = Vec::with_capacity(sessions);
     for i in 0..sessions {

@@ -1,0 +1,503 @@
+//! Deadline-scheduler sweep (DESIGN.md §14): SynPF under a budget ×
+//! compute-pressure matrix, reduced to the deterministic rows the
+//! `deadline` binary serializes into `BENCH_deadline.json`.
+//!
+//! Each cell runs the health-monitored SynPF closed-loop under oracle
+//! control with one per-step compute budget (in the cost model's work
+//! units; `0` = uncapped, no controller) against one pressure scenario —
+//! fault-free, a mid-run halving of the budget, or a near-total cliff.
+//! Rows report accuracy, the degradation-ladder occupancy histogram,
+//! deadline misses, and coast steps; nothing in a row depends on wall
+//! clock or thread count (rule R3; `tests/deadline_determinism.rs`
+//! enforces the sweep end to end).
+
+use crate::{test_track, world_config, MU_HIGH_QUALITY};
+use raceloc_core::deadline::{CostModel, RangeTier, LADDER_LEN};
+use raceloc_core::DeadlineConfig;
+use raceloc_faults::FaultSchedule;
+use raceloc_obs::{Json, Telemetry};
+use raceloc_pf::{HealthPolicy, KldConfig, RecoveryConfig, SynPf, SynPfConfig};
+use raceloc_sim::{SimLog, World};
+
+/// Beam cap of the default boxed scan layout — the beam term of the
+/// budget anchors. Perimeter deduplication leaves the *actual* selected
+/// fan at roughly two-thirds of this, so one anchored full step carries
+/// ~1.5× the cost of a real top-rung correction: the `slack` budget.
+const LAYOUT_BEAMS: u64 = 60;
+
+/// One budget point of the sweep.
+#[derive(Debug, Clone)]
+pub struct BudgetPoint {
+    /// Stable label (used as the JSON row key).
+    pub label: String,
+    /// Per-step budget \[work units\]; `0` = uncapped (no controller).
+    pub units: u64,
+}
+
+/// One pressure scenario of the sweep.
+#[derive(Debug, Clone)]
+pub struct PressureScenario {
+    /// Stable scenario identifier.
+    pub name: String,
+    /// The deterministic fault script (compute-pressure windows only —
+    /// sensors stay untouched, so accuracy shifts are pure budget effects).
+    pub schedule: FaultSchedule,
+}
+
+/// Sizing of one deadline cell.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineCellConfig {
+    /// Worker threads for the simulator and the particle pipeline (cannot
+    /// change any row content — rule R3).
+    pub threads: usize,
+    /// SynPF particle count (the KLD/ladder ceiling).
+    pub particles: usize,
+    /// Simulated run length \[s\] (40 scan corrections per second).
+    pub duration_s: f64,
+    /// World noise seed.
+    pub seed: u64,
+}
+
+impl DeadlineCellConfig {
+    /// The full checked-in-sweep configuration: 16 s ≈ 640 corrections.
+    pub fn full(threads: usize) -> Self {
+        Self {
+            threads,
+            particles: 1200,
+            duration_s: 16.0,
+            seed: 42,
+        }
+    }
+
+    /// The CI smoke configuration: 8 s ≈ 320 corrections.
+    pub fn quick(threads: usize) -> Self {
+        Self {
+            threads,
+            particles: 600,
+            duration_s: 8.0,
+            seed: 42,
+        }
+    }
+
+    /// Scan corrections this configuration produces.
+    pub fn total_steps(&self) -> u64 {
+        (self.duration_s * 40.0).round() as u64
+    }
+
+    /// The cost of a full-quality correction at this sizing — the anchor
+    /// every budget point is expressed against.
+    pub fn full_step_units(&self) -> u64 {
+        CostModel::default().step_units(self.particles as u64, LAYOUT_BEAMS, RangeTier::Exact)
+    }
+}
+
+/// The budget axis: uncapped, comfortable headroom (one anchored full
+/// step ≈ 1.5× a real top-rung correction, see [`LAYOUT_BEAMS`]), a
+/// tight cap that forces the ladder off the top rung (0.6×), and a
+/// starved cap deep into the degraded tiers (0.35×).
+pub fn budget_points(cfg: &DeadlineCellConfig) -> Vec<BudgetPoint> {
+    let full = cfg.full_step_units();
+    vec![
+        BudgetPoint {
+            label: "uncapped".into(),
+            units: 0,
+        },
+        BudgetPoint {
+            label: "slack".into(),
+            units: full,
+        },
+        BudgetPoint {
+            label: "tight".into(),
+            units: full * 3 / 5,
+        },
+        BudgetPoint {
+            label: "starved".into(),
+            units: full * 7 / 20,
+        },
+    ]
+}
+
+/// The pressure axis for a run of `total_steps` corrections: a fault-free
+/// control, a window that halves the budget (the graceful-degradation
+/// case), and a near-total cliff (2% of budget — the bounded-coast case).
+/// Windows close well before the run ends so every row also exercises
+/// recovery back to its steady-state rung.
+///
+/// # Panics
+///
+/// Panics when `total_steps` is too short to place the windows (< 80).
+pub fn pressure_scenarios(total_steps: u64) -> Vec<PressureScenario> {
+    assert!(total_steps >= 80, "need at least 80 corrections");
+    let onset = total_steps / 4;
+    let end = onset + total_steps / 5;
+    let seed = 0xFA57;
+    let build =
+        |b: raceloc_faults::FaultScheduleBuilder| b.build().expect("sweep schedules are valid");
+    vec![
+        PressureScenario {
+            name: "nominal".into(),
+            schedule: build(FaultSchedule::builder().seed(seed)),
+        },
+        PressureScenario {
+            name: "pressure_half".into(),
+            schedule: build(
+                FaultSchedule::builder()
+                    .seed(seed)
+                    .compute_pressure(onset, end, 0.5),
+            ),
+        },
+        PressureScenario {
+            name: "pressure_cliff".into(),
+            schedule: build(
+                FaultSchedule::builder()
+                    .seed(seed)
+                    .compute_pressure(onset, end, 0.02),
+            ),
+        },
+    ]
+}
+
+/// One deterministic row of `BENCH_deadline.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Budget label.
+    pub budget_label: String,
+    /// Budget \[work units\]; `0` = uncapped.
+    pub budget_units: u64,
+    /// Scan corrections actually run.
+    pub steps: usize,
+    /// RMSE of the translation error over the whole run \[cm\].
+    pub rmse_cm: f64,
+    /// Mean |signed-lateral(est) − signed-lateral(truth)| \[cm\] — the
+    /// paper's primary error axis and the degradation gate's currency.
+    pub mean_lat_err_cm: f64,
+    /// Deadline misses booked by the controller (0 for uncapped rows).
+    pub misses: u64,
+    /// Corrections shed entirely (bottom-rung coasts).
+    pub coast_steps: u64,
+    /// Corrections planned at each ladder rung (all zero for uncapped).
+    pub rung_occupancy: [u64; LADDER_LEN],
+    /// Rung the controller sat on when the run ended (0 for uncapped).
+    pub final_rung: u64,
+    /// Whether the ground-truth run aborted in a crash.
+    pub crashed: bool,
+    /// Whether every pose estimate was finite.
+    pub finite: bool,
+}
+
+impl DeadlineRow {
+    /// Serializes the row (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("budget_label".into(), Json::Str(self.budget_label.clone())),
+            ("budget_units".into(), Json::num(self.budget_units as f64)),
+            ("steps".into(), Json::num(self.steps as f64)),
+            ("rmse_cm".into(), Json::num(self.rmse_cm)),
+            ("mean_lat_err_cm".into(), Json::num(self.mean_lat_err_cm)),
+            ("misses".into(), Json::num(self.misses as f64)),
+            ("coast_steps".into(), Json::num(self.coast_steps as f64)),
+            (
+                "rung_occupancy".into(),
+                Json::Arr(
+                    self.rung_occupancy
+                        .iter()
+                        .map(|&c| Json::num(c as f64))
+                        .collect(),
+                ),
+            ),
+            ("final_rung".into(), Json::num(self.final_rung as f64)),
+            ("crashed".into(), Json::Bool(self.crashed)),
+            ("finite".into(), Json::Bool(self.finite)),
+        ])
+    }
+}
+
+/// Runs one (budget × pressure-scenario) cell and reduces it to a
+/// [`DeadlineRow`].
+pub fn run_deadline_cell(
+    budget: &BudgetPoint,
+    scenario: &PressureScenario,
+    cfg: &DeadlineCellConfig,
+) -> DeadlineRow {
+    let track = test_track();
+    let mut wcfg = world_config(MU_HIGH_QUALITY, cfg.seed);
+    wcfg.threads = cfg.threads.max(1);
+    let tel = Telemetry::enabled();
+    let mut world = World::new(test_track(), wcfg);
+    world.set_telemetry(tel.clone());
+    if !scenario.schedule.is_empty() {
+        world.set_fault_schedule(scenario.schedule.clone());
+    }
+
+    let mut builder = SynPfConfig::builder()
+        .particles(cfg.particles)
+        .threads(cfg.threads.max(1))
+        .seed(7)
+        .recovery(RecoveryConfig::default())
+        .health(HealthPolicy::default());
+    if budget.units > 0 {
+        builder = builder
+            .kld(KldConfig {
+                min_particles: (cfg.particles / 4).max(50),
+                max_particles: cfg.particles,
+                ..KldConfig::default()
+            })
+            .deadline(DeadlineConfig {
+                budget_units: budget.units,
+                ..DeadlineConfig::default()
+            });
+    }
+    let config = builder
+        .build()
+        .expect("deadline-cell SynPF configuration is valid");
+    let mut pf = SynPf::from_artifacts(crate::track_artifacts(&track), config);
+    pf.enable_recovery(&track.grid);
+    pf.set_telemetry(tel.clone());
+    let log = world.run_with_oracle_control(&mut pf, cfg.duration_s);
+    let final_rung = pf.deadline().map_or(0, |c| c.rung() as u64);
+    summarize(budget, scenario, &track, &tel, final_rung, &log)
+}
+
+/// Reduces one run log to its deterministic row.
+fn summarize(
+    budget: &BudgetPoint,
+    scenario: &PressureScenario,
+    track: &raceloc_map::Track,
+    tel: &Telemetry,
+    final_rung: u64,
+    log: &SimLog,
+) -> DeadlineRow {
+    let n = log.samples.len();
+    let denom = n.max(1) as f64;
+    let mut sq = 0.0;
+    let mut lat_sum = 0.0;
+    let mut finite = true;
+    for s in &log.samples {
+        if !(s.est_pose.x.is_finite() && s.est_pose.y.is_finite() && s.est_pose.theta.is_finite()) {
+            finite = false;
+        }
+        let e = s.true_pose.dist(s.est_pose);
+        sq += e * e;
+        let lat_true = track.raceline.project(s.true_pose.translation()).1;
+        let lat_est = track.raceline.project(s.est_pose.translation()).1;
+        if lat_est.is_finite() {
+            lat_sum += (lat_est - lat_true).abs();
+        }
+    }
+    let snap = tel.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut rung_occupancy = [0u64; LADDER_LEN];
+    for (r, slot) in rung_occupancy.iter_mut().enumerate() {
+        *slot = counter(&format!("deadline.rung{r}"));
+    }
+    DeadlineRow {
+        scenario: scenario.name.clone(),
+        budget_label: budget.label.clone(),
+        budget_units: budget.units,
+        steps: n,
+        rmse_cm: 100.0 * (sq / denom).sqrt(),
+        mean_lat_err_cm: 100.0 * lat_sum / denom,
+        misses: counter("deadline.miss"),
+        coast_steps: counter("deadline.coast_steps"),
+        rung_occupancy,
+        final_rung,
+        crashed: log.crashed,
+        finite,
+    }
+}
+
+/// The hard gates the `deadline-smoke` CI job enforces over the whole
+/// sweep (ISSUE acceptance; exit code 1 in the binary):
+///
+/// 1. every row is finite and crash-free;
+/// 2. no row misses a deadline outside the cliff scenario — the ladder
+///    always finds a rung that fits the budget, including the mid-run
+///    halving (misses are legal under the 2% cliff, where even coasting
+///    is refused once the bounded coast run is exhausted);
+/// 3. capped rows under pressure actually degrade: the `slack` budget
+///    must leave the top rung during the halving window;
+/// 4. pressure lifts ⇒ the controller climbs back: every capped row ends
+///    on the same rung as its fault-free counterpart;
+/// 5. graceful degradation stays accurate: on the fault-free scenario,
+///    capped rows with ≥ half a full step of budget keep their mean
+///    lateral error within 2× of the uncapped row.
+pub fn sweep_violations(rows: &[DeadlineRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    let find = |scenario: &str, label: &str| {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.budget_label == label)
+    };
+    for r in rows {
+        let tag = format!("{} × {}", r.scenario, r.budget_label);
+        if !r.finite {
+            out.push(format!("{tag}: non-finite pose estimate"));
+        }
+        if r.crashed {
+            out.push(format!("{tag}: ground-truth run crashed"));
+        }
+        if r.scenario != "pressure_cliff" && r.misses > 0 {
+            out.push(format!(
+                "{tag}: {} deadline miss(es) — the ladder must always fit the budget \
+                 outside the cliff scenario",
+                r.misses
+            ));
+        }
+        if r.budget_units > 0 {
+            if let Some(nominal) = find("nominal", &r.budget_label) {
+                if r.final_rung != nominal.final_rung {
+                    out.push(format!(
+                        "{tag}: ended on rung {} but its fault-free counterpart ends on \
+                         rung {} — the controller must recover after pressure lifts",
+                        r.final_rung, nominal.final_rung
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(r) = find("pressure_half", "slack") {
+        let degraded: u64 = r.rung_occupancy[1..].iter().sum();
+        if degraded == 0 {
+            out.push(
+                "pressure_half × slack: never left the top rung — halving the budget \
+                 must force the ladder down"
+                    .into(),
+            );
+        }
+    }
+    if let Some(uncapped) = find("nominal", "uncapped") {
+        for label in ["slack", "tight"] {
+            if let Some(r) = find("nominal", label) {
+                if r.mean_lat_err_cm > 2.0 * uncapped.mean_lat_err_cm {
+                    out.push(format!(
+                        "nominal × {label}: mean lateral error {:.1} cm exceeds 2× the \
+                         uncapped {:.1} cm — degradation is not graceful",
+                        r.mean_lat_err_cm, uncapped.mean_lat_err_cm
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scenario: &str, label: &str, units: u64) -> DeadlineRow {
+        DeadlineRow {
+            scenario: scenario.into(),
+            budget_label: label.into(),
+            budget_units: units,
+            steps: 320,
+            rmse_cm: 5.0,
+            mean_lat_err_cm: 2.0,
+            misses: 0,
+            coast_steps: 0,
+            rung_occupancy: [320, 0, 0, 0, 0, 0],
+            final_rung: 0,
+            crashed: false,
+            finite: true,
+        }
+    }
+
+    #[test]
+    fn axes_are_sized_and_labelled() {
+        let cfg = DeadlineCellConfig::quick(1);
+        let budgets = budget_points(&cfg);
+        assert_eq!(budgets.len(), 4);
+        assert_eq!(budgets[0].units, 0, "uncapped leads the axis");
+        let full = cfg.full_step_units();
+        assert_eq!(budgets[1].units, full, "slack is one anchored full step");
+        assert!(budgets[2].units < full, "tight forces the ladder down");
+        assert!(budgets[3].units < budgets[2].units, "starved is tighter");
+        let scenarios = pressure_scenarios(cfg.total_steps());
+        assert_eq!(scenarios.len(), 3);
+        assert!(scenarios[0].schedule.is_empty(), "nominal is fault-free");
+        // Pressure windows close before the run ends (recovery is gated).
+        for s in &scenarios[1..] {
+            for f in s.schedule.faults() {
+                assert!(f.window.end < cfg.total_steps());
+            }
+        }
+    }
+
+    #[test]
+    fn gates_pass_a_well_behaved_sweep() {
+        let mut half_slack = row("pressure_half", "slack", 200_000);
+        half_slack.rung_occupancy = [250, 70, 0, 0, 0, 0];
+        let rows = vec![
+            row("nominal", "uncapped", 0),
+            row("nominal", "slack", 200_000),
+            half_slack,
+        ];
+        assert_eq!(sweep_violations(&rows), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gates_catch_the_failure_modes() {
+        // Miss outside the cliff scenario.
+        let mut bad = row("pressure_half", "tight", 90_000);
+        bad.misses = 3;
+        let v = sweep_violations(&[bad]);
+        assert!(v.iter().any(|m| m.contains("miss")), "{v:?}");
+        // Cliff misses are legal.
+        let mut cliff = row("pressure_cliff", "tight", 90_000);
+        cliff.misses = 3;
+        assert!(sweep_violations(&[cliff]).is_empty());
+        // Stuck on a low rung after the pressure lifts.
+        let mut stuck = row("pressure_half", "slack", 200_000);
+        stuck.rung_occupancy = [200, 120, 0, 0, 0, 0];
+        stuck.final_rung = 1;
+        let rows = vec![row("nominal", "slack", 200_000), stuck];
+        let v = sweep_violations(&rows);
+        assert!(v.iter().any(|m| m.contains("recover")), "{v:?}");
+        // Pressure that never forces the slack budget off the top rung.
+        let rows = vec![
+            row("nominal", "slack", 200_000),
+            row("pressure_half", "slack", 200_000),
+        ];
+        let v = sweep_violations(&rows);
+        assert!(v.iter().any(|m| m.contains("top rung")), "{v:?}");
+        // Capped accuracy collapsing on the fault-free scenario.
+        let mut sloppy = row("nominal", "tight", 90_000);
+        sloppy.mean_lat_err_cm = 50.0;
+        let rows = vec![row("nominal", "uncapped", 0), sloppy];
+        let v = sweep_violations(&rows);
+        assert!(v.iter().any(|m| m.contains("graceful")), "{v:?}");
+    }
+
+    #[test]
+    fn row_json_round_trips_through_obs() {
+        let r = row("nominal", "tight", 90_000);
+        let text = format!("{}", r.to_json());
+        let doc = Json::parse(&text).expect("row serializes to valid JSON");
+        assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("nominal"));
+        assert_eq!(doc.get("budget_units").and_then(Json::as_u64), Some(90_000));
+        let occ = doc
+            .get("rung_occupancy")
+            .and_then(Json::as_array)
+            .expect("occupancy");
+        assert_eq!(occ.len(), LADDER_LEN);
+    }
+
+    #[test]
+    fn uncapped_cell_runs_without_a_controller() {
+        let cfg = DeadlineCellConfig {
+            threads: 1,
+            particles: 120,
+            duration_s: 2.0,
+            seed: 42,
+        };
+        let budgets = budget_points(&cfg);
+        let scenarios = pressure_scenarios(cfg.total_steps().max(80));
+        let r = run_deadline_cell(&budgets[0], &scenarios[0], &cfg);
+        assert!(r.steps > 50);
+        assert!(r.finite);
+        assert_eq!(r.misses, 0);
+        assert_eq!(r.rung_occupancy, [0; LADDER_LEN], "no controller, no rungs");
+    }
+}

@@ -96,6 +96,9 @@ pub fn fleet_spec(quick: bool) -> FleetSpec {
                 recovery_budget: Some(budget),
             },
         ],
+        // The robustness fleet stays on the uncapped budget; the budget ×
+        // scenario sweep lives in the dedicated `deadline` bench.
+        budgets: vec![0],
         methods: vec![
             EvalMethod::SynPf,
             EvalMethod::Cartographer,

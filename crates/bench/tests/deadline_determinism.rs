@@ -1,0 +1,86 @@
+//! Rule R3 at the sweep level: the same `(seed, budget, fault schedule)`
+//! must yield bitwise-identical `BENCH_deadline.json` rows — rung
+//! occupancy histogram, miss/coast counts, and pose-derived statistics —
+//! no matter how many worker threads the simulator and the particle
+//! pipeline use (ISSUE satellite; DESIGN.md §14). Cells are miniature —
+//! the point is the thread sweep, not the scheduler physics, which
+//! `bench::deadline` tests cover.
+
+use proptest::prelude::*;
+use raceloc_bench::deadline::{
+    pressure_scenarios, run_deadline_cell, BudgetPoint, DeadlineCellConfig, PressureScenario,
+};
+use raceloc_faults::FaultSchedule;
+
+/// A deliberately small cell so the 3-thread sweep stays test-sized.
+fn tiny_config(threads: usize, seed: u64) -> DeadlineCellConfig {
+    DeadlineCellConfig {
+        threads,
+        particles: 150,
+        duration_s: 2.5, // 100 corrections — the sweep's minimum scale
+        seed,
+    }
+}
+
+fn assert_thread_invariant(budget: &BudgetPoint, scenario: &PressureScenario, seed: u64) {
+    let reference = run_deadline_cell(budget, scenario, &tiny_config(1, seed));
+    let reference = format!("{}", reference.to_json());
+    for threads in [2, 4] {
+        let row = run_deadline_cell(budget, scenario, &tiny_config(threads, seed));
+        assert_eq!(
+            format!("{}", row.to_json()),
+            reference,
+            "{} × {} differs between 1 and {threads} threads",
+            scenario.name,
+            budget.label,
+        );
+    }
+}
+
+#[test]
+fn deadline_rows_are_bitwise_identical_across_thread_counts() {
+    let cfg = tiny_config(1, 42);
+    let full = cfg.full_step_units();
+    // A tight budget under the halving window walks the whole ladder:
+    // descent, debounced climb, and (at 2%) bounded coasts + forced
+    // misses — the paths where a thread-dependent reduction would show.
+    let scenarios = pressure_scenarios(cfg.total_steps());
+    for scenario in &scenarios[1..] {
+        let budget = BudgetPoint {
+            label: "tight".into(),
+            units: full * 3 / 5,
+        };
+        assert_thread_invariant(&budget, scenario, 42);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Ladder determinism over sampled budgets, pressure factors, and
+    /// world seeds: whatever rung sequence the controller picks, it must
+    /// be the same sequence — and produce the same poses — on 1, 2, and
+    /// 4 threads.
+    #[test]
+    fn sampled_budgets_and_pressures_stay_thread_invariant(
+        seed in 1u64..1000,
+        budget_pct in 25u64..160,
+        factor in prop_oneof![Just(0.7f64), Just(0.4), Just(0.1)],
+    ) {
+        let cfg = tiny_config(1, seed);
+        let total = cfg.total_steps();
+        let budget = BudgetPoint {
+            label: "sampled".into(),
+            units: cfg.full_step_units() * budget_pct / 100,
+        };
+        let scenario = PressureScenario {
+            name: "sampled_pressure".into(),
+            schedule: FaultSchedule::builder()
+                .seed(seed)
+                .compute_pressure(total / 4, total / 2, factor)
+                .build()
+                .expect("valid schedule"),
+        };
+        assert_thread_invariant(&budget, &scenario, seed);
+    }
+}

@@ -148,10 +148,15 @@ impl HealthMonitor {
     }
 
     /// Records that a global re-initialization was performed: a Lost
-    /// localizer moves to Recovering (no-op in any other state).
+    /// localizer moves to Recovering, and a localizer already Recovering
+    /// restarts its holdoff (the streaks clear, so the full
+    /// `exit_recovering` Ok streak must be re-earned after the fresh
+    /// re-init). No-op in Nominal and Degraded.
     pub fn notify_reinit(&mut self) {
-        if self.state == Health::Lost {
-            self.transition(Health::Recovering);
+        match self.state {
+            Health::Lost => self.transition(Health::Recovering),
+            Health::Recovering => self.clear_streaks(),
+            Health::Nominal | Health::Degraded => {}
         }
     }
 
@@ -303,6 +308,33 @@ mod tests {
         let mut m = monitor();
         m.notify_reinit();
         assert_eq!(m.state(), Health::Nominal);
+        m.observe(HealthSignal::Suspect);
+        m.observe(HealthSignal::Suspect);
+        m.observe(HealthSignal::Suspect);
+        assert_eq!(m.state(), Health::Degraded);
+        m.notify_reinit();
+        assert_eq!(m.state(), Health::Degraded);
+    }
+
+    #[test]
+    fn reinit_during_recovering_restarts_the_holdoff() {
+        let mut m = monitor();
+        for _ in 0..8 {
+            m.observe(HealthSignal::Diverged);
+        }
+        m.notify_reinit();
+        assert_eq!(m.state(), Health::Recovering);
+        // One Ok short of settling back to Nominal…
+        for _ in 0..9 {
+            m.observe(HealthSignal::Ok);
+        }
+        // …a second re-init restarts the holdoff: the full exit streak
+        // must be re-earned.
+        m.notify_reinit();
+        for _ in 0..9 {
+            assert_eq!(m.observe(HealthSignal::Ok), Health::Recovering);
+        }
+        assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod angle;
+pub mod deadline;
 pub mod diagnostics;
 pub mod health;
 pub mod invariant;
@@ -41,6 +42,7 @@ pub mod sensor_data;
 pub mod stats;
 pub mod stream_keys;
 
+pub use deadline::{CostModel, DeadlineConfig, DeadlineController, RangeTier, StepPlan};
 pub use diagnostics::Diagnostics;
 pub use health::{Health, HealthConfig, HealthMonitor, HealthSignal};
 pub use localizer::Localizer;

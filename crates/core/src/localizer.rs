@@ -51,6 +51,17 @@ pub trait Localizer {
     fn health(&self) -> Health {
         Health::Nominal
     }
+
+    /// Informs the localizer of the current compute-pressure factor in
+    /// `(0, 1]` (1 = no pressure), scaling its per-step compute budget
+    /// for the next correction (DESIGN.md §14).
+    ///
+    /// The default implementation ignores the signal: estimators without
+    /// a [`DeadlineController`](crate::deadline::DeadlineController) have
+    /// no budget to scale. The factor must influence *which* work a
+    /// deadline-aware implementation schedules, never wall-clock
+    /// measurements — results stay bit-identical for any thread count.
+    fn set_compute_pressure(&mut self, _factor: f64) {}
 }
 
 /// A trivial localizer that integrates odometry only (dead reckoning).

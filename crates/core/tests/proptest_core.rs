@@ -2,7 +2,10 @@
 //! primitives.
 
 use proptest::prelude::*;
-use raceloc_core::{angle, stats, Point2, Pose2, Rng64, RunningStats, Twist2};
+use raceloc_core::{
+    angle, stats, Health, HealthConfig, HealthMonitor, HealthSignal, Point2, Pose2, Rng64,
+    RunningStats, Twist2,
+};
 
 fn finite_angle() -> impl Strategy<Value = f64> {
     -50.0..50.0f64
@@ -120,6 +123,106 @@ proptest! {
         } else {
             prop_assert!(weights.iter().sum::<f64>() <= 0.0);
         }
+    }
+}
+
+fn signal() -> impl Strategy<Value = HealthSignal> {
+    prop_oneof![
+        Just(HealthSignal::Ok),
+        Just(HealthSignal::Suspect),
+        Just(HealthSignal::Diverged),
+    ]
+}
+
+proptest! {
+    /// Debounce floor: as long as every run of non-Ok corrections is
+    /// shorter than `enter_degraded`, the monitor never leaves Nominal —
+    /// isolated noisy corrections cannot flap the state.
+    #[test]
+    fn short_bad_runs_never_leave_nominal(
+        blocks in prop::collection::vec((0u32..3, 1u32..6, any::<bool>()), 0..30),
+    ) {
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(cfg);
+        for (bad, ok, diverged) in blocks {
+            prop_assert!(bad < cfg.enter_degraded);
+            let sig = if diverged { HealthSignal::Diverged } else { HealthSignal::Suspect };
+            for _ in 0..bad {
+                prop_assert_eq!(m.observe(sig), Health::Nominal);
+            }
+            for _ in 0..ok {
+                prop_assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
+            }
+        }
+    }
+
+    /// The Suspect-pause edge: any Ok-free interleaving of Diverged and
+    /// Suspect corrections with at least `enter_lost` Diverged among them
+    /// ends in Lost — oscillating evidence must not hide divergence.
+    #[test]
+    fn ok_free_oscillation_still_reaches_lost(
+        mut pattern in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let cfg = HealthConfig::default();
+        // Top the pattern up to exactly `enter_lost` Diverged signals.
+        let diverged = pattern.iter().filter(|&&d| d).count() as u32;
+        let missing = cfg.enter_lost.saturating_sub(diverged) as usize;
+        pattern.extend(std::iter::repeat_n(true, missing));
+        let mut m = HealthMonitor::new(cfg);
+        for d in pattern {
+            let sig = if d { HealthSignal::Diverged } else { HealthSignal::Suspect };
+            m.observe(sig);
+        }
+        prop_assert_eq!(m.state(), Health::Lost);
+    }
+
+    /// Bounded recovery: from whatever state an arbitrary signal history
+    /// leaves the monitor in, `exit_degraded + exit_recovering`
+    /// consecutive Ok corrections always settle it back at Nominal.
+    #[test]
+    fn sustained_ok_always_settles_nominal(history in prop::collection::vec(signal(), 0..60)) {
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(cfg);
+        for sig in history {
+            m.observe(sig);
+        }
+        for _ in 0..(cfg.exit_degraded + cfg.exit_recovering) {
+            m.observe(HealthSignal::Ok);
+        }
+        prop_assert_eq!(m.state(), Health::Nominal);
+    }
+
+    /// Streak reset on re-init: however the monitor got Lost, a re-init
+    /// moves it to Recovering, and a second re-init after any partial Ok
+    /// holdoff clears the streak — the full `exit_recovering` run must be
+    /// re-earned from the fresh re-initialization.
+    #[test]
+    fn reinit_always_restarts_the_recovery_holdoff(
+        history in prop::collection::vec(signal(), 0..40),
+        partial in 0u32..10,
+    ) {
+        let cfg = HealthConfig::default();
+        prop_assert!(partial < cfg.exit_recovering);
+        let mut m = HealthMonitor::new(cfg);
+        for sig in history {
+            m.observe(sig);
+        }
+        // Force Lost from wherever the history left us.
+        for _ in 0..cfg.enter_lost {
+            m.observe(HealthSignal::Diverged);
+        }
+        prop_assert_eq!(m.state(), Health::Lost);
+        m.notify_reinit();
+        prop_assert_eq!(m.state(), Health::Recovering);
+        // A partial holdoff, then a second re-init: the clock restarts.
+        for _ in 0..partial {
+            prop_assert_eq!(m.observe(HealthSignal::Ok), Health::Recovering);
+        }
+        m.notify_reinit();
+        for _ in 0..(cfg.exit_recovering - 1) {
+            prop_assert_eq!(m.observe(HealthSignal::Ok), Health::Recovering);
+        }
+        prop_assert_eq!(m.observe(HealthSignal::Ok), Health::Nominal);
     }
 }
 

@@ -65,7 +65,14 @@ impl CellAggregator {
     }
 
     /// Reduces the accumulated replicates to the cell's summary row.
-    pub fn summarize(&self, map: &str, grip: &str, scenario: &str, method: &str) -> CellSummary {
+    pub fn summarize(
+        &self,
+        map: &str,
+        grip: &str,
+        scenario: &str,
+        budget: u64,
+        method: &str,
+    ) -> CellSummary {
         let iv = wilson95(self.successes, self.runs);
         let mean = |xs: &[f64]| {
             if xs.is_empty() {
@@ -79,6 +86,7 @@ impl CellAggregator {
             map: map.to_string(),
             grip: grip.to_string(),
             scenario: scenario.to_string(),
+            budget,
             method: method.to_string(),
             runs: self.runs,
             steps: self.steps,
@@ -103,7 +111,7 @@ impl CellAggregator {
 }
 
 /// One aggregated row of the fleet report: the statistics of every
-/// replicate of one `(map, grip, scenario, method)` cell.
+/// replicate of one `(map, grip, scenario, budget, method)` cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellSummary {
     /// Map label.
@@ -112,6 +120,8 @@ pub struct CellSummary {
     pub grip: String,
     /// Scenario label.
     pub scenario: String,
+    /// Per-step compute budget \[work units\]; `0` = uncapped.
+    pub budget: u64,
     /// Localizer label.
     pub method: String,
     /// Replicates folded into the row.
@@ -160,6 +170,7 @@ impl CellSummary {
             ("map".into(), Json::Str(self.map.clone())),
             ("grip".into(), Json::Str(self.grip.clone())),
             ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("budget".into(), Json::num(self.budget as f64)),
             ("method".into(), Json::Str(self.method.clone())),
             ("runs".into(), Json::num(self.runs as f64)),
             ("steps".into(), Json::num(self.steps as f64)),
@@ -246,6 +257,7 @@ impl FleetReport {
                     &label(&map_names, key.map),
                     &label(&grip_names, key.grip),
                     &label(&scen_names, key.scenario),
+                    spec.budgets.get(key.budget).copied().unwrap_or(0),
                     spec.methods.get(key.method).map(|m| m.name()).unwrap_or(""),
                 )
             })
@@ -260,7 +272,9 @@ impl FleetReport {
         }
     }
 
-    /// Looks a cell row up by its four labels.
+    /// Looks a cell row up by its four labels; with more than one budget
+    /// in the spec this returns the first-listed budget's row (use
+    /// [`FleetReport::cells`] directly to sweep the budget axis).
     pub fn cell(
         &self,
         map: &str,
@@ -328,7 +342,7 @@ mod tests {
         agg.push(&outcome(0, 10.0, true));
         agg.push(&outcome(1, 20.0, true));
         agg.push(&outcome(2, 60.0, false));
-        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        let row = agg.summarize("m", "HQ", "nominal", 0, "SynPF");
         assert_eq!(row.runs, 3);
         assert_eq!(row.successes, 2);
         assert!((row.mean_rmse_cm - 30.0).abs() < 1e-12);
@@ -343,7 +357,7 @@ mod tests {
         let mut agg = CellAggregator::new();
         agg.push(&outcome(0, 10.0, true));
         agg.push_missing();
-        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        let row = agg.summarize("m", "HQ", "nominal", 0, "SynPF");
         assert_eq!(row.runs, 2);
         assert_eq!(row.successes, 1);
         assert_eq!(row.missing, 1);
@@ -355,7 +369,7 @@ mod tests {
     fn report_json_is_stable_and_parseable() {
         let mut agg = CellAggregator::new();
         agg.push(&outcome(0, 10.0, true));
-        let row = agg.summarize("m", "HQ", "nominal", "SynPF");
+        let row = agg.summarize("m", "HQ", "nominal", 0, "SynPF");
         let report = FleetReport {
             name: "t".into(),
             master_seed: 1,

@@ -60,8 +60,8 @@ pub fn ordering_violations(report: &FleetReport) -> Vec<String> {
 
 fn sanity(cell: &CellSummary, out: &mut Vec<String>) {
     let tag = format!(
-        "{} × {} × {} × {}",
-        cell.map, cell.grip, cell.scenario, cell.method
+        "{} × {} × {} × b{} × {}",
+        cell.map, cell.grip, cell.scenario, cell.budget, cell.method
     );
     if cell.runs == 0 {
         out.push(format!("{tag}: cell has no replicates"));
@@ -82,6 +82,8 @@ fn sanity(cell: &CellSummary, out: &mut Vec<String>) {
 }
 
 fn slip_ordering(report: &FleetReport, map: &str, grip: &str, out: &mut Vec<String>) {
+    // `cell` resolves the first-listed budget, so budget-sweeping specs
+    // are judged on their lead budget (conventionally the uncapped 0).
     let synpf = report.cell(map, grip, SLIP_SCENARIO, "SynPF");
     let carto = report.cell(map, grip, SLIP_SCENARIO, "Cartographer");
     if let (Some(synpf), Some(carto)) = (synpf, carto) {
@@ -102,7 +104,9 @@ fn nominal_baseline(report: &FleetReport, map: &str, grip: &str, out: &mut Vec<S
         return;
     };
     for other in report.group(map, grip, NOMINAL_SCENARIO) {
-        if other.method == "DeadReckoning" {
+        // Compare within one budget only: a hard-capped SynPF losing to
+        // an uncapped baseline is a budget effect, not a regression.
+        if other.method == "DeadReckoning" || other.budget != dr.budget {
             continue;
         }
         if dr.mean_lat_err_cm < other.mean_lat_err_cm {
@@ -125,6 +129,7 @@ mod tests {
             map: "m0".into(),
             grip: "LQ".into(),
             scenario: scenario.into(),
+            budget: 0,
             method: method.into(),
             runs: 20,
             steps: 2000,

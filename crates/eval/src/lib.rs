@@ -9,8 +9,8 @@
 //! reproducible batch:
 //!
 //! - [`FleetSpec`] names the axes — maps × grip levels × fault scenarios
-//!   × localizers × seed replicates — as plain data with a lossless JSON
-//!   round-trip;
+//!   × compute budgets × localizers × seed replicates — as plain data
+//!   with a lossless JSON round-trip;
 //! - [`run_fleet`] expands the spec into runs, fans them over a
 //!   [`raceloc_par::WorkerPool`] (one closed-loop simulation per job,
 //!   inner parallelism pinned to 1), scatters outcomes back by job tag,
@@ -56,6 +56,7 @@
 //!         measure_from: 0,
 //!         recovery_budget: None,
 //!     }],
+//!     budgets: vec![0],
 //!     methods: vec![EvalMethod::DeadReckoning],
 //! };
 //! let report = run_fleet(&spec, 1).unwrap();

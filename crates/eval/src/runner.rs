@@ -13,11 +13,11 @@
 use std::sync::Arc;
 
 use raceloc_core::localizer::DeadReckoning;
-use raceloc_core::{stats, stream_keys, Health, Rng64};
+use raceloc_core::{stats, stream_keys, DeadlineConfig, Health, Rng64};
 use raceloc_map::Track;
 use raceloc_obs::Telemetry;
 use raceloc_par::{FnJob, WorkerPool};
-use raceloc_pf::{HealthPolicy, RecoveryConfig, SynPf, SynPfConfig};
+use raceloc_pf::{HealthPolicy, KldConfig, RecoveryConfig, SynPf, SynPfConfig};
 use raceloc_range::{ArtifactParams, ArtifactStore, MapArtifacts};
 use raceloc_sim::{SimLog, World, WorldConfig};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
@@ -133,10 +133,11 @@ impl RunOutcome {
 /// oracle control, and reduces the log. Pure in `(spec, desc)`; the
 /// context only caches what the spec already determines.
 pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcome {
-    let (Some(res), Some(grip), Some(scenario), Some(method)) = (
+    let (Some(res), Some(grip), Some(scenario), Some(&budget), Some(method)) = (
         ctx.maps.get(desc.key.map),
         spec.grips.get(desc.key.grip),
         spec.scenarios.get(desc.key.scenario),
+        spec.budgets.get(desc.key.budget),
         spec.methods.get(desc.key.method).copied(),
     ) else {
         return RunOutcome::unresolved(desc.index);
@@ -162,20 +163,41 @@ pub fn execute_run(spec: &FleetSpec, desc: RunDesc, ctx: &FleetCtx) -> RunOutcom
 
     let log = match method {
         EvalMethod::SynPf => {
-            let config = SynPfConfig::builder()
+            let mut builder = SynPfConfig::builder()
                 .particles(spec.particles)
                 .threads(1)
                 .seed(filter_seed)
                 .recovery(RecoveryConfig::default())
-                .health(HealthPolicy::default())
-                .build();
-            let Ok(config) = config else {
+                .health(HealthPolicy::default());
+            // A positive budget arms the deadline controller; KLD gives it
+            // the particle-count knob the ladder's rungs scale (DESIGN.md
+            // §14). Budget 0 keeps the historical uncapped pipeline.
+            if budget > 0 {
+                builder = builder
+                    .kld(KldConfig {
+                        min_particles: (spec.particles / 4).max(50),
+                        max_particles: spec.particles,
+                        ..KldConfig::default()
+                    })
+                    .deadline(DeadlineConfig {
+                        budget_units: budget,
+                        ..DeadlineConfig::default()
+                    });
+            }
+            let Ok(config) = builder.build() else {
                 return RunOutcome::unresolved(desc.index);
             };
             let mut pf = SynPf::from_artifacts(Arc::clone(&res.artifacts), config);
             pf.enable_recovery(&res.track.grid);
             pf.set_telemetry(tel.clone());
-            world.run_with_oracle_control(&mut pf, spec.duration_s)
+            let log = world.run_with_oracle_control(&mut pf, spec.duration_s);
+            if let Some(ctl) = pf.deadline() {
+                // Where the ladder settled when the run ended — lets the
+                // report distinguish "degraded and recovered" from "pinned
+                // at the bottom rung".
+                tel.add("deadline.final_rung", ctl.rung() as u64);
+            }
+            log
         }
         EvalMethod::Cartographer => {
             let config = CartoLocalizerConfig {
@@ -350,6 +372,7 @@ mod tests {
                 measure_from: 0,
                 recovery_budget: None,
             }],
+            budgets: vec![0],
             methods: vec![EvalMethod::DeadReckoning],
         }
     }
@@ -378,6 +401,7 @@ mod tests {
             map: 7,
             grip: 0,
             scenario: 0,
+            budget: 0,
             method: 0,
         };
         let out = execute_run(&spec, desc, &ctx);

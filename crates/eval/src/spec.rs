@@ -193,7 +193,7 @@ impl EvalMethod {
     }
 }
 
-/// Indices of one aggregated report cell along the four non-replicate axes.
+/// Indices of one aggregated report cell along the five non-replicate axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellKey {
     /// Index into [`FleetSpec::maps`].
@@ -202,6 +202,8 @@ pub struct CellKey {
     pub grip: usize,
     /// Index into [`FleetSpec::scenarios`].
     pub scenario: usize,
+    /// Index into [`FleetSpec::budgets`].
+    pub budget: usize,
     /// Index into [`FleetSpec::methods`].
     pub method: usize,
 }
@@ -246,6 +248,13 @@ pub struct FleetSpec {
     pub grips: Vec<GripSpec>,
     /// The fault scenarios.
     pub scenarios: Vec<ScenarioSpec>,
+    /// The per-step compute budgets \[work units\] of the deadline
+    /// scheduler (DESIGN.md §14). `0` means uncapped (no deadline
+    /// controller — the historical behavior); positive values cap SynPF's
+    /// per-correction cost so the fleet can sweep budget × scenario. The
+    /// budget is excluded from world-seed derivation, so every budget of a
+    /// cell faces bit-identical world noise (paired, like methods).
+    pub budgets: Vec<u64>,
     /// The localizers.
     pub methods: Vec<EvalMethod>,
 }
@@ -267,6 +276,19 @@ impl FleetSpec {
         }
         if self.maps.len() > 0xFFFF || self.grips.len() > 0xFF || self.scenarios.len() > 0xFF {
             return Err(SpecError::new("axis too large for seed derivation"));
+        }
+        if self.budgets.is_empty() {
+            return Err(SpecError::new(
+                "budgets must list at least one entry (0 = uncapped)",
+            ));
+        }
+        if self.budgets.len() > 0xFF {
+            return Err(SpecError::new("budgets axis too large"));
+        }
+        for (i, b) in self.budgets.iter().enumerate() {
+            if self.budgets[..i].contains(b) {
+                return Err(SpecError::new(format!("duplicate budget {b}")));
+            }
         }
         if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
             return Err(SpecError::new("duration_s must be positive"));
@@ -310,19 +332,24 @@ impl FleetSpec {
     }
 
     /// Every aggregated cell in canonical order: maps (outer) × grips ×
-    /// scenarios × methods (inner).
+    /// scenarios × budgets × methods (inner).
     pub fn cells(&self) -> Vec<CellKey> {
-        let mut out = Vec::with_capacity(self.maps.len() * self.grips.len() * self.scenarios.len());
+        let mut out = Vec::with_capacity(
+            self.maps.len() * self.grips.len() * self.scenarios.len() * self.budgets.len(),
+        );
         for map in 0..self.maps.len() {
             for grip in 0..self.grips.len() {
                 for scenario in 0..self.scenarios.len() {
-                    for method in 0..self.methods.len() {
-                        out.push(CellKey {
-                            map,
-                            grip,
-                            scenario,
-                            method,
-                        });
+                    for budget in 0..self.budgets.len() {
+                        for method in 0..self.methods.len() {
+                            out.push(CellKey {
+                                map,
+                                grip,
+                                scenario,
+                                budget,
+                                method,
+                            });
+                        }
                     }
                 }
             }
@@ -357,8 +384,9 @@ impl FleetSpec {
 
     /// The world seed of one `(map, grip, scenario, replicate)` cell —
     /// a pure function of the spec's master seed and the axis indices,
-    /// independent of the localizer (paired comparison) and of everything
-    /// about execution (thread count, run order).
+    /// independent of the localizer *and the compute budget* (paired
+    /// comparison) and of everything about execution (thread count, run
+    /// order).
     pub fn world_seed(&self, map: usize, grip: usize, scenario: usize, replicate: u32) -> u64 {
         Rng64::stream(
             self.master_seed,
@@ -388,6 +416,10 @@ impl FleetSpec {
             (
                 "scenarios".into(),
                 Json::Arr(self.scenarios.iter().map(ScenarioSpec::to_json).collect()),
+            ),
+            (
+                "budgets".into(),
+                Json::Arr(self.budgets.iter().map(|&b| Json::num(b as f64)).collect()),
             ),
             (
                 "methods".into(),
@@ -424,6 +456,21 @@ impl FleetSpec {
                     .ok_or_else(|| SpecError::new("unknown method label"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Budgets are optional for spec-file compatibility: absent means
+        // the single uncapped budget (the pre-deadline behavior).
+        let budgets = match doc.get("budgets") {
+            None => vec![0],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError::new("\"budgets\" must be an array"))?
+                .iter()
+                .map(|b| {
+                    b.as_u64().ok_or_else(|| {
+                        SpecError::new("budgets must be non-negative integers (work units)")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let spec = Self {
             name: req_str(doc, "name")?,
             master_seed: req_u64(doc, "master_seed")?,
@@ -435,6 +482,7 @@ impl FleetSpec {
             maps,
             grips,
             scenarios,
+            budgets,
             methods,
         };
         spec.validate()?;
@@ -532,6 +580,7 @@ mod tests {
                     recovery_budget: None,
                 },
             ],
+            budgets: vec![0],
             methods: vec![EvalMethod::SynPf, EvalMethod::DeadReckoning],
         }
     }
@@ -621,8 +670,49 @@ mod tests {
             mean_radius: 6.0,
         });
         assert!(s.validate().is_err(), "implausible half width");
+        let mut s = tiny_spec();
+        s.budgets.clear();
+        assert!(s.validate().is_err(), "empty budget axis");
+        let mut s = tiny_spec();
+        s.budgets = vec![50_000, 50_000];
+        assert!(s.validate().is_err(), "duplicate budget");
         assert!(FleetSpec::from_json_str("{}").is_err());
         assert!(FleetSpec::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn budget_axis_expands_between_scenario_and_method() {
+        let mut spec = tiny_spec();
+        spec.budgets = vec![0, 50_000];
+        spec.validate().expect("valid spec");
+        let cells = spec.cells();
+        // 1 map × 2 grips × 2 scenarios × 2 budgets × 2 methods.
+        assert_eq!(cells.len(), 16);
+        // Budget varies faster than scenario, slower than method.
+        assert_eq!((cells[0].budget, cells[0].method), (0, 0));
+        assert_eq!((cells[1].budget, cells[1].method), (0, 1));
+        assert_eq!((cells[2].budget, cells[2].method), (1, 0));
+        assert_eq!(cells[3].scenario, cells[0].scenario);
+        // World seeds ignore the budget axis: paired worlds per budget.
+        let runs = spec.runs();
+        let at = |budget: usize| -> Vec<u64> {
+            runs.iter()
+                .filter(|r| r.key.budget == budget && r.key.method == 0)
+                .map(|r| r.world_seed)
+                .collect()
+        };
+        assert_eq!(at(0), at(1));
+    }
+
+    #[test]
+    fn budgets_default_to_uncapped_in_json() {
+        let spec = tiny_spec();
+        let mut text = format!("{}", spec.to_json());
+        // Strip the budgets key to simulate a pre-deadline spec file.
+        text = text.replace("\"budgets\":[0],", "");
+        let back = FleetSpec::from_json_str(&text).expect("parse back");
+        assert_eq!(back.budgets, vec![0]);
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn small_spec() -> FleetSpec {
                 recovery_budget: None,
             },
         ],
+        budgets: vec![0],
         methods: vec![
             EvalMethod::SynPf,
             EvalMethod::Cartographer,

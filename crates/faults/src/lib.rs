@@ -126,7 +126,8 @@ impl FaultSchedule {
                 FaultKind::MapCorruption { .. } => fx.corrupt_map = true,
                 FaultKind::OdomSlip { .. }
                 | FaultKind::StuckEncoder
-                | FaultKind::PoseKidnap { .. } => {}
+                | FaultKind::PoseKidnap { .. }
+                | FaultKind::ComputePressure { .. } => {}
             }
         }
         fx
@@ -146,6 +147,24 @@ impl FaultSchedule {
             }
         }
         fx
+    }
+
+    /// The combined compute-budget scale factor active at a correction
+    /// step. Overlapping [`FaultKind::ComputePressure`] windows compose by
+    /// multiplication; with none active the factor is `1.0`. The sim
+    /// delivers this through
+    /// [`Localizer::set_compute_pressure`](raceloc_core::Localizer::set_compute_pressure)
+    /// before each correction.
+    pub fn budget_factor_at(&self, step: u64) -> f64 {
+        let mut factor = 1.0;
+        for f in &self.faults {
+            if let FaultKind::ComputePressure { factor: scale } = f.kind {
+                if f.window.contains(step) {
+                    factor *= scale;
+                }
+            }
+        }
+        factor
     }
 
     /// The total ground-truth teleport distance \[m\] along the raceline
@@ -251,6 +270,7 @@ mod tests {
                     y1: 0.5,
                 },
             )
+            .compute_pressure(150, 180, 0.5)
             .build()
             .expect("valid schedule")
     }
@@ -271,6 +291,29 @@ mod tests {
         assert!(s.odom_effects(65).stuck);
         assert_eq!(s.kidnap_advance_at(100), Some(4.0));
         assert_eq!(s.kidnap_advance_at(101), None);
+        assert_eq!(s.budget_factor_at(149), 1.0);
+        assert_eq!(s.budget_factor_at(150), 0.5);
+        assert_eq!(s.budget_factor_at(180), 1.0, "end is exclusive");
+        assert!(
+            !s.scan_effects(160).any(),
+            "compute pressure leaves the sensors untouched"
+        );
+    }
+
+    #[test]
+    fn overlapping_pressure_windows_multiply() {
+        let s = FaultSchedule::builder()
+            .compute_pressure(0, 10, 0.5)
+            .compute_pressure(5, 15, 0.4)
+            .build()
+            .expect("valid schedule");
+        assert_eq!(s.budget_factor_at(2), 0.5);
+        assert!(
+            (s.budget_factor_at(7) - 0.2).abs() < 1e-12,
+            "factors multiply"
+        );
+        assert_eq!(s.budget_factor_at(12), 0.4);
+        assert_eq!(s.budget_factor_at(20), 1.0);
     }
 
     #[test]
@@ -331,6 +374,27 @@ mod tests {
                 .build()
                 .is_err(),
             "NaN kidnap"
+        );
+        assert!(
+            FaultSchedule::builder()
+                .compute_pressure(0, 5, 0.0)
+                .build()
+                .is_err(),
+            "zero pressure factor"
+        );
+        assert!(
+            FaultSchedule::builder()
+                .compute_pressure(0, 5, 1.5)
+                .build()
+                .is_err(),
+            "pressure factor > 1"
+        );
+        assert!(
+            FaultSchedule::builder()
+                .compute_pressure(0, 5, f64::NAN)
+                .build()
+                .is_err(),
+            "NaN pressure factor"
         );
         assert!(FaultSchedule::from_json_str("{}").is_err());
         assert!(FaultSchedule::from_json_str("not json").is_err());

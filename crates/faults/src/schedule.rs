@@ -127,6 +127,14 @@ pub enum FaultKind {
         /// The world-frame rectangle that becomes occupied.
         region: MapRegion,
     },
+    /// Compute pressure: a co-scheduled workload steals cycles, scaling
+    /// the localizer's per-step compute budget by `factor` while active
+    /// (DESIGN.md §14). Purely a budget signal — sensors are untouched —
+    /// delivered through `Localizer::set_compute_pressure`.
+    ComputePressure {
+        /// Budget scale factor, in `(0, 1]`.
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -142,6 +150,7 @@ impl FaultKind {
             FaultKind::Latency { .. } => "latency",
             FaultKind::PoseKidnap { .. } => "pose_kidnap",
             FaultKind::MapCorruption { .. } => "map_corruption",
+            FaultKind::ComputePressure { .. } => "compute_pressure",
         }
     }
 
@@ -157,6 +166,7 @@ impl FaultKind {
             FaultKind::Latency { .. } => "faults.latency.activations",
             FaultKind::PoseKidnap { .. } => "faults.pose_kidnap.activations",
             FaultKind::MapCorruption { .. } => "faults.map_corruption.activations",
+            FaultKind::ComputePressure { .. } => "faults.compute_pressure.activations",
         }
     }
 
@@ -172,6 +182,7 @@ impl FaultKind {
             FaultKind::Latency { .. } => "faults.latency.steps",
             FaultKind::PoseKidnap { .. } => "faults.pose_kidnap.steps",
             FaultKind::MapCorruption { .. } => "faults.map_corruption.steps",
+            FaultKind::ComputePressure { .. } => "faults.compute_pressure.steps",
         }
     }
 }
@@ -261,6 +272,15 @@ impl FaultSpec {
                 }
                 Ok(())
             }
+            FaultKind::ComputePressure { factor } => {
+                finite("factor", factor)?;
+                if !(factor > 0.0 && factor <= 1.0) {
+                    return Err(ScheduleError::new(
+                        "compute_pressure: factor must lie in (0, 1]",
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -296,6 +316,9 @@ impl FaultSpec {
                 obj.push(("y0".to_string(), Json::num(region.y0)));
                 obj.push(("x1".to_string(), Json::num(region.x1)));
                 obj.push(("y1".to_string(), Json::num(region.y1)));
+            }
+            FaultKind::ComputePressure { factor } => {
+                obj.push(("factor".to_string(), Json::num(factor)));
             }
         }
         Json::Obj(obj)
@@ -347,6 +370,9 @@ impl FaultSpec {
                     x1: num("x1")?,
                     y1: num("y1")?,
                 },
+            },
+            "compute_pressure" => FaultKind::ComputePressure {
+                factor: num("factor")?,
             },
             other => {
                 return Err(ScheduleError::new(format!(
@@ -433,6 +459,11 @@ impl FaultScheduleBuilder {
         self.fault(FaultKind::MapCorruption { region }, start, end)
     }
 
+    /// Compute-budget pressure of the given factor over `[start, end)`.
+    pub fn compute_pressure(self, start: u64, end: u64, factor: f64) -> Self {
+        self.fault(FaultKind::ComputePressure { factor }, start, end)
+    }
+
     /// Validates every fault and returns the schedule.
     pub fn build(self) -> Result<FaultSchedule, ScheduleError> {
         FaultSchedule::new(self.seed, self.faults)
@@ -473,6 +504,7 @@ mod tests {
                     y1: 1.0,
                 },
             },
+            FaultKind::ComputePressure { factor: 0.5 },
         ];
         for k in kinds {
             assert!(k.activation_counter().contains(k.name()));

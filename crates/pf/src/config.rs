@@ -126,6 +126,32 @@ impl RecoveryConfigBuilder {
     }
 }
 
+impl crate::kld::KldConfig {
+    /// Validates a hand-built value: positive, non-inverted particle
+    /// bounds; strictly positive `epsilon` and bin sizes; finite
+    /// `z_quantile`. An inconsistent KLD config otherwise silently
+    /// misbehaves (e.g. `min_particles > max_particles` makes the clamp
+    /// in `required_particles` collapse every adaptation to the minimum).
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        if self.min_particles == 0 {
+            return Err(err("kld.min_particles", "must be positive"));
+        }
+        if self.min_particles > self.max_particles {
+            return Err(err(
+                "kld.min_particles",
+                "must not exceed kld.max_particles",
+            ));
+        }
+        check_positive("kld.epsilon", self.epsilon)?;
+        check_positive("kld.bin_xy", self.bin_xy)?;
+        check_positive("kld.bin_theta", self.bin_theta)?;
+        if !self.z_quantile.is_finite() {
+            return Err(err("kld.z_quantile", "must be finite"));
+        }
+        Ok(self)
+    }
+}
+
 impl SynPfConfig {
     /// Starts a validating builder seeded with the defaults.
     pub fn builder() -> SynPfConfigBuilder {
@@ -173,28 +199,31 @@ impl SynPfConfig {
                 check_positive("motion.a_lat_max", m.a_lat_max)?;
             }
         }
-        if let Some(kld) = &self.kld {
-            if kld.min_particles == 0 {
-                return Err(err("kld.min_particles", "must be positive"));
-            }
-            if kld.min_particles > kld.max_particles {
-                return Err(err(
-                    "kld.min_particles",
-                    "must not exceed kld.max_particles",
-                ));
-            }
-            check_positive("kld.epsilon", kld.epsilon)?;
-            check_positive("kld.bin_xy", kld.bin_xy)?;
-            check_positive("kld.bin_theta", kld.bin_theta)?;
-            if !kld.z_quantile.is_finite() {
-                return Err(err("kld.z_quantile", "must be finite"));
-            }
+        if let Some(kld) = self.kld {
+            kld.validated()?;
         }
         if let Some(rec) = self.recovery {
             rec.validated()?;
         }
         if let Some(health) = self.health {
             health.validated()?;
+        }
+        if let Some(deadline) = self.deadline {
+            deadline.validated().map_err(|e| {
+                err(
+                    // The error paths below are config field names, not
+                    // telemetry counters — they only share the prefix.
+                    match e.field {
+                        // analyze:allow(R8, reason = "config-error field path, not a telemetry counter")
+                        "upgrade_streak" => "deadline.upgrade_streak",
+                        // analyze:allow(R8, reason = "config-error field path, not a telemetry counter")
+                        "headroom_pct" => "deadline.headroom_pct",
+                        // analyze:allow(R8, reason = "config-error field path, not a telemetry counter")
+                        _ => "deadline.cost.per_particle_units",
+                    },
+                    e.reason,
+                )
+            })?;
         }
         Ok(self)
     }
@@ -290,6 +319,13 @@ impl SynPfConfigBuilder {
         self
     }
 
+    /// Enables deadline-aware adaptive compute (degradation ladder,
+    /// DESIGN.md §14).
+    pub fn deadline(mut self, v: raceloc_core::DeadlineConfig) -> Self {
+        self.0.deadline = Some(v);
+        self
+    }
+
     /// PRNG seed.
     pub fn seed(mut self, v: u64) -> Self {
         self.0.seed = v;
@@ -374,6 +410,78 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(e.field, "kld.min_particles");
+    }
+
+    #[test]
+    fn degenerate_kld_values_rejected() {
+        // Standalone validation (usable without a SynPfConfig)…
+        assert!(KldConfig::default().validated().is_ok());
+        let zero_min = KldConfig {
+            min_particles: 0,
+            ..KldConfig::default()
+        };
+        assert_eq!(zero_min.validated().unwrap_err().field, "kld.min_particles");
+        // …and the same checks through the builder, per offending field.
+        for (kld, field) in [
+            (
+                KldConfig {
+                    epsilon: 0.0,
+                    ..KldConfig::default()
+                },
+                "kld.epsilon",
+            ),
+            (
+                KldConfig {
+                    epsilon: f64::NAN,
+                    ..KldConfig::default()
+                },
+                "kld.epsilon",
+            ),
+            (
+                KldConfig {
+                    bin_xy: -0.25,
+                    ..KldConfig::default()
+                },
+                "kld.bin_xy",
+            ),
+            (
+                KldConfig {
+                    bin_theta: 0.0,
+                    ..KldConfig::default()
+                },
+                "kld.bin_theta",
+            ),
+            (
+                KldConfig {
+                    z_quantile: f64::INFINITY,
+                    ..KldConfig::default()
+                },
+                "kld.z_quantile",
+            ),
+        ] {
+            let e = SynPfConfig::builder().kld(kld).build().unwrap_err();
+            assert_eq!(e.field, field);
+        }
+    }
+
+    #[test]
+    fn deadline_config_validated_when_nested() {
+        let bad = raceloc_core::DeadlineConfig {
+            upgrade_streak: 0,
+            ..raceloc_core::DeadlineConfig::default()
+        };
+        let e = SynPfConfig::builder().deadline(bad).build().unwrap_err();
+        assert_eq!(e.field, "deadline.upgrade_streak");
+        let bad = raceloc_core::DeadlineConfig {
+            headroom_pct: 200,
+            ..raceloc_core::DeadlineConfig::default()
+        };
+        let e = SynPfConfig::builder().deadline(bad).build().unwrap_err();
+        assert_eq!(e.field, "deadline.headroom_pct");
+        assert!(SynPfConfig::builder()
+            .deadline(raceloc_core::DeadlineConfig::default())
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::sensor::{BeamModelConfig, BeamSensorModel, LikelihoodField, Likelihoo
 use crate::store::ParticleStore;
 use raceloc_core::localizer::Localizer;
 use raceloc_core::sensor_data::{LaserScan, Odometry};
-use raceloc_core::{stream_keys, Diagnostics, Health, HealthSignal, Pose2, Rng64};
+use raceloc_core::{
+    stream_keys, DeadlineController, Diagnostics, Health, HealthSignal, Pose2, Rng64, StepPlan,
+};
 use raceloc_map::{CellState, OccupancyGrid};
 use raceloc_obs::Telemetry;
 use raceloc_par::{chunk_count, chunk_spans, PoolJob, WorkerPool, DEFAULT_CHUNK_MIN};
@@ -100,6 +102,14 @@ pub struct SynPfConfig {
     /// automatic global re-initialization on Lost. `None` (the default)
     /// disables every detector at zero cost in the steady-state step.
     pub health: Option<crate::health::HealthPolicy>,
+    /// Optional deadline-aware adaptive compute (DESIGN.md §14): each
+    /// correction is planned against a per-step work-unit budget and the
+    /// filter degrades down the [`raceloc_core::deadline::LADDER`]
+    /// (particle ceiling, beam stride, range tier, bounded coast) instead
+    /// of overrunning the scan period. The particle-ceiling rungs need
+    /// [`SynPfConfig::kld`] to actually shrink the cloud; without it they
+    /// only change the billed cost. `None` (the default) plans nothing.
+    pub deadline: Option<raceloc_core::DeadlineConfig>,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -124,6 +134,7 @@ impl Default for SynPfConfig {
             kld: None,
             recovery: None,
             health: None,
+            deadline: None,
             seed: 7,
         }
     }
@@ -220,7 +231,26 @@ pub struct SynPf<M: RangeMethod> {
     health_steps: u32,
     /// Detector mute countdown after an automatic global re-init.
     reinit_holdoff: u32,
+    /// Degradation-ladder controller (DESIGN.md §14); `None` without a
+    /// configured [`SynPfConfig::deadline`].
+    deadline: Option<DeadlineController>,
+    /// Latest compute-pressure factor delivered through
+    /// [`Localizer::set_compute_pressure`] (1 = no pressure).
+    pressure_factor: f64,
+    /// The plan governing the current correction; read by the resampler's
+    /// KLD target clamp.
+    last_plan: Option<StepPlan>,
 }
+
+/// Per-rung occupancy counters, indexed by ladder rung (DESIGN.md §14).
+const RUNG_COUNTERS: [&str; raceloc_core::deadline::LADDER_LEN] = [
+    "deadline.rung0",
+    "deadline.rung1",
+    "deadline.rung2",
+    "deadline.rung3",
+    "deadline.rung4",
+    "deadline.rung5",
+];
 
 impl SynPf<Arc<MapArtifacts>> {
     /// Creates a filter over a shared [`MapArtifacts`] bundle — the
@@ -317,6 +347,9 @@ impl<M: RangeMethod + 'static> SynPf<M> {
             health_w_fast: 0.0,
             health_steps: 0,
             reinit_holdoff: 0,
+            deadline: config.deadline.map(DeadlineController::new),
+            pressure_factor: 1.0,
+            last_plan: None,
             config,
         }
     }
@@ -549,11 +582,26 @@ impl<M: RangeMethod + 'static> SynPf<M> {
         if self.ess() >= self.config.resample_ess_frac * n as f64 {
             return;
         }
-        // KLD adaptation: size the new set to the posterior's spread.
+        // KLD adaptation: size the new set to the posterior's spread,
+        // additionally clamped to the deadline plan's particle ceiling —
+        // the ladder's particle-shrink rungs are realized right here.
         let target = match &self.config.kld {
-            Some(kld) => kld.adapt(self.store.iter()),
+            Some(kld) => {
+                let mut t = kld.adapt(self.store.iter());
+                if let Some(plan) = &self.last_plan {
+                    let cap = ((kld.max_particles as u64)
+                        .saturating_mul(plan.rung_params().particle_pct as u64)
+                        / 100)
+                        .max(1) as usize;
+                    t = t.min(cap);
+                }
+                t
+            }
             None => n,
         };
+        if self.config.kld.is_some() {
+            self.tel.add("pf.kld.n_target", target as u64);
+        }
         // In-place low-variance resample through a reusable scratch store:
         // gather every lane (including the trig lanes — gathered, not
         // recomputed) into the spare buffer, then swap it in.
@@ -620,6 +668,40 @@ impl<M: RangeMethod + 'static> SynPf<M> {
     /// (`None` with `threads = 1` or before the first multi-threaded step).
     pub fn pool_stats(&self) -> Option<raceloc_par::PoolStats> {
         self.pool.get().map(WorkerPool::stats)
+    }
+
+    /// The deadline controller, when [`SynPfConfig::deadline`] is set:
+    /// exposes the rung-occupancy histogram, miss count, and coast count
+    /// accumulated so far.
+    pub fn deadline(&self) -> Option<&DeadlineController> {
+        self.deadline.as_ref()
+    }
+
+    /// Plans the current correction against the deadline budget and books
+    /// the decision into telemetry; `None` without a controller.
+    ///
+    /// The billing base for particle ceilings is the KLD maximum (the
+    /// count the resampler may legitimately grow back to), or the live
+    /// particle count when KLD is disabled — both pure functions of the
+    /// configuration and the step history, never of wall-clock time.
+    fn plan_deadline(&mut self, beams: u64) -> Option<StepPlan> {
+        let health = self.health_monitor.state();
+        let base = match &self.config.kld {
+            Some(kld) => kld.max_particles,
+            None => self.store.len(),
+        } as u64;
+        let ctl = self.deadline.as_mut()?;
+        let plan = ctl.plan(self.pressure_factor, health, base, beams);
+        self.tel.add("deadline.rung", plan.rung as u64);
+        self.tel.add(RUNG_COUNTERS[plan.rung], 1);
+        if plan.miss {
+            self.tel.add("deadline.miss", 1);
+        }
+        if plan.coast {
+            self.tel.add("deadline.coast_steps", 1);
+        }
+        self.last_plan = Some(plan);
+        Some(plan)
     }
 
     /// Books the per-stage timings of a finished correction into telemetry
@@ -796,6 +878,11 @@ impl<M: RangeMethod + 'static> SynPf<M> {
             // fresh likelihood statistics for the new cloud.
             self.global_init(&grid);
             self.health_monitor.notify_reinit();
+            // The ladder mirrors the health holdoff: no climbing into an
+            // expensive rung while the re-scattered cloud re-converges.
+            if let Some(ctl) = &mut self.deadline {
+                ctl.notify_reinit();
+            }
             self.reinit_holdoff = policy.reinit_holdoff;
             self.w_slow = 0.0;
             self.w_fast = 0.0;
@@ -908,6 +995,25 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             self.note_uninformative_scan();
             return self.estimate;
         }
+        // Deadline plan (DESIGN.md §14): pick this correction's
+        // degradation-ladder rung from the budget, the pressure factor,
+        // and the health state — all deterministic inputs, so the rung
+        // sequence is bit-identical for any thread count.
+        let plan = self.plan_deadline(self.beam_sel.len() as u64);
+        if plan.is_some_and(|p| p.coast) {
+            // Bottom rung: shed the correction entirely and coast on the
+            // motion estimate — a deliberate, bounded hold, booked to the
+            // health machine like any other uninformative correction.
+            self.note_uninformative_scan();
+            return self.estimate;
+        }
+        let (stride, quantum) = match plan {
+            Some(p) => {
+                let rung = p.rung_params();
+                (rung.beam_stride as usize, rung.tier.bearing_quantum())
+            }
+            None => (1, None),
+        };
         let correct_started = Stopwatch::start();
         let motion_seconds = std::mem::take(&mut self.motion_accum_seconds);
         let n = self.store.len();
@@ -929,7 +1035,9 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
             for (i, p) in self.store.iter().enumerate() {
                 let sensor_pose = p * self.config.lidar_mount;
                 let mut acc = 0.0;
-                for &b in &beams {
+                // Deadline beam stride: uniform decimation of the selected
+                // fan (1 without a plan).
+                for &b in beams.iter().step_by(stride) {
                     let r = scan.ranges[b];
                     if r <= 0.0 || r >= cutoff {
                         continue;
@@ -985,18 +1093,33 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
         // filter is identical for every chunk, so the layout stays a pure
         // function of the scan and results stay bit-identical across
         // thread counts.
+        // The deadline plan degrades this hoist in two ways: the beam
+        // stride uniformly decimates the selected fan, and the degraded
+        // range tiers snap bearings onto a coarse conic grid (the
+        // CDDT/raymarch fallback analog) so the cast amortizes across
+        // bearing-identical beams. Both are pure functions of the scan
+        // and the plan, so the layout stays bit-identical across thread
+        // counts.
         self.beam_bearings.clear();
         self.beam_rows.clear();
         let sensor = &self.shared.sensor;
         self.beam_bearings.extend(
             beams
                 .iter()
+                .step_by(stride)
                 .filter(|&&b| scan.ranges[b].is_finite())
-                .map(|&b| scan.angle_of(b)),
+                .map(|&b| {
+                    let a = scan.angle_of(b);
+                    match quantum {
+                        Some(q) => (a / q).round() * q,
+                        None => a,
+                    }
+                }),
         );
         self.beam_rows.extend(
             beams
                 .iter()
+                .step_by(stride)
                 .map(|&b| scan.ranges[b])
                 .filter(|r| r.is_finite())
                 .map(|r| sensor.row_offset(r)),
@@ -1116,6 +1239,11 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
         self.health_w_fast = 0.0;
         self.health_steps = 0;
         self.reinit_holdoff = 0;
+        if let Some(ctl) = &mut self.deadline {
+            ctl.reset();
+        }
+        self.pressure_factor = 1.0;
+        self.last_plan = None;
     }
 
     fn name(&self) -> &str {
@@ -1124,6 +1252,10 @@ impl<M: RangeMethod + 'static> Localizer for SynPf<M> {
 
     fn health(&self) -> Health {
         self.health_monitor.state()
+    }
+
+    fn set_compute_pressure(&mut self, factor: f64) {
+        self.pressure_factor = factor;
     }
 
     fn diagnostics(&self) -> Diagnostics {
@@ -1182,6 +1314,9 @@ impl<M: RangeMethod + 'static> Clone for SynPf<M> {
             health_w_fast: self.health_w_fast,
             health_steps: self.health_steps,
             reinit_holdoff: self.reinit_holdoff,
+            deadline: self.deadline.clone(),
+            pressure_factor: self.pressure_factor,
+            last_plan: self.last_plan,
         }
     }
 }
@@ -2032,5 +2167,224 @@ mod recovery_tests {
         let (vx1, vy1, vt1) = pf.covariance();
         assert!(vx1 < vx0 && vy1 < vy0, "({vx0},{vy0}) -> ({vx1},{vy1})");
         assert!(vt1 < vt0 + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+    use crate::kld::KldConfig;
+    use raceloc_core::deadline::{DeadlineConfig, LADDER_LEN};
+    use raceloc_core::Twist2;
+    use raceloc_map::{Track, TrackShape, TrackSpec};
+    use raceloc_range::RayMarching;
+
+    fn track() -> Track {
+        TrackSpec::new(TrackShape::Oval {
+            width: 12.0,
+            height: 7.0,
+        })
+        .resolution(0.1)
+        .build()
+    }
+
+    fn scan_from(track: &Track, pose: Pose2, mount: Pose2) -> LaserScan {
+        let caster = RayMarching::new(&track.grid, 10.0);
+        let beams = 181;
+        let fov = 270.0f64.to_radians();
+        let inc = fov / (beams - 1) as f64;
+        let sensor = pose * mount;
+        let ranges: Vec<f64> = (0..beams)
+            .map(|i| {
+                caster.range(
+                    sensor.x,
+                    sensor.y,
+                    sensor.theta - 0.5 * fov + i as f64 * inc,
+                )
+            })
+            .collect();
+        LaserScan::new(-0.5 * fov, inc, ranges, 10.0)
+    }
+
+    /// Full-step cost at the test shape: 512 + 600·(2 + 60·4) work units
+    /// (600-particle KLD ceiling; the uniform layout below selects exactly
+    /// 60 of the 181 test beams, unlike the boxed default whose
+    /// perimeter-point dedup keeps fewer).
+    const FULL: u64 = 145_712;
+
+    fn deadline_pf(t: &Track, budget: u64, threads: usize) -> SynPf<RayMarching> {
+        let caster = RayMarching::new(&t.grid, 10.0);
+        SynPf::new(
+            caster,
+            SynPfConfig {
+                particles: 600,
+                threads,
+                layout: ScanLayout::Uniform { count: 60 },
+                kld: Some(KldConfig {
+                    min_particles: 50,
+                    max_particles: 600,
+                    ..KldConfig::default()
+                }),
+                deadline: Some(DeadlineConfig {
+                    budget_units: budget,
+                    ..DeadlineConfig::default()
+                }),
+                ..SynPfConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn pressure_degrades_the_ladder_and_recovery_climbs_back() {
+        let t = track();
+        let mut pf = deadline_pf(&t, FULL + FULL / 2, 1);
+        let tel = raceloc_obs::Telemetry::enabled();
+        pf.set_telemetry(tel.clone());
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let scan = scan_from(&t, pose, pf.config().lidar_mount);
+        let mut step = 0usize;
+        let mut drive = |pf: &mut SynPf<RayMarching>, n: usize| {
+            for _ in 0..n {
+                pf.predict(&Odometry::new(
+                    Pose2::IDENTITY,
+                    Twist2::ZERO,
+                    step as f64 * 0.02,
+                ));
+                pf.correct(&scan);
+                step += 1;
+            }
+        };
+        drive(&mut pf, 10);
+        assert_eq!(pf.deadline().unwrap().rung(), 0, "uncontended budget");
+        // A 50% pressure fault: the ladder must leave the top rung
+        // immediately, without missing a deadline or coasting.
+        pf.set_compute_pressure(0.5);
+        drive(&mut pf, 15);
+        let ctl = pf.deadline().unwrap();
+        assert!(ctl.rung() > 0, "pressure must degrade the ladder");
+        assert_eq!(ctl.misses(), 0);
+        assert_eq!(ctl.coast_steps(), 0);
+        // Pressure lifts: the debounced climb returns to the top rung.
+        pf.set_compute_pressure(1.0);
+        drive(&mut pf, 60);
+        let ctl = pf.deadline().unwrap();
+        assert_eq!(ctl.rung(), 0, "must recover to full compute");
+        assert_eq!(ctl.misses(), 0);
+        // Telemetry: occupancy recorded on the top rung and at least one
+        // degraded rung.
+        let snap = tel.snapshot();
+        assert!(snap.counter("deadline.rung0").unwrap_or(0) > 0);
+        let degraded: u64 = (1..LADDER_LEN)
+            .map(|r| snap.counter(&format!("deadline.rung{r}")).unwrap_or(0))
+            .sum();
+        assert!(degraded > 0, "degraded rung occupancy recorded");
+        assert!(snap.counter("pf.kld.n_target").is_some());
+        assert!(snap.counter("deadline.miss").is_none(), "no misses booked");
+    }
+
+    #[test]
+    fn starved_budget_coasts_bounded_then_corrects_over_budget() {
+        let t = track();
+        // Budget below the cheapest correcting rung (2 042 units at this
+        // shape) but above the coast cost (512 units).
+        let mut pf = deadline_pf(&t, 1_000, 1);
+        let tel = raceloc_obs::Telemetry::enabled();
+        pf.set_telemetry(tel.clone());
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let scan = scan_from(&t, pose, pf.config().lidar_mount);
+        let coast_limit = pf.config().deadline.unwrap().coast_limit as u64;
+        for _ in 0..coast_limit {
+            let before = pf.pose();
+            assert_eq!(pf.correct(&scan), before, "coasted step holds the pose");
+        }
+        let ctl = pf.deadline().unwrap();
+        assert_eq!(ctl.coast_steps(), coast_limit);
+        assert_eq!(ctl.misses(), 0);
+        // Coast budget exhausted: the filter corrects over budget (a
+        // booked miss) instead of dead-reckoning forever.
+        for _ in 0..5 {
+            pf.correct(&scan);
+        }
+        let ctl = pf.deadline().unwrap();
+        assert_eq!(ctl.coast_steps(), coast_limit, "coast is bounded");
+        assert!(ctl.misses() >= 5, "forced corrections book misses");
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("deadline.coast_steps"), Some(coast_limit));
+        assert!(snap.counter("deadline.miss").unwrap_or(0) >= 5);
+        assert!(snap.counter("deadline.rung5").unwrap_or(0) >= coast_limit);
+    }
+
+    #[test]
+    fn rung_ceiling_clamps_the_kld_target() {
+        let t = track();
+        // 3 000 units admits only the cheapest correcting rung (15% of
+        // the 600-particle ceiling = 90 particles).
+        let mut pf = deadline_pf(&t, 3_000, 1);
+        let pose = t.start_pose();
+        pf.reset(pose);
+        let scan = scan_from(&t, pose, pf.config().lidar_mount);
+        for i in 0..12 {
+            pf.predict(&Odometry::new(
+                Pose2::IDENTITY,
+                Twist2::ZERO,
+                i as f64 * 0.02,
+            ));
+            pf.correct(&scan);
+        }
+        assert!(pf.deadline().unwrap().rung() >= LADDER_LEN - 2);
+        assert!(
+            pf.particles().len() <= 90,
+            "rung ceiling not applied: {} particles",
+            pf.particles().len()
+        );
+        assert_eq!(pf.weights().len(), pf.particles().len());
+    }
+
+    #[test]
+    fn ladder_and_poses_are_thread_deterministic() {
+        let t = track();
+        let run = |threads: usize| {
+            let mut pf = deadline_pf(&t, FULL + FULL / 2, threads);
+            let pose = t.start_pose();
+            pf.reset(pose);
+            let scan = scan_from(&t, pose, pf.config().lidar_mount);
+            let mut poses = Vec::new();
+            for i in 0..40 {
+                // A mid-run pressure window, as a fault schedule delivers it.
+                pf.set_compute_pressure(if (10..25).contains(&i) { 0.5 } else { 1.0 });
+                pf.predict(&Odometry::new(
+                    Pose2::IDENTITY,
+                    Twist2::ZERO,
+                    i as f64 * 0.02,
+                ));
+                poses.push(pf.correct(&scan).to_array());
+            }
+            let ctl = pf.deadline().unwrap();
+            (poses, *ctl.rung_steps(), ctl.misses(), ctl.coast_steps())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn clone_carries_the_controller_state() {
+        let t = track();
+        let mut pf = deadline_pf(&t, FULL + FULL / 2, 1);
+        pf.reset(t.start_pose());
+        let scan = scan_from(&t, t.start_pose(), pf.config().lidar_mount);
+        pf.set_compute_pressure(0.5);
+        for _ in 0..3 {
+            pf.correct(&scan);
+        }
+        let cloned = pf.clone();
+        assert_eq!(
+            cloned.deadline().unwrap().rung_steps(),
+            pf.deadline().unwrap().rung_steps()
+        );
+        // Reset returns the controller to the top rung.
+        pf.reset(t.start_pose());
+        assert_eq!(pf.deadline().unwrap().rung(), 0);
+        assert_eq!(pf.deadline().unwrap().rung_steps(), &[0; LADDER_LEN]);
     }
 }

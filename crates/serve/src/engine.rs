@@ -33,6 +33,14 @@ pub struct ServeConfig {
     /// packed together so the pool sees few, dense jobs instead of one
     /// tiny job per session.
     pub chunk_min: usize,
+    /// Per-session step quota per drain batch (`0` = unlimited). When one
+    /// session has more requests queued than this at drain time, the
+    /// *oldest* beyond the quota are shed (freshest-data-wins, like queue
+    /// backpressure) and booked to `serve.budget.shed` plus the session's
+    /// shed count. This is the serve-side compute budget: a session that
+    /// floods the engine degrades itself instead of stretching the batch
+    /// deadline for everyone (DESIGN.md §14).
+    pub session_step_quota: usize,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +51,7 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             max_sessions: 1024,
             chunk_min: 4,
+            session_step_quota: 0,
         }
     }
 }
@@ -271,9 +280,20 @@ impl ServeEngine {
         // Lift the involved slots out of the table; BTreeMap iteration
         // gives the deterministic ascending-id work order.
         let mut items: ChunkWork = Vec::with_capacity(by_session.len());
-        for (id, reqs) in by_session {
+        let quota = self.config.session_step_quota;
+        for (id, mut reqs) in by_session {
             match self.sessions.remove(&id) {
-                Some(slot) => items.push((id, slot, reqs)),
+                Some(mut slot) => {
+                    if quota > 0 && reqs.len() > quota {
+                        // Over-quota session: shed the oldest, keep the
+                        // newest `quota` requests.
+                        let shed = (reqs.len() - quota) as u64;
+                        reqs.drain(..reqs.len() - quota);
+                        self.tel.add("serve.budget.shed", shed);
+                        slot.sheds += shed;
+                    }
+                    items.push((id, slot, reqs));
+                }
                 None => self.tel.add("serve.dropped_unknown", reqs.len() as u64),
             }
         }
@@ -345,6 +365,15 @@ impl ServeEngine {
     /// Total requests shed by backpressure since the engine was created.
     pub fn shed_total(&self) -> u64 {
         self.tel.snapshot().counter("serve.shed").unwrap_or(0)
+    }
+
+    /// Total requests shed by per-session step quotas
+    /// ([`ServeConfig::session_step_quota`]) since the engine was created.
+    pub fn budget_shed_total(&self) -> u64 {
+        self.tel
+            .snapshot()
+            .counter("serve.budget.shed")
+            .unwrap_or(0)
     }
 
     /// The engine's shared artifact store (builds/hits counters live here).

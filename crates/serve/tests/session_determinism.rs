@@ -134,6 +134,7 @@ fn run_fleet(threads: usize, recorder: Option<SharedBuffer>) -> (Vec<StepResult>
         queue_capacity: 8192,
         max_sessions: SESSIONS,
         chunk_min: 2,
+        ..ServeConfig::default()
     });
     if let Some(buf) = recorder {
         engine.set_recorder(buf);
@@ -229,6 +230,7 @@ fn every_session_replays_in_isolation_from_the_jsonl_stream() {
             queue_capacity: 8192,
             max_sessions: SESSIONS,
             chunk_min: 2,
+            ..ServeConfig::default()
         });
         for i in 0..SESSIONS {
             let track = &tracks[i % tracks.len()];
@@ -356,6 +358,72 @@ fn backpressure_sheds_oldest_first() {
     let summary = engine.close_session(id).expect("open");
     assert_eq!(summary.sheds, 2);
     assert_eq!(summary.steps, 4);
+}
+
+#[test]
+fn session_step_quota_sheds_oldest_keeping_newest() {
+    let track = &tracks()[0];
+    let mut engine = ServeEngine::new(ServeConfig {
+        seed: 1,
+        threads: 1,
+        session_step_quota: 2,
+        ..ServeConfig::default()
+    });
+    let a = engine
+        .open_session(
+            &track.grid,
+            params(),
+            LocalizerSpec::DeadReckoning,
+            start_pose(track, 0),
+        )
+        .expect("capacity available");
+    let b = engine
+        .open_session(
+            &track.grid,
+            params(),
+            LocalizerSpec::DeadReckoning,
+            start_pose(track, 1),
+        )
+        .expect("capacity available");
+    // Session a floods five steps; session b stays within quota.
+    for k in 0..5 {
+        let odom = Odometry::new(
+            Pose2::new(k as f64, 0.0, 0.0),
+            Twist2::new(1.0, 0.0, 0.0),
+            k as f64 * DT,
+        );
+        engine
+            .submit(StepRequest {
+                session: a,
+                odom,
+                scan: None,
+            })
+            .expect("session is open");
+    }
+    engine
+        .submit(StepRequest {
+            session: b,
+            odom: Odometry::new(Pose2::new(0.5, 0.0, 0.0), Twist2::new(1.0, 0.0, 0.0), DT),
+            scan: None,
+        })
+        .expect("session is open");
+    let results = engine.drain();
+    // Quota kept the newest two of a's five requests; b is untouched.
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results.iter().filter(|r| r.session == a).count(),
+        2,
+        "session a executes exactly its quota"
+    );
+    assert_eq!(engine.budget_shed_total(), 3);
+    assert_eq!(engine.shed_total(), 0, "queue backpressure never fired");
+    assert_eq!(engine.rollup().total("serve.budget.shed"), Some(3));
+    let summary_a = engine.close_session(a).expect("open");
+    assert_eq!(summary_a.sheds, 3);
+    assert_eq!(summary_a.steps, 2);
+    let summary_b = engine.close_session(b).expect("open");
+    assert_eq!(summary_b.sheds, 0);
+    assert_eq!(summary_b.steps, 1);
 }
 
 #[test]

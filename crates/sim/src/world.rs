@@ -545,6 +545,11 @@ impl World {
                     } else {
                         fb.delay_queue.clear();
                     }
+                    // Compute pressure scales the localizer's per-step
+                    // budget (DESIGN.md §14) before the correction it
+                    // gates; sensors are untouched. Delivered every step so
+                    // the factor relaxes back to 1 when the window closes.
+                    localizer.set_compute_pressure(fb.schedule.budget_factor_at(fb.scan_step));
                     fb.tracker.record(&fb.schedule, fb.scan_step, &self.tel);
                     fb.scan_step += 1;
                 }
@@ -1071,6 +1076,65 @@ mod tests {
         assert_eq!(snap.counter("faults.lidar_blackout.steps"), Some(4));
         world.clear_fault_schedule();
         assert!(world.fault_schedule().is_none());
+    }
+
+    /// Records the compute-pressure factor in force at every correction.
+    struct PressureProbe {
+        inner: DeadReckoning,
+        factors: Vec<f64>,
+        current: f64,
+    }
+
+    impl Localizer for PressureProbe {
+        fn predict(&mut self, odom: &raceloc_core::Odometry) {
+            self.inner.predict(odom);
+        }
+        fn correct(&mut self, scan: &LaserScan) -> Pose2 {
+            self.factors.push(self.current);
+            self.inner.correct(scan)
+        }
+        fn pose(&self) -> Pose2 {
+            self.inner.pose()
+        }
+        fn reset(&mut self, pose: Pose2) {
+            self.inner.reset(pose);
+        }
+        fn name(&self) -> &str {
+            "pressure-probe"
+        }
+        fn set_compute_pressure(&mut self, factor: f64) {
+            self.current = factor;
+        }
+    }
+
+    #[test]
+    fn compute_pressure_reaches_the_localizer_and_telemetry() {
+        let mut world = World::new(oval_track(), WorldConfig::default());
+        let tel = Telemetry::enabled();
+        world.set_telemetry(tel.clone());
+        world.set_fault_schedule(
+            FaultSchedule::builder()
+                .compute_pressure(5, 12, 0.5)
+                .build()
+                .unwrap(),
+        );
+        let mut probe = PressureProbe {
+            inner: DeadReckoning::new(),
+            factors: Vec::new(),
+            current: 1.0,
+        };
+        let log = world.run_with_oracle_control(&mut probe, 0.6);
+        assert!(!log.crashed);
+        assert!(probe.factors.len() > 15);
+        for (i, f) in probe.factors.iter().enumerate() {
+            // The factor for step N is installed before step N's correct
+            // call, so it gates exactly the corrections in the window.
+            let expected = if (5..12).contains(&i) { 0.5 } else { 1.0 };
+            assert_eq!(*f, expected, "factor at correction {i}");
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("faults.compute_pressure.activations"), Some(1));
+        assert_eq!(snap.counter("faults.compute_pressure.steps"), Some(7));
     }
 
     #[test]

@@ -98,6 +98,7 @@ fn golden_spec() -> FleetSpec {
                 recovery_budget: None,
             },
         ],
+        budgets: vec![0],
         methods: vec![
             EvalMethod::SynPf,
             EvalMethod::Cartographer,
