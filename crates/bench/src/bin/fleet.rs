@@ -4,7 +4,8 @@
 //! replicates, aggregated into per-cell success rates (Wilson 95%
 //! intervals), mean/p95 RMSE and lateral error, and recovery-latency
 //! distributions. `BENCH_fleet.json` is the checked-in artifact; it is
-//! byte-identical for every `--threads` value.
+//! byte-identical for every `--threads` value, every `--cache-dir`/
+//! `--journal` state, and every interrupt/resume split (DESIGN.md §15).
 //!
 //! Hard gates (exit code 1, the CI `fleet-smoke` job): the paper's
 //! qualitative localizer ordering — SynPF must beat Cartographer under
@@ -12,47 +13,83 @@
 //! case — plus per-cell sanity (see `raceloc_eval::ordering_violations`).
 //!
 //! Run with `cargo run -p raceloc-bench --release --bin fleet --
-//! [--quick] [--threads N] [--out BENCH_fleet.json]`.
+//! [--quick] [--threads N] [--out BENCH_fleet.json] [--cache-dir DIR]
+//! [--journal FILE] [--stats-out FILE] [--stop-after-cells K]`.
+//!
+//! The `diff` subcommand is the cross-PR accuracy gate (the CI
+//! `fleet-cache-smoke` job): `fleet diff BASELINE FRESH [--out FILE]`
+//! compares two report artifacts and exits 1 on an ordering flip or a
+//! disjoint-Wilson-interval success regression (see
+//! `raceloc_eval::diff_reports`).
 
 use raceloc_bench::env_threads;
 use raceloc_bench::fleet::fleet_spec;
-use raceloc_eval::{ordering_violations, run_fleet, CellSummary};
+use raceloc_eval::{
+    diff_reports, ordering_violations, run_fleet_with, CellSummary, FleetReport, FleetRunOptions,
+};
 use raceloc_obs::Json;
 
 struct Args {
     quick: bool,
     threads: usize,
     out: String,
+    cache_dir: Option<String>,
+    journal: Option<String>,
+    stats_out: Option<String>,
+    stop_after_cells: Option<usize>,
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Args {
     let mut args = Args {
         quick: false,
         threads: env_threads(),
         out: "BENCH_fleet.json".to_string(),
+        cache_dir: None,
+        journal: None,
+        stats_out: None,
+        stop_after_cells: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|t| t.trim().parse::<usize>().ok())
+                args.threads = value("--threads", &mut it)
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
                     .filter(|&t| t >= 1)
                     .unwrap_or_else(|| {
                         eprintln!("--threads needs a positive integer");
                         std::process::exit(2);
                     });
             }
-            "--out" => {
-                args.out = it.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                });
+            "--out" => args.out = value("--out", &mut it),
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir", &mut it)),
+            "--journal" => args.journal = Some(value("--journal", &mut it)),
+            "--stats-out" => args.stats_out = Some(value("--stats-out", &mut it)),
+            "--stop-after-cells" => {
+                args.stop_after_cells = Some(
+                    value("--stop-after-cells", &mut it)
+                        .trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--stop-after-cells needs a non-negative integer");
+                            std::process::exit(2);
+                        }),
+                );
             }
             other => {
-                eprintln!("unknown argument {other:?} (known: --quick --threads --out)");
+                eprintln!(
+                    "unknown argument {other:?} (known: --quick --threads --out --cache-dir \
+                     --journal --stats-out --stop-after-cells; subcommand: diff)"
+                );
                 std::process::exit(2);
             }
         }
@@ -82,8 +119,58 @@ fn format_cell(c: &CellSummary) -> String {
     )
 }
 
+fn load_report(path: &str) -> FleetReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("failed to read {path}: {e}");
+        std::process::exit(2);
+    });
+    FleetReport::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("failed to parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `fleet diff BASELINE FRESH [--out FILE]` — exit 0 clean, 1 regressed,
+/// 2 usage/parse failure.
+fn diff_main(argv: &[String]) -> ! {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, fresh_path] = paths[..] else {
+        eprintln!("usage: fleet diff BASELINE FRESH [--out FILE]");
+        std::process::exit(2);
+    };
+    let baseline = load_report(baseline_path);
+    let fresh = load_report(fresh_path);
+    let diff = diff_reports(&baseline, &fresh);
+    let rendered = diff.render();
+    print!("{rendered}");
+    if let Some(out) = out {
+        if let Err(e) = std::fs::write(&out, &rendered) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(if diff.is_regression() { 1 } else { 0 });
+}
+
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        diff_main(&argv[1..]);
+    }
+    let args = parse_args(&argv);
     let spec = fleet_spec(args.quick);
     println!(
         "Fleet evaluation — {} cells × {} replicates = {} closed-loop runs ({} threads)",
@@ -92,13 +179,30 @@ fn main() {
         spec.total_runs(),
         args.threads.max(1)
     );
-    let report = match run_fleet(&spec, args.threads) {
-        Ok(report) => report,
+    let mut opts = FleetRunOptions::new(args.threads);
+    opts.cache_dir = args.cache_dir.map(Into::into);
+    opts.journal_path = args.journal.map(Into::into);
+    opts.stop_after_cells = args.stop_after_cells;
+    let (report, stats) = match run_fleet_with(&spec, &opts) {
+        Ok(done) => done,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
+    println!(
+        "cells: {} total — {} from cache, {} from journal, {} executed ({} runs){}",
+        stats.cells_total,
+        stats.cache_hits,
+        stats.journal_hits,
+        stats.executed_cells,
+        stats.executed_runs,
+        if stats.stopped_early {
+            " — STOPPED EARLY"
+        } else {
+            ""
+        }
+    );
 
     println!(
         "{:<11} {:<3} {:<12} {:<13} {:>5} {:>17} {:>9} {:>9} {:>8} {:>7}",
@@ -128,7 +232,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", args.out);
+    if let Some(stats_out) = &args.stats_out {
+        if let Err(e) = std::fs::write(stats_out, format!("{}\n", stats.to_json())) {
+            eprintln!("failed to write {stats_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {stats_out}");
+    }
 
+    // An interrupted invocation deliberately leaves missing rows; the
+    // ordering gates only judge complete reports (the resumed run gates).
+    if stats.stopped_early {
+        println!("stopped after {} cells — gates skipped until resume", {
+            stats.cache_hits + stats.journal_hits + stats.executed_cells
+        });
+        return;
+    }
     let violations = ordering_violations(&report);
     if !violations.is_empty() {
         for v in &violations {

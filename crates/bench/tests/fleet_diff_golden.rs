@@ -1,0 +1,93 @@
+//! Golden tests for the `fleet diff` regression gate (DESIGN.md §15):
+//! checked-in report pairs with a known ordering flip and a known
+//! Wilson-interval regression must each exit 1 with a byte-stable
+//! human-readable diff, and an identical pair must exit 0.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn golden(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn run_diff(extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fleet"))
+        .arg("diff")
+        .args(extra)
+        .output()
+        .expect("spawn fleet diff")
+}
+
+fn read_golden(name: &str) -> String {
+    std::fs::read_to_string(golden(name)).unwrap_or_else(|e| panic!("missing golden {name}: {e}"))
+}
+
+fn path_arg(name: &str) -> String {
+    golden(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let base = path_arg("diff_base.json");
+    let out = run_diff(&[&base, &base]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.ends_with("verdict: OK\n"), "{stdout}");
+    assert!(!stdout.contains("REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn ordering_flip_exits_one_with_stable_output() {
+    let out = run_diff(&[
+        &path_arg("diff_base.json"),
+        &path_arg("diff_ordering_flip.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout, read_golden("diff_ordering_flip.txt"));
+    assert!(stdout.contains("REGRESSION ordering"), "{stdout}");
+}
+
+#[test]
+fn interval_regression_exits_one_with_stable_output() {
+    let out = run_diff(&[
+        &path_arg("diff_base.json"),
+        &path_arg("diff_interval_regression.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout, read_golden("diff_interval_regression.txt"));
+    assert!(stdout.contains("(Wilson intervals disjoint)"), "{stdout}");
+}
+
+#[test]
+fn out_flag_writes_the_rendered_diff() {
+    let out_path = std::env::temp_dir().join(format!(
+        "raceloc-fleet-diff-golden-{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out_path);
+    let out = run_diff(&[
+        &path_arg("diff_base.json"),
+        &path_arg("diff_ordering_flip.json"),
+        "--out",
+        &out_path.to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let written = std::fs::read_to_string(&out_path).expect("diff artifact written");
+    assert_eq!(written, read_golden("diff_ordering_flip.txt"));
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn usage_and_parse_failures_exit_two() {
+    let out = run_diff(&[&path_arg("diff_base.json")]);
+    assert_eq!(out.status.code(), Some(2), "one path is a usage error");
+    let out = run_diff(&[
+        &path_arg("diff_base.json"),
+        &path_arg("definitely-missing.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "unreadable report");
+}

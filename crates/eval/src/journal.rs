@@ -1,0 +1,236 @@
+//! The resumable-run journal: an append-only checkpoint of completed
+//! cells (DESIGN.md §15).
+//!
+//! A fleet run opened with a journal path appends one JSONL line per
+//! *completed cell* — the same content-addressed payload the
+//! [`crate::CellCache`] stores, keyed by the cell's hash. A later run
+//! against the same (or an edited) spec loads the journal, takes every
+//! line whose hash matches a cell it still needs, and executes only the
+//! rest. Because report folding is order-independent across cells and
+//! positional within a cell, the resumed report is byte-identical to an
+//! uninterrupted run.
+//!
+//! The format is interrupt-tolerant by construction: lines are flushed
+//! whole, the loader ignores a torn trailing line (the cell simply
+//! re-runs), and matching is by content hash — a header mismatch on
+//! `spec_hash` only means "written by a different spec/code revision",
+//! which demotes the journal to a per-cell cache rather than invalidating
+//! it.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use raceloc_obs::Json;
+
+use crate::cache::{code_fingerprint, entry_doc_hash, entry_json, parse_entry_doc};
+use crate::runner::RunOutcome;
+
+const JOURNAL_MAGIC: &str = "raceloc-fleet";
+const JOURNAL_VERSION: u64 = 1;
+
+/// An append-only journal of completed fleet cells, one JSONL line each.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl RunJournal {
+    /// Opens `path` for appending, writing the header line first when the
+    /// file is new or empty. `fleet` and `spec_hash` are provenance only;
+    /// loading matches cells by content hash, never by header.
+    pub fn open(path: impl Into<PathBuf>, fleet: &str, spec_hash: u64) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // An interrupted run can leave a torn, newline-less final line;
+        // appending straight after it would corrupt the *next* line as
+        // well, so terminate any unterminated tail first.
+        let unterminated = match File::open(&path) {
+            Ok(mut existing) => {
+                let len = existing.metadata()?.len();
+                if len == 0 {
+                    false
+                } else {
+                    existing.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    existing.read_exact(&mut last)?;
+                    last[0] != b'\n'
+                }
+            }
+            Err(_) => false,
+        };
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if unterminated {
+            file.write_all(b"\n")?;
+        }
+        if file.metadata()?.len() == 0 {
+            let header = Json::Obj(vec![
+                ("journal".into(), Json::Str(JOURNAL_MAGIC.into())),
+                ("version".into(), Json::num(JOURNAL_VERSION as f64)),
+                ("fleet".into(), Json::Str(fleet.to_string())),
+                ("spec_hash".into(), Json::Str(format!("{spec_hash:016x}"))),
+                (
+                    "code".into(),
+                    Json::Str(format!("{:016x}", code_fingerprint())),
+                ),
+            ]);
+            writeln!(file, "{header}")?;
+            file.flush()?;
+        }
+        Ok(Self { path, file })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell (all replicate outcomes, in replicate
+    /// order) and flushes, so the line survives an interrupt immediately
+    /// after this call returns.
+    pub fn append_cell(&mut self, hash: u64, outcomes: &[RunOutcome]) -> io::Result<()> {
+        writeln!(self.file, "{}", entry_json(hash, outcomes))?;
+        self.file.flush()
+    }
+
+    /// Loads every well-formed cell line of the journal at `path`,
+    /// indexed by cell hash. Later lines win (a re-run cell supersedes
+    /// its earlier checkpoint), and every malformed line — including the
+    /// torn final line of an interrupted run, entries with the wrong run
+    /// count, or the header — is skipped, never an error. A missing file
+    /// is an empty journal.
+    pub fn load(path: &Path, expected_runs: usize) -> BTreeMap<u64, Vec<RunOutcome>> {
+        let mut cells = BTreeMap::new();
+        let Ok(file) = File::open(path) else {
+            return cells;
+        };
+        for line in BufReader::new(file).lines() {
+            let Ok(line) = line else {
+                break;
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let Ok(doc) = Json::parse(trimmed) else {
+                continue;
+            };
+            if doc.get("journal").is_some() {
+                continue;
+            }
+            let Some(hash) = entry_doc_hash(&doc) else {
+                continue;
+            };
+            if let Some(outcomes) = parse_entry_doc(&doc, Some(hash), expected_runs) {
+                cells.insert(hash, outcomes);
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "raceloc-eval-journal-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn outcome(pos: usize, rmse: f64) -> RunOutcome {
+        RunOutcome {
+            index: pos,
+            steps: 40,
+            rmse_cm: rmse,
+            p95_err_cm: rmse * 1.5,
+            max_err_cm: rmse * 2.0,
+            mean_lat_err_cm: rmse * 0.5,
+            recovery_steps: Some(2),
+            pct_nominal: 1.0,
+            crashed: false,
+            finite: true,
+            success: true,
+            counters: vec![("eval.runs", 1)],
+        }
+    }
+
+    #[test]
+    fn append_then_load_round_trips_cells() {
+        let path = temp_journal("roundtrip");
+        let mut j = RunJournal::open(&path, "t", 0xABCD).expect("open");
+        j.append_cell(1, &[outcome(0, 10.0), outcome(1, 11.0)])
+            .expect("append");
+        j.append_cell(2, &[outcome(0, 20.0), outcome(1, 21.0)])
+            .expect("append");
+        drop(j);
+        let cells = RunJournal::load(&path, 2);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[&1], vec![outcome(0, 10.0), outcome(1, 11.0)]);
+        assert_eq!(cells[&2], vec![outcome(0, 20.0), outcome(1, 21.0)]);
+        // Count mismatch filters every line out.
+        assert!(RunJournal::load(&path, 3).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopening_appends_and_later_lines_win() {
+        let path = temp_journal("reopen");
+        {
+            let mut j = RunJournal::open(&path, "t", 1).expect("open");
+            j.append_cell(7, &[outcome(0, 1.0)]).expect("append");
+        }
+        {
+            let mut j = RunJournal::open(&path, "t", 1).expect("reopen");
+            j.append_cell(7, &[outcome(0, 9.0)]).expect("append");
+            j.append_cell(8, &[outcome(0, 3.0)]).expect("append");
+        }
+        // One header only, three cell lines.
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        assert_eq!(text.matches(JOURNAL_MAGIC).count(), 1);
+        let cells = RunJournal::load(&path, 1);
+        assert_eq!(cells[&7][0].rmse_cm, 9.0, "later line supersedes");
+        assert_eq!(cells[&8][0].rmse_cm, 3.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let path = temp_journal("torn");
+        {
+            let mut j = RunJournal::open(&path, "t", 1).expect("open");
+            j.append_cell(4, &[outcome(0, 2.0)]).expect("append");
+        }
+        // Simulate an interrupt mid-write of the next cell line.
+        let mut text = std::fs::read_to_string(&path).expect("read journal");
+        text.push_str("{\"version\":1,\"cell_hash\":\"0000000000000005\",\"outcomes\":[{\"in");
+        std::fs::write(&path, &text).expect("write torn journal");
+        let cells = RunJournal::load(&path, 1);
+        assert_eq!(cells.len(), 1, "only the whole line survives");
+        assert!(cells.contains_key(&4));
+        // Reopening an interrupted journal keeps appending after the torn
+        // line; the loader still recovers every whole line.
+        let mut j = RunJournal::open(&path, "t", 1).expect("reopen");
+        j.append_cell(5, &[outcome(0, 6.0)]).expect("append");
+        drop(j);
+        let cells = RunJournal::load(&path, 1);
+        assert!(cells.contains_key(&5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let path = temp_journal("missing");
+        assert!(RunJournal::load(&path, 1).is_empty());
+    }
+}

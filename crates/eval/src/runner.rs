@@ -10,19 +10,22 @@
 //! job-completion order (rule R3 — `tests/fleet_determinism.rs` enforces
 //! this end to end).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use raceloc_core::localizer::DeadReckoning;
 use raceloc_core::{stats, stream_keys, DeadlineConfig, Health, Rng64};
 use raceloc_map::Track;
-use raceloc_obs::Telemetry;
+use raceloc_obs::{Json, Telemetry};
 use raceloc_par::{FnJob, WorkerPool};
 use raceloc_pf::{HealthPolicy, KldConfig, RecoveryConfig, SynPf, SynPfConfig};
 use raceloc_range::{ArtifactParams, ArtifactStore, MapArtifacts};
 use raceloc_sim::{SimLog, World, WorldConfig};
 use raceloc_slam::{CartoLocalizer, CartoLocalizerConfig, SlamHealthPolicy};
 
-use crate::aggregate::FleetReport;
+use crate::aggregate::{FleetReport, ReportBuilder};
+use crate::cache::{cell_hash, intern_counter, spec_hash, CellCache};
+use crate::journal::RunJournal;
 use crate::spec::{EvalMethod, FleetSpec, RunDesc, SpecError};
 
 /// Shared immutable resources of one evaluation map: built once per
@@ -106,7 +109,107 @@ pub struct RunOutcome {
     pub counters: Vec<(&'static str, u64)>,
 }
 
+/// Serializes a float for the cache/journal layer, where non-finite
+/// values must survive the trip (the report layer's `Json::num` maps them
+/// to `null`, which is fine for rendering but lossy for replay).
+fn float_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::num(v)
+    } else if v.is_nan() {
+        Json::Str("NaN".into())
+    } else if v > 0.0 {
+        Json::Str("Infinity".into())
+    } else {
+        Json::Str("-Infinity".into())
+    }
+}
+
+/// Parses a float written by [`float_json`].
+fn float_from(doc: &Json, key: &str) -> Option<f64> {
+    match doc.get(key)? {
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Some(f64::NAN),
+            "Infinity" => Some(f64::INFINITY),
+            "-Infinity" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        v => v.as_f64(),
+    }
+}
+
 impl RunOutcome {
+    /// Serializes the outcome for the cell cache / journal (stable key
+    /// order). The run `index` is deliberately omitted: it names a slot in
+    /// *this* spec's run numbering, which shifts when axes are edited —
+    /// cached outcomes are positional (replicate order) and get re-indexed
+    /// on load. Finite floats round-trip bit-exactly (shortest-round-trip
+    /// serialization); non-finite ones ride as strings.
+    pub(crate) fn to_cache_json(&self) -> Json {
+        Json::Obj(vec![
+            ("steps".into(), Json::num(self.steps as f64)),
+            ("rmse_cm".into(), float_json(self.rmse_cm)),
+            ("p95_err_cm".into(), float_json(self.p95_err_cm)),
+            ("max_err_cm".into(), float_json(self.max_err_cm)),
+            ("mean_lat_err_cm".into(), float_json(self.mean_lat_err_cm)),
+            (
+                "recovery_steps".into(),
+                self.recovery_steps
+                    .map_or(Json::Null, |s| Json::num(s as f64)),
+            ),
+            ("pct_nominal".into(), float_json(self.pct_nominal)),
+            ("crashed".into(), Json::Bool(self.crashed)),
+            ("finite".into(), Json::Bool(self.finite)),
+            ("success".into(), Json::Bool(self.success)),
+            (
+                "counters".into(),
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|&(name, v)| {
+                            Json::Arr(vec![Json::Str(name.to_string()), Json::num(v as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses an outcome written by [`RunOutcome::to_cache_json`],
+    /// rebasing it onto run slot `index`. Returns `None` on any malformed
+    /// field (the caller treats the whole entry as a cache miss).
+    pub(crate) fn from_cache_json(doc: &Json, index: usize) -> Option<Self> {
+        let bool_field = |key: &str| match doc.get(key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        };
+        let recovery_steps = match doc.get("recovery_steps") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64()?),
+        };
+        let mut counters = Vec::new();
+        for pair in doc.get("counters").and_then(Json::as_array)? {
+            let pair = pair.as_array()?;
+            let [name, value] = pair else {
+                return None;
+            };
+            counters.push((intern_counter(name.as_str()?), value.as_u64()?));
+        }
+        Some(Self {
+            index,
+            steps: doc.get("steps").and_then(Json::as_u64)? as usize,
+            rmse_cm: float_from(doc, "rmse_cm")?,
+            p95_err_cm: float_from(doc, "p95_err_cm")?,
+            max_err_cm: float_from(doc, "max_err_cm")?,
+            mean_lat_err_cm: float_from(doc, "mean_lat_err_cm")?,
+            recovery_steps,
+            pct_nominal: float_from(doc, "pct_nominal")?,
+            crashed: bool_field("crashed")?,
+            finite: bool_field("finite")?,
+            success: bool_field("success")?,
+            counters,
+        })
+    }
+
     /// The outcome of a run whose axes could not be resolved against the
     /// context — unreachable after [`FleetSpec::validate`], but kept as a
     /// non-panicking fallback (rule R1).
@@ -305,40 +408,293 @@ fn reduce(
     }
 }
 
-/// Runs the whole fleet: validates the spec, builds the shared context,
-/// fans every run over a [`WorkerPool`] of `threads` workers, scatters
-/// outcomes back by job tag, and folds them in canonical run order into a
-/// [`FleetReport`]. The report is bit-identical for every `threads` value.
-pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<FleetReport, SpecError> {
-    spec.validate()?;
-    let runs = spec.runs();
-    let shared = Arc::new(spec.clone());
-    let mut jobs: Vec<FnJob<FleetCtx, RunOutcome>> = runs
-        .iter()
-        .map(|r| {
-            let spec = Arc::clone(&shared);
-            let desc = *r;
-            FnJob::new(desc.index, move |ctx: &FleetCtx| {
-                execute_run(&spec, desc, ctx)
-            })
-        })
-        .collect();
+/// How one fleet invocation executes: pool width plus the optional
+/// persistence layers of the scale-out engine (DESIGN.md §15).
+#[derive(Debug, Clone, Default)]
+pub struct FleetRunOptions {
+    /// Worker-pool width (clamped to at least 1).
+    pub threads: usize,
+    /// Content-addressed cell cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Append-only journal of completed cells; `None` disables
+    /// checkpointing/resume.
+    pub journal_path: Option<PathBuf>,
+    /// Stop after this many cells are complete (cached, journaled, or
+    /// executed — any provenance counts); the rest of the report is
+    /// `missing` rows. `None` runs to completion. This is the
+    /// interruption primitive the resume tests drive.
+    pub stop_after_cells: Option<usize>,
+}
 
-    let pool: WorkerPool<FleetCtx, FnJob<FleetCtx, RunOutcome>> =
-        WorkerPool::new(FleetCtx::build(spec), threads.max(1));
-    pool.run_batch(&mut jobs);
-
-    // run_batch hands jobs back in unspecified order; scatter by tag, then
-    // fold in canonical run order so aggregation never sees pool order.
-    let mut outcomes: Vec<Option<RunOutcome>> = runs.iter().map(|_| None).collect();
-    for job in &mut jobs {
-        let tag = job.tag();
-        let out = job.take();
-        if let Some(slot) = outcomes.get_mut(tag) {
-            *slot = out;
+impl FleetRunOptions {
+    /// Plain in-memory execution on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
         }
     }
-    Ok(FleetReport::from_outcomes(spec, &runs, outcomes))
+}
+
+/// How a fleet invocation's cells were satisfied. Kept **outside** the
+/// [`FleetReport`] on purpose: the report is a pure function of the spec,
+/// while these numbers describe one invocation's provenance (a fully
+/// cached re-run and a cold run must still produce byte-identical
+/// reports).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetRunStats {
+    /// Cells in the spec.
+    pub cells_total: u64,
+    /// Cells satisfied from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Cells written to the cache this invocation.
+    pub cache_stores: u64,
+    /// Cells satisfied from the resume journal.
+    pub journal_hits: u64,
+    /// Cells actually executed.
+    pub executed_cells: u64,
+    /// Runs actually executed.
+    pub executed_runs: u64,
+    /// Whether `stop_after_cells` cut the invocation short.
+    pub stopped_early: bool,
+}
+
+impl FleetRunStats {
+    /// Books the invocation's provenance counters into a telemetry handle
+    /// under the cataloged `eval.cache.*` / `eval.resume.*` names.
+    pub fn publish(&self, tel: &Telemetry) {
+        tel.add("eval.cache.hits", self.cache_hits);
+        tel.add("eval.cache.misses", self.executed_cells);
+        tel.add("eval.cache.stores", self.cache_stores);
+        tel.add("eval.resume.cells", self.journal_hits);
+    }
+
+    /// Serializes the stats (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cells_total".into(), Json::num(self.cells_total as f64)),
+            ("cache_hits".into(), Json::num(self.cache_hits as f64)),
+            ("cache_stores".into(), Json::num(self.cache_stores as f64)),
+            ("journal_hits".into(), Json::num(self.journal_hits as f64)),
+            (
+                "executed_cells".into(),
+                Json::num(self.executed_cells as f64),
+            ),
+            ("executed_runs".into(), Json::num(self.executed_runs as f64)),
+            ("stopped_early".into(), Json::Bool(self.stopped_early)),
+        ])
+    }
+}
+
+/// A fleet invocation failure: either the spec is invalid, or a
+/// persistence layer could not be opened/written. Execution itself never
+/// errors (failed runs become `missing` rows).
+#[derive(Debug)]
+pub enum FleetError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// A cache or journal I/O failure.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Spec(e) => write!(f, "{e}"),
+            FleetError::Io { path, message } => {
+                write!(f, "fleet i/o error at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<SpecError> for FleetError {
+    fn from(e: SpecError) -> Self {
+        FleetError::Spec(e)
+    }
+}
+
+fn io_err(path: &std::path::Path, e: std::io::Error) -> FleetError {
+    FleetError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Runs a fleet through the scale-out engine: resolves every cell from
+/// the journal, then the cache, and executes only what is left, in
+/// canonical-order waves over a [`WorkerPool`]. Completed cells are
+/// checkpointed (cache + journal) as each wave lands, so an interrupt
+/// loses at most one wave. Returns the report plus this invocation's
+/// provenance stats.
+///
+/// The report is byte-identical for any pool width, any wave boundary,
+/// and any mix of cached/journaled/executed cells — the engine only
+/// changes *where* outcomes come from, never what they are.
+pub fn run_fleet_with(
+    spec: &FleetSpec,
+    opts: &FleetRunOptions,
+) -> Result<(FleetReport, FleetRunStats), FleetError> {
+    spec.validate()?;
+    let cells = spec.cells();
+    let replicates = spec.replicates as usize;
+    let mut stats = FleetRunStats {
+        cells_total: cells.len() as u64,
+        ..FleetRunStats::default()
+    };
+
+    let hashes: Vec<u64> = cells.iter().map(|&key| cell_hash(spec, key)).collect();
+    let mut journaled = match &opts.journal_path {
+        Some(path) => RunJournal::load(path, replicates),
+        None => std::collections::BTreeMap::new(),
+    };
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(CellCache::open(dir).map_err(|e| io_err(dir, e))?),
+        None => None,
+    };
+    let mut journal = match &opts.journal_path {
+        Some(path) => {
+            Some(RunJournal::open(path, &spec.name, spec_hash(spec)).map_err(|e| io_err(path, e))?)
+        }
+        None => None,
+    };
+
+    // Resolve what persistence already has. Journal first: it is the
+    // record of *this* run id's completed work, and a hit there must not
+    // also count as a cache hit.
+    let mut builder = ReportBuilder::new(spec);
+    let mut resolved = 0usize;
+    let mut pending: Vec<usize> = Vec::new();
+    for (cell, &hash) in hashes.iter().enumerate() {
+        let outcomes = match journaled.remove(&hash) {
+            Some(outcomes) => {
+                stats.journal_hits += 1;
+                Some(outcomes)
+            }
+            None => match cache.as_ref().and_then(|c| c.load(hash, replicates)) {
+                Some(outcomes) => {
+                    stats.cache_hits += 1;
+                    Some(outcomes)
+                }
+                None => None,
+            },
+        };
+        match outcomes {
+            Some(outcomes) => {
+                let slots: Vec<Option<RunOutcome>> = outcomes.into_iter().map(Some).collect();
+                builder.fold_cell(cell, &slots);
+                resolved += 1;
+            }
+            None => pending.push(cell),
+        }
+    }
+
+    // Apply the interruption budget: cells beyond it stay missing.
+    let budget = opts
+        .stop_after_cells
+        .map(|limit| limit.saturating_sub(resolved))
+        .unwrap_or(pending.len());
+    if budget < pending.len() {
+        stats.stopped_early = true;
+    }
+    let skipped: Vec<usize> = pending.split_off(budget.min(pending.len()));
+    for cell in skipped {
+        builder.fold_missing_cell(cell);
+    }
+
+    // Execute the remainder in canonical-order waves, checkpointing each
+    // completed wave before starting the next. The pool (and the
+    // expensive per-map artifact builds) only exist when something
+    // actually runs — a fully cached invocation never touches them.
+    if !pending.is_empty() {
+        let threads = opts.threads.max(1);
+        let shared = Arc::new(spec.clone());
+        let pool: WorkerPool<FleetCtx, FnJob<FleetCtx, RunOutcome>> =
+            WorkerPool::new(FleetCtx::build(spec), threads);
+        // Enough cells per wave to keep every worker busy (~2 jobs per
+        // worker) without deferring checkpoints longer than needed.
+        let cells_per_wave = (threads * 2).div_ceil(replicates).max(1);
+        for wave in pending.chunks(cells_per_wave) {
+            let mut jobs: Vec<FnJob<FleetCtx, RunOutcome>> = Vec::new();
+            for (slot, &cell) in wave.iter().enumerate() {
+                let Some(&key) = cells.get(cell) else {
+                    continue;
+                };
+                for replicate in 0..spec.replicates {
+                    let spec = Arc::clone(&shared);
+                    let desc = RunDesc {
+                        index: cell * replicates + replicate as usize,
+                        cell,
+                        key,
+                        replicate,
+                        world_seed: spec.world_seed(key.map, key.grip, key.scenario, replicate),
+                    };
+                    jobs.push(FnJob::new(
+                        slot * replicates + replicate as usize,
+                        move |ctx: &FleetCtx| execute_run(&spec, desc, ctx),
+                    ));
+                }
+            }
+            pool.run_batch(&mut jobs);
+            // Scatter by tag: run_batch hands jobs back in pool order.
+            let mut slots: Vec<Option<RunOutcome>> =
+                (0..wave.len() * replicates).map(|_| None).collect();
+            for job in &mut jobs {
+                let tag = job.tag();
+                let out = job.take();
+                if let Some(slot) = slots.get_mut(tag) {
+                    *slot = out;
+                }
+            }
+            for (slot, &cell) in wave.iter().enumerate() {
+                let outcomes = &slots[slot * replicates..(slot + 1) * replicates];
+                stats.executed_cells += 1;
+                stats.executed_runs += outcomes.iter().flatten().count() as u64;
+                // Only complete cells are durable: a cell with a missing
+                // outcome must re-run next time, not replay a hole.
+                if outcomes.iter().all(Option::is_some) {
+                    let complete: Vec<RunOutcome> = outcomes.iter().flatten().cloned().collect();
+                    if let Some(cache) = &cache {
+                        let hash = hashes.get(cell).copied().unwrap_or(0);
+                        cache
+                            .store(hash, &complete)
+                            .map_err(|e| io_err(cache.dir(), e))?;
+                        stats.cache_stores += 1;
+                    }
+                    if let Some(journal) = journal.as_mut() {
+                        let hash = hashes.get(cell).copied().unwrap_or(0);
+                        journal
+                            .append_cell(hash, &complete)
+                            .map_err(|e| io_err(journal.path(), e))?;
+                    }
+                }
+                builder.fold_cell(cell, outcomes);
+            }
+        }
+    }
+
+    Ok((builder.finish(), stats))
+}
+
+/// Runs the whole fleet in memory: validates the spec, builds the shared
+/// context, fans every run over a [`WorkerPool`] of `threads` workers,
+/// and folds outcomes in canonical order into a [`FleetReport`]. The
+/// report is bit-identical for every `threads` value. (The persistence
+/// layers live behind [`run_fleet_with`].)
+pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<FleetReport, SpecError> {
+    match run_fleet_with(spec, &FleetRunOptions::new(threads)) {
+        Ok((report, _)) => Ok(report),
+        Err(FleetError::Spec(e)) => Err(e),
+        // Unreachable without cache/journal options, but mapped anyway.
+        Err(e @ FleetError::Io { .. }) => Err(SpecError::new(e.to_string())),
+    }
 }
 
 #[cfg(test)]

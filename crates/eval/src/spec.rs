@@ -64,7 +64,7 @@ impl MapSpec {
         .build()
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("fourier_seed".into(), Json::num(self.fourier_seed as f64)),
@@ -93,7 +93,7 @@ pub struct GripSpec {
 }
 
 impl GripSpec {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("mu".into(), Json::num(self.mu)),
@@ -123,7 +123,7 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("measure_from".into(), Json::num(self.measure_from as f64)),
@@ -534,7 +534,7 @@ fn req_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], SpecError> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn tiny_spec() -> FleetSpec {

@@ -1,0 +1,182 @@
+//! Resume equivalence (DESIGN.md §15): a fleet run interrupted after K of
+//! N cells and resumed from its journal produces a final report
+//! byte-identical to an uninterrupted run — at every worker-pool width,
+//! and even when the interrupt and the resume use different widths.
+
+use std::path::{Path, PathBuf};
+
+use raceloc_eval::{
+    run_fleet, run_fleet_with, EvalMethod, FleetRunOptions, FleetSpec, GripSpec, MapSpec,
+    RunJournal, ScenarioSpec,
+};
+use raceloc_faults::FaultSchedule;
+
+fn micro_spec() -> FleetSpec {
+    FleetSpec {
+        name: "resume-micro".into(),
+        master_seed: 909,
+        replicates: 2,
+        duration_s: 1.5,
+        particles: 80,
+        beams: 61,
+        success_lat_cm: 150.0,
+        maps: vec![MapSpec {
+            name: "fourier-33".into(),
+            fourier_seed: 33,
+            half_width: 1.25,
+            mean_radius: 6.0,
+        }],
+        grips: vec![
+            GripSpec {
+                name: "HQ".into(),
+                mu: 1.0,
+            },
+            GripSpec {
+                name: "LQ".into(),
+                mu: 19.0 / 26.0,
+            },
+        ],
+        scenarios: vec![
+            ScenarioSpec {
+                name: "nominal".into(),
+                schedule: FaultSchedule::builder().seed(7).build().expect("valid"),
+                measure_from: 0,
+                recovery_budget: None,
+            },
+            ScenarioSpec {
+                name: "odom_slip".into(),
+                schedule: FaultSchedule::builder()
+                    .seed(7)
+                    .odom_slip(15, 30, 1.8)
+                    .build()
+                    .expect("valid"),
+                measure_from: 30,
+                recovery_budget: None,
+            },
+        ],
+        budgets: vec![0],
+        methods: vec![EvalMethod::DeadReckoning],
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "raceloc-resume-equivalence-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn journal_opts(path: &Path, threads: usize) -> FleetRunOptions {
+    let mut opts = FleetRunOptions::new(threads);
+    opts.journal_path = Some(path.to_path_buf());
+    opts
+}
+
+#[test]
+fn interrupt_then_resume_is_byte_identical_at_every_pool_width() {
+    let spec = micro_spec();
+    let cells = spec.cells().len();
+    let uninterrupted = format!("{}", run_fleet(&spec, 1).expect("valid spec").to_json());
+
+    for threads in [1usize, 2, 4] {
+        for stop_after in [1usize, cells - 1] {
+            let journal = temp_journal(&format!("t{threads}-k{stop_after}"));
+
+            let mut partial_opts = journal_opts(&journal, threads);
+            partial_opts.stop_after_cells = Some(stop_after);
+            let (partial, partial_stats) =
+                run_fleet_with(&spec, &partial_opts).expect("interrupted run");
+            assert!(partial_stats.stopped_early);
+            assert_eq!(partial_stats.executed_cells, stop_after as u64);
+            // The skipped cells are reported as missing, not dropped.
+            assert_eq!(partial.cells.len(), cells);
+
+            let (resumed, resumed_stats) =
+                run_fleet_with(&spec, &journal_opts(&journal, threads)).expect("resumed run");
+            assert!(!resumed_stats.stopped_early);
+            assert_eq!(resumed_stats.journal_hits, stop_after as u64);
+            assert_eq!(
+                resumed_stats.executed_cells,
+                (cells - stop_after) as u64,
+                "resume re-runs only the unfinished cells"
+            );
+            assert_eq!(
+                uninterrupted,
+                format!("{}", resumed.to_json()),
+                "threads={threads} stop_after={stop_after}: resumed report drifted"
+            );
+
+            let _ = std::fs::remove_file(&journal);
+        }
+    }
+}
+
+#[test]
+fn resume_at_a_different_pool_width_than_the_interrupt() {
+    let spec = micro_spec();
+    let uninterrupted = format!("{}", run_fleet(&spec, 2).expect("valid spec").to_json());
+    let journal = temp_journal("cross-width");
+
+    let mut partial_opts = journal_opts(&journal, 1);
+    partial_opts.stop_after_cells = Some(2);
+    run_fleet_with(&spec, &partial_opts).expect("interrupted at 1 thread");
+
+    let (resumed, stats) =
+        run_fleet_with(&spec, &journal_opts(&journal, 4)).expect("resumed at 4 threads");
+    assert_eq!(stats.journal_hits, 2);
+    assert_eq!(
+        uninterrupted,
+        format!("{}", resumed.to_json()),
+        "journal entries must be width-agnostic"
+    );
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn second_resume_executes_nothing() {
+    let spec = micro_spec();
+    let journal = temp_journal("idempotent");
+    let cells = spec.cells().len() as u64;
+
+    let (first, _) = run_fleet_with(&spec, &journal_opts(&journal, 2)).expect("first full run");
+    let (second, stats) = run_fleet_with(&spec, &journal_opts(&journal, 2)).expect("second run");
+    assert_eq!(stats.journal_hits, cells, "everything replays from journal");
+    assert_eq!(stats.executed_cells, 0);
+    assert_eq!(
+        format!("{}", first.to_json()),
+        format!("{}", second.to_json())
+    );
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn journal_from_an_edited_spec_is_ignored() {
+    let spec = micro_spec();
+    let journal = temp_journal("stale");
+    let mut partial_opts = journal_opts(&journal, 2);
+    partial_opts.stop_after_cells = Some(2);
+    run_fleet_with(&spec, &partial_opts).expect("interrupted run");
+
+    // Reseeding changes every cell hash, so the stale journal contributes
+    // nothing and the edited spec runs fresh end to end.
+    let mut edited = spec.clone();
+    edited.master_seed += 1;
+    let (report, stats) = run_fleet_with(&edited, &journal_opts(&journal, 2)).expect("edited run");
+    assert_eq!(
+        stats.journal_hits, 0,
+        "stale journal entries must not match"
+    );
+    assert_eq!(stats.executed_cells, edited.cells().len() as u64);
+    let fresh = format!("{}", run_fleet(&edited, 2).expect("valid spec").to_json());
+    assert_eq!(fresh, format!("{}", report.to_json()));
+
+    // Sanity: the journal loader itself still parses the (mixed) file.
+    let loaded = RunJournal::load(&journal, spec.replicates as usize);
+    assert!(!loaded.is_empty());
+
+    let _ = std::fs::remove_file(&journal);
+}

@@ -34,9 +34,17 @@ transition, and a mid-sized budget that straddles a rung boundary can
 transiently do worse than a starved one that was already settled below
 it.
 
+Fleet-cache mode (`--fleet-cache FIRST SECOND STATS`) checks the cell
+cache round trip the CI fleet-cache-smoke job exercises: the two report
+artifacts from back-to-back runs over one cache directory must be
+byte-identical (the cache may never change a report), and the second
+run's stats file must show a 100% cache-hit rate — every cell resolved
+from cache, zero cells executed, zero fresh stores.
+
 Usage: bench_gate.py BASELINE FRESH TOLERANCE
        e.g. bench_gate.py BENCH_pipeline.json BENCH_pipeline_fresh.json 2.5
        bench_gate.py --deadline BENCH_deadline.json
+       bench_gate.py --fleet-cache first.json second.json stats2.json
 """
 
 import json
@@ -147,6 +155,55 @@ def deadline_gate(path):
     print("deadline sweep gate passed")
 
 
+def fleet_cache_gate(first_path, second_path, stats_path):
+    with open(first_path, "rb") as f:
+        first = f.read()
+    with open(second_path, "rb") as f:
+        second = f.read()
+    with open(stats_path) as f:
+        stats = json.load(f)
+
+    failures = []
+    if first != second:
+        failures.append(
+            f"{first_path} and {second_path} differ — the cell cache "
+            f"changed the report bytes"
+        )
+    total = stats.get("cells_total", 0)
+    hits = stats.get("cache_hits", 0)
+    print(
+        f"warm run: {hits}/{total} cells from cache, "
+        f"{stats.get('journal_hits', 0)} from journal, "
+        f"{stats.get('executed_cells', 0)} executed "
+        f"({stats.get('executed_runs', 0)} runs)"
+    )
+    if total == 0:
+        failures.append(f"{stats_path}: cells_total is 0 — nothing was gated")
+    if hits != total:
+        failures.append(
+            f"{stats_path}: {hits}/{total} cache hits on an unchanged "
+            f"spec — expected 100%"
+        )
+    if stats.get("executed_cells", 0) != 0 or stats.get("executed_runs", 0) != 0:
+        failures.append(
+            f"{stats_path}: warm run still executed "
+            f"{stats.get('executed_cells', 0)} cells "
+            f"({stats.get('executed_runs', 0)} runs)"
+        )
+    if stats.get("cache_stores", 0) != 0:
+        failures.append(
+            f"{stats_path}: warm run stored {stats['cache_stores']} fresh "
+            f"entries — cache keys are unstable"
+        )
+
+    if failures:
+        print("\nfleet cache gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"fleet cache gate passed ({len(first)} identical report bytes)")
+
+
 def rows(doc):
     out = {}
     for run in doc.get("runs", []):
@@ -158,6 +215,9 @@ def rows(doc):
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--deadline":
         deadline_gate(sys.argv[2])
+        return
+    if len(sys.argv) == 5 and sys.argv[1] == "--fleet-cache":
+        fleet_cache_gate(sys.argv[2], sys.argv[3], sys.argv[4])
         return
     if len(sys.argv) != 4:
         sys.exit(__doc__)
